@@ -1,0 +1,57 @@
+//! Ablation of Boomerang's design choices (DESIGN.md §IV-B/C): the BTB
+//! prefetch-buffer size and the next-N throttle policy, measured as end-to-end
+//! simulated cycles on a small workload.
+use boomerang::{Boomerang, Mechanism, ThrottlePolicy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frontend::Simulator;
+use sim_core::MicroarchConfig;
+use std::time::Duration;
+use workloads::{CodeLayout, Trace, WorkloadProfile};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    let layout = CodeLayout::generate(&WorkloadProfile::tiny(9));
+    let trace = Trace::generate_blocks(&layout, 8_000);
+
+    for policy in ThrottlePolicy::FIGURE10 {
+        group.bench_with_input(
+            BenchmarkId::new("throttle", policy.label()),
+            &policy,
+            |b, &p| {
+                b.iter(|| {
+                    let mut sim = Simulator::new(
+                        MicroarchConfig::hpca17(),
+                        &layout,
+                        trace.blocks(),
+                        Box::new(Boomerang::with_throttle(p)),
+                    );
+                    sim.run()
+                });
+            },
+        );
+    }
+    for buffer_entries in [8usize, 32, 128] {
+        group.bench_with_input(
+            BenchmarkId::new("btb_prefetch_buffer", buffer_entries),
+            &buffer_entries,
+            |b, &n| {
+                let mut cfg = MicroarchConfig::hpca17();
+                cfg.btb_prefetch_buffer_entries = n;
+                b.iter(|| {
+                    let mut sim = Simulator::new(
+                        cfg.clone(),
+                        &layout,
+                        trace.blocks(),
+                        Mechanism::Boomerang(Default::default()).build(),
+                    );
+                    sim.run()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Micro-benchmarks of the BTB organisations and the BTB prefetch buffer.
+use btb::{BasicBlockBtb, BtbEntry, BtbPrefetchBuffer, InstructionBtb};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_core::{Addr, BranchInfo, BranchKind};
+use std::time::Duration;
+
+fn entry(i: u64) -> BtbEntry {
+    let start = Addr::new(0x40_0000 + i * 24);
+    let term = BranchInfo::direct(start.add_instructions(3), BranchKind::Conditional, Addr::new(0x50_0000));
+    BtbEntry::from_block(start, 4, term)
+}
+
+fn bench_btb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btb");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    group.bench_function("bb_btb_2k_lookup_insert", |b| {
+        let mut btb = BasicBlockBtb::new(2048, 4);
+        let mut i = 0u64;
+        b.iter(|| {
+            let e = entry(i % 4096);
+            if !btb.lookup(e.block_start).is_hit() {
+                btb.insert(e);
+            }
+            i += 1;
+        });
+    });
+    group.bench_function("instruction_btb_2k_lookup_insert", |b| {
+        let mut btb = InstructionBtb::new(2048, 4);
+        let mut i = 0u64;
+        b.iter(|| {
+            let e = entry(i % 4096);
+            if !btb.lookup(e.branch_pc()).is_hit() {
+                btb.insert(e.branch_pc(), e);
+            }
+            i += 1;
+        });
+    });
+    group.bench_function("btb_prefetch_buffer_insert_take", |b| {
+        let mut buf = BtbPrefetchBuffer::new(32);
+        let mut i = 0u64;
+        b.iter(|| {
+            buf.insert(entry(i % 64));
+            let _ = buf.take(entry((i + 31) % 64).block_start);
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_btb);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Micro-benchmarks of the instruction memory hierarchy.
+use cache::InstructionHierarchy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_core::{CacheLine, MicroarchConfig};
+use std::time::Duration;
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_hierarchy");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group.bench_function("demand_fetch_stream", |b| {
+        let mut h = InstructionHierarchy::new(&MicroarchConfig::hpca17());
+        let mut now = 0u64;
+        b.iter(|| {
+            // A strided stream mixing hits and misses.
+            let line = CacheLine((now * 7) % 4096);
+            let outcome = h.demand_fetch(line, now);
+            now += outcome.latency;
+        });
+    });
+    group.bench_function("prefetch_probe_stream", |b| {
+        let mut h = InstructionHierarchy::new(&MicroarchConfig::hpca17());
+        let mut now = 0u64;
+        b.iter(|| {
+            let line = CacheLine((now * 13) % 8192);
+            h.prefetch_probe(line, now);
+            now += 1;
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Micro-benchmarks of the branch direction predictors (lookup + update).
+use branch_pred::{Bimodal, DirectionPredictor, Gshare, Tage};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_core::Addr;
+use std::time::Duration;
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predictors");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let pcs: Vec<Addr> = (0..256u64).map(|i| Addr::new(0x40_0000 + i * 12)).collect();
+
+    group.bench_function("tage_8kb_predict_update", |b| {
+        let mut p = Tage::with_budget(8 * 1024);
+        let mut i = 0usize;
+        b.iter(|| {
+            let pc = pcs[i % pcs.len()];
+            let pred = p.predict(pc);
+            p.update(pc, pred ^ (i % 7 == 0));
+            i += 1;
+        });
+    });
+    group.bench_function("bimodal_predict_update", |b| {
+        let mut p = Bimodal::with_budget(8 * 1024);
+        let mut i = 0usize;
+        b.iter(|| {
+            let pc = pcs[i % pcs.len()];
+            let pred = p.predict(pc);
+            p.update(pc, pred ^ (i % 7 == 0));
+            i += 1;
+        });
+    });
+    group.bench_function("gshare_predict_update", |b| {
+        let mut p = Gshare::with_budget(8 * 1024);
+        let mut i = 0usize;
+        b.iter(|| {
+            let pc = pcs[i % pcs.len()];
+            let pred = p.predict(pc);
+            p.update(pc, pred ^ (i % 7 == 0));
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! End-to-end simulator throughput for the main mechanisms of the paper
+//! (cycles simulated per wall-clock second drive how large the figure runs
+//! can be).
+use boomerang::Mechanism;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frontend::Simulator;
+use sim_core::MicroarchConfig;
+use std::time::Duration;
+use workloads::{CodeLayout, Trace, WorkloadProfile};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    let layout = CodeLayout::generate(&WorkloadProfile::tiny(5));
+    let trace = Trace::generate_blocks(&layout, 8_000);
+    for mechanism in [
+        Mechanism::Baseline,
+        Mechanism::Fdip,
+        Mechanism::Shift,
+        Mechanism::Confluence,
+        Mechanism::Boomerang(Default::default()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("8k_blocks", mechanism.label()), &mechanism, |b, &m| {
+            b.iter(|| {
+                let mut sim = Simulator::new(MicroarchConfig::hpca17(), &layout, trace.blocks(), m.build());
+                sim.run()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Benchmarks of workload layout and trace generation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use workloads::{CodeLayout, TraceGenerator, WorkloadProfile};
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
+    group.bench_function("layout_generation_tiny", |b| {
+        b.iter(|| CodeLayout::generate(&WorkloadProfile::tiny(7)));
+    });
+    let layout = CodeLayout::generate(&WorkloadProfile::tiny(7));
+    group.bench_function("trace_generation_10k_blocks", |b| {
+        b.iter(|| {
+            let gen = TraceGenerator::new(&layout);
+            gen.take(10_000).count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 2: stall-cycle coverage of FDIP (with different direction
+//! predictors) and PIF as a function of the LLC round-trip latency, with a
+//! near-ideal 32K-entry BTB.
+use boomerang::Mechanism;
+use branch_pred::PredictorKind;
+use sim_core::NocModel;
+fn main() {
+    let workloads = bench::all_workloads();
+    let latencies = [1u64, 10, 20, 30, 40, 50, 60, 70];
+    println!("\n=== Figure 2 — fraction of stall cycles covered (32K-entry BTB) ===");
+    println!("{:>11} {:>10} {:>12} {:>12} {:>16} {:>8}", "LLC latency", "FDIP TAGE", "FDIP 2-bit", "FDIP gshare", "FDIP Never-Taken", "PIF");
+    for lat in latencies {
+        let cfg = bench::table1_config().with_btb_entries(32 * 1024).with_noc(NocModel::Fixed(lat));
+        let mut cols = [0.0f64; 5];
+        for data in &workloads {
+            let baseline = data.run(Mechanism::Baseline, &cfg);
+            let series = [
+                data.run_with_predictor(Mechanism::Fdip, &cfg, PredictorKind::Tage),
+                data.run_with_predictor(Mechanism::Fdip, &cfg, PredictorKind::Bimodal),
+                data.run_with_predictor(Mechanism::Fdip, &cfg, PredictorKind::Gshare),
+                data.run_with_predictor(Mechanism::Fdip, &cfg, PredictorKind::NeverTaken),
+                data.run(Mechanism::Pif, &cfg),
+            ];
+            for (i, s) in series.iter().enumerate() {
+                cols[i] += s.stall_coverage_vs(&baseline) / workloads.len() as f64;
+            }
+        }
+        println!(
+            "{:>11} {:>9.1}% {:>11.1}% {:>11.1}% {:>15.1}% {:>7.1}%",
+            lat, cols[0] * 100.0, cols[1] * 100.0, cols[2] * 100.0, cols[3] * 100.0, cols[4] * 100.0
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 3: source of front-end miss (stall) cycles — sequential,
+//! conditional and unconditional — for the baseline, next-line, FDIP with
+//! 2K-32K BTBs, and PIF.
+use boomerang::Mechanism;
+fn main() {
+    let cfg2k = bench::table1_config();
+    let workloads = bench::all_workloads();
+    println!("\n=== Figure 3 — stall-cycle breakdown (fraction of the no-prefetch baseline's stall cycles) ===");
+    println!("{:<11} {:<16} {:>11} {:>12} {:>14} {:>8}", "workload", "config", "sequential", "conditional", "unconditional", "total");
+    for data in &workloads {
+        let baseline = data.run(Mechanism::Baseline, &cfg2k);
+        let base_total = baseline.fetch_stall_cycles.max(1) as f64;
+        let mut rows: Vec<(String, frontend::SimStats)> = vec![
+            ("Base 2K".into(), baseline),
+            ("Next-Line 2K".into(), data.run(Mechanism::NextLine, &cfg2k)),
+        ];
+        for btb in [2048u64, 8192, 32 * 1024] {
+            let cfg = bench::table1_config().with_btb_entries(btb);
+            rows.push((format!("FDIP {}K", btb / 1024), data.run(Mechanism::Fdip, &cfg)));
+        }
+        rows.push(("PIF 32K".into(), data.run(Mechanism::Pif, &bench::table1_config().with_btb_entries(32 * 1024))));
+        for (label, stats) in rows {
+            let b = stats.miss_breakdown;
+            println!(
+                "{:<11} {:<16} {:>10.1}% {:>11.1}% {:>13.1}% {:>7.1}%",
+                data.kind.name(),
+                label,
+                b.sequential as f64 / base_total * 100.0,
+                b.conditional as f64 / base_total * 100.0,
+                b.unconditional as f64 / base_total * 100.0,
+                b.total() as f64 / base_total * 100.0
+            );
+        }
+    }
+}

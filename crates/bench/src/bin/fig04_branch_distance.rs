@@ -1,0 +1,21 @@
+//! Figure 4: cumulative distribution of taken conditional branch target
+//! distance in cache blocks.
+use workloads::{analysis::BranchDistanceHistogram, CodeLayout, Trace, WorkloadKind};
+fn main() {
+    println!("\n=== Figure 4 — taken conditional branch jump distance (cumulative %) ===");
+    print!("{:<11}", "workload");
+    for d in 0..=8 {
+        print!("{:>8}", format!("<={d}"));
+    }
+    println!();
+    for kind in WorkloadKind::ALL {
+        let layout = CodeLayout::generate(&kind.profile());
+        let trace = Trace::generate_blocks(&layout, 150_000);
+        let hist = BranchDistanceHistogram::measure(&trace, layout.geometry(), 8);
+        print!("{:<11}", kind.name());
+        for d in 0..=8u64 {
+            print!("{:>7.1}%", hist.cumulative_within(d) * 100.0);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,28 @@
+//! Figure 5: FDIP stall-cycle coverage as a function of BTB size and LLC
+//! round-trip latency.
+use boomerang::Mechanism;
+use sim_core::NocModel;
+fn main() {
+    let workloads = bench::all_workloads();
+    let btb_sizes = [2048u64, 4096, 8192, 16 * 1024, 32 * 1024];
+    let latencies = [1u64, 10, 20, 30, 40, 50, 60, 70];
+    println!("\n=== Figure 5 — FDIP coverage vs BTB size and LLC latency ===");
+    print!("{:>11}", "LLC latency");
+    for b in btb_sizes {
+        print!("{:>10}", format!("BTB{}K", b / 1024));
+    }
+    println!();
+    for lat in latencies {
+        print!("{lat:>11}");
+        for btb in btb_sizes {
+            let cfg = bench::table1_config().with_btb_entries(btb).with_noc(NocModel::Fixed(lat));
+            let mut coverage = 0.0;
+            for data in &workloads {
+                let baseline = data.run(Mechanism::Baseline, &cfg);
+                coverage += data.run(Mechanism::Fdip, &cfg).stall_coverage_vs(&baseline) / workloads.len() as f64;
+            }
+            print!("{:>9.1}%", coverage * 100.0);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,19 @@
+//! Figure 7: pipeline squashes per kilo-instruction, split into BTB-miss and
+//! direction/target-misprediction causes, for the six mechanisms.
+use boomerang::Mechanism;
+fn main() {
+    let cfg = bench::table1_config();
+    let workloads = bench::all_workloads();
+    println!("\n=== Figure 7 — squashes per kilo-instruction (2K-entry BTB) ===");
+    println!("{:<11} {:<12} {:>14} {:>12} {:>9}", "workload", "mechanism", "mispredict/ki", "btb-miss/ki", "total");
+    for data in &workloads {
+        for mechanism in Mechanism::FIGURE7 {
+            let stats = data.run(mechanism, &cfg);
+            let r = stats.squashes_per_kilo();
+            println!(
+                "{:<11} {:<12} {:>14.2} {:>12.2} {:>9.2}",
+                data.kind.name(), mechanism.label(), r.misprediction, r.btb_miss, r.total()
+            );
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Figure 8: front-end stall cycles covered over the no-prefetch baseline.
+use boomerang::Mechanism;
+fn main() {
+    let cfg = bench::table1_config();
+    let workloads = bench::all_workloads();
+    let names: Vec<String> = workloads.iter().map(|w| w.kind.name().to_string()).collect();
+    let mut series = Vec::new();
+    for mechanism in Mechanism::FIGURE7 {
+        let mut col = Vec::new();
+        for data in &workloads {
+            let baseline = data.run(Mechanism::Baseline, &cfg);
+            col.push(data.run(mechanism, &cfg).stall_coverage_vs(&baseline) * 100.0);
+        }
+        series.push((mechanism.label().to_string(), col));
+    }
+    bench::print_table("Figure 8 — front-end stall cycle coverage (%)", &names, &series, "% of baseline stall cycles covered");
+}

@@ -1,0 +1,17 @@
+//! Figure 9: speedup over the no-prefetch baseline with a 2K-entry BTB.
+use boomerang::Mechanism;
+fn main() {
+    let cfg = bench::table1_config();
+    let workloads = bench::all_workloads();
+    let names: Vec<String> = workloads.iter().map(|w| w.kind.name().to_string()).collect();
+    let mut series = Vec::new();
+    for mechanism in Mechanism::FIGURE7 {
+        let mut col = Vec::new();
+        for data in &workloads {
+            let baseline = data.run(Mechanism::Baseline, &cfg);
+            col.push(data.run(mechanism, &cfg).speedup_vs(&baseline));
+        }
+        series.push((mechanism.label().to_string(), col));
+    }
+    bench::print_table("Figure 9 — speedup over the no-prefetch baseline", &names, &series, "speedup");
+}

@@ -1,0 +1,19 @@
+//! Figure 11: speedup at the lower (crossbar, 18-cycle) LLC round-trip
+//! latency.
+use boomerang::Mechanism;
+use sim_core::NocModel;
+fn main() {
+    let cfg = bench::table1_config().with_noc(NocModel::Crossbar);
+    let workloads = bench::all_workloads();
+    let names: Vec<String> = workloads.iter().map(|w| w.kind.name().to_string()).collect();
+    let mut series = Vec::new();
+    for mechanism in Mechanism::FIGURE11 {
+        let mut col = Vec::new();
+        for data in &workloads {
+            let baseline = data.run(Mechanism::Baseline, &cfg);
+            col.push(data.run(mechanism, &cfg).speedup_vs(&baseline));
+        }
+        series.push((mechanism.label().to_string(), col));
+    }
+    bench::print_table("Figure 11 — speedup at the crossbar LLC latency", &names, &series, "speedup");
+}

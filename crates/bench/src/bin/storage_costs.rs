@@ -1,0 +1,4 @@
+//! §VI-D: storage and complexity comparison.
+fn main() {
+    println!("{}", boomerang::storage::comparison_table());
+}

@@ -1,0 +1,20 @@
+//! Table II: the synthetic server workloads and their measured properties.
+use workloads::{analysis, CodeLayout, Trace, WorkloadKind};
+fn main() {
+    println!("{:<11} {:<62} {:>12} {:>12} {:>12}", "workload", "description", "footprint KB", "dyn br/ki", "taken WS");
+    for kind in WorkloadKind::ALL {
+        let profile = kind.profile();
+        let layout = CodeLayout::generate(&profile);
+        let trace = Trace::generate_blocks(&layout, 120_000);
+        let ws = analysis::WorkingSetStats::measure(&trace, layout.geometry());
+        let mix = analysis::BranchMix::measure(&trace);
+        println!(
+            "{:<11} {:<62} {:>12} {:>12.1} {:>12}",
+            kind.name(),
+            profile.description,
+            layout.summary().footprint_bytes / 1024,
+            mix.conditional_per_kilo_instruction(),
+            ws.taken_branch_working_set
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Shared helpers for the benchmark harness that regenerates the paper's
+//! tables and figures.
+//!
+//! Each figure has a dedicated binary in `src/bin/` (see DESIGN.md for the
+//! experiment index); they share the workload-generation and table-printing
+//! helpers defined here. Criterion micro-benchmarks of the hot simulator
+//! paths live in `benches/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use boomerang::{Mechanism, RunLength, WorkloadData};
+use sim_core::MicroarchConfig;
+use workloads::WorkloadKind;
+
+/// Run length used by the figure binaries. Override the number of measured
+/// blocks with the `BOOMERANG_BLOCKS` environment variable (e.g.
+/// `BOOMERANG_BLOCKS=20000` for a quick smoke run).
+pub fn run_length() -> RunLength {
+    let default = RunLength::paper_default();
+    match std::env::var("BOOMERANG_BLOCKS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(blocks) => RunLength {
+            trace_blocks: blocks.max(1_000),
+            warmup_blocks: (blocks / 6).max(500),
+        },
+        None => default,
+    }
+}
+
+/// Generates every paper workload with the harness run length, in parallel.
+pub fn all_workloads() -> Vec<WorkloadData> {
+    let length = run_length();
+    let mut out: Vec<(usize, WorkloadData)> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = WorkloadKind::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| scope.spawn(move |_| (i, WorkloadData::generate(kind, length))))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("workload generation panicked"));
+        }
+    })
+    .expect("scope failed");
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, d)| d).collect()
+}
+
+/// The Table I configuration.
+pub fn table1_config() -> MicroarchConfig {
+    MicroarchConfig::hpca17()
+}
+
+/// Prints a per-workload table: one row per workload, one column per labelled
+/// series, plus an average column computed with the arithmetic mean.
+pub fn print_table(title: &str, workloads: &[String], series: &[(String, Vec<f64>)], unit: &str) {
+    println!("\n=== {title} ===");
+    print!("{:<14}", "workload");
+    for (label, _) in series {
+        print!("{label:>14}");
+    }
+    println!();
+    for (row, workload) in workloads.iter().enumerate() {
+        print!("{workload:<14}");
+        for (_, values) in series {
+            print!("{:>14.3}", values[row]);
+        }
+        println!();
+    }
+    print!("{:<14}", "Avg");
+    for (_, values) in series {
+        print!("{:>14.3}", sim_core::stats::arithmetic_mean(values));
+    }
+    println!("  [{unit}]");
+}
+
+/// Convenience: the standard mechanism label.
+pub fn label(m: Mechanism) -> String {
+    m.label().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_length_env_override_floor() {
+        // Without the env var the default is the paper length.
+        if std::env::var("BOOMERANG_BLOCKS").is_err() {
+            assert_eq!(run_length(), RunLength::paper_default());
+        }
+    }
+
+    #[test]
+    fn table_printer_does_not_panic() {
+        print_table(
+            "demo",
+            &["Nutch".into(), "DB2".into()],
+            &[("Boomerang".into(), vec![1.2, 1.3])],
+            "speedup",
+        );
+        assert_eq!(label(Mechanism::Fdip), "FDIP");
+    }
+}

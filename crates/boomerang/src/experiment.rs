@@ -1,0 +1,296 @@
+//! Experiment harness: the API the examples and the benchmark binaries use to
+//! regenerate the paper's tables and figures.
+//!
+//! The harness fixes the three ingredients of every experiment — a workload
+//! ([`WorkloadData`]), a control-flow-delivery mechanism ([`Mechanism`]) and a
+//! microarchitectural configuration — and runs the front-end simulator over
+//! them, optionally in parallel across the six workloads.
+
+use crate::mechanism::{Boomerang, ThrottlePolicy};
+use branch_pred::PredictorKind;
+use frontend::{ControlFlowMechanism, SimStats, Simulator};
+use prefetchers::MechanismKind;
+use serde::{Deserialize, Serialize};
+use sim_core::MicroarchConfig;
+use workloads::{CodeLayout, Trace, WorkloadKind};
+
+/// Every control-flow-delivery mechanism of the evaluation, including
+/// Boomerang itself.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mechanism {
+    /// No prefetching, no BTB prefill.
+    Baseline,
+    /// Next-2-line prefetcher.
+    NextLine,
+    /// Discontinuity prefetcher + next-2-line.
+    Dip,
+    /// Fetch-directed instruction prefetching.
+    Fdip,
+    /// Proactive instruction fetch.
+    Pif,
+    /// Shared history instruction fetch.
+    Shift,
+    /// Confluence (SHIFT + BTB prefill).
+    Confluence,
+    /// Boomerang with the given throttle policy.
+    Boomerang(ThrottlePolicy),
+}
+
+impl Mechanism {
+    /// The six mechanisms of Figures 7, 8 and 9, in presentation order.
+    pub const FIGURE7: [Mechanism; 6] = [
+        Mechanism::NextLine,
+        Mechanism::Dip,
+        Mechanism::Fdip,
+        Mechanism::Shift,
+        Mechanism::Confluence,
+        Mechanism::Boomerang(ThrottlePolicy::PAPER_DEFAULT),
+    ];
+
+    /// The five mechanisms of Figure 11 (the crossbar study).
+    pub const FIGURE11: [Mechanism; 5] = [
+        Mechanism::NextLine,
+        Mechanism::Fdip,
+        Mechanism::Shift,
+        Mechanism::Confluence,
+        Mechanism::Boomerang(ThrottlePolicy::PAPER_DEFAULT),
+    ];
+
+    /// Builds the mechanism instance.
+    pub fn build(self) -> Box<dyn ControlFlowMechanism> {
+        match self {
+            Mechanism::Baseline => MechanismKind::Baseline.build(),
+            Mechanism::NextLine => MechanismKind::NextLine.build(),
+            Mechanism::Dip => MechanismKind::Dip.build(),
+            Mechanism::Fdip => MechanismKind::Fdip.build(),
+            Mechanism::Pif => MechanismKind::Pif.build(),
+            Mechanism::Shift => MechanismKind::Shift.build(),
+            Mechanism::Confluence => MechanismKind::Confluence.build(),
+            Mechanism::Boomerang(policy) => Box::new(Boomerang::with_throttle(policy)),
+        }
+    }
+
+    /// Display label as used in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mechanism::Baseline => "Baseline",
+            Mechanism::NextLine => "Next Line",
+            Mechanism::Dip => "DIP",
+            Mechanism::Fdip => "FDIP",
+            Mechanism::Pif => "PIF",
+            Mechanism::Shift => "SHIFT",
+            Mechanism::Confluence => "Confluence",
+            Mechanism::Boomerang(_) => "Boomerang",
+        }
+    }
+
+    /// Dedicated metadata storage of this mechanism in bytes (§VI-D).
+    pub fn metadata_bytes(self) -> u64 {
+        self.build().storage_overhead_bits() / 8
+    }
+}
+
+/// Simulation length parameters for one experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunLength {
+    /// Dynamic basic blocks simulated after warm-up.
+    pub trace_blocks: usize,
+    /// Dynamic basic blocks used to warm caches, BTB and predictors before
+    /// statistics are collected.
+    pub warmup_blocks: usize,
+}
+
+impl RunLength {
+    /// The default used by the figure reproductions: roughly 0.8 M
+    /// instructions of measurement after 0.15 M instructions of warm-up per
+    /// workload (scaled-down SMARTS-style sampling).
+    pub const fn paper_default() -> Self {
+        RunLength {
+            trace_blocks: 150_000,
+            warmup_blocks: 25_000,
+        }
+    }
+
+    /// A short run for unit tests and doc examples.
+    pub const fn smoke_test() -> Self {
+        RunLength {
+            trace_blocks: 12_000,
+            warmup_blocks: 2_000,
+        }
+    }
+}
+
+impl Default for RunLength {
+    fn default() -> Self {
+        RunLength::paper_default()
+    }
+}
+
+/// A generated workload: its layout and a dynamic trace of the requested
+/// length.
+pub struct WorkloadData {
+    /// Which paper workload this is.
+    pub kind: WorkloadKind,
+    /// The static code layout.
+    pub layout: CodeLayout,
+    /// The dynamic trace (warm-up plus measurement blocks).
+    pub trace: Trace,
+    length: RunLength,
+}
+
+impl WorkloadData {
+    /// Generates the workload with the given run length.
+    pub fn generate(kind: WorkloadKind, length: RunLength) -> Self {
+        let layout = CodeLayout::generate(&kind.profile());
+        let trace =
+            Trace::generate_blocks(&layout, length.trace_blocks + length.warmup_blocks);
+        WorkloadData {
+            kind,
+            layout,
+            trace,
+            length,
+        }
+    }
+
+    /// Generates all six paper workloads (in paper order).
+    pub fn generate_all(length: RunLength) -> Vec<WorkloadData> {
+        WorkloadKind::ALL
+            .iter()
+            .map(|&kind| WorkloadData::generate(kind, length))
+            .collect()
+    }
+
+    /// Runs `mechanism` over this workload under `config` with the TAGE
+    /// predictor.
+    pub fn run(&self, mechanism: Mechanism, config: &MicroarchConfig) -> SimStats {
+        self.run_with_predictor(mechanism, config, PredictorKind::Tage)
+    }
+
+    /// Runs `mechanism` with an explicit direction predictor (Figure 2).
+    pub fn run_with_predictor(
+        &self,
+        mechanism: Mechanism,
+        config: &MicroarchConfig,
+        predictor: PredictorKind,
+    ) -> SimStats {
+        let mut sim = Simulator::with_predictor(
+            config.clone(),
+            &self.layout,
+            self.trace.blocks(),
+            mechanism.build(),
+            predictor,
+        );
+        sim.run_with_warmup(self.length.warmup_blocks)
+    }
+}
+
+/// Result of one (workload, mechanism) cell of a figure.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Workload name.
+    pub workload: String,
+    /// Mechanism label.
+    pub mechanism: String,
+    /// Raw simulation statistics.
+    pub stats: SimStats,
+    /// Baseline (no-prefetch) statistics for the same workload and config.
+    pub baseline: SimStats,
+}
+
+impl CellResult {
+    /// Speedup over the no-prefetch baseline.
+    pub fn speedup(&self) -> f64 {
+        self.stats.speedup_vs(&self.baseline)
+    }
+
+    /// Front-end stall-cycle coverage over the no-prefetch baseline.
+    pub fn coverage(&self) -> f64 {
+        self.stats.stall_coverage_vs(&self.baseline)
+    }
+}
+
+/// Runs `mechanisms` over every workload in `workloads` under `config`,
+/// returning one [`CellResult`] per (workload, mechanism) pair. Workloads run
+/// in parallel on scoped threads.
+pub fn run_matrix(
+    workloads: &[WorkloadData],
+    mechanisms: &[Mechanism],
+    config: &MicroarchConfig,
+) -> Vec<CellResult> {
+    let mut results: Vec<Vec<CellResult>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|data| {
+                scope.spawn(move |_| {
+                    let baseline = data.run(Mechanism::Baseline, config);
+                    mechanisms
+                        .iter()
+                        .map(|&m| CellResult {
+                            workload: data.kind.name().to_string(),
+                            mechanism: m.label().to_string(),
+                            stats: data.run(m, config),
+                            baseline,
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("workload simulation thread panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mechanism_catalog() {
+        assert_eq!(Mechanism::FIGURE7.len(), 6);
+        assert_eq!(Mechanism::FIGURE11.len(), 5);
+        assert_eq!(Mechanism::Boomerang(ThrottlePolicy::PAPER_DEFAULT).label(), "Boomerang");
+        // The §VI-D headline: Boomerang needs ~540 bytes, Confluence ~240 KB.
+        assert_eq!(
+            Mechanism::Boomerang(ThrottlePolicy::PAPER_DEFAULT).metadata_bytes(),
+            540
+        );
+        assert!(Mechanism::Confluence.metadata_bytes() >= 200 * 1024);
+        assert_eq!(Mechanism::Baseline.metadata_bytes(), 0);
+    }
+
+    #[test]
+    fn run_lengths() {
+        let paper = RunLength::paper_default();
+        let smoke = RunLength::smoke_test();
+        assert!(paper.trace_blocks > smoke.trace_blocks);
+        assert_eq!(RunLength::default(), paper);
+    }
+
+    #[test]
+    fn cell_result_derived_metrics() {
+        let baseline = SimStats {
+            instructions: 1000,
+            cycles: 2000,
+            fetch_stall_cycles: 500,
+            ..SimStats::default()
+        };
+        let stats = SimStats {
+            instructions: 1000,
+            cycles: 1600,
+            fetch_stall_cycles: 100,
+            ..SimStats::default()
+        };
+        let cell = CellResult {
+            workload: "Nutch".into(),
+            mechanism: "Boomerang".into(),
+            stats,
+            baseline,
+        };
+        assert!((cell.speedup() - 1.25).abs() < 1e-12);
+        assert!((cell.coverage() - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-PC two-bit saturating counter predictor ("FDIP 2-bit" in Figure 2).
+
+use crate::DirectionPredictor;
+use sim_core::Addr;
+
+/// A classic bimodal predictor: a table of 2-bit saturating counters indexed
+/// by the low bits of the branch PC.
+#[derive(Clone, Debug)]
+pub struct Bimodal {
+    counters: Vec<u8>,
+    index_mask: u64,
+}
+
+impl Bimodal {
+    /// Creates a predictor with `entries` two-bit counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "bimodal table size must be a power of two");
+        Bimodal {
+            // Initialise to weakly not-taken.
+            counters: vec![1; entries],
+            index_mask: entries as u64 - 1,
+        }
+    }
+
+    /// Creates a predictor using roughly `budget_bytes` of storage
+    /// (4 counters per byte).
+    pub fn with_budget(budget_bytes: u64) -> Self {
+        let entries = (budget_bytes * 4).next_power_of_two().max(1024) as usize;
+        Bimodal::new(entries)
+    }
+
+    /// Number of counters in the table.
+    pub fn entries(&self) -> usize {
+        self.counters.len()
+    }
+
+    fn index(&self, pc: Addr) -> usize {
+        ((pc.raw() >> 2) & self.index_mask) as usize
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict(&mut self, pc: Addr) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    fn update(&mut self, pc: Addr, taken: bool) {
+        let idx = self.index(pc);
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.counters.len() as u64 * 2
+    }
+
+    fn name(&self) -> &'static str {
+        "bimodal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_biased_branches_quickly() {
+        let mut p = Bimodal::new(1024);
+        let pc = Addr::new(0x4000);
+        p.update(pc, true);
+        p.update(pc, true);
+        assert!(p.predict(pc));
+        p.update(pc, false);
+        assert!(p.predict(pc), "one not-taken must not flip a strongly-taken counter");
+        p.update(pc, false);
+        p.update(pc, false);
+        assert!(!p.predict(pc));
+    }
+
+    #[test]
+    fn mispredicts_once_per_loop_exit() {
+        let mut p = Bimodal::new(1024);
+        let pc = Addr::new(0x4000);
+        let mut mispredicts = 0;
+        for _ in 0..10 {
+            for i in 0..8 {
+                let taken = i != 7; // loop: 7 taken, 1 not-taken
+                if p.predict(pc) != taken {
+                    mispredicts += 1;
+                }
+                p.update(pc, taken);
+            }
+        }
+        // A bimodal predictor mispredicts roughly once per loop exit.
+        assert!(mispredicts >= 9 && mispredicts <= 25, "mispredicts {mispredicts}");
+    }
+
+    #[test]
+    fn different_pcs_use_different_counters() {
+        let mut p = Bimodal::new(1024);
+        let a = Addr::new(0x4000);
+        let b = Addr::new(0x4004);
+        for _ in 0..4 {
+            p.update(a, true);
+            p.update(b, false);
+        }
+        assert!(p.predict(a));
+        assert!(!p.predict(b));
+    }
+
+    #[test]
+    fn budget_sizing_and_storage() {
+        let p = Bimodal::with_budget(2048);
+        assert_eq!(p.entries(), 8192);
+        assert_eq!(p.storage_bits(), 8192 * 2);
+        assert_eq!(p.name(), "bimodal");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Bimodal::new(1000);
+    }
+}

@@ -1,0 +1,134 @@
+//! Gshare: global-history XOR-indexed two-bit counters.
+//!
+//! Not evaluated by name in the paper, but a useful intermediate point
+//! between the bimodal and TAGE predictors for the Figure 2 style ablation
+//! and for the predictor micro-benchmarks.
+
+use crate::DirectionPredictor;
+use sim_core::Addr;
+
+/// A gshare predictor: the global branch history register is XORed with the
+/// branch PC to index a table of 2-bit saturating counters.
+#[derive(Clone, Debug)]
+pub struct Gshare {
+    counters: Vec<u8>,
+    history: u64,
+    history_bits: u32,
+    index_mask: u64,
+}
+
+impl Gshare {
+    /// Creates a predictor with `entries` counters and `history_bits` of
+    /// global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `history_bits` exceeds 32.
+    pub fn new(entries: usize, history_bits: u32) -> Self {
+        assert!(entries.is_power_of_two(), "gshare table size must be a power of two");
+        assert!(history_bits <= 32, "history length capped at 32 bits");
+        Gshare {
+            counters: vec![1; entries],
+            history: 0,
+            history_bits,
+            index_mask: entries as u64 - 1,
+        }
+    }
+
+    /// Creates a predictor using roughly `budget_bytes` of storage.
+    pub fn with_budget(budget_bytes: u64) -> Self {
+        let entries = (budget_bytes * 4).next_power_of_two().max(1024) as usize;
+        let history_bits = (entries.trailing_zeros()).min(16);
+        Gshare::new(entries, history_bits)
+    }
+
+    /// Number of counters.
+    pub fn entries(&self) -> usize {
+        self.counters.len()
+    }
+
+    fn index(&self, pc: Addr) -> usize {
+        let hist = self.history & ((1u64 << self.history_bits) - 1);
+        (((pc.raw() >> 2) ^ hist) & self.index_mask) as usize
+    }
+}
+
+impl DirectionPredictor for Gshare {
+    fn predict(&mut self, pc: Addr) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    fn update(&mut self, pc: Addr, taken: bool) {
+        let idx = self.index(pc);
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.history = (self.history << 1) | u64::from(taken);
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.counters.len() as u64 * 2 + u64::from(self.history_bits)
+    }
+
+    fn name(&self) -> &'static str {
+        "gshare"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_history_correlated_patterns() {
+        // Alternating taken/not-taken: bimodal oscillates, gshare learns it.
+        let mut g = Gshare::new(4096, 8);
+        let pc = Addr::new(0x8000);
+        let mut correct = 0;
+        let total = 200;
+        for i in 0..total {
+            let taken = i % 2 == 0;
+            if g.predict(pc) == taken {
+                correct += 1;
+            }
+            g.update(pc, taken);
+        }
+        assert!(
+            correct > total * 3 / 4,
+            "gshare should learn an alternating pattern, got {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn learns_biased_branches() {
+        let mut g = Gshare::new(4096, 8);
+        let pc = Addr::new(0x8000);
+        for _ in 0..64 {
+            g.update(pc, true);
+        }
+        assert!(g.predict(pc));
+    }
+
+    #[test]
+    fn budget_sizing() {
+        let g = Gshare::with_budget(8 * 1024);
+        assert_eq!(g.entries(), 32768);
+        assert!(g.storage_bits() >= 65536);
+        assert_eq!(g.name(), "gshare");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_size() {
+        let _ = Gshare::new(1000, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "capped")]
+    fn rejects_long_history() {
+        let _ = Gshare::new(1024, 48);
+    }
+}

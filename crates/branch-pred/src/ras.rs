@@ -1,0 +1,156 @@
+//! Return address stack (RAS).
+//!
+//! Part of the branch prediction unit of Figure 6: calls push their return
+//! address, returns pop it. The stack has a bounded depth and wraps
+//! (overwriting the oldest entry) the way hardware return address stacks do,
+//! so deep call chains and mis-speculation cause recoverable inaccuracy
+//! rather than unbounded growth.
+
+use sim_core::Addr;
+
+/// A fixed-capacity circular return address stack.
+///
+/// # Example
+///
+/// ```
+/// use branch_pred::ReturnAddressStack;
+/// use sim_core::Addr;
+///
+/// let mut ras = ReturnAddressStack::new(16);
+/// ras.push(Addr::new(0x400104));
+/// assert_eq!(ras.pop(), Some(Addr::new(0x400104)));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReturnAddressStack {
+    entries: Vec<Addr>,
+    top: usize,
+    len: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a stack with room for `capacity` return addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "the return address stack needs at least one entry");
+        ReturnAddressStack {
+            entries: vec![Addr::new(0); capacity],
+            top: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of valid entries currently on the stack.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the stack holds no valid entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Capacity of the stack.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Pushes a return address (the fall-through of a call).
+    ///
+    /// When the stack is full the oldest entry is silently overwritten, as in
+    /// a hardware circular RAS.
+    pub fn push(&mut self, return_address: Addr) {
+        self.top = (self.top + 1) % self.entries.len();
+        self.entries[self.top] = return_address;
+        self.len = (self.len + 1).min(self.entries.len());
+    }
+
+    /// Pops the most recent return address, or `None` if the stack is empty.
+    pub fn pop(&mut self) -> Option<Addr> {
+        if self.len == 0 {
+            return None;
+        }
+        let value = self.entries[self.top];
+        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Peeks at the most recent return address without popping it.
+    pub fn peek(&self) -> Option<Addr> {
+        (self.len > 0).then(|| self.entries[self.top])
+    }
+
+    /// Discards all entries (used on deep pipeline squashes when the
+    /// speculative stack state cannot be trusted).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Storage in bits (46-bit return addresses, as in §VI-D).
+    pub fn storage_bits(&self) -> u64 {
+        self.entries.len() as u64 * 46
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_lifo_order() {
+        let mut ras = ReturnAddressStack::new(8);
+        for i in 1..=5u64 {
+            ras.push(Addr::new(i * 4));
+        }
+        assert_eq!(ras.len(), 5);
+        for i in (1..=5u64).rev() {
+            assert_eq!(ras.pop(), Some(Addr::new(i * 4)));
+        }
+        assert!(ras.is_empty());
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_the_oldest_entries() {
+        let mut ras = ReturnAddressStack::new(4);
+        for i in 1..=6u64 {
+            ras.push(Addr::new(i * 0x10));
+        }
+        assert_eq!(ras.len(), 4);
+        // The most recent four survive: 6, 5, 4, 3.
+        assert_eq!(ras.pop(), Some(Addr::new(0x60)));
+        assert_eq!(ras.pop(), Some(Addr::new(0x50)));
+        assert_eq!(ras.pop(), Some(Addr::new(0x40)));
+        assert_eq!(ras.pop(), Some(Addr::new(0x30)));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn peek_and_clear() {
+        let mut ras = ReturnAddressStack::new(4);
+        assert_eq!(ras.peek(), None);
+        ras.push(Addr::new(0x100));
+        assert_eq!(ras.peek(), Some(Addr::new(0x100)));
+        assert_eq!(ras.len(), 1);
+        ras.clear();
+        assert!(ras.is_empty());
+        assert_eq!(ras.peek(), None);
+        assert_eq!(ras.capacity(), 4);
+    }
+
+    #[test]
+    fn storage_model() {
+        let ras = ReturnAddressStack::new(32);
+        assert_eq!(ras.storage_bits(), 32 * 46);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = ReturnAddressStack::new(0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Basic-block-oriented BTB (Yeh & Patt organisation used by FDIP, Boomerang
+//! and Confluence).
+
+use crate::{BtbEntry, BtbLookup};
+use sim_core::Addr;
+
+/// A set-associative, basic-block-oriented BTB with LRU replacement.
+///
+/// Entries are tagged with the starting address of a basic block; a failed
+/// lookup is therefore a genuine BTB miss rather than "not a branch", which
+/// is the property Boomerang's BTB-miss detection relies on (§IV-B).
+///
+/// # Example
+///
+/// ```
+/// use btb::{BasicBlockBtb, BtbEntry};
+/// use sim_core::{Addr, BranchInfo, BranchKind};
+///
+/// let mut btb = BasicBlockBtb::new(2048, 4);
+/// let term = BranchInfo::direct(Addr::new(0x101c), BranchKind::DirectJump, Addr::new(0x4000));
+/// btb.insert(BtbEntry::from_block(Addr::new(0x1000), 8, term));
+/// assert!(btb.lookup(Addr::new(0x1000)).is_hit());
+/// assert!(!btb.lookup(Addr::new(0x1004)).is_hit());
+/// ```
+#[derive(Clone, Debug)]
+pub struct BasicBlockBtb {
+    sets: Vec<Vec<Way>>,
+    ways: usize,
+    set_mask: u64,
+    lookups: u64,
+    hits: u64,
+    insertions: u64,
+    stamp: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Way {
+    entry: BtbEntry,
+    last_use: u64,
+}
+
+impl BasicBlockBtb {
+    /// Creates a BTB with `entries` total entries and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two, `ways` is zero, or `ways`
+    /// does not divide `entries`.
+    pub fn new(entries: u64, ways: u64) -> Self {
+        assert!(entries.is_power_of_two(), "BTB entries must be a power of two");
+        assert!(ways > 0 && entries % ways == 0, "ways must divide entries");
+        let num_sets = (entries / ways) as usize;
+        BasicBlockBtb {
+            sets: vec![Vec::with_capacity(ways as usize); num_sets],
+            ways: ways as usize,
+            set_mask: num_sets as u64 - 1,
+            lookups: 0,
+            hits: 0,
+            insertions: 0,
+            stamp: 0,
+        }
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> u64 {
+        (self.sets.len() * self.ways) as u64
+    }
+
+    /// Number of entries currently resident.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// `true` if the BTB holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups performed so far.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss ratio observed so far.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            1.0 - self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    fn set_index(&self, block_start: Addr) -> usize {
+        ((block_start.raw() >> 2) & self.set_mask) as usize
+    }
+
+    /// Looks up the entry for the basic block starting at `block_start`.
+    pub fn lookup(&mut self, block_start: Addr) -> BtbLookup {
+        self.lookups += 1;
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_index(block_start);
+        for way in &mut self.sets[set] {
+            if way.entry.block_start == block_start {
+                way.last_use = stamp;
+                self.hits += 1;
+                return BtbLookup::Hit(way.entry);
+            }
+        }
+        BtbLookup::Miss
+    }
+
+    /// Checks for an entry without updating statistics or LRU state (used by
+    /// prefetchers probing the BTB).
+    pub fn probe(&self, block_start: Addr) -> Option<BtbEntry> {
+        let set = self.set_index(block_start);
+        self.sets[set]
+            .iter()
+            .find(|w| w.entry.block_start == block_start)
+            .map(|w| w.entry)
+    }
+
+    /// Inserts or updates an entry, evicting the LRU way of its set if full.
+    pub fn insert(&mut self, entry: BtbEntry) {
+        self.insertions += 1;
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let ways = self.ways;
+        let set_idx = self.set_index(entry.block_start);
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter_mut().find(|w| w.entry.block_start == entry.block_start) {
+            way.entry = entry;
+            way.last_use = stamp;
+            return;
+        }
+        if set.len() < ways {
+            set.push(Way {
+                entry,
+                last_use: stamp,
+            });
+            return;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| w.last_use)
+            .expect("a full set always has a victim");
+        *victim = Way {
+            entry,
+            last_use: stamp,
+        };
+    }
+
+    /// Updates the stored target of an existing entry (used when an indirect
+    /// branch resolves to a new target). Returns `true` if the entry existed.
+    pub fn update_target(&mut self, block_start: Addr, target: Addr) -> bool {
+        let set = self.set_index(block_start);
+        for way in &mut self.sets[set] {
+            if way.entry.block_start == block_start {
+                way.entry.target = Some(target);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes every entry (used between experiment phases).
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::{BranchInfo, BranchKind};
+
+    fn entry(start: u64, size: u64, target: u64) -> BtbEntry {
+        let term = BranchInfo::direct(
+            Addr::new(start + (size - 1) * 4),
+            BranchKind::Conditional,
+            Addr::new(target),
+        );
+        BtbEntry::from_block(Addr::new(start), size, term)
+    }
+
+    #[test]
+    fn insert_then_hit() {
+        let mut btb = BasicBlockBtb::new(64, 4);
+        btb.insert(entry(0x1000, 4, 0x2000));
+        let hit = btb.lookup(Addr::new(0x1000));
+        assert!(hit.is_hit());
+        assert_eq!(hit.entry().unwrap().target, Some(Addr::new(0x2000)));
+        assert!(!btb.lookup(Addr::new(0x1010)).is_hit());
+        assert_eq!(btb.lookups(), 2);
+        assert_eq!(btb.hits(), 1);
+        assert!((btb.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_statistics() {
+        let mut btb = BasicBlockBtb::new(64, 4);
+        btb.insert(entry(0x1000, 4, 0x2000));
+        assert!(btb.probe(Addr::new(0x1000)).is_some());
+        assert!(btb.probe(Addr::new(0x3000)).is_none());
+        assert_eq!(btb.lookups(), 0);
+    }
+
+    #[test]
+    fn reinsertion_updates_in_place() {
+        let mut btb = BasicBlockBtb::new(64, 4);
+        btb.insert(entry(0x1000, 4, 0x2000));
+        btb.insert(entry(0x1000, 4, 0x3000));
+        assert_eq!(btb.len(), 1);
+        assert_eq!(
+            btb.lookup(Addr::new(0x1000)).entry().unwrap().target,
+            Some(Addr::new(0x3000))
+        );
+    }
+
+    #[test]
+    fn lru_eviction_within_a_set() {
+        // Direct-mapped sets of 2 ways: force conflicts within one set.
+        let mut btb = BasicBlockBtb::new(8, 2);
+        let num_sets = 4u64;
+        // Three blocks mapping to the same set (stride = sets * 4 bytes).
+        let stride = num_sets * 4;
+        let a = 0x1000;
+        let b = a + stride;
+        let c = b + stride;
+        btb.insert(entry(a, 2, 0x9000));
+        btb.insert(entry(b, 2, 0x9000));
+        // Touch `a` so `b` becomes LRU.
+        assert!(btb.lookup(Addr::new(a)).is_hit());
+        btb.insert(entry(c, 2, 0x9000));
+        assert!(btb.lookup(Addr::new(a)).is_hit(), "recently used entry must survive");
+        assert!(!btb.lookup(Addr::new(b)).is_hit(), "LRU entry must be evicted");
+        assert!(btb.lookup(Addr::new(c)).is_hit());
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut btb = BasicBlockBtb::new(32, 4);
+        for i in 0..100 {
+            btb.insert(entry(0x1000 + i * 8, 2, 0x9000));
+        }
+        assert!(btb.len() as u64 <= btb.capacity());
+        assert_eq!(btb.capacity(), 32);
+    }
+
+    #[test]
+    fn update_target_for_indirect_branches() {
+        let mut btb = BasicBlockBtb::new(64, 4);
+        let term = BranchInfo::indirect(Addr::new(0x100c), BranchKind::IndirectCall);
+        btb.insert(BtbEntry::from_block(Addr::new(0x1000), 4, term));
+        assert_eq!(btb.probe(Addr::new(0x1000)).unwrap().target, None);
+        assert!(btb.update_target(Addr::new(0x1000), Addr::new(0x7000)));
+        assert_eq!(
+            btb.probe(Addr::new(0x1000)).unwrap().target,
+            Some(Addr::new(0x7000))
+        );
+        assert!(!btb.update_target(Addr::new(0x2000), Addr::new(0x7000)));
+    }
+
+    #[test]
+    fn clear_empties_the_btb() {
+        let mut btb = BasicBlockBtb::new(64, 4);
+        btb.insert(entry(0x1000, 4, 0x2000));
+        assert!(!btb.is_empty());
+        btb.clear();
+        assert!(btb.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_capacity() {
+        let _ = BasicBlockBtb::new(1000, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ways must divide")]
+    fn rejects_bad_associativity() {
+        let _ = BasicBlockBtb::new(1024, 3);
+    }
+}

@@ -1,0 +1,199 @@
+//! Conventional instruction-granular BTB.
+//!
+//! Entries are tagged by the branch instruction's own PC. A lookup that
+//! misses is indistinguishable from "this instruction is not a branch", which
+//! is precisely why this organisation cannot drive Boomerang-style BTB miss
+//! detection (§IV-B). It is used by the non-decoupled baselines (next-line,
+//! DIP, SHIFT) whose front ends predict at instruction granularity.
+
+use crate::{BtbEntry, BtbLookup};
+use sim_core::Addr;
+
+/// A set-associative instruction-granular BTB with LRU replacement.
+#[derive(Clone, Debug)]
+pub struct InstructionBtb {
+    sets: Vec<Vec<Way>>,
+    ways: usize,
+    set_mask: u64,
+    lookups: u64,
+    hits: u64,
+    stamp: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Way {
+    branch_pc: Addr,
+    entry: BtbEntry,
+    last_use: u64,
+}
+
+impl InstructionBtb {
+    /// Creates a BTB with `entries` total entries and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two, `ways` is zero, or `ways`
+    /// does not divide `entries`.
+    pub fn new(entries: u64, ways: u64) -> Self {
+        assert!(entries.is_power_of_two(), "BTB entries must be a power of two");
+        assert!(ways > 0 && entries % ways == 0, "ways must divide entries");
+        let num_sets = (entries / ways) as usize;
+        InstructionBtb {
+            sets: vec![Vec::with_capacity(ways as usize); num_sets],
+            ways: ways as usize,
+            set_mask: num_sets as u64 - 1,
+            lookups: 0,
+            hits: 0,
+            stamp: 0,
+        }
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> u64 {
+        (self.sets.len() * self.ways) as u64
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// `true` if no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    fn set_index(&self, branch_pc: Addr) -> usize {
+        ((branch_pc.raw() >> 2) & self.set_mask) as usize
+    }
+
+    /// Looks up the branch at `branch_pc`.
+    ///
+    /// A miss means either "not a branch" or "branch whose entry was evicted"
+    /// — the front end cannot tell which.
+    pub fn lookup(&mut self, branch_pc: Addr) -> BtbLookup {
+        self.lookups += 1;
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_index(branch_pc);
+        for way in &mut self.sets[set] {
+            if way.branch_pc == branch_pc {
+                way.last_use = stamp;
+                self.hits += 1;
+                return BtbLookup::Hit(way.entry);
+            }
+        }
+        BtbLookup::Miss
+    }
+
+    /// Inserts or updates the entry for the branch at `branch_pc`.
+    pub fn insert(&mut self, branch_pc: Addr, entry: BtbEntry) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let ways = self.ways;
+        let set_idx = self.set_index(branch_pc);
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter_mut().find(|w| w.branch_pc == branch_pc) {
+            way.entry = entry;
+            way.last_use = stamp;
+            return;
+        }
+        if set.len() < ways {
+            set.push(Way {
+                branch_pc,
+                entry,
+                last_use: stamp,
+            });
+            return;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| w.last_use)
+            .expect("a full set always has a victim");
+        *victim = Way {
+            branch_pc,
+            entry,
+            last_use: stamp,
+        };
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::{BranchInfo, BranchKind};
+
+    fn entry(start: u64, size: u64, target: u64) -> (Addr, BtbEntry) {
+        let pc = Addr::new(start + (size - 1) * 4);
+        let term = BranchInfo::direct(pc, BranchKind::Conditional, Addr::new(target));
+        (pc, BtbEntry::from_block(Addr::new(start), size, term))
+    }
+
+    #[test]
+    fn keyed_by_branch_pc_not_block_start() {
+        let mut btb = InstructionBtb::new(64, 4);
+        let (pc, e) = entry(0x1000, 4, 0x2000);
+        btb.insert(pc, e);
+        assert!(btb.lookup(pc).is_hit());
+        // The block start itself is not a branch PC, so it misses.
+        assert!(!btb.lookup(Addr::new(0x1000)).is_hit());
+        assert_eq!(btb.lookups(), 2);
+        assert_eq!(btb.hits(), 1);
+    }
+
+    #[test]
+    fn lru_replacement() {
+        let mut btb = InstructionBtb::new(8, 2);
+        let stride = 4 * 4; // same set every stride
+        let (pa, ea) = entry(0x1000, 1, 0x9000);
+        let (pb, eb) = entry(0x1000 + stride, 1, 0x9000);
+        let (pc_, ec) = entry(0x1000 + 2 * stride, 1, 0x9000);
+        btb.insert(pa, ea);
+        btb.insert(pb, eb);
+        assert!(btb.lookup(pa).is_hit());
+        btb.insert(pc_, ec);
+        assert!(btb.lookup(pa).is_hit());
+        assert!(!btb.lookup(pb).is_hit());
+        assert!(btb.lookup(pc_).is_hit());
+    }
+
+    #[test]
+    fn capacity_and_clear() {
+        let mut btb = InstructionBtb::new(16, 4);
+        for i in 0..64 {
+            let (pc, e) = entry(0x1000 + i * 16, 2, 0x9000);
+            btb.insert(pc, e);
+        }
+        assert!(btb.len() as u64 <= btb.capacity());
+        btb.clear();
+        assert!(btb.is_empty());
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut btb = InstructionBtb::new(16, 4);
+        let (pc, e) = entry(0x1000, 2, 0x9000);
+        btb.insert(pc, e);
+        let (_, e2) = entry(0x1000, 2, 0xa000);
+        btb.insert(pc, e2);
+        assert_eq!(btb.len(), 1);
+        assert_eq!(btb.lookup(pc).entry().unwrap().target, Some(Addr::new(0xa000)));
+    }
+}

@@ -1,0 +1,179 @@
+//! The BTB prefetch buffer (§IV-B of the paper).
+//!
+//! When Boomerang predecodes a fetched cache block, it creates BTB entries
+//! for *all* branches it finds. Only the entry that resolves the pending BTB
+//! miss goes straight into the BTB; the remaining entries are staged in this
+//! small FIFO buffer to avoid polluting the BTB with entries that may never
+//! be used. The buffer is looked up in parallel with the BTB; a hit moves the
+//! entry into the BTB.
+
+use crate::BtbEntry;
+use sim_core::Addr;
+use std::collections::VecDeque;
+
+/// A small FIFO buffer of prefilled BTB entries (32 entries in the paper).
+#[derive(Clone, Debug)]
+pub struct BtbPrefetchBuffer {
+    entries: VecDeque<BtbEntry>,
+    capacity: usize,
+    hits: u64,
+    inserts: u64,
+}
+
+impl BtbPrefetchBuffer {
+    /// Creates a buffer holding up to `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "the BTB prefetch buffer needs at least one entry");
+        BtbPrefetchBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            hits: 0,
+            inserts: 0,
+        }
+    }
+
+    /// Number of entries currently buffered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hits observed (entries promoted to the BTB).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Entries inserted so far.
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Inserts an entry; the oldest entry is dropped if the buffer is full
+    /// (first-in-first-out replacement, §IV-B).
+    pub fn insert(&mut self, entry: BtbEntry) {
+        self.inserts += 1;
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.block_start == entry.block_start)
+        {
+            *existing = entry;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// Looks up (and removes) the entry for the block starting at
+    /// `block_start`. A hit means the entry is being promoted into the BTB.
+    pub fn take(&mut self, block_start: Addr) -> Option<BtbEntry> {
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.block_start == block_start)?;
+        self.hits += 1;
+        self.entries.remove(pos)
+    }
+
+    /// Checks for an entry without removing it.
+    pub fn peek(&self, block_start: Addr) -> Option<BtbEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.block_start == block_start)
+            .copied()
+    }
+
+    /// Discards all buffered entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Storage cost in bits: each entry holds a 46-bit tag, 30-bit target,
+    /// 3-bit branch type and 5-bit block size (§VI-D: 336 bytes for 32
+    /// entries).
+    pub fn storage_bits(&self) -> u64 {
+        self.capacity as u64 * (46 + 30 + 3 + 5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::{BranchInfo, BranchKind};
+
+    fn entry(start: u64) -> BtbEntry {
+        let term = BranchInfo::direct(Addr::new(start + 12), BranchKind::Conditional, Addr::new(0x9000));
+        BtbEntry::from_block(Addr::new(start), 4, term)
+    }
+
+    #[test]
+    fn insert_take_roundtrip() {
+        let mut buf = BtbPrefetchBuffer::new(4);
+        buf.insert(entry(0x1000));
+        assert_eq!(buf.len(), 1);
+        assert!(buf.peek(Addr::new(0x1000)).is_some());
+        let taken = buf.take(Addr::new(0x1000));
+        assert_eq!(taken.unwrap().block_start, Addr::new(0x1000));
+        assert!(buf.is_empty());
+        assert_eq!(buf.hits(), 1);
+        assert_eq!(buf.take(Addr::new(0x1000)), None);
+    }
+
+    #[test]
+    fn fifo_replacement_drops_the_oldest() {
+        let mut buf = BtbPrefetchBuffer::new(3);
+        buf.insert(entry(0x1000));
+        buf.insert(entry(0x2000));
+        buf.insert(entry(0x3000));
+        buf.insert(entry(0x4000));
+        assert_eq!(buf.len(), 3);
+        assert!(buf.peek(Addr::new(0x1000)).is_none(), "oldest entry must be dropped");
+        assert!(buf.peek(Addr::new(0x4000)).is_some());
+        assert_eq!(buf.inserts(), 4);
+    }
+
+    #[test]
+    fn duplicate_insert_updates_in_place() {
+        let mut buf = BtbPrefetchBuffer::new(4);
+        buf.insert(entry(0x1000));
+        buf.insert(entry(0x1000));
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn paper_storage_cost_is_336_bytes_for_32_entries() {
+        let buf = BtbPrefetchBuffer::new(32);
+        assert_eq!(buf.storage_bits(), 32 * 84);
+        assert_eq!(buf.storage_bits() / 8, 336);
+    }
+
+    #[test]
+    fn clear_and_capacity() {
+        let mut buf = BtbPrefetchBuffer::new(2);
+        buf.insert(entry(0x1000));
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = BtbPrefetchBuffer::new(0);
+    }
+}

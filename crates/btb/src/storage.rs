@@ -1,0 +1,90 @@
+//! Storage-cost model for BTBs and related front-end structures (§VI-D).
+//!
+//! The paper's cost comparison uses SPARC-style field widths: 46-bit virtual
+//! addresses (tags), 30-bit target offsets, 3-bit branch type and 5-bit basic
+//! block size. These helpers compute the per-structure costs quoted in the
+//! paper: 540 bytes of additional state for Boomerang versus hundreds of
+//! kilobytes for the prior techniques.
+
+/// Width of an address tag in bits (46-bit virtual address space).
+pub const TAG_BITS: u64 = 46;
+/// Width of a stored branch target in bits (maximum offset in SPARC).
+pub const TARGET_BITS: u64 = 30;
+/// Width of the branch-type field in bits.
+pub const BRANCH_TYPE_BITS: u64 = 3;
+/// Width of the basic-block size field in bits.
+pub const BLOCK_SIZE_BITS: u64 = 5;
+
+/// Storage of one basic-block BTB entry in bits.
+pub const fn bb_btb_entry_bits() -> u64 {
+    TAG_BITS + TARGET_BITS + BRANCH_TYPE_BITS + BLOCK_SIZE_BITS
+}
+
+/// Storage of a basic-block BTB with `entries` entries, in bytes.
+pub const fn bb_btb_bytes(entries: u64) -> u64 {
+    entries * bb_btb_entry_bits() / 8
+}
+
+/// Storage of one FTQ entry in bits: basic-block start address plus size
+/// (§VI-D: 46 + 5 bits).
+pub const fn ftq_entry_bits() -> u64 {
+    TAG_BITS + BLOCK_SIZE_BITS
+}
+
+/// Storage of an FTQ with `entries` entries, in bytes (the paper quotes 204
+/// bytes for 32 entries).
+pub const fn ftq_bytes(entries: u64) -> u64 {
+    entries * ftq_entry_bits() / 8
+}
+
+/// Storage of the BTB prefetch buffer with `entries` entries, in bytes (the
+/// paper quotes 336 bytes for 32 entries).
+pub const fn btb_prefetch_buffer_bytes(entries: u64) -> u64 {
+    entries * bb_btb_entry_bits() / 8
+}
+
+/// Total additional storage Boomerang needs beyond the baseline core, in
+/// bytes: a deep FTQ plus the BTB prefetch buffer (§VI-D: 540 bytes).
+pub const fn boomerang_additional_bytes(ftq_entries: u64, buffer_entries: u64) -> u64 {
+    ftq_bytes(ftq_entries) + btb_prefetch_buffer_bytes(buffer_entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_widths_match_the_paper() {
+        assert_eq!(bb_btb_entry_bits(), 84);
+        assert_eq!(ftq_entry_bits(), 51);
+    }
+
+    #[test]
+    fn paper_quoted_totals() {
+        // §VI-D: a 32-entry FTQ needs 204 bytes and a 32-entry BTB prefetch
+        // buffer 336 bytes, for a 540-byte total.
+        assert_eq!(ftq_bytes(32), 204);
+        assert_eq!(btb_prefetch_buffer_bytes(32), 336);
+        assert_eq!(boomerang_additional_bytes(32, 32), 540);
+    }
+
+    #[test]
+    fn large_btbs_cost_hundreds_of_kilobytes() {
+        // §II-C: 16-32K entries cost up to ~280 KB of state per core.
+        let bytes_32k = bb_btb_bytes(32 * 1024);
+        assert!(bytes_32k > 250 * 1024 && bytes_32k < 400 * 1024, "{bytes_32k}");
+        // The baseline 2K-entry BTB is ~21 KB.
+        let bytes_2k = bb_btb_bytes(2 * 1024);
+        assert!(bytes_2k > 15 * 1024 && bytes_2k < 32 * 1024, "{bytes_2k}");
+    }
+
+    #[test]
+    fn storage_is_monotone_in_size() {
+        let mut last = 0;
+        for entries in [512u64, 1024, 2048, 4096, 8192] {
+            let b = bb_btb_bytes(entries);
+            assert!(b > last);
+            last = b;
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests of the BTB structures.
+use btb::{BasicBlockBtb, BtbEntry, BtbPrefetchBuffer};
+use proptest::prelude::*;
+use sim_core::{Addr, BranchInfo, BranchKind};
+
+fn entry(start: u64, size: u64) -> BtbEntry {
+    let size = size.clamp(1, 31);
+    let start = start & !3;
+    let term = BranchInfo::direct(
+        Addr::new(start + (size - 1) * 4),
+        BranchKind::Conditional,
+        Addr::new(start + 0x1000),
+    );
+    BtbEntry::from_block(Addr::new(start), size, term)
+}
+
+proptest! {
+    #[test]
+    fn btb_never_exceeds_capacity_and_finds_what_it_keeps(
+        inserts in prop::collection::vec((0u64..1 << 20, 1u64..31), 1..300)
+    ) {
+        let mut btb = BasicBlockBtb::new(64, 4);
+        for &(start, size) in &inserts {
+            btb.insert(entry(start, size));
+            prop_assert!(btb.len() as u64 <= btb.capacity());
+        }
+        // The most recently inserted entry is always resident.
+        let (s, z) = *inserts.last().unwrap();
+        let e = entry(s, z);
+        prop_assert_eq!(btb.probe(e.block_start).map(|x| x.branch_pc()), Some(e.branch_pc()));
+    }
+
+    #[test]
+    fn btb_lookups_only_return_matching_tags(
+        inserts in prop::collection::vec(0u64..1 << 16, 1..100),
+        probes in prop::collection::vec(0u64..1 << 16, 1..100)
+    ) {
+        let mut btb = BasicBlockBtb::new(128, 4);
+        for &s in &inserts {
+            btb.insert(entry(s, 4));
+        }
+        for &p in &probes {
+            let addr = Addr::new(p & !3);
+            if let Some(e) = btb.probe(addr) {
+                prop_assert_eq!(e.block_start, addr);
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_buffer_is_bounded_and_fifo(
+        inserts in prop::collection::vec(0u64..1 << 12, 1..200)
+    ) {
+        let mut buf = BtbPrefetchBuffer::new(32);
+        for &s in &inserts {
+            buf.insert(entry(s, 2));
+            prop_assert!(buf.len() <= buf.capacity());
+        }
+        let (hits_before, takes) = (buf.hits(), inserts.len().min(5));
+        for &s in inserts.iter().rev().take(takes) {
+            // Taking an entry removes it.
+            let addr = entry(s, 2).block_start;
+            if buf.take(addr).is_some() {
+                prop_assert!(buf.peek(addr).is_none());
+            }
+        }
+        prop_assert!(buf.hits() >= hits_before);
+    }
+}

@@ -1,0 +1,384 @@
+//! The instruction-side memory hierarchy seen by one core.
+//!
+//! [`InstructionHierarchy`] composes the L1-I tag store, the L1-I prefetch
+//! buffer, outstanding-fill tracking (MSHRs), the shared LLC slice and main
+//! memory into the single object the front-end simulator talks to. Demand
+//! fetches and prefetch probes go through the same fill path, so in-flight
+//! prefetches naturally shorten later demand misses — the effect the paper's
+//! "stall cycles covered" metric is designed to capture.
+
+use crate::prefetch_buffer::LinePrefetchBuffer;
+use crate::set_assoc::SetAssocCache;
+use sim_core::{CacheLine, Latency, MicroarchConfig};
+use std::collections::HashMap;
+
+/// Where a demand fetch was satisfied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HitLevel {
+    /// Hit in the L1-I.
+    L1,
+    /// Hit in the L1-I prefetch buffer (the block was prefetched in time).
+    PrefetchBuffer,
+    /// The block was still in flight; the demand fetch waits for the
+    /// remaining fill latency (a partially covered miss).
+    InFlight,
+    /// Served by the LLC.
+    Llc,
+    /// Served by main memory.
+    Memory,
+}
+
+/// Outcome of a demand fetch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DemandOutcome {
+    /// Cycles until the fetch data is available.
+    pub latency: Latency,
+    /// Which level satisfied the access.
+    pub level: HitLevel,
+}
+
+/// An outstanding (in-flight) prefetch fill. Demand misses are charged their
+/// full latency at access time, so only prefetch fills need tracking.
+#[derive(Clone, Copy, Debug)]
+struct OutstandingFill {
+    ready_at: u64,
+}
+
+/// Statistics of the instruction hierarchy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Demand fetches that hit in the L1-I.
+    pub l1_hits: u64,
+    /// Demand fetches that hit in the prefetch buffer.
+    pub prefetch_buffer_hits: u64,
+    /// Demand fetches that found their line already in flight.
+    pub inflight_hits: u64,
+    /// Demand fetches served by the LLC.
+    pub llc_fills: u64,
+    /// Demand fetches served by main memory.
+    pub memory_fills: u64,
+    /// Prefetch probes issued to the lower levels.
+    pub prefetches_issued: u64,
+    /// Prefetch probes dropped because the line was already present or in
+    /// flight.
+    pub prefetches_redundant: u64,
+    /// Prefetched lines that were evicted from the prefetch buffer without
+    /// ever being used.
+    pub prefetches_unused: u64,
+}
+
+impl HierarchyStats {
+    /// Total demand fetches observed.
+    pub fn demand_fetches(&self) -> u64 {
+        self.l1_hits + self.prefetch_buffer_hits + self.inflight_hits + self.llc_fills + self.memory_fills
+    }
+
+    /// Demand fetches that had to wait on a fill (full or partial miss).
+    pub fn demand_misses(&self) -> u64 {
+        self.inflight_hits + self.llc_fills + self.memory_fills
+    }
+}
+
+/// The per-core instruction memory hierarchy.
+#[derive(Clone, Debug)]
+pub struct InstructionHierarchy {
+    l1i: SetAssocCache,
+    prefetch_buffer: LinePrefetchBuffer,
+    llc: SetAssocCache,
+    outstanding: HashMap<CacheLine, OutstandingFill>,
+    l1_latency: Latency,
+    llc_latency: Latency,
+    memory_latency: Latency,
+    perfect_l1i: bool,
+    stats: HierarchyStats,
+}
+
+impl InstructionHierarchy {
+    /// Builds the hierarchy described by `config`.
+    pub fn new(config: &MicroarchConfig) -> Self {
+        InstructionHierarchy {
+            l1i: SetAssocCache::new(config.l1i_lines(), config.l1i_ways),
+            prefetch_buffer: LinePrefetchBuffer::new(config.l1i_prefetch_buffer_entries),
+            llc: SetAssocCache::new(config.llc_lines(), config.llc_ways),
+            outstanding: HashMap::new(),
+            l1_latency: config.l1i_latency,
+            llc_latency: config.llc_round_trip(),
+            memory_latency: config.memory_latency(),
+            perfect_l1i: config.perfect.perfect_l1i,
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> HierarchyStats {
+        self.stats
+    }
+
+    /// L1-I hit latency in cycles.
+    pub fn l1_latency(&self) -> Latency {
+        self.l1_latency
+    }
+
+    /// Completes any outstanding fills that are ready at `now`, installing
+    /// them into the L1-I (demand fills) or the prefetch buffer (prefetches).
+    pub fn drain_completed_fills(&mut self, now: u64) {
+        if self.outstanding.is_empty() {
+            return;
+        }
+        let ready: Vec<CacheLine> = self
+            .outstanding
+            .iter()
+            .filter(|(_, f)| f.ready_at <= now)
+            .map(|(&l, _)| l)
+            .collect();
+        for line in ready {
+            self.outstanding.remove(&line);
+            if let Some(evicted_unused) = self.prefetch_buffer.insert(line) {
+                if evicted_unused {
+                    self.stats.prefetches_unused += 1;
+                }
+            }
+        }
+    }
+
+    /// Number of fills currently outstanding.
+    pub fn outstanding_fills(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Performs a demand instruction fetch of `line` at time `now`.
+    ///
+    /// The returned latency is the number of cycles until the instructions in
+    /// the line are available to the fetch engine.
+    pub fn demand_fetch(&mut self, line: CacheLine, now: u64) -> DemandOutcome {
+        self.drain_completed_fills(now);
+
+        if self.perfect_l1i {
+            self.stats.l1_hits += 1;
+            return DemandOutcome {
+                latency: self.l1_latency,
+                level: HitLevel::L1,
+            };
+        }
+
+        if self.l1i.access(line) {
+            self.stats.l1_hits += 1;
+            return DemandOutcome {
+                latency: self.l1_latency,
+                level: HitLevel::L1,
+            };
+        }
+
+        // Prefetch buffer hit: the line moves into the L1-I (§IV-A).
+        if self.prefetch_buffer.take(line) {
+            self.l1i.insert(line);
+            self.stats.prefetch_buffer_hits += 1;
+            return DemandOutcome {
+                latency: self.l1_latency,
+                level: HitLevel::PrefetchBuffer,
+            };
+        }
+
+        // In-flight fill: wait out the remaining latency, then treat the line
+        // as a demand fill into the L1-I.
+        if let Some(fill) = self.outstanding.get(&line).copied() {
+            let remaining = fill.ready_at.saturating_sub(now).max(1);
+            self.outstanding.remove(&line);
+            self.l1i.insert(line);
+            self.stats.inflight_hits += 1;
+            return DemandOutcome {
+                latency: remaining + self.l1_latency,
+                level: HitLevel::InFlight,
+            };
+        }
+
+        // Full miss: LLC or memory.
+        let (latency, level) = if self.llc.access(line) {
+            self.stats.llc_fills += 1;
+            (self.llc_latency, HitLevel::Llc)
+        } else {
+            self.llc.insert(line);
+            self.stats.memory_fills += 1;
+            (self.memory_latency, HitLevel::Memory)
+        };
+        self.l1i.insert(line);
+        DemandOutcome {
+            latency: latency + self.l1_latency,
+            level,
+        }
+    }
+
+    /// Issues a prefetch probe for `line` at time `now` (§IV-A): if the line
+    /// is already in the L1-I, the prefetch buffer, or in flight, nothing
+    /// happens; otherwise a fill is started into the prefetch buffer.
+    ///
+    /// Returns `true` if a new fill was issued.
+    pub fn prefetch_probe(&mut self, line: CacheLine, now: u64) -> bool {
+        self.drain_completed_fills(now);
+        if self.perfect_l1i
+            || self.l1i.contains(line)
+            || self.prefetch_buffer.contains(line)
+            || self.outstanding.contains_key(&line)
+        {
+            self.stats.prefetches_redundant += 1;
+            return false;
+        }
+        let latency = if self.llc.contains(line) {
+            self.llc_latency
+        } else {
+            self.llc.insert(line);
+            self.memory_latency
+        };
+        self.outstanding.insert(line, OutstandingFill { ready_at: now + latency });
+        self.stats.prefetches_issued += 1;
+        true
+    }
+
+    /// Returns `true` if `line` would hit in the L1-I or prefetch buffer
+    /// right now (used by Boomerang's BTB miss probe, which prefers to
+    /// predecode a block already present in the L1-I).
+    pub fn present(&self, line: CacheLine) -> bool {
+        self.perfect_l1i || self.l1i.contains(line) || self.prefetch_buffer.contains(line)
+    }
+
+    /// Latency of fetching `line` for a BTB-miss probe *without* disturbing
+    /// demand statistics: present lines cost an L1-I access, absent lines
+    /// cost an LLC (or memory) round trip and are installed when they return.
+    pub fn btb_probe_fetch(&mut self, line: CacheLine, now: u64) -> Latency {
+        self.drain_completed_fills(now);
+        if self.present(line) {
+            return self.l1_latency;
+        }
+        if let Some(fill) = self.outstanding.get(&line) {
+            return fill.ready_at.saturating_sub(now).max(1) + self.l1_latency;
+        }
+        let latency = if self.llc.contains(line) {
+            self.llc_latency
+        } else {
+            self.llc.insert(line);
+            self.memory_latency
+        };
+        // The probe's fill lands in the prefetch buffer so that the
+        // subsequent demand fetch of the same block hits.
+        self.outstanding.insert(line, OutstandingFill { ready_at: now + latency });
+        self.stats.prefetches_issued += 1;
+        latency + self.l1_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::NocModel;
+
+    fn config() -> MicroarchConfig {
+        MicroarchConfig::hpca17().with_noc(NocModel::Fixed(30))
+    }
+
+    #[test]
+    fn cold_fetch_goes_to_memory_then_hits_in_l1() {
+        let mut h = InstructionHierarchy::new(&config());
+        let first = h.demand_fetch(CacheLine(100), 0);
+        assert_eq!(first.level, HitLevel::Memory);
+        assert_eq!(first.latency, 90 + 2);
+        let second = h.demand_fetch(CacheLine(100), 200);
+        assert_eq!(second.level, HitLevel::L1);
+        assert_eq!(second.latency, 2);
+    }
+
+    #[test]
+    fn llc_serves_lines_evicted_from_l1() {
+        let cfg = config();
+        let mut h = InstructionHierarchy::new(&cfg);
+        // Fill well beyond L1-I capacity (512 lines) so early lines evict.
+        for i in 0..2000u64 {
+            h.demand_fetch(CacheLine(i), i * 10);
+        }
+        let outcome = h.demand_fetch(CacheLine(0), 1_000_000);
+        assert_eq!(outcome.level, HitLevel::Llc);
+        assert_eq!(outcome.latency, 30 + 2);
+    }
+
+    #[test]
+    fn timely_prefetch_converts_miss_into_prefetch_buffer_hit() {
+        let mut h = InstructionHierarchy::new(&config());
+        // Warm the LLC with the line so the prefetch costs an LLC round trip.
+        h.demand_fetch(CacheLine(7), 0);
+        // Evict it from L1 by filling other lines.
+        for i in 1000..3000u64 {
+            h.demand_fetch(CacheLine(i), 10 + i);
+        }
+        assert!(h.prefetch_probe(CacheLine(7), 10_000));
+        // Demand arrives well after the 30-cycle LLC latency.
+        let outcome = h.demand_fetch(CacheLine(7), 10_100);
+        assert_eq!(outcome.level, HitLevel::PrefetchBuffer);
+        assert_eq!(outcome.latency, 2);
+        assert_eq!(h.stats().prefetch_buffer_hits, 1);
+    }
+
+    #[test]
+    fn late_prefetch_gives_partial_coverage() {
+        let mut h = InstructionHierarchy::new(&config());
+        h.demand_fetch(CacheLine(9), 0);
+        for i in 1000..3000u64 {
+            h.demand_fetch(CacheLine(i), 10 + i);
+        }
+        assert!(h.prefetch_probe(CacheLine(9), 20_000));
+        // Demand arrives only 10 cycles later: it waits the remaining 20.
+        let outcome = h.demand_fetch(CacheLine(9), 20_010);
+        assert_eq!(outcome.level, HitLevel::InFlight);
+        assert_eq!(outcome.latency, 20 + 2);
+    }
+
+    #[test]
+    fn redundant_prefetches_are_dropped() {
+        let mut h = InstructionHierarchy::new(&config());
+        h.demand_fetch(CacheLine(3), 0);
+        assert!(!h.prefetch_probe(CacheLine(3), 10));
+        assert!(h.prefetch_probe(CacheLine(4), 10));
+        assert!(!h.prefetch_probe(CacheLine(4), 11), "in-flight probe is redundant");
+        assert_eq!(h.stats().prefetches_redundant, 2);
+        assert_eq!(h.stats().prefetches_issued, 1);
+    }
+
+    #[test]
+    fn perfect_l1i_never_misses() {
+        let mut cfg = config();
+        cfg.perfect.perfect_l1i = true;
+        let mut h = InstructionHierarchy::new(&cfg);
+        for i in 0..100u64 {
+            let o = h.demand_fetch(CacheLine(i * 97), i);
+            assert_eq!(o.level, HitLevel::L1);
+            assert_eq!(o.latency, 2);
+        }
+        assert_eq!(h.stats().demand_misses(), 0);
+    }
+
+    #[test]
+    fn btb_probe_fetch_latencies() {
+        let mut h = InstructionHierarchy::new(&config());
+        h.demand_fetch(CacheLine(11), 0);
+        // Present in L1: costs an L1 access.
+        assert_eq!(h.btb_probe_fetch(CacheLine(11), 100), 2);
+        // Absent: LLC/memory latency, and the fill later satisfies a demand.
+        let lat = h.btb_probe_fetch(CacheLine(555), 100);
+        assert_eq!(lat, 90 + 2);
+        let outcome = h.demand_fetch(CacheLine(555), 100 + 200);
+        assert_eq!(outcome.level, HitLevel::PrefetchBuffer);
+    }
+
+    #[test]
+    fn stats_accounting_is_consistent() {
+        let mut h = InstructionHierarchy::new(&config());
+        for i in 0..50u64 {
+            h.demand_fetch(CacheLine(i), i * 5);
+        }
+        for i in 0..50u64 {
+            h.demand_fetch(CacheLine(i), 1000 + i * 5);
+        }
+        let s = h.stats();
+        assert_eq!(s.demand_fetches(), 100);
+        assert_eq!(s.demand_misses(), 50);
+        assert_eq!(s.l1_hits, 50);
+    }
+}

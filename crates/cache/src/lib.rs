@@ -1,0 +1,36 @@
+//! Instruction-side memory hierarchy for the Boomerang front-end simulator.
+//!
+//! The paper's experiments only exercise the *instruction* path: a 32 KB
+//! 2-way L1-I with a 64-entry prefetch buffer, a shared NUCA LLC reached over
+//! a mesh or crossbar interconnect, and a 45 ns main memory (Table I). This
+//! crate models exactly that:
+//!
+//! * [`SetAssocCache`] — generic set-associative tag store with LRU,
+//! * [`LinePrefetchBuffer`] — the L1-I prefetch buffer,
+//! * [`InstructionHierarchy`] — the composite hierarchy with latencies,
+//!   outstanding-fill tracking, and the demand/prefetch/BTB-probe interfaces
+//!   the front end uses.
+//!
+//! # Example
+//!
+//! ```
+//! use cache::{HitLevel, InstructionHierarchy};
+//! use sim_core::{CacheLine, MicroarchConfig};
+//!
+//! let mut hierarchy = InstructionHierarchy::new(&MicroarchConfig::hpca17());
+//! let cold = hierarchy.demand_fetch(CacheLine(42), 0);
+//! assert_eq!(cold.level, HitLevel::Memory);
+//! let warm = hierarchy.demand_fetch(CacheLine(42), 1_000);
+//! assert_eq!(warm.level, HitLevel::L1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod hierarchy;
+pub mod prefetch_buffer;
+pub mod set_assoc;
+
+pub use hierarchy::{DemandOutcome, HierarchyStats, HitLevel, InstructionHierarchy};
+pub use prefetch_buffer::LinePrefetchBuffer;
+pub use set_assoc::SetAssocCache;

@@ -1,0 +1,146 @@
+//! L1-I prefetch buffer (64 entries in Table I).
+//!
+//! Prefetched lines are staged here rather than installed directly into the
+//! L1-I, so that wrong-path or useless prefetches do not pollute the cache. A
+//! demand hit promotes the line into the L1-I; unused lines age out FIFO.
+
+use sim_core::CacheLine;
+use std::collections::VecDeque;
+
+/// A FIFO buffer of prefetched cache lines.
+#[derive(Clone, Debug)]
+pub struct LinePrefetchBuffer {
+    lines: VecDeque<CacheLine>,
+    capacity: usize,
+    hits: u64,
+    evicted_unused: u64,
+}
+
+impl LinePrefetchBuffer {
+    /// Creates a buffer holding up to `capacity` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "the prefetch buffer needs at least one entry");
+        LinePrefetchBuffer {
+            lines: VecDeque::with_capacity(capacity),
+            capacity,
+            hits: 0,
+            evicted_unused: 0,
+        }
+    }
+
+    /// Number of lines currently buffered.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// `true` if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Demand hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lines evicted without ever being used.
+    pub fn evicted_unused(&self) -> u64 {
+        self.evicted_unused
+    }
+
+    /// `true` if `line` is buffered.
+    pub fn contains(&self, line: CacheLine) -> bool {
+        self.lines.contains(&line)
+    }
+
+    /// Inserts a prefetched line. Returns `Some(true)` if an unused line was
+    /// evicted to make room, `Some(false)` if inserted without eviction, and
+    /// `None` if the line was already present.
+    pub fn insert(&mut self, line: CacheLine) -> Option<bool> {
+        if self.contains(line) {
+            return None;
+        }
+        let mut evicted = false;
+        if self.lines.len() == self.capacity {
+            self.lines.pop_front();
+            self.evicted_unused += 1;
+            evicted = true;
+        }
+        self.lines.push_back(line);
+        Some(evicted)
+    }
+
+    /// Removes `line` on a demand hit, returning `true` if it was present.
+    pub fn take(&mut self, line: CacheLine) -> bool {
+        if let Some(pos) = self.lines.iter().position(|&l| l == line) {
+            self.lines.remove(pos);
+            self.hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Discards all buffered lines.
+    pub fn clear(&mut self) {
+        self.lines.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_take_roundtrip() {
+        let mut b = LinePrefetchBuffer::new(4);
+        assert_eq!(b.insert(CacheLine(1)), Some(false));
+        assert!(b.contains(CacheLine(1)));
+        assert!(b.take(CacheLine(1)));
+        assert!(!b.take(CacheLine(1)));
+        assert_eq!(b.hits(), 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_is_ignored() {
+        let mut b = LinePrefetchBuffer::new(4);
+        assert_eq!(b.insert(CacheLine(1)), Some(false));
+        assert_eq!(b.insert(CacheLine(1)), None);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction_counts_unused() {
+        let mut b = LinePrefetchBuffer::new(2);
+        b.insert(CacheLine(1));
+        b.insert(CacheLine(2));
+        assert_eq!(b.insert(CacheLine(3)), Some(true));
+        assert!(!b.contains(CacheLine(1)));
+        assert_eq!(b.evicted_unused(), 1);
+        assert_eq!(b.capacity(), 2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut b = LinePrefetchBuffer::new(2);
+        b.insert(CacheLine(1));
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = LinePrefetchBuffer::new(0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Generic set-associative cache of instruction lines (tag store only).
+//!
+//! The simulator only needs to know *whether* a line is resident and what the
+//! access latency is; data contents never matter for front-end studies, so
+//! the cache tracks tags with true-LRU replacement and hit/miss statistics.
+
+use sim_core::CacheLine;
+
+/// A set-associative tag store with true LRU replacement.
+///
+/// # Example
+///
+/// ```
+/// use cache::SetAssocCache;
+/// use sim_core::CacheLine;
+///
+/// // 32 KB / 64 B lines / 2 ways = 256 sets.
+/// let mut l1i = SetAssocCache::new(512, 2);
+/// assert!(!l1i.contains(CacheLine(7)));
+/// l1i.insert(CacheLine(7));
+/// assert!(l1i.contains(CacheLine(7)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    sets: Vec<Vec<WayState>>,
+    ways: usize,
+    set_mask: u64,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct WayState {
+    line: CacheLine,
+    last_use: u64,
+}
+
+impl SetAssocCache {
+    /// Creates a cache with `lines` total line slots and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is not a power of two, `ways` is zero, or `ways`
+    /// does not divide `lines`.
+    pub fn new(lines: u64, ways: u64) -> Self {
+        assert!(lines.is_power_of_two(), "cache lines must be a power of two");
+        assert!(ways > 0 && lines % ways == 0, "ways must divide lines");
+        let num_sets = (lines / ways) as usize;
+        SetAssocCache {
+            sets: vec![Vec::with_capacity(ways as usize); num_sets],
+            ways: ways as usize,
+            set_mask: num_sets as u64 - 1,
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity(&self) -> u64 {
+        (self.sets.len() * self.ways) as u64
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// `true` if the cache holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Demand hits recorded by [`SetAssocCache::access`].
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Demand misses recorded by [`SetAssocCache::access`].
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn set_index(&self, line: CacheLine) -> usize {
+        (line.0 & self.set_mask) as usize
+    }
+
+    /// Checks residence without touching LRU state or statistics.
+    pub fn contains(&self, line: CacheLine) -> bool {
+        let set = self.set_index(line);
+        self.sets[set].iter().any(|w| w.line == line)
+    }
+
+    /// Accesses `line`: returns `true` on a hit (updating LRU and
+    /// statistics). A miss does *not* insert the line; the caller decides
+    /// when the fill arrives.
+    pub fn access(&mut self, line: CacheLine) -> bool {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_index(line);
+        for way in &mut self.sets[set] {
+            if way.line == line {
+                way.last_use = stamp;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Inserts `line`, evicting the LRU line of its set if necessary.
+    /// Returns the evicted line, if any.
+    pub fn insert(&mut self, line: CacheLine) -> Option<CacheLine> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let ways = self.ways;
+        let set_idx = self.set_index(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
+            way.last_use = stamp;
+            return None;
+        }
+        if set.len() < ways {
+            set.push(WayState {
+                line,
+                last_use: stamp,
+            });
+            return None;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| w.last_use)
+            .expect("full set always has a victim");
+        let evicted = victim.line;
+        *victim = WayState {
+            line,
+            last_use: stamp,
+        };
+        Some(evicted)
+    }
+
+    /// Removes every line.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_records_hits_and_misses() {
+        let mut c = SetAssocCache::new(8, 2);
+        assert!(!c.access(CacheLine(1)));
+        c.insert(CacheLine(1));
+        assert!(c.access(CacheLine(1)));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn miss_does_not_install() {
+        let mut c = SetAssocCache::new(8, 2);
+        assert!(!c.access(CacheLine(5)));
+        assert!(!c.contains(CacheLine(5)));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        // 4 sets x 2 ways; lines 0, 4, 8 map to set 0.
+        let mut c = SetAssocCache::new(8, 2);
+        c.insert(CacheLine(0));
+        c.insert(CacheLine(4));
+        assert!(c.access(CacheLine(0)));
+        let evicted = c.insert(CacheLine(8));
+        assert_eq!(evicted, Some(CacheLine(4)));
+        assert!(c.contains(CacheLine(0)));
+        assert!(!c.contains(CacheLine(4)));
+        assert!(c.contains(CacheLine(8)));
+    }
+
+    #[test]
+    fn reinsert_refreshes_lru_without_eviction() {
+        let mut c = SetAssocCache::new(8, 2);
+        c.insert(CacheLine(0));
+        c.insert(CacheLine(4));
+        assert_eq!(c.insert(CacheLine(0)), None);
+        assert_eq!(c.len(), 2);
+        let evicted = c.insert(CacheLine(8));
+        assert_eq!(evicted, Some(CacheLine(4)));
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = SetAssocCache::new(16, 4);
+        for i in 0..200 {
+            c.insert(CacheLine(i));
+        }
+        assert!(c.len() as u64 <= c.capacity());
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = SetAssocCache::new(1000, 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! Property-based tests of the cache structures.
+use cache::{InstructionHierarchy, SetAssocCache};
+use proptest::prelude::*;
+use sim_core::{CacheLine, MicroarchConfig};
+
+proptest! {
+    #[test]
+    fn cache_capacity_is_never_exceeded_and_inserted_lines_are_found(
+        lines in prop::collection::vec(0u64..1 << 16, 1..400)
+    ) {
+        let mut cache = SetAssocCache::new(256, 4);
+        for &l in &lines {
+            cache.insert(CacheLine(l));
+            prop_assert!(cache.len() as u64 <= cache.capacity());
+            prop_assert!(cache.contains(CacheLine(l)));
+        }
+    }
+
+    #[test]
+    fn demand_fetch_latency_is_monotone_in_hierarchy_level(
+        lines in prop::collection::vec(0u64..4096, 1..200)
+    ) {
+        let cfg = MicroarchConfig::hpca17();
+        let mut h = InstructionHierarchy::new(&cfg);
+        let mut now = 0u64;
+        for &l in &lines {
+            let outcome = h.demand_fetch(CacheLine(l), now);
+            prop_assert!(outcome.latency >= cfg.l1i_latency);
+            prop_assert!(outcome.latency <= cfg.memory_latency() + cfg.l1i_latency);
+            now += outcome.latency;
+        }
+        // Re-fetching the last line immediately is an L1 hit.
+        let last = CacheLine(*lines.last().unwrap());
+        let again = h.demand_fetch(last, now + 1);
+        prop_assert_eq!(again.latency, cfg.l1i_latency);
+    }
+
+    #[test]
+    fn prefetched_lines_eventually_hit_without_full_latency(
+        // Stay within the 64-entry prefetch buffer so nothing ages out
+        // before the demand fetches arrive.
+        lines in prop::collection::hash_set(0u64..4096, 1..48)
+    ) {
+        let cfg = MicroarchConfig::hpca17();
+        let mut h = InstructionHierarchy::new(&cfg);
+        let mut now = 0u64;
+        for &l in &lines {
+            h.prefetch_probe(CacheLine(l), now);
+            now += 1;
+        }
+        now += cfg.memory_latency() + 10;
+        for &l in &lines {
+            let outcome = h.demand_fetch(CacheLine(l), now);
+            prop_assert!(outcome.latency <= cfg.l1i_latency, "prefetched line stalled {} cycles", outcome.latency);
+            now += 1;
+        }
+    }
+}

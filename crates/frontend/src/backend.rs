@@ -1,0 +1,183 @@
+//! A simplified out-of-order back end.
+//!
+//! The paper's contribution is entirely in the front end; the back end only
+//! matters because its data stalls and finite ROB determine how much of the
+//! front-end improvement turns into end-to-end speedup (Figures 1 and 9
+//! saturate between 1.1x and 1.7x). This model captures exactly that:
+//! instructions enter a finite ROB with a completion time drawn from the
+//! workload's [`BackendProfile`](workloads::BackendProfile), retire in order
+//! at the core's retire width, and exert back-pressure on fetch when the ROB
+//! fills.
+
+use sim_core::rng::SimRng;
+use sim_core::{Latency, MicroarchConfig};
+use std::collections::VecDeque;
+use workloads::BackendProfile;
+
+/// The simplified back end: a ROB of completion times with in-order retire.
+#[derive(Clone, Debug)]
+pub struct BackEnd {
+    rob: VecDeque<u64>,
+    capacity: usize,
+    retire_width: u64,
+    profile: BackendProfile,
+    llc_latency: Latency,
+    memory_latency: Latency,
+    rng: SimRng,
+    retired: u64,
+}
+
+impl BackEnd {
+    /// Creates the back end for `config` and `profile`, seeded for
+    /// reproducible data-stall patterns.
+    pub fn new(config: &MicroarchConfig, profile: BackendProfile, seed: u64) -> Self {
+        BackEnd {
+            rob: VecDeque::with_capacity(config.rob_entries as usize),
+            capacity: config.rob_entries as usize,
+            retire_width: config.fetch_width,
+            profile,
+            llc_latency: config.llc_round_trip(),
+            memory_latency: config.memory_latency(),
+            rng: SimRng::seeded(seed ^ 0xbac_bac_bac),
+            retired: 0,
+        }
+    }
+
+    /// Number of free ROB slots.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.rob.len()
+    }
+
+    /// `true` when no more instructions can be accepted.
+    pub fn is_full(&self) -> bool {
+        self.rob.len() >= self.capacity
+    }
+
+    /// Occupancy in instructions.
+    pub fn occupancy(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Execution latency of the next instruction, drawn from the workload's
+    /// data-stall distribution.
+    fn exec_latency(&mut self) -> Latency {
+        let p = self.profile;
+        if self.rng.chance(p.load_fraction) {
+            if self.rng.chance(p.llc_miss_rate) {
+                return self.memory_latency;
+            }
+            if self.rng.chance(p.l1d_miss_rate) {
+                return self.llc_latency;
+            }
+            return p.base_latency + 2; // L1-D hit
+        }
+        p.base_latency
+    }
+
+    /// Accepts up to `count` fetched instructions at cycle `now`, limited by
+    /// free ROB space. Returns how many were accepted.
+    pub fn push_instructions(&mut self, count: u64, now: u64) -> u64 {
+        let accepted = count.min(self.free_slots() as u64);
+        for _ in 0..accepted {
+            let latency = self.exec_latency();
+            self.rob.push_back(now + latency);
+        }
+        accepted
+    }
+
+    /// Retires completed instructions in order, up to the retire width.
+    /// Returns how many retired this cycle.
+    pub fn retire(&mut self, now: u64) -> u64 {
+        let mut n = 0;
+        while n < self.retire_width {
+            match self.rob.front() {
+                Some(&ready) if ready <= now => {
+                    self.rob.pop_front();
+                    n += 1;
+                }
+                _ => break,
+            }
+        }
+        self.retired += n;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::WorkloadKind;
+
+    fn backend() -> BackEnd {
+        let cfg = MicroarchConfig::hpca17();
+        BackEnd::new(&cfg, WorkloadKind::Nutch.profile().backend, 7)
+    }
+
+    #[test]
+    fn rob_capacity_limits_acceptance() {
+        let mut be = backend();
+        assert_eq!(be.free_slots(), 128);
+        let accepted = be.push_instructions(200, 0);
+        assert_eq!(accepted, 128);
+        assert!(be.is_full());
+        assert_eq!(be.push_instructions(10, 0), 0);
+    }
+
+    #[test]
+    fn in_order_retire_respects_width_and_latency() {
+        let mut be = backend();
+        be.push_instructions(10, 0);
+        // Nothing retires at cycle 0 (latency >= 1).
+        assert_eq!(be.retire(0), 0);
+        // Eventually everything retires, at most 3 per cycle.
+        let mut total = 0;
+        for cycle in 1..10_000 {
+            let r = be.retire(cycle);
+            assert!(r <= 3);
+            total += r;
+            if total == 10 {
+                break;
+            }
+        }
+        assert_eq!(total, 10);
+        assert_eq!(be.retired(), 10);
+        assert_eq!(be.occupancy(), 0);
+    }
+
+    #[test]
+    fn data_stalls_make_some_instructions_slow() {
+        let mut be = backend();
+        // Push many instructions; with Nutch's profile some must take the
+        // LLC/memory path, so draining takes longer than count/width.
+        be.push_instructions(128, 0);
+        let mut cycles = 0;
+        let mut retired = 0;
+        while retired < 128 && cycles < 100_000 {
+            cycles += 1;
+            retired += be.retire(cycles);
+        }
+        assert_eq!(retired, 128);
+        assert!(
+            cycles > 128 / 3,
+            "draining must take at least occupancy/width cycles, took {cycles}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let cfg = MicroarchConfig::hpca17();
+        let profile = WorkloadKind::Db2.profile().backend;
+        let mut a = BackEnd::new(&cfg, profile, 42);
+        let mut b = BackEnd::new(&cfg, profile, 42);
+        a.push_instructions(64, 0);
+        b.push_instructions(64, 0);
+        for cycle in 0..500 {
+            assert_eq!(a.retire(cycle), b.retire(cycle));
+        }
+    }
+}

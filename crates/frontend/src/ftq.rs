@@ -1,0 +1,180 @@
+//! The fetch target queue (FTQ).
+//!
+//! The FTQ decouples the branch prediction unit from the fetch engine
+//! (Figure 6): the BPU pushes one basic-block fetch target per cycle, the
+//! fetch engine consumes them, and the prefetch engine scans newly pushed
+//! entries to discover the cache lines the fetch engine will need soon.
+
+use sim_core::Addr;
+use std::collections::VecDeque;
+
+/// How the front end arrived at a basic block — the discontinuity classes of
+/// Figure 3.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Reached {
+    /// Sequential flow: fall-through of a not-taken branch, or the start of
+    /// simulation.
+    Sequential,
+    /// Target of a taken conditional branch.
+    ConditionalTaken,
+    /// Target of an unconditional branch (jump, call, return, indirect).
+    UnconditionalTaken,
+}
+
+/// Why the entry's *successor* prediction will turn out wrong (if it will).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SquashCause {
+    /// The terminating branch was absent from the BTB and turned out taken.
+    BtbMiss,
+    /// The branch was in the BTB but its direction or target was mispredicted.
+    Misprediction,
+}
+
+/// One FTQ entry: a basic block the fetch engine should fetch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FtqEntry {
+    /// Index of the corresponding block in the oracle trace.
+    pub oracle_index: usize,
+    /// Start address of the block.
+    pub start: Addr,
+    /// Number of instructions in the block.
+    pub instructions: u64,
+    /// How the front end reached this block.
+    pub reached: Reached,
+    /// Set when the BPU already knows its prediction of this block's
+    /// successor is wrong; the fetch of this entry will be followed by a
+    /// pipeline squash of the given cause.
+    pub mispredicted: Option<SquashCause>,
+    /// `true` when the entry was produced while the BPU had no BTB entry for
+    /// the block and fell back to sequential instruction-by-instruction
+    /// enqueueing (FDIP's behaviour under a BTB miss).
+    pub sequential_guess: bool,
+}
+
+/// The fetch target queue.
+#[derive(Clone, Debug)]
+pub struct Ftq {
+    entries: VecDeque<FtqEntry>,
+    capacity: usize,
+}
+
+impl Ftq {
+    /// Creates an FTQ with the given capacity (32 entries in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "the FTQ needs at least one entry");
+        Ftq {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` if no more entries can be pushed.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Pushes an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FTQ is full; the BPU must check [`Ftq::is_full`] first.
+    pub fn push(&mut self, entry: FtqEntry) {
+        assert!(!self.is_full(), "FTQ overflow");
+        self.entries.push_back(entry);
+    }
+
+    /// Pops the oldest entry.
+    pub fn pop(&mut self) -> Option<FtqEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Peeks at the oldest entry.
+    pub fn front(&self) -> Option<&FtqEntry> {
+        self.entries.front()
+    }
+
+    /// Discards every entry (pipeline squash).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterates over the queued entries from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &FtqEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(i: usize) -> FtqEntry {
+        FtqEntry {
+            oracle_index: i,
+            start: Addr::new(0x1000 + i as u64 * 0x20),
+            instructions: 4,
+            reached: Reached::Sequential,
+            mispredicted: None,
+            sequential_guess: false,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let mut ftq = Ftq::new(3);
+        assert!(ftq.is_empty());
+        ftq.push(entry(0));
+        ftq.push(entry(1));
+        ftq.push(entry(2));
+        assert!(ftq.is_full());
+        assert_eq!(ftq.len(), 3);
+        assert_eq!(ftq.front().unwrap().oracle_index, 0);
+        assert_eq!(ftq.pop().unwrap().oracle_index, 0);
+        assert_eq!(ftq.pop().unwrap().oracle_index, 1);
+        assert_eq!(ftq.pop().unwrap().oracle_index, 2);
+        assert_eq!(ftq.pop(), None);
+    }
+
+    #[test]
+    fn clear_on_squash() {
+        let mut ftq = Ftq::new(4);
+        ftq.push(entry(0));
+        ftq.push(entry(1));
+        ftq.clear();
+        assert!(ftq.is_empty());
+        assert_eq!(ftq.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "FTQ overflow")]
+    fn overflow_panics() {
+        let mut ftq = Ftq::new(1);
+        ftq.push(entry(0));
+        ftq.push(entry(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = Ftq::new(0);
+    }
+}

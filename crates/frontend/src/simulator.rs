@@ -1,0 +1,666 @@
+//! The cycle-level decoupled front-end simulator.
+//!
+//! One [`Simulator`] instance runs one workload trace through one
+//! control-flow-delivery mechanism under one microarchitectural
+//! configuration, and produces the [`SimStats`] from which every figure of
+//! the paper is derived.
+//!
+//! # Model
+//!
+//! The simulator is trace-driven and oracle-assisted: the branch prediction
+//! unit walks the *actual* dynamic basic-block sequence, making a prediction
+//! for every block's successor using the BTB, the direction predictor and the
+//! return address stack. Correctly predicted blocks flow through the FTQ to
+//! the fetch engine; a wrong prediction (or a BTB miss on a taken branch)
+//! marks the block, and when its fetch completes the pipeline models the
+//! wrong-path episode: the front end stops delivering useful work for the
+//! branch-resolution latency, fetch-directed mechanisms keep issuing
+//! wrong-path sequential prefetches, and the squash is charged to its cause
+//! (BTB miss vs. direction/target misprediction — the two bars of Figure 7).
+//!
+//! The fetch engine consumes FTQ entries at the core's fetch width, accessing
+//! the L1-I for every cache line it crosses; misses stall it for the fill
+//! latency, and those correct-path stall cycles — classified by the
+//! discontinuity type that reached the block (Figure 3) — are the paper's
+//! coverage metric. A finite ROB with data stalls provides back-pressure so
+//! that front-end improvements translate into realistic end-to-end speedups.
+
+use crate::backend::BackEnd;
+use crate::ftq::{Ftq, FtqEntry, Reached, SquashCause};
+use crate::mechanism::{BtbMissAction, ControlFlowMechanism, MechContext};
+use crate::stats::SimStats;
+use branch_pred::{DirectionPredictor, PredictorKind, ReturnAddressStack};
+use btb::{BasicBlockBtb, BtbEntry, BtbPrefetchBuffer};
+use cache::{HitLevel, InstructionHierarchy};
+use sim_core::{Addr, BranchKind, CacheLine, DynamicBlock, MicroarchConfig};
+use workloads::CodeLayout;
+
+/// Maximum number of wrong-path sequential lines prefetched while a squash is
+/// pending (the emulation of FDIP's wrong-path behaviour).
+const WRONG_PATH_PREFETCH_LIMIT: u64 = 8;
+
+/// State of a pending wrong-path episode.
+#[derive(Clone, Copy, Debug)]
+struct WrongPath {
+    resolve_at: u64,
+    cause: SquashCause,
+    next_prefetch_line: CacheLine,
+    lines_prefetched: u64,
+}
+
+/// State of the block currently being fetched.
+#[derive(Clone, Copy, Debug)]
+struct FetchState {
+    entry: FtqEntry,
+    /// Instruction offset within the block.
+    pos: u64,
+    /// Cycle until which the fetch engine is stalled on an L1-I fill.
+    busy_until: u64,
+    /// Line already accessed (and therefore not to be re-accessed on resume).
+    accessed_line: Option<CacheLine>,
+}
+
+/// The front-end simulator.
+pub struct Simulator<'a> {
+    config: MicroarchConfig,
+    layout: &'a CodeLayout,
+    trace: &'a [DynamicBlock],
+    mechanism: Box<dyn ControlFlowMechanism>,
+
+    hierarchy: InstructionHierarchy,
+    btb: BasicBlockBtb,
+    btb_prefetch_buffer: BtbPrefetchBuffer,
+    predictor: Box<dyn DirectionPredictor>,
+    ras: ReturnAddressStack,
+    ftq: Ftq,
+    backend: BackEnd,
+
+    now: u64,
+    stats: SimStats,
+    bpu_index: usize,
+    committed_blocks: usize,
+    bpu_busy_until: u64,
+    bpu_stalled_until: u64,
+    bpu_waiting_for_squash: bool,
+    next_reached: Reached,
+    wrong_path: Option<WrongPath>,
+    fetch: Option<FetchState>,
+    last_fetched_line: Option<CacheLine>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for `trace` (generated from `layout`) running the
+    /// given mechanism with the TAGE predictor of Table I.
+    pub fn new(
+        config: MicroarchConfig,
+        layout: &'a CodeLayout,
+        trace: &'a [DynamicBlock],
+        mechanism: Box<dyn ControlFlowMechanism>,
+    ) -> Self {
+        Self::with_predictor(config, layout, trace, mechanism, PredictorKind::Tage)
+    }
+
+    /// Creates a simulator with an explicit direction-predictor choice
+    /// (used by the Figure 2 ablation).
+    pub fn with_predictor(
+        config: MicroarchConfig,
+        layout: &'a CodeLayout,
+        trace: &'a [DynamicBlock],
+        mechanism: Box<dyn ControlFlowMechanism>,
+        predictor: PredictorKind,
+    ) -> Self {
+        config.validate().expect("invalid configuration");
+        let hierarchy = InstructionHierarchy::new(&config);
+        let btb = BasicBlockBtb::new(config.btb_entries, config.btb_ways);
+        let btb_prefetch_buffer = BtbPrefetchBuffer::new(config.btb_prefetch_buffer_entries);
+        let predictor = predictor.build(config.predictor_budget_bytes);
+        let ras = ReturnAddressStack::new(config.ras_entries as usize);
+        let ftq = Ftq::new(config.ftq_entries);
+        let backend = BackEnd::new(&config, layout.profile().backend, layout.profile().seed);
+        Simulator {
+            config,
+            layout,
+            trace,
+            mechanism,
+            hierarchy,
+            btb,
+            btb_prefetch_buffer,
+            predictor,
+            ras,
+            ftq,
+            backend,
+            now: 0,
+            stats: SimStats::default(),
+            bpu_index: 0,
+            committed_blocks: 0,
+            bpu_busy_until: 0,
+            bpu_stalled_until: 0,
+            bpu_waiting_for_squash: false,
+            next_reached: Reached::Sequential,
+            wrong_path: None,
+            fetch: None,
+            last_fetched_line: None,
+        }
+    }
+
+    /// The mechanism's display name.
+    pub fn mechanism_name(&self) -> &'static str {
+        self.mechanism.name()
+    }
+
+    /// Runs the whole trace and returns the collected statistics.
+    pub fn run(&mut self) -> SimStats {
+        self.run_with_warmup(0)
+    }
+
+    /// Runs the whole trace, resetting statistics after the first
+    /// `warmup_blocks` committed blocks so that cold-start effects (empty
+    /// caches, empty BTB, untrained predictor) do not dominate the results.
+    pub fn run_with_warmup(&mut self, warmup_blocks: usize) -> SimStats {
+        let total = self.trace.len();
+        let mut warmup_done = warmup_blocks == 0;
+        // Generous safety bound: no workload needs more than ~200 cycles per
+        // instruction even with a cold, prefetch-free front end.
+        let max_cycles = 500 + 200 * self.trace.iter().map(DynamicBlock::instructions).sum::<u64>();
+        while self.committed_blocks < total && self.now < max_cycles {
+            self.step();
+            if !warmup_done && self.committed_blocks >= warmup_blocks {
+                self.reset_stats();
+                warmup_done = true;
+            }
+        }
+        self.finalize_stats();
+        self.stats
+    }
+
+    /// Executes one cycle.
+    pub fn step(&mut self) {
+        self.handle_wrong_path();
+        self.backend.retire(self.now);
+        self.bpu_cycle();
+        self.mechanism_tick();
+        self.fetch_cycle();
+        self.now += 1;
+        self.stats.cycles += 1;
+    }
+
+    /// Statistics collected so far (finalised copies are returned by `run`).
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        let cycles_so_far = self.stats.cycles;
+        self.stats = SimStats::default();
+        // Keep absolute time monotonic for the memory hierarchy but restart
+        // the cycle counter used for IPC.
+        let _ = cycles_so_far;
+    }
+
+    fn finalize_stats(&mut self) {
+        let h = self.hierarchy.stats();
+        self.stats.prefetch_buffer_hits = h.prefetch_buffer_hits;
+        self.stats.prefetches_issued = h.prefetches_issued;
+    }
+
+    fn with_ctx<R>(
+        config: &MicroarchConfig,
+        layout: &'a CodeLayout,
+        hierarchy: &mut InstructionHierarchy,
+        btb: &mut BasicBlockBtb,
+        btb_prefetch_buffer: &mut BtbPrefetchBuffer,
+        now: u64,
+        mechanism: &mut dyn ControlFlowMechanism,
+        f: impl FnOnce(&mut dyn ControlFlowMechanism, &mut MechContext<'_>) -> R,
+    ) -> R {
+        let mut ctx = MechContext {
+            now,
+            config,
+            layout,
+            hierarchy,
+            btb,
+            btb_prefetch_buffer,
+        };
+        f(mechanism, &mut ctx)
+    }
+
+    fn mechanism_tick(&mut self) {
+        Self::with_ctx(
+            &self.config,
+            self.layout,
+            &mut self.hierarchy,
+            &mut self.btb,
+            &mut self.btb_prefetch_buffer,
+            self.now,
+            self.mechanism.as_mut(),
+            |m, ctx| m.tick(ctx),
+        );
+    }
+
+    /// Handles a pending wrong-path episode: prefetches along the wrong path
+    /// while the mispredicted branch resolves, then squashes.
+    fn handle_wrong_path(&mut self) {
+        let Some(mut wp) = self.wrong_path else {
+            return;
+        };
+        if self.now >= wp.resolve_at {
+            // Squash: flush the FTQ and any in-flight fetch, charge the
+            // refill bubble, and resume the BPU on the correct path.
+            self.ftq.clear();
+            self.fetch = None;
+            self.stats.squashes.record(wp.cause);
+            self.bpu_waiting_for_squash = false;
+            self.bpu_busy_until = self.now + self.config.squash_penalty;
+            let cause = wp.cause;
+            Self::with_ctx(
+                &self.config,
+                self.layout,
+                &mut self.hierarchy,
+                &mut self.btb,
+                &mut self.btb_prefetch_buffer,
+                self.now,
+                self.mechanism.as_mut(),
+                |m, ctx| m.on_squash(cause, ctx),
+            );
+            self.wrong_path = None;
+            return;
+        }
+        // Wrong-path prefetching: fetch-directed mechanisms keep walking the
+        // (wrong) sequential path, which sometimes prefetches blocks on the
+        // eventually-correct path (§VI-B).
+        if self.mechanism.is_fetch_directed() && wp.lines_prefetched < WRONG_PATH_PREFETCH_LIMIT {
+            let line = wp.next_prefetch_line;
+            self.hierarchy.prefetch_probe(line, self.now);
+            wp.next_prefetch_line = line.next();
+            wp.lines_prefetched += 1;
+            self.wrong_path = Some(wp);
+        }
+    }
+
+    /// One branch-prediction-unit cycle: predict one basic block and push it
+    /// into the FTQ.
+    fn bpu_cycle(&mut self) {
+        if self.bpu_waiting_for_squash
+            || self.wrong_path.is_some()
+            || self.now < self.bpu_busy_until
+            || self.now < self.bpu_stalled_until
+            || self.ftq.is_full()
+            || self.bpu_index >= self.trace.len()
+        {
+            return;
+        }
+
+        let block = &self.trace[self.bpu_index];
+        let start = block.start();
+        let terminator = block
+            .block
+            .terminator
+            .expect("trace blocks always carry a terminator");
+        self.stats.btb_lookups += 1;
+
+        // BTB lookup, with the BTB prefetch buffer probed in parallel.
+        let mut lookup = self.btb.lookup(start).entry();
+        if lookup.is_none() {
+            if let Some(entry) = self.btb_prefetch_buffer.take(start) {
+                self.btb.insert(entry);
+                lookup = Some(entry);
+            }
+        }
+        if lookup.is_none() && self.config.perfect.perfect_btb {
+            let entry = BtbEntry::from_block(start, block.instructions(), terminator);
+            self.btb.insert(entry);
+            lookup = Some(entry);
+        }
+
+        let reached = self.next_reached;
+        let (mispredicted, sequential_guess) = match lookup {
+            Some(entry) => (self.predict_with_entry(block, terminator, entry), false),
+            None => {
+                self.stats.btb_misses += 1;
+                let action = Self::with_ctx(
+                    &self.config,
+                    self.layout,
+                    &mut self.hierarchy,
+                    &mut self.btb,
+                    &mut self.btb_prefetch_buffer,
+                    self.now,
+                    self.mechanism.as_mut(),
+                    |m, ctx| m.on_btb_miss(start, ctx),
+                );
+                match action {
+                    BtbMissAction::StallUntil { ready_at } => {
+                        // Boomerang: halt FTQ filling until the prefill lands,
+                        // then retry the same block (which will now hit).
+                        self.bpu_stalled_until = ready_at.max(self.now + 1);
+                        return;
+                    }
+                    BtbMissAction::ContinueSequential => {
+                        // FDIP: the BPU walks sequentially one instruction per
+                        // cycle until the next BTB hit; charge that time.
+                        self.bpu_busy_until = self.now + block.instructions();
+                        let cause = block.outcome.taken.then_some(SquashCause::BtbMiss);
+                        (cause, true)
+                    }
+                }
+            }
+        };
+
+        let entry = FtqEntry {
+            oracle_index: self.bpu_index,
+            start,
+            instructions: block.instructions(),
+            reached,
+            mispredicted,
+            sequential_guess,
+        };
+        self.ftq.push(entry);
+        Self::with_ctx(
+            &self.config,
+            self.layout,
+            &mut self.hierarchy,
+            &mut self.btb,
+            &mut self.btb_prefetch_buffer,
+            self.now,
+            self.mechanism.as_mut(),
+            |m, ctx| m.on_ftq_push(&entry, ctx),
+        );
+
+        // Maintain the speculative RAS along the (oracle) path.
+        if terminator.kind.is_call() && block.outcome.taken {
+            self.ras.push(block.block.fall_through());
+        }
+
+        self.next_reached = if !block.outcome.taken {
+            Reached::Sequential
+        } else if terminator.kind == BranchKind::Conditional {
+            Reached::ConditionalTaken
+        } else {
+            Reached::UnconditionalTaken
+        };
+        self.bpu_index += 1;
+        if mispredicted.is_some() {
+            // The BPU is now on the wrong path; it stops producing useful
+            // entries until the squash resolves.
+            self.bpu_waiting_for_squash = true;
+        }
+    }
+
+    /// Predicts the successor of `block` using a BTB entry; returns the
+    /// squash cause if the prediction turns out wrong.
+    fn predict_with_entry(
+        &mut self,
+        block: &DynamicBlock,
+        terminator: sim_core::BranchInfo,
+        entry: BtbEntry,
+    ) -> Option<SquashCause> {
+        let fall_through = block.block.fall_through();
+        let actual_next = block.outcome.next_pc;
+        let actual_taken = block.outcome.taken;
+        let predicted_next: Addr = match terminator.kind {
+            BranchKind::Conditional => {
+                self.stats.conditional_predictions += 1;
+                let predicted_taken = self.predictor.predict(terminator.pc);
+                if predicted_taken != actual_taken {
+                    self.stats.conditional_mispredictions += 1;
+                }
+                if predicted_taken {
+                    entry.target.unwrap_or(fall_through)
+                } else {
+                    fall_through
+                }
+            }
+            BranchKind::Return => self.ras.pop().unwrap_or(fall_through),
+            BranchKind::DirectJump | BranchKind::Call => entry.target.unwrap_or(fall_through),
+            BranchKind::IndirectJump | BranchKind::IndirectCall => {
+                entry.target.unwrap_or(fall_through)
+            }
+        };
+        (predicted_next != actual_next).then_some(SquashCause::Misprediction)
+    }
+
+    /// One fetch-engine cycle.
+    fn fetch_cycle(&mut self) {
+        // Acquire a block to fetch if idle.
+        if self.fetch.is_none() {
+            match self.ftq.pop() {
+                Some(entry) => {
+                    self.fetch = Some(FetchState {
+                        entry,
+                        pos: 0,
+                        busy_until: self.now,
+                        accessed_line: None,
+                    });
+                }
+                None => {
+                    if self.wrong_path.is_some() {
+                        self.stats.squash_stall_cycles += 1;
+                    } else if self.committed_blocks < self.trace.len() {
+                        self.stats.ftq_empty_cycles += 1;
+                    }
+                    return;
+                }
+            }
+        }
+
+        let mut fetch = self.fetch.take().expect("fetch state was just ensured");
+
+        // Stalled on an L1-I fill?
+        if self.now < fetch.busy_until {
+            self.stats.fetch_stall_cycles += 1;
+            let category = if fetch.pos == 0 {
+                fetch.entry.reached
+            } else {
+                Reached::Sequential
+            };
+            self.stats.miss_breakdown.add(category, 1);
+            self.fetch = Some(fetch);
+            return;
+        }
+
+        // Back-pressure from the ROB.
+        if self.backend.is_full() {
+            self.stats.rob_full_cycles += 1;
+            self.fetch = Some(fetch);
+            return;
+        }
+
+        let geometry = self.layout.geometry();
+        let mut budget = self.config.fetch_width.min(self.backend.free_slots() as u64);
+        while budget > 0 && fetch.pos < fetch.entry.instructions {
+            let pc = fetch.entry.start.add_instructions(fetch.pos);
+            let line = geometry.line_of(pc);
+            if fetch.accessed_line != Some(line) {
+                let outcome = self.hierarchy.demand_fetch(line, self.now);
+                let missed = !matches!(outcome.level, HitLevel::L1 | HitLevel::PrefetchBuffer);
+                let previous = self.last_fetched_line;
+                Self::with_ctx(
+                    &self.config,
+                    self.layout,
+                    &mut self.hierarchy,
+                    &mut self.btb,
+                    &mut self.btb_prefetch_buffer,
+                    self.now,
+                    self.mechanism.as_mut(),
+                    |m, ctx| m.on_demand_fetch(line, previous, missed, ctx),
+                );
+                fetch.accessed_line = Some(line);
+                self.last_fetched_line = Some(line);
+                if missed {
+                    fetch.busy_until = self.now + outcome.latency;
+                    break;
+                }
+            }
+            let accepted = self.backend.push_instructions(1, self.now);
+            if accepted == 0 {
+                break;
+            }
+            fetch.pos += 1;
+            budget -= 1;
+        }
+
+        if fetch.pos >= fetch.entry.instructions {
+            self.commit_block(fetch.entry);
+            self.fetch = None;
+        } else {
+            self.fetch = Some(fetch);
+        }
+    }
+
+    /// Commits a fully fetched correct-path block: trains the predictor,
+    /// fills the BTB, notifies the mechanism, and starts the wrong-path
+    /// episode if the BPU mispredicted this block's successor.
+    fn commit_block(&mut self, entry: FtqEntry) {
+        let block = &self.trace[entry.oracle_index];
+        let terminator = block
+            .block
+            .terminator
+            .expect("trace blocks always carry a terminator");
+        self.stats.instructions += block.instructions();
+        self.committed_blocks += 1;
+
+        if terminator.kind == BranchKind::Conditional {
+            self.predictor.update(terminator.pc, block.outcome.taken);
+        }
+
+        // Demand BTB fill at branch resolution: the entry reflects the actual
+        // executed block, with indirect branches remembering their last
+        // target.
+        let mut btb_entry = BtbEntry::from_block(block.start(), block.instructions(), terminator);
+        if btb_entry.target.is_none() && block.outcome.taken {
+            btb_entry.target = Some(block.outcome.next_pc);
+        }
+        self.btb.insert(btb_entry);
+
+        Self::with_ctx(
+            &self.config,
+            self.layout,
+            &mut self.hierarchy,
+            &mut self.btb,
+            &mut self.btb_prefetch_buffer,
+            self.now,
+            self.mechanism.as_mut(),
+            |m, ctx| m.on_commit(block, ctx),
+        );
+
+        if let Some(cause) = entry.mispredicted {
+            let wrong_start = block.block.fall_through();
+            self.wrong_path = Some(WrongPath {
+                resolve_at: self.now + self.config.branch_resolution_latency,
+                cause,
+                next_prefetch_line: self.layout.geometry().line_of(wrong_start),
+                lines_prefetched: 0,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::NoPrefetch;
+    use sim_core::PerfectComponents;
+    use workloads::{Trace, WorkloadProfile};
+
+    fn setup() -> (CodeLayout, Trace) {
+        let layout = CodeLayout::generate(&WorkloadProfile::tiny(77));
+        let trace = Trace::generate_blocks(&layout, 20_000);
+        (layout, trace)
+    }
+
+    fn run(config: MicroarchConfig, layout: &CodeLayout, trace: &Trace) -> SimStats {
+        let mut sim = Simulator::new(config, layout, trace.blocks(), Box::new(NoPrefetch::new()));
+        sim.run_with_warmup(2_000)
+    }
+
+    #[test]
+    fn baseline_run_is_sane() {
+        let (layout, trace) = setup();
+        let stats = run(MicroarchConfig::hpca17(), &layout, &trace);
+        assert!(stats.instructions > 50_000, "instructions {}", stats.instructions);
+        assert!(stats.cycles > stats.instructions / 3, "cycles {}", stats.cycles);
+        let ipc = stats.ipc();
+        assert!(ipc > 0.1 && ipc <= 3.0, "implausible IPC {ipc}");
+        assert!(stats.fetch_stall_cycles > 0, "a cold 32KB L1-I must stall sometimes");
+        assert!(stats.squashes.total() > 0);
+        assert!(stats.btb_lookups > 0);
+        assert!(stats.miss_breakdown.total() == stats.fetch_stall_cycles);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (layout, trace) = setup();
+        let a = run(MicroarchConfig::hpca17(), &layout, &trace);
+        let b = run(MicroarchConfig::hpca17(), &layout, &trace);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn perfect_l1i_removes_fetch_stalls_and_improves_performance() {
+        let (layout, trace) = setup();
+        let base = run(MicroarchConfig::hpca17(), &layout, &trace);
+        let perfect = run(
+            MicroarchConfig::hpca17().with_perfect(PerfectComponents::l1i()),
+            &layout,
+            &trace,
+        );
+        assert_eq!(perfect.fetch_stall_cycles, 0);
+        assert!(perfect.cycles < base.cycles);
+        assert!(perfect.speedup_vs(&base) > 1.0);
+    }
+
+    #[test]
+    fn perfect_btb_eliminates_btb_miss_squashes() {
+        let (layout, trace) = setup();
+        let base = run(MicroarchConfig::hpca17(), &layout, &trace);
+        let perfect = run(
+            MicroarchConfig::hpca17().with_perfect(PerfectComponents::l1i_and_btb()),
+            &layout,
+            &trace,
+        );
+        assert!(base.squashes.btb_miss > 0, "baseline must suffer BTB-miss squashes");
+        assert_eq!(perfect.squashes.btb_miss, 0);
+        assert!(perfect.cycles <= base.cycles);
+    }
+
+    #[test]
+    fn bigger_btb_reduces_btb_miss_squashes() {
+        let (layout, trace) = setup();
+        let small = run(MicroarchConfig::hpca17().with_btb_entries(256), &layout, &trace);
+        let large = run(MicroarchConfig::hpca17().with_btb_entries(32 * 1024), &layout, &trace);
+        assert!(
+            large.squashes.btb_miss < small.squashes.btb_miss,
+            "32K-entry BTB ({}) must squash less than 256-entry ({})",
+            large.squashes.btb_miss,
+            small.squashes.btb_miss
+        );
+        assert!(large.cycles <= small.cycles);
+    }
+
+    #[test]
+    fn higher_llc_latency_costs_cycles() {
+        let (layout, trace) = setup();
+        let fast = run(
+            MicroarchConfig::hpca17().with_noc(sim_core::NocModel::Fixed(5)),
+            &layout,
+            &trace,
+        );
+        let slow = run(
+            MicroarchConfig::hpca17().with_noc(sim_core::NocModel::Fixed(70)),
+            &layout,
+            &trace,
+        );
+        assert!(slow.cycles > fast.cycles);
+        assert!(slow.fetch_stall_cycles > fast.fetch_stall_cycles);
+    }
+
+    #[test]
+    fn stats_internal_consistency() {
+        let (layout, trace) = setup();
+        let stats = run(MicroarchConfig::hpca17(), &layout, &trace);
+        assert!(stats.conditional_mispredictions <= stats.conditional_predictions);
+        assert!(stats.btb_misses <= stats.btb_lookups);
+        assert!(stats.squashes.total() * 5 < stats.instructions, "squash rate implausible");
+        // Misprediction rate with TAGE on these workloads should be modest.
+        assert!(stats.misprediction_rate() < 0.2, "rate {}", stats.misprediction_rate());
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests of the core data types.
+use proptest::prelude::*;
+use sim_core::rng::SimRng;
+use sim_core::{Addr, LineGeometry};
+
+proptest! {
+    #[test]
+    fn line_of_and_base_are_consistent(raw in 0u64..1 << 40, shift in 2u32..10) {
+        let geom = LineGeometry::new(1 << shift);
+        let addr = Addr::new(raw & !3);
+        let line = geom.line_of(addr);
+        let base = geom.line_base(line);
+        prop_assert!(base <= addr);
+        prop_assert!(addr.raw() - base.raw() < geom.line_bytes());
+        prop_assert_eq!(geom.line_of(base), line);
+    }
+
+    #[test]
+    fn line_distance_is_symmetric_and_triangle_bounded(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+        let geom = LineGeometry::default();
+        let (a, b) = (Addr::new(a), Addr::new(b));
+        prop_assert_eq!(geom.line_distance(a, b), geom.line_distance(b, a));
+        prop_assert!(geom.line_distance(a, a) == 0);
+    }
+
+    #[test]
+    fn lines_spanned_counts_match_instruction_extent(start in 0u64..1 << 30, count in 1u64..64) {
+        let geom = LineGeometry::default();
+        let start = Addr::new(start & !3);
+        let lines: Vec<_> = geom.lines_spanned(start, count).collect();
+        let first = geom.line_of(start);
+        let last = geom.line_of(start.add_instructions(count - 1));
+        prop_assert_eq!(lines.first().copied(), Some(first));
+        prop_assert_eq!(lines.last().copied(), Some(last));
+        prop_assert_eq!(lines.len() as u64, last.0 - first.0 + 1);
+    }
+
+    #[test]
+    fn seeded_rng_is_reproducible(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
+        let mut a = SimRng::seeded(seed);
+        let mut b = SimRng::seeded(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.range_u64(lo, lo + span), b.range_u64(lo, lo + span));
+        }
+    }
+
+    #[test]
+    fn weighted_index_stays_in_bounds(weights in prop::collection::vec(0.0f64..10.0, 1..8), seed in any::<u64>()) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let mut rng = SimRng::seeded(seed);
+        for _ in 0..32 {
+            let idx = rng.weighted_index(&weights);
+            prop_assert!(idx < weights.len());
+            prop_assert!(weights[idx] > 0.0 || weights.iter().all(|&w| w == 0.0));
+        }
+    }
+
+    #[test]
+    fn coverage_and_speedup_are_well_behaved(base in 0u64..1_000_000, with in 0u64..1_000_000) {
+        let c = sim_core::stats::coverage(base, with);
+        prop_assert!((0.0..=1.0).contains(&c));
+        let s = sim_core::stats::speedup(base, with);
+        prop_assert!(s >= 0.0);
+    }
+}

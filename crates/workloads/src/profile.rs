@@ -1,0 +1,592 @@
+//! Workload profiles.
+//!
+//! The paper evaluates six commercial server workloads (Table II): Nutch,
+//! Darwin Streaming, Apache, Zeus, Oracle and DB2, running under the Flexus
+//! full-system simulator. Those binaries and traces are not available, so this
+//! crate generates *synthetic* workloads whose front-end-relevant
+//! characteristics match what the paper reports: multi-megabyte instruction
+//! footprints, branch working sets far exceeding a 2K-entry BTB, ~92 % of
+//! taken conditional branches landing within four cache blocks of the branch
+//! (Figure 4), deep layered call chains, and per-workload differences in
+//! streaming behaviour and BTB pressure.
+//!
+//! A [`WorkloadProfile`] is a declarative description of one such workload;
+//! [`crate::layout::CodeLayout::generate`] turns it into a static code layout
+//! and [`crate::trace::TraceGenerator`] walks that layout to produce the
+//! dynamic instruction stream.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Relative frequencies of the different terminator kinds of a basic block.
+///
+/// The remainder after calls, jumps, indirect branches and returns is made up
+/// of conditional branches, which dominate in all profiles.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TerminatorMix {
+    /// Fraction of blocks ending in a direct call.
+    pub call: f64,
+    /// Fraction of blocks ending in an indirect call.
+    pub indirect_call: f64,
+    /// Fraction of blocks ending in an unconditional direct jump.
+    pub jump: f64,
+    /// Fraction of blocks ending in an indirect jump.
+    pub indirect_jump: f64,
+    /// Fraction of blocks ending in an *early* return (in addition to the
+    /// structural return that terminates every function).
+    pub early_return: f64,
+}
+
+impl TerminatorMix {
+    /// Fraction of blocks ending in a conditional branch.
+    pub fn conditional(&self) -> f64 {
+        (1.0 - self.call
+            - self.indirect_call
+            - self.jump
+            - self.indirect_jump
+            - self.early_return)
+            .max(0.0)
+    }
+
+    /// Validates that the fractions are non-negative and sum to at most one.
+    pub fn is_valid(&self) -> bool {
+        let parts = [
+            self.call,
+            self.indirect_call,
+            self.jump,
+            self.indirect_jump,
+            self.early_return,
+        ];
+        parts.iter().all(|&p| (0.0..=1.0).contains(&p)) && parts.iter().sum::<f64>() <= 1.0
+    }
+}
+
+/// Mix of dynamic behaviours assigned to static conditional branches.
+///
+/// The behaviours differ in how hard they are for the direction predictors:
+/// biased branches are easy for everything including a bimodal predictor,
+/// loop exits and history patterns need TAGE-like history, and a small
+/// fraction of data-dependent branches is unpredictable for everyone.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConditionalBehaviorMix {
+    /// Fraction of conditional branches that are loop back-edges.
+    pub loop_backedge: f64,
+    /// Fraction exhibiting a short repeating history pattern.
+    pub pattern: f64,
+    /// Fraction that are effectively data-dependent (close to 50/50).
+    pub data_dependent: f64,
+    /// Mean probability of "taken" for the remaining biased branches.
+    pub bias_mean: f64,
+    /// Mean loop trip count for loop back-edges.
+    pub mean_trip_count: f64,
+}
+
+impl ConditionalBehaviorMix {
+    /// Fraction of conditional branches that are simply biased.
+    pub fn biased(&self) -> f64 {
+        (1.0 - self.loop_backedge - self.pattern - self.data_dependent).max(0.0)
+    }
+
+    /// Validates the mix.
+    pub fn is_valid(&self) -> bool {
+        let parts = [self.loop_backedge, self.pattern, self.data_dependent];
+        parts.iter().all(|&p| (0.0..=1.0).contains(&p))
+            && parts.iter().sum::<f64>() <= 1.0
+            && (0.0..=1.0).contains(&self.bias_mean)
+            && self.mean_trip_count >= 2.0
+    }
+}
+
+/// Parameters of the simple out-of-order back-end model.
+///
+/// The back-end is not the subject of the paper, but its data stalls determine
+/// how much of the front-end improvement turns into end-to-end speedup
+/// (Figures 1 and 9 saturate between 1.1x and 1.7x). Each retired instruction
+/// is given an execution latency drawn from this distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BackendProfile {
+    /// Fraction of instructions that are memory loads.
+    pub load_fraction: f64,
+    /// Probability that a load misses the L1-D and hits the LLC.
+    pub l1d_miss_rate: f64,
+    /// Probability that a load misses the LLC entirely (goes to memory).
+    pub llc_miss_rate: f64,
+    /// Baseline execution latency of a non-memory instruction in cycles.
+    pub base_latency: u64,
+}
+
+impl BackendProfile {
+    /// Validates the back-end parameters.
+    pub fn is_valid(&self) -> bool {
+        (0.0..=1.0).contains(&self.load_fraction)
+            && (0.0..=1.0).contains(&self.l1d_miss_rate)
+            && (0.0..=1.0).contains(&self.llc_miss_rate)
+            && self.base_latency >= 1
+    }
+}
+
+/// Names of the six server workloads studied in the paper (Table II).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Nutch — open-source web search (Apache Nutch v1.2).
+    Nutch,
+    /// Darwin Streaming Server — media streaming.
+    Streaming,
+    /// Apache HTTP Server — SPECweb99 web front end.
+    Apache,
+    /// Zeus Web Server — SPECweb99 web front end.
+    Zeus,
+    /// Oracle 10g — TPC-C online transaction processing.
+    Oracle,
+    /// IBM DB2 v8 ESE — TPC-C online transaction processing.
+    Db2,
+}
+
+impl WorkloadKind {
+    /// All six workloads in the order the paper lists them.
+    pub const ALL: [WorkloadKind; 6] = [
+        WorkloadKind::Nutch,
+        WorkloadKind::Streaming,
+        WorkloadKind::Apache,
+        WorkloadKind::Zeus,
+        WorkloadKind::Oracle,
+        WorkloadKind::Db2,
+    ];
+
+    /// Human-readable name as used in the paper's figures.
+    pub const fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Nutch => "Nutch",
+            WorkloadKind::Streaming => "Streaming",
+            WorkloadKind::Apache => "Apache",
+            WorkloadKind::Zeus => "Zeus",
+            WorkloadKind::Oracle => "Oracle",
+            WorkloadKind::Db2 => "DB2",
+        }
+    }
+
+    /// The synthetic profile standing in for this workload.
+    pub fn profile(self) -> WorkloadProfile {
+        WorkloadProfile::for_kind(self)
+    }
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Declarative description of one synthetic server workload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Which paper workload this profile emulates.
+    pub kind: WorkloadKind,
+    /// One-line description (Table II analogue).
+    pub description: String,
+    /// Seed from which layout and trace randomness are derived.
+    pub seed: u64,
+    /// Target active instruction footprint in bytes.
+    pub footprint_bytes: u64,
+    /// Mean basic-block length in instructions.
+    pub mean_block_instructions: f64,
+    /// Mean number of basic blocks per function.
+    pub mean_function_blocks: f64,
+    /// Terminator mix.
+    pub terminators: TerminatorMix,
+    /// Conditional-branch behaviour mix.
+    pub conditionals: ConditionalBehaviorMix,
+    /// Mean distance, in cache blocks, of a taken conditional branch target
+    /// (Figure 4: ~92 % within four blocks).
+    pub cond_target_mean_lines: f64,
+    /// Fraction of taken conditional targets that are backward (loops and
+    /// retries).
+    pub cond_backward_fraction: f64,
+    /// Maximum call depth the trace generator will follow before forcing a
+    /// return (layered server stacks reach ~10-20).
+    pub max_call_depth: usize,
+    /// Number of top-level "service" entry points the dispatcher cycles
+    /// through; this controls instruction working-set churn.
+    pub service_roots: usize,
+    /// Fraction of call sites that call a "hot" (frequently reused) callee
+    /// rather than a uniformly random one; higher values create more
+    /// temporal reuse and thus more L1-I hits.
+    pub hot_callee_fraction: f64,
+    /// Fraction of functions considered "hot".
+    pub hot_function_fraction: f64,
+    /// Back-end data-stall model.
+    pub backend: BackendProfile,
+}
+
+impl WorkloadProfile {
+    /// The profile standing in for `kind`.
+    ///
+    /// The parameters are chosen so that a 2K-entry-BTB, 32 KB-L1-I baseline
+    /// core reproduces the qualitative per-workload behaviour of the paper:
+    /// OLTP workloads (Oracle, DB2) have the largest footprints and BTB
+    /// pressure, Streaming is the most sequential, and the web workloads sit
+    /// in between.
+    pub fn for_kind(kind: WorkloadKind) -> Self {
+        match kind {
+            WorkloadKind::Nutch => WorkloadProfile {
+                kind,
+                description: "Apache Nutch v1.2, 230 clients, 1.4 GB index (web search)".into(),
+                seed: 0x4e75_7463_6801,
+                footprint_bytes: 1_600 * 1024,
+                mean_block_instructions: 6.5,
+                mean_function_blocks: 14.0,
+                terminators: TerminatorMix {
+                    call: 0.095,
+                    indirect_call: 0.012,
+                    jump: 0.055,
+                    indirect_jump: 0.006,
+                    early_return: 0.035,
+                },
+                conditionals: ConditionalBehaviorMix {
+                    loop_backedge: 0.1,
+                    pattern: 0.1,
+                    data_dependent: 0.045,
+                    bias_mean: 0.82,
+                    mean_trip_count: 6.0,
+                },
+                cond_target_mean_lines: 1.6,
+                cond_backward_fraction: 0.32,
+                max_call_depth: 18,
+                service_roots: 96,
+                hot_callee_fraction: 0.3,
+                hot_function_fraction: 0.06,
+                backend: BackendProfile {
+                    load_fraction: 0.26,
+                    l1d_miss_rate: 0.045,
+                    llc_miss_rate: 0.004,
+                    base_latency: 1,
+                },
+            },
+            WorkloadKind::Streaming => WorkloadProfile {
+                kind,
+                description: "Darwin Streaming Server 6.0.3, 7500 clients (media streaming)".into(),
+                seed: 0x5374_7265_616d,
+                footprint_bytes: 1_100 * 1024,
+                mean_block_instructions: 8.5,
+                mean_function_blocks: 18.0,
+                terminators: TerminatorMix {
+                    call: 0.075,
+                    indirect_call: 0.008,
+                    jump: 0.045,
+                    indirect_jump: 0.004,
+                    early_return: 0.025,
+                },
+                conditionals: ConditionalBehaviorMix {
+                    loop_backedge: 0.14,
+                    pattern: 0.08,
+                    data_dependent: 0.035,
+                    bias_mean: 0.86,
+                    mean_trip_count: 8.0,
+                },
+                cond_target_mean_lines: 1.4,
+                cond_backward_fraction: 0.34,
+                max_call_depth: 16,
+                service_roots: 48,
+                hot_callee_fraction: 0.4,
+                hot_function_fraction: 0.08,
+                backend: BackendProfile {
+                    load_fraction: 0.24,
+                    l1d_miss_rate: 0.05,
+                    llc_miss_rate: 0.006,
+                    base_latency: 1,
+                },
+            },
+            WorkloadKind::Apache => WorkloadProfile {
+                kind,
+                description: "Apache HTTP Server v2.0, 16K connections, fastCGI (SPECweb99)".into(),
+                seed: 0x4170_6163_6865,
+                footprint_bytes: 2_000 * 1024,
+                mean_block_instructions: 6.0,
+                mean_function_blocks: 13.0,
+                terminators: TerminatorMix {
+                    call: 0.105,
+                    indirect_call: 0.014,
+                    jump: 0.06,
+                    indirect_jump: 0.007,
+                    early_return: 0.04,
+                },
+                conditionals: ConditionalBehaviorMix {
+                    loop_backedge: 0.09,
+                    pattern: 0.11,
+                    data_dependent: 0.05,
+                    bias_mean: 0.80,
+                    mean_trip_count: 5.0,
+                },
+                cond_target_mean_lines: 1.7,
+                cond_backward_fraction: 0.30,
+                max_call_depth: 20,
+                service_roots: 128,
+                hot_callee_fraction: 0.28,
+                hot_function_fraction: 0.05,
+                backend: BackendProfile {
+                    load_fraction: 0.27,
+                    l1d_miss_rate: 0.05,
+                    llc_miss_rate: 0.005,
+                    base_latency: 1,
+                },
+            },
+            WorkloadKind::Zeus => WorkloadProfile {
+                kind,
+                description: "Zeus Web Server, 16K connections, fastCGI (SPECweb99)".into(),
+                seed: 0x5a65_7573_0001,
+                footprint_bytes: 1_800 * 1024,
+                mean_block_instructions: 6.2,
+                mean_function_blocks: 13.5,
+                terminators: TerminatorMix {
+                    call: 0.1,
+                    indirect_call: 0.013,
+                    jump: 0.058,
+                    indirect_jump: 0.006,
+                    early_return: 0.038,
+                },
+                conditionals: ConditionalBehaviorMix {
+                    loop_backedge: 0.09,
+                    pattern: 0.1,
+                    data_dependent: 0.048,
+                    bias_mean: 0.81,
+                    mean_trip_count: 5.5,
+                },
+                cond_target_mean_lines: 1.65,
+                cond_backward_fraction: 0.31,
+                max_call_depth: 19,
+                service_roots: 112,
+                hot_callee_fraction: 0.3,
+                hot_function_fraction: 0.05,
+                backend: BackendProfile {
+                    load_fraction: 0.26,
+                    l1d_miss_rate: 0.048,
+                    llc_miss_rate: 0.005,
+                    base_latency: 1,
+                },
+            },
+            WorkloadKind::Oracle => WorkloadProfile {
+                kind,
+                description: "Oracle 10g Enterprise Database Server, TPC-C, 100 warehouses".into(),
+                seed: 0x4f72_6163_6c65,
+                footprint_bytes: 3_200 * 1024,
+                mean_block_instructions: 5.4,
+                mean_function_blocks: 12.0,
+                terminators: TerminatorMix {
+                    call: 0.115,
+                    indirect_call: 0.018,
+                    jump: 0.065,
+                    indirect_jump: 0.009,
+                    early_return: 0.045,
+                },
+                conditionals: ConditionalBehaviorMix {
+                    loop_backedge: 0.08,
+                    pattern: 0.12,
+                    data_dependent: 0.055,
+                    bias_mean: 0.78,
+                    mean_trip_count: 4.5,
+                },
+                cond_target_mean_lines: 1.8,
+                cond_backward_fraction: 0.29,
+                max_call_depth: 22,
+                service_roots: 192,
+                hot_callee_fraction: 0.22,
+                hot_function_fraction: 0.04,
+                backend: BackendProfile {
+                    load_fraction: 0.30,
+                    l1d_miss_rate: 0.06,
+                    llc_miss_rate: 0.008,
+                    base_latency: 1,
+                },
+            },
+            WorkloadKind::Db2 => WorkloadProfile {
+                kind,
+                description: "IBM DB2 v8 ESE Database Server, TPC-C, 100 warehouses".into(),
+                seed: 0x4442_3200_0001,
+                footprint_bytes: 3_600 * 1024,
+                mean_block_instructions: 5.2,
+                mean_function_blocks: 11.5,
+                terminators: TerminatorMix {
+                    call: 0.12,
+                    indirect_call: 0.02,
+                    jump: 0.068,
+                    indirect_jump: 0.01,
+                    early_return: 0.048,
+                },
+                conditionals: ConditionalBehaviorMix {
+                    loop_backedge: 0.08,
+                    pattern: 0.12,
+                    data_dependent: 0.05,
+                    bias_mean: 0.78,
+                    mean_trip_count: 4.5,
+                },
+                cond_target_mean_lines: 1.85,
+                cond_backward_fraction: 0.28,
+                max_call_depth: 22,
+                service_roots: 224,
+                hot_callee_fraction: 0.2,
+                hot_function_fraction: 0.04,
+                backend: BackendProfile {
+                    load_fraction: 0.31,
+                    l1d_miss_rate: 0.062,
+                    llc_miss_rate: 0.009,
+                    base_latency: 1,
+                },
+            },
+        }
+    }
+
+    /// All six paper workloads.
+    pub fn all() -> Vec<WorkloadProfile> {
+        WorkloadKind::ALL.iter().map(|k| k.profile()).collect()
+    }
+
+    /// A small profile for unit tests and doc examples: a few tens of KB of
+    /// code, so layout generation and short simulations are fast.
+    pub fn tiny(seed: u64) -> Self {
+        let mut p = WorkloadProfile::for_kind(WorkloadKind::Nutch);
+        p.description = "tiny synthetic workload for tests".into();
+        p.seed = seed;
+        p.footprint_bytes = 48 * 1024;
+        p.service_roots = 16;
+        p.max_call_depth = 12;
+        p
+    }
+
+    /// Returns the profile with a different footprint, keeping everything
+    /// else fixed. Useful for footprint-sensitivity studies.
+    #[must_use]
+    pub fn with_footprint_bytes(mut self, bytes: u64) -> Self {
+        self.footprint_bytes = bytes;
+        self
+    }
+
+    /// Returns the profile with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Short name of the underlying workload.
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Validates that all fractions and means are in range.
+    pub fn is_valid(&self) -> bool {
+        self.footprint_bytes >= 16 * 1024
+            && self.mean_block_instructions >= 2.0
+            && self.mean_function_blocks >= 2.0
+            && self.terminators.is_valid()
+            && self.conditionals.is_valid()
+            && self.cond_target_mean_lines > 0.0
+            && (0.0..=1.0).contains(&self.cond_backward_fraction)
+            && self.max_call_depth >= 2
+            && self.service_roots >= 1
+            && (0.0..=1.0).contains(&self.hot_callee_fraction)
+            && (0.0..=1.0).contains(&self.hot_function_fraction)
+            && self.backend.is_valid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_are_valid() {
+        for kind in WorkloadKind::ALL {
+            let p = kind.profile();
+            assert!(p.is_valid(), "profile for {kind} is invalid");
+            assert_eq!(p.kind, kind);
+            assert!(!p.description.is_empty());
+        }
+        assert!(WorkloadProfile::tiny(1).is_valid());
+    }
+
+    #[test]
+    fn oltp_workloads_have_larger_footprints_and_btb_pressure() {
+        let nutch = WorkloadKind::Nutch.profile();
+        let oracle = WorkloadKind::Oracle.profile();
+        let db2 = WorkloadKind::Db2.profile();
+        assert!(oracle.footprint_bytes > nutch.footprint_bytes);
+        assert!(db2.footprint_bytes > oracle.footprint_bytes);
+        // OLTP code is branchier: shorter blocks, more calls.
+        assert!(db2.mean_block_instructions < nutch.mean_block_instructions);
+        assert!(db2.terminators.call > nutch.terminators.call);
+    }
+
+    #[test]
+    fn streaming_is_the_most_sequential() {
+        let streaming = WorkloadKind::Streaming.profile();
+        for kind in WorkloadKind::ALL {
+            let p = kind.profile();
+            assert!(streaming.mean_block_instructions >= p.mean_block_instructions);
+        }
+    }
+
+    #[test]
+    fn terminator_mix_accounting() {
+        let mix = TerminatorMix {
+            call: 0.1,
+            indirect_call: 0.05,
+            jump: 0.05,
+            indirect_jump: 0.0,
+            early_return: 0.1,
+        };
+        assert!(mix.is_valid());
+        assert!((mix.conditional() - 0.7).abs() < 1e-12);
+
+        let bad = TerminatorMix {
+            call: 0.9,
+            indirect_call: 0.9,
+            jump: 0.0,
+            indirect_jump: 0.0,
+            early_return: 0.0,
+        };
+        assert!(!bad.is_valid());
+    }
+
+    #[test]
+    fn conditional_mix_accounting() {
+        let mix = ConditionalBehaviorMix {
+            loop_backedge: 0.2,
+            pattern: 0.1,
+            data_dependent: 0.05,
+            bias_mean: 0.8,
+            mean_trip_count: 8.0,
+        };
+        assert!(mix.is_valid());
+        assert!((mix.biased() - 0.65).abs() < 1e-12);
+        let bad = ConditionalBehaviorMix {
+            mean_trip_count: 1.0,
+            ..mix
+        };
+        assert!(!bad.is_valid());
+    }
+
+    #[test]
+    fn profile_builders() {
+        let p = WorkloadKind::Apache
+            .profile()
+            .with_footprint_bytes(64 * 1024)
+            .with_seed(99);
+        assert_eq!(p.footprint_bytes, 64 * 1024);
+        assert_eq!(p.seed, 99);
+        assert_eq!(p.name(), "Apache");
+    }
+
+    #[test]
+    fn workload_kind_display_matches_paper_labels() {
+        let names: Vec<_> = WorkloadKind::ALL.iter().map(|k| k.to_string()).collect();
+        assert_eq!(
+            names,
+            vec!["Nutch", "Streaming", "Apache", "Zeus", "Oracle", "DB2"]
+        );
+    }
+
+    #[test]
+    fn profiles_all_returns_six() {
+        assert_eq!(WorkloadProfile::all().len(), 6);
+    }
+}

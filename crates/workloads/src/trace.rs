@@ -1,0 +1,512 @@
+//! Dynamic control-flow trace generation.
+//!
+//! A [`TraceGenerator`] walks a [`CodeLayout`] the way the real workload's
+//! threads walk their text segment: it starts at the dispatcher, follows
+//! calls and returns through a bounded call stack, evaluates each conditional
+//! branch's [`BranchBehavior`](crate::layout::BranchBehavior) with per-branch
+//! state, and emits one [`DynamicBlock`] per executed basic block.
+//!
+//! The generator is deterministic for a given layout and seed, and the
+//! resulting stream is *self-consistent*: consecutive records satisfy
+//! `next.start() == prev.next_start()`, which the simulator relies on as its
+//! oracle execution path.
+
+use crate::layout::{BlockId, BranchBehavior, CodeLayout, ControlFlow};
+use sim_core::rng::SimRng;
+use sim_core::{BranchOutcome, DynamicBlock};
+use std::collections::HashMap;
+
+/// Per-static-branch dynamic state (loop counters, pattern positions).
+#[derive(Clone, Copy, Debug, Default)]
+struct BranchState {
+    executions: u32,
+}
+
+/// Streaming generator of the dynamic basic-block trace.
+///
+/// # Example
+///
+/// ```
+/// use workloads::{CodeLayout, TraceGenerator, WorkloadProfile};
+///
+/// let profile = WorkloadProfile::tiny(42);
+/// let layout = CodeLayout::generate(&profile);
+/// let mut gen = TraceGenerator::new(&layout);
+/// let trace: Vec<_> = gen.by_ref().take(1000).collect();
+/// assert_eq!(trace.len(), 1000);
+/// // The trace is a connected path through the code.
+/// for pair in trace.windows(2) {
+///     assert_eq!(pair[1].start(), pair[0].next_start());
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceGenerator<'a> {
+    layout: &'a CodeLayout,
+    rng: SimRng,
+    current: BlockId,
+    call_stack: Vec<BlockId>,
+    branch_state: HashMap<BlockId, BranchState>,
+    instructions: u64,
+    blocks_emitted: u64,
+    elided_calls: u64,
+    consecutive_jumps: u32,
+    forced_redirects: u64,
+    blocks_in_request: u32,
+    blocks_in_activation: u32,
+    exhausted_loops: u64,
+}
+
+/// Maximum number of consecutive unconditional jumps the generator follows
+/// before treating the thread as stuck and redirecting it to the dispatcher
+/// (the synthetic analogue of an OS re-schedule). Ordinary code never chains
+/// this many unconditional jumps.
+const MAX_CONSECUTIVE_JUMPS: u32 = 64;
+
+/// Soft budget, in basic blocks, for a single "request": one trip from the
+/// dispatcher into a service call tree and back. Once a request exceeds
+/// this budget the generator stops re-entering backward loops and stops
+/// descending into new callees, so control unwinds back to the dispatcher.
+/// Randomly generated nested loops could otherwise multiply into dwell times
+/// no real request-processing code exhibits, which would collapse the
+/// instruction working set the workloads are meant to exercise.
+const REQUEST_SOFT_BUDGET: u32 = 8_192;
+
+/// Hard budget: if a request runs this long despite the soft unwinding, the
+/// generator redirects to the dispatcher outright (the analogue of an OS
+/// preemption at the end of a time slice).
+const REQUEST_HARD_BUDGET: u32 = 4 * REQUEST_SOFT_BUDGET;
+
+/// Soft cap on the number of basic blocks executed within a single function
+/// activation (between call/return transfers). Beyond it, backward
+/// conditional branches fall through, so randomly generated nested loops
+/// cannot multiply into single-function dwell times that would collapse the
+/// active instruction working set.
+const ACTIVATION_SOFT_CAP: u32 = 256;
+
+impl<'a> TraceGenerator<'a> {
+    /// Creates a generator starting at the layout's dispatcher entry, seeded
+    /// from the workload profile.
+    pub fn new(layout: &'a CodeLayout) -> Self {
+        Self::with_seed(layout, layout.profile().seed ^ 0x7261_6365_0000_0001)
+    }
+
+    /// Creates a generator with an explicit seed (useful for generating
+    /// independent samples of the same workload).
+    pub fn with_seed(layout: &'a CodeLayout, seed: u64) -> Self {
+        TraceGenerator {
+            layout,
+            rng: SimRng::seeded(seed),
+            current: layout.entry_block(),
+            call_stack: Vec::with_capacity(layout.profile().max_call_depth + 1),
+            branch_state: HashMap::new(),
+            instructions: 0,
+            blocks_emitted: 0,
+            elided_calls: 0,
+            consecutive_jumps: 0,
+            forced_redirects: 0,
+            blocks_in_request: 0,
+            blocks_in_activation: 0,
+            exhausted_loops: 0,
+        }
+    }
+
+    /// Total instructions emitted so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Total basic blocks emitted so far.
+    pub fn blocks_emitted(&self) -> u64 {
+        self.blocks_emitted
+    }
+
+    /// Current call-stack depth.
+    pub fn call_depth(&self) -> usize {
+        self.call_stack.len()
+    }
+
+    /// Number of call sites elided because the call stack hit the profile's
+    /// depth bound. Should stay a tiny fraction of all calls.
+    pub fn elided_calls(&self) -> u64 {
+        self.elided_calls
+    }
+
+    /// Number of times the generator redirected a stuck jump chain back to
+    /// the dispatcher. Should be zero or near-zero for well-formed layouts.
+    pub fn forced_redirects(&self) -> u64 {
+        self.forced_redirects
+    }
+
+    /// Number of backward conditional branches forced to fall through because
+    /// the current request exceeded its soft block budget.
+    pub fn exhausted_loops(&self) -> u64 {
+        self.exhausted_loops
+    }
+
+    /// `true` while the current request is over its soft budget and the
+    /// generator is unwinding towards the dispatcher.
+    fn over_soft_budget(&self) -> bool {
+        self.blocks_in_request > REQUEST_SOFT_BUDGET
+    }
+
+    fn conditional_outcome(&mut self, id: BlockId, behavior: BranchBehavior) -> bool {
+        let state = self.branch_state.entry(id).or_default();
+        let n = state.executions;
+        state.executions = state.executions.wrapping_add(1);
+        match behavior {
+            BranchBehavior::Biased { p_taken } | BranchBehavior::DataDependent { p_taken } => {
+                self.rng.chance(p_taken)
+            }
+            BranchBehavior::Loop { trip_count } => (n % trip_count) != trip_count - 1,
+            BranchBehavior::Pattern { period, bits } => {
+                let pos = n % u32::from(period);
+                (bits >> pos) & 1 == 1
+            }
+        }
+    }
+
+    fn step(&mut self) -> DynamicBlock {
+        let static_block = self.layout.block(self.current);
+        let id = static_block.id;
+        let flow = static_block.flow.clone();
+        let max_depth = self.layout.profile().max_call_depth;
+
+        self.blocks_in_request = self.blocks_in_request.saturating_add(1);
+        self.blocks_in_activation = self.blocks_in_activation.saturating_add(1);
+        let (taken, next) = match flow {
+            ControlFlow::Conditional { taken, behavior } => {
+                let mut is_taken = self.conditional_outcome(id, behavior);
+                // Dwell valves: once a request or a single function
+                // activation has run for an implausibly long time, stop
+                // re-entering backward loops so control flows forward towards
+                // a return.
+                if is_taken
+                    && (self.over_soft_budget()
+                        || self.blocks_in_activation > ACTIVATION_SOFT_CAP)
+                    && self.layout.block(taken).start() <= static_block.branch_pc()
+                {
+                    is_taken = false;
+                    self.exhausted_loops += 1;
+                }
+                if is_taken {
+                    (true, taken)
+                } else {
+                    let ft = self
+                        .layout
+                        .fall_through(id)
+                        .expect("conditional blocks always have a fall-through");
+                    (false, ft)
+                }
+            }
+            ControlFlow::Jump { target } => {
+                self.consecutive_jumps += 1;
+                (true, self.jump_or_redirect(target))
+            }
+            ControlFlow::IndirectJump { ref targets } => {
+                self.consecutive_jumps += 1;
+                let t = targets[self.rng.index(targets.len())];
+                (true, self.jump_or_redirect(t))
+            }
+            ControlFlow::Call { callee } => self.do_call(id, callee, max_depth),
+            ControlFlow::IndirectCall { ref callees } => {
+                let callee = callees[self.rng.index(callees.len())];
+                self.do_call(id, callee, max_depth)
+            }
+            ControlFlow::Return => {
+                self.blocks_in_activation = 0;
+                let next = self
+                    .call_stack
+                    .pop()
+                    .unwrap_or_else(|| self.layout.entry_block());
+                (true, next)
+            }
+        };
+        if !matches!(
+            self.layout.block(id).flow,
+            ControlFlow::Jump { .. } | ControlFlow::IndirectJump { .. }
+        ) {
+            self.consecutive_jumps = 0;
+        }
+
+        // A new request starts whenever control is back at the dispatcher
+        // level (empty call stack), or when the hard budget forces a
+        // preemption-style redirect.
+        let next = if self.blocks_in_request > REQUEST_HARD_BUDGET {
+            self.forced_redirects += 1;
+            self.call_stack.clear();
+            self.layout.entry_block()
+        } else {
+            next
+        };
+        if self.call_stack.is_empty() || next == self.layout.entry_block() {
+            self.blocks_in_request = 0;
+        }
+
+        let next_pc = self.layout.block(next).start();
+        let outcome = if taken {
+            BranchOutcome::taken(next_pc)
+        } else {
+            BranchOutcome::not_taken(next_pc)
+        };
+        let dynamic = DynamicBlock::new(static_block.block, outcome);
+
+        self.instructions += dynamic.instructions();
+        self.blocks_emitted += 1;
+        self.current = next;
+        dynamic
+    }
+
+    /// Follows a jump target unless the generator has chained too many
+    /// unconditional jumps, in which case it redirects to the dispatcher.
+    fn jump_or_redirect(&mut self, target: BlockId) -> BlockId {
+        if self.consecutive_jumps > MAX_CONSECUTIVE_JUMPS {
+            self.consecutive_jumps = 0;
+            self.forced_redirects += 1;
+            self.call_stack.clear();
+            self.layout.entry_block()
+        } else {
+            target
+        }
+    }
+
+    fn do_call(
+        &mut self,
+        call_block: BlockId,
+        callee: crate::layout::FunctionId,
+        max_depth: usize,
+    ) -> (bool, BlockId) {
+        let return_to = self
+            .layout
+            .fall_through(call_block)
+            .expect("call blocks always have a fall-through");
+        if self.call_stack.len() >= max_depth || self.over_soft_budget() {
+            // Depth bound reached, or the request is over budget and should
+            // unwind: elide the call, as if the callee returned immediately.
+            self.elided_calls += 1;
+            return (false, return_to);
+        }
+        self.blocks_in_activation = 0;
+        self.call_stack.push(return_to);
+        let entry = self.layout.function(callee).entry;
+        (true, entry)
+    }
+}
+
+impl Iterator for TraceGenerator<'_> {
+    type Item = DynamicBlock;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        Some(self.step())
+    }
+}
+
+/// A fully materialised trace: the oracle execution path handed to the
+/// simulator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    blocks: Vec<DynamicBlock>,
+    instructions: u64,
+}
+
+impl Trace {
+    /// Generates a trace containing at least `min_instructions` instructions
+    /// (and the block that crosses that boundary).
+    pub fn generate(layout: &CodeLayout, min_instructions: u64) -> Self {
+        let mut gen = TraceGenerator::new(layout);
+        let mut blocks = Vec::new();
+        while gen.instructions() < min_instructions {
+            blocks.push(gen.step());
+        }
+        let instructions = gen.instructions();
+        Trace {
+            blocks,
+            instructions,
+        }
+    }
+
+    /// Generates a trace of exactly `num_blocks` basic blocks.
+    pub fn generate_blocks(layout: &CodeLayout, num_blocks: usize) -> Self {
+        let mut gen = TraceGenerator::new(layout);
+        let blocks: Vec<_> = gen.by_ref().take(num_blocks).collect();
+        let instructions = blocks.iter().map(|b| b.instructions()).sum();
+        Trace {
+            blocks,
+            instructions,
+        }
+    }
+
+    /// The dynamic blocks in execution order.
+    pub fn blocks(&self) -> &[DynamicBlock] {
+        &self.blocks
+    }
+
+    /// Total instruction count.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Number of dynamic basic blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` if the trace contains no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{WorkloadKind, WorkloadProfile};
+    use sim_core::BranchKind;
+
+    fn tiny_layout() -> CodeLayout {
+        CodeLayout::generate(&WorkloadProfile::tiny(21))
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let layout = tiny_layout();
+        let a = Trace::generate_blocks(&layout, 5000);
+        let b = Trace::generate_blocks(&layout, 5000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_is_a_connected_path() {
+        let layout = tiny_layout();
+        let trace = Trace::generate_blocks(&layout, 20_000);
+        for pair in trace.blocks().windows(2) {
+            assert_eq!(
+                pair[1].start(),
+                pair[0].next_start(),
+                "consecutive dynamic blocks must be linked"
+            );
+        }
+    }
+
+    #[test]
+    fn every_dynamic_block_exists_in_the_layout() {
+        let layout = tiny_layout();
+        let trace = Trace::generate_blocks(&layout, 10_000);
+        for d in trace.blocks() {
+            let id = layout
+                .block_at(d.start())
+                .expect("dynamic block must exist statically");
+            assert_eq!(layout.block(id).block, d.block);
+        }
+    }
+
+    #[test]
+    fn unconditional_branches_are_always_taken_in_the_trace() {
+        let layout = tiny_layout();
+        let trace = Trace::generate_blocks(&layout, 20_000);
+        for d in trace.blocks() {
+            let kind = d.block.terminator.unwrap().kind;
+            if kind.is_unconditional() && d.outcome.taken {
+                continue;
+            }
+            if kind == BranchKind::Conditional {
+                continue;
+            }
+            // The only allowed not-taken unconditional branches are elided
+            // calls at the depth bound.
+            assert!(
+                kind.is_call() && !d.outcome.taken,
+                "unexpected not-taken {kind} branch"
+            );
+        }
+    }
+
+    #[test]
+    fn taken_conditionals_go_to_the_static_target() {
+        let layout = tiny_layout();
+        let trace = Trace::generate_blocks(&layout, 20_000);
+        for d in trace.blocks() {
+            let term = d.block.terminator.unwrap();
+            if term.kind == BranchKind::Conditional {
+                if d.outcome.taken {
+                    assert_eq!(Some(d.outcome.next_pc), term.target);
+                } else {
+                    assert_eq!(d.outcome.next_pc, d.block.fall_through());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn call_depth_stays_bounded_and_elisions_are_rare() {
+        let layout = tiny_layout();
+        let max_depth = layout.profile().max_call_depth;
+        let mut gen = TraceGenerator::new(&layout);
+        let mut calls = 0u64;
+        for _ in 0..50_000 {
+            let d = gen.step();
+            assert!(gen.call_depth() <= max_depth);
+            if d.block.terminator.unwrap().kind.is_call() {
+                calls += 1;
+            }
+        }
+        assert!(calls > 0);
+        assert!(
+            gen.elided_calls() * 10 < calls,
+            "elided {} of {} calls",
+            gen.elided_calls(),
+            calls
+        );
+    }
+
+    #[test]
+    fn generate_by_instruction_budget() {
+        let layout = tiny_layout();
+        let trace = Trace::generate(&layout, 100_000);
+        assert!(trace.instructions() >= 100_000);
+        assert!(!trace.is_empty());
+        assert_eq!(
+            trace.instructions(),
+            trace.blocks().iter().map(|b| b.instructions()).sum::<u64>()
+        );
+        let shorter = Trace::generate(&layout, 1);
+        assert_eq!(shorter.len(), 1);
+    }
+
+    #[test]
+    fn different_generator_seeds_produce_different_paths() {
+        let layout = tiny_layout();
+        let a: Vec<_> = TraceGenerator::with_seed(&layout, 1).take(2000).collect();
+        let b: Vec<_> = TraceGenerator::with_seed(&layout, 2).take(2000).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn trace_revisits_code_showing_temporal_reuse() {
+        // Server workloads re-execute the same services over and over; the
+        // trace must therefore revisit blocks, otherwise temporal-streaming
+        // prefetchers (PIF/SHIFT) would have nothing to learn.
+        let layout = tiny_layout();
+        let trace = Trace::generate_blocks(&layout, 30_000);
+        let distinct: std::collections::HashSet<_> =
+            trace.blocks().iter().map(|b| b.start()).collect();
+        assert!(distinct.len() < trace.len() / 2);
+    }
+
+    #[test]
+    fn full_profile_trace_exercises_a_large_footprint() {
+        let layout = CodeLayout::generate(&WorkloadKind::Nutch.profile());
+        let trace = Trace::generate_blocks(&layout, 200_000);
+        let geom = layout.geometry();
+        let lines: std::collections::HashSet<_> = trace
+            .blocks()
+            .iter()
+            .map(|b| geom.line_of(b.start()))
+            .collect();
+        // The active footprint must far exceed the 512-line (32 KB) L1-I.
+        assert!(
+            lines.len() > 1200,
+            "active footprint of {} lines is too small",
+            lines.len()
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! LLC-latency sensitivity (the Figure 2/5/11 axis): sweeps the average LLC
+//! round-trip latency and reports FDIP's and Boomerang's stall-cycle coverage
+//! over the no-prefetch baseline on one workload.
+//!
+//! Run with: `cargo run --release --example llc_sweep`
+
+use boomerang::{Mechanism, RunLength, WorkloadData};
+use sim_core::{MicroarchConfig, NocModel};
+use workloads::WorkloadKind;
+
+fn main() {
+    let length = RunLength {
+        trace_blocks: 50_000,
+        warmup_blocks: 10_000,
+    };
+    let data = WorkloadData::generate(WorkloadKind::Apache, length);
+    println!("{:>11} {:>14} {:>17}", "LLC latency", "FDIP coverage", "Boomerang coverage");
+    for latency in [1u64, 10, 20, 30, 40, 50, 60, 70] {
+        let cfg = MicroarchConfig::hpca17().with_noc(NocModel::Fixed(latency));
+        let baseline = data.run(Mechanism::Baseline, &cfg);
+        let fdip = data.run(Mechanism::Fdip, &cfg);
+        let boom = data.run(Mechanism::Boomerang(Default::default()), &cfg);
+        println!(
+            "{:>11} {:>13.1}% {:>16.1}%",
+            latency,
+            fdip.stall_coverage_vs(&baseline) * 100.0,
+            boom.stall_coverage_vs(&baseline) * 100.0
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Quick start: run the no-prefetch baseline, FDIP and Boomerang on one
+//! synthetic server workload and print the headline metrics of the paper
+//! (front-end stall-cycle coverage, BTB-miss squashes, speedup, metadata cost).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use boomerang::{Mechanism, RunLength, WorkloadData};
+use sim_core::MicroarchConfig;
+use workloads::WorkloadKind;
+
+fn main() {
+    let config = MicroarchConfig::hpca17();
+    let length = RunLength {
+        trace_blocks: 60_000,
+        warmup_blocks: 10_000,
+    };
+    println!("generating the Nutch-like workload ...");
+    let data = WorkloadData::generate(WorkloadKind::Nutch, length);
+
+    let baseline = data.run(Mechanism::Baseline, &config);
+    println!(
+        "baseline    : IPC {:.3}, {} fetch-stall cycles, {:.2} squashes/k-instr",
+        baseline.ipc(),
+        baseline.fetch_stall_cycles,
+        baseline.squashes_per_kilo().total()
+    );
+
+    for mechanism in [Mechanism::Fdip, Mechanism::Confluence, Mechanism::Boomerang(Default::default())] {
+        let stats = data.run(mechanism, &config);
+        println!(
+            "{:<12}: IPC {:.3}, coverage {:>5.1}%, BTB-miss squashes/k-instr {:.2}, speedup {:.3}x, metadata {} bytes",
+            mechanism.label(),
+            stats.ipc(),
+            stats.stall_coverage_vs(&baseline) * 100.0,
+            stats.squashes_per_kilo().btb_miss,
+            stats.speedup_vs(&baseline),
+            mechanism.metadata_bytes(),
+        );
+    }
+}

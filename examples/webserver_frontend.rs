@@ -1,0 +1,40 @@
+//! Web-server front-end study: the scenario the paper's introduction
+//! motivates. Runs the two SPECweb99 web-server workloads (Apache, Zeus)
+//! through every control-flow-delivery mechanism of Figure 9 and reports
+//! speedup and squash rates per workload.
+//!
+//! Run with: `cargo run --release --example webserver_frontend`
+
+use boomerang::{Mechanism, RunLength, WorkloadData};
+use sim_core::MicroarchConfig;
+use workloads::WorkloadKind;
+
+fn main() {
+    let config = MicroarchConfig::hpca17();
+    let length = RunLength {
+        trace_blocks: 60_000,
+        warmup_blocks: 10_000,
+    };
+    for kind in [WorkloadKind::Apache, WorkloadKind::Zeus] {
+        println!("== {kind} ==");
+        let data = WorkloadData::generate(kind, length);
+        let baseline = data.run(Mechanism::Baseline, &config);
+        println!(
+            "{:<12} {:>9} {:>12} {:>12} {:>10}",
+            "mechanism", "speedup", "coverage", "btb-sq/ki", "mpred/ki"
+        );
+        for mechanism in Mechanism::FIGURE7 {
+            let stats = data.run(mechanism, &config);
+            let rates = stats.squashes_per_kilo();
+            println!(
+                "{:<12} {:>8.3}x {:>11.1}% {:>12.2} {:>10.2}",
+                mechanism.label(),
+                stats.speedup_vs(&baseline),
+                stats.stall_coverage_vs(&baseline) * 100.0,
+                rates.btb_miss,
+                rates.misprediction
+            );
+        }
+        println!();
+    }
+}
