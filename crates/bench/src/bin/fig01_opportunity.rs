@@ -4,20 +4,32 @@ use sim_core::PerfectComponents;
 fn main() {
     let cfg = bench::table1_config();
     let workloads = bench::all_workloads();
-    let names: Vec<String> = workloads.iter().map(|w| w.kind.name().to_string()).collect();
+    let names: Vec<String> = workloads
+        .iter()
+        .map(|w| w.kind.name().to_string())
+        .collect();
     let mut perfect_l1i = Vec::new();
     let mut perfect_both = Vec::new();
     for data in &workloads {
         let baseline = data.run(Mechanism::Baseline, &cfg);
-        let l1i = data.run(Mechanism::Baseline, &cfg.clone().with_perfect(PerfectComponents::l1i()));
-        let both = data.run(Mechanism::Baseline, &cfg.clone().with_perfect(PerfectComponents::l1i_and_btb()));
+        let l1i = data.run(
+            Mechanism::Baseline,
+            &cfg.clone().with_perfect(PerfectComponents::l1i()),
+        );
+        let both = data.run(
+            Mechanism::Baseline,
+            &cfg.clone().with_perfect(PerfectComponents::l1i_and_btb()),
+        );
         perfect_l1i.push(l1i.speedup_vs(&baseline));
         perfect_both.push(both.speedup_vs(&baseline));
     }
     bench::print_table(
         "Figure 1 — opportunity of perfect control flow delivery",
         &names,
-        &[("Perfect L1-I".into(), perfect_l1i), ("+ Perfect BTB".into(), perfect_both)],
+        &[
+            ("Perfect L1-I".into(), perfect_l1i),
+            ("+ Perfect BTB".into(), perfect_both),
+        ],
         "speedup over baseline",
     );
 }

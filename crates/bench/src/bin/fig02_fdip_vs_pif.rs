@@ -8,9 +8,14 @@ fn main() {
     let workloads = bench::all_workloads();
     let latencies = [1u64, 10, 20, 30, 40, 50, 60, 70];
     println!("\n=== Figure 2 — fraction of stall cycles covered (32K-entry BTB) ===");
-    println!("{:>11} {:>10} {:>12} {:>12} {:>16} {:>8}", "LLC latency", "FDIP TAGE", "FDIP 2-bit", "FDIP gshare", "FDIP Never-Taken", "PIF");
+    println!(
+        "{:>11} {:>10} {:>12} {:>12} {:>16} {:>8}",
+        "LLC latency", "FDIP TAGE", "FDIP 2-bit", "FDIP gshare", "FDIP Never-Taken", "PIF"
+    );
     for lat in latencies {
-        let cfg = bench::table1_config().with_btb_entries(32 * 1024).with_noc(NocModel::Fixed(lat));
+        let cfg = bench::table1_config()
+            .with_btb_entries(32 * 1024)
+            .with_noc(NocModel::Fixed(lat));
         let mut cols = [0.0f64; 5];
         for data in &workloads {
             let baseline = data.run(Mechanism::Baseline, &cfg);
@@ -27,7 +32,12 @@ fn main() {
         }
         println!(
             "{:>11} {:>9.1}% {:>11.1}% {:>11.1}% {:>15.1}% {:>7.1}%",
-            lat, cols[0] * 100.0, cols[1] * 100.0, cols[2] * 100.0, cols[3] * 100.0, cols[4] * 100.0
+            lat,
+            cols[0] * 100.0,
+            cols[1] * 100.0,
+            cols[2] * 100.0,
+            cols[3] * 100.0,
+            cols[4] * 100.0
         );
     }
 }

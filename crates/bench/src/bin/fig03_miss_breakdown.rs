@@ -6,7 +6,10 @@ fn main() {
     let cfg2k = bench::table1_config();
     let workloads = bench::all_workloads();
     println!("\n=== Figure 3 — stall-cycle breakdown (fraction of the no-prefetch baseline's stall cycles) ===");
-    println!("{:<11} {:<16} {:>11} {:>12} {:>14} {:>8}", "workload", "config", "sequential", "conditional", "unconditional", "total");
+    println!(
+        "{:<11} {:<16} {:>11} {:>12} {:>14} {:>8}",
+        "workload", "config", "sequential", "conditional", "unconditional", "total"
+    );
     for data in &workloads {
         let baseline = data.run(Mechanism::Baseline, &cfg2k);
         let base_total = baseline.fetch_stall_cycles.max(1) as f64;
@@ -16,9 +19,18 @@ fn main() {
         ];
         for btb in [2048u64, 8192, 32 * 1024] {
             let cfg = bench::table1_config().with_btb_entries(btb);
-            rows.push((format!("FDIP {}K", btb / 1024), data.run(Mechanism::Fdip, &cfg)));
+            rows.push((
+                format!("FDIP {}K", btb / 1024),
+                data.run(Mechanism::Fdip, &cfg),
+            ));
         }
-        rows.push(("PIF 32K".into(), data.run(Mechanism::Pif, &bench::table1_config().with_btb_entries(32 * 1024))));
+        rows.push((
+            "PIF 32K".into(),
+            data.run(
+                Mechanism::Pif,
+                &bench::table1_config().with_btb_entries(32 * 1024),
+            ),
+        ));
         for (label, stats) in rows {
             let b = stats.miss_breakdown;
             println!(

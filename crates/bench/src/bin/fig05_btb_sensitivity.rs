@@ -15,11 +15,14 @@ fn main() {
     for lat in latencies {
         print!("{lat:>11}");
         for btb in btb_sizes {
-            let cfg = bench::table1_config().with_btb_entries(btb).with_noc(NocModel::Fixed(lat));
+            let cfg = bench::table1_config()
+                .with_btb_entries(btb)
+                .with_noc(NocModel::Fixed(lat));
             let mut coverage = 0.0;
             for data in &workloads {
                 let baseline = data.run(Mechanism::Baseline, &cfg);
-                coverage += data.run(Mechanism::Fdip, &cfg).stall_coverage_vs(&baseline) / workloads.len() as f64;
+                coverage += data.run(Mechanism::Fdip, &cfg).stall_coverage_vs(&baseline)
+                    / workloads.len() as f64;
             }
             print!("{:>9.1}%", coverage * 100.0);
         }

@@ -1,19 +1,30 @@
 //! Figure 7: pipeline squashes per kilo-instruction, split into BTB-miss and
 //! direction/target-misprediction causes, for the six mechanisms.
-use boomerang::Mechanism;
+//!
+//! Runs the `figure7` campaign preset and prints the per-cell squash
+//! breakdown from the aggregated report rows.
+
+use campaign::{presets, run_campaign, EngineOptions};
+
 fn main() {
-    let cfg = bench::table1_config();
-    let workloads = bench::all_workloads();
+    let mut spec = presets::find("figure7").expect("embedded preset");
+    spec.run = bench::run_length();
+    let report = run_campaign(&spec, &EngineOptions::default()).expect("campaign run");
+
     println!("\n=== Figure 7 — squashes per kilo-instruction (2K-entry BTB) ===");
-    println!("{:<11} {:<12} {:>14} {:>12} {:>9}", "workload", "mechanism", "mispredict/ki", "btb-miss/ki", "total");
-    for data in &workloads {
-        for mechanism in Mechanism::FIGURE7 {
-            let stats = data.run(mechanism, &cfg);
-            let r = stats.squashes_per_kilo();
-            println!(
-                "{:<11} {:<12} {:>14.2} {:>12.2} {:>9.2}",
-                data.kind.name(), mechanism.label(), r.misprediction, r.btb_miss, r.total()
-            );
-        }
+    println!(
+        "{:<11} {:<12} {:>14} {:>12} {:>9}",
+        "workload", "mechanism", "mispredict/ki", "btb-miss/ki", "total"
+    );
+    for row in report.rows.iter().filter(|r| !r.job.implicit_baseline) {
+        let r = row.stats.squashes_per_kilo();
+        println!(
+            "{:<11} {:<12} {:>14.2} {:>12.2} {:>9.2}",
+            row.job.workload.name(),
+            row.job.mechanism.label(),
+            r.misprediction,
+            r.btb_miss,
+            r.total()
+        );
     }
 }

@@ -3,7 +3,10 @@ use boomerang::Mechanism;
 fn main() {
     let cfg = bench::table1_config();
     let workloads = bench::all_workloads();
-    let names: Vec<String> = workloads.iter().map(|w| w.kind.name().to_string()).collect();
+    let names: Vec<String> = workloads
+        .iter()
+        .map(|w| w.kind.name().to_string())
+        .collect();
     let mut series = Vec::new();
     for mechanism in Mechanism::FIGURE7 {
         let mut col = Vec::new();
@@ -13,5 +16,10 @@ fn main() {
         }
         series.push((mechanism.label().to_string(), col));
     }
-    bench::print_table("Figure 8 — front-end stall cycle coverage (%)", &names, &series, "% of baseline stall cycles covered");
+    bench::print_table(
+        "Figure 8 — front-end stall cycle coverage (%)",
+        &names,
+        &series,
+        "% of baseline stall cycles covered",
+    );
 }

@@ -1,17 +1,16 @@
 //! Figure 9: speedup over the no-prefetch baseline with a 2K-entry BTB.
-use boomerang::Mechanism;
+//!
+//! Runs the `figure9` campaign preset (the full workload x mechanism matrix,
+//! sharded across the work-stealing pool) and prints the per-config speedup
+//! table. `BOOMERANG_BLOCKS` shortens the run as for every figure binary;
+//! `boomerang-sim run --preset figure9` produces the same numbers plus JSON
+//! and CSV reports.
+
+use campaign::{presets, run_campaign, to_table, EngineOptions};
+
 fn main() {
-    let cfg = bench::table1_config();
-    let workloads = bench::all_workloads();
-    let names: Vec<String> = workloads.iter().map(|w| w.kind.name().to_string()).collect();
-    let mut series = Vec::new();
-    for mechanism in Mechanism::FIGURE7 {
-        let mut col = Vec::new();
-        for data in &workloads {
-            let baseline = data.run(Mechanism::Baseline, &cfg);
-            col.push(data.run(mechanism, &cfg).speedup_vs(&baseline));
-        }
-        series.push((mechanism.label().to_string(), col));
-    }
-    bench::print_table("Figure 9 — speedup over the no-prefetch baseline", &names, &series, "speedup");
+    let mut spec = presets::find("figure9").expect("embedded preset");
+    spec.run = bench::run_length();
+    let report = run_campaign(&spec, &EngineOptions::default()).expect("campaign run");
+    print!("{}", to_table(&report));
 }

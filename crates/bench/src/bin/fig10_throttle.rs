@@ -4,15 +4,26 @@ use boomerang::{Mechanism, ThrottlePolicy};
 fn main() {
     let cfg = bench::table1_config();
     let workloads = bench::all_workloads();
-    let names: Vec<String> = workloads.iter().map(|w| w.kind.name().to_string()).collect();
+    let names: Vec<String> = workloads
+        .iter()
+        .map(|w| w.kind.name().to_string())
+        .collect();
     let mut series = Vec::new();
     for policy in ThrottlePolicy::FIGURE10 {
         let mut col = Vec::new();
         for data in &workloads {
             let baseline = data.run(Mechanism::Baseline, &cfg);
-            col.push(data.run(Mechanism::Boomerang(policy), &cfg).speedup_vs(&baseline));
+            col.push(
+                data.run(Mechanism::Boomerang(policy), &cfg)
+                    .speedup_vs(&baseline),
+            );
         }
         series.push((policy.label(), col));
     }
-    bench::print_table("Figure 10 — Boomerang speedup vs next-N-block policy", &names, &series, "speedup");
+    bench::print_table(
+        "Figure 10 — Boomerang speedup vs next-N-block policy",
+        &names,
+        &series,
+        "speedup",
+    );
 }

@@ -1,19 +1,15 @@
 //! Figure 11: speedup at the lower (crossbar, 18-cycle) LLC round-trip
 //! latency.
-use boomerang::Mechanism;
-use sim_core::NocModel;
+//!
+//! Runs the `figure11` campaign preset and prints the speedup table;
+//! `boomerang-sim run --preset figure11` produces the same numbers plus JSON
+//! and CSV reports.
+
+use campaign::{presets, run_campaign, to_table, EngineOptions};
+
 fn main() {
-    let cfg = bench::table1_config().with_noc(NocModel::Crossbar);
-    let workloads = bench::all_workloads();
-    let names: Vec<String> = workloads.iter().map(|w| w.kind.name().to_string()).collect();
-    let mut series = Vec::new();
-    for mechanism in Mechanism::FIGURE11 {
-        let mut col = Vec::new();
-        for data in &workloads {
-            let baseline = data.run(Mechanism::Baseline, &cfg);
-            col.push(data.run(mechanism, &cfg).speedup_vs(&baseline));
-        }
-        series.push((mechanism.label().to_string(), col));
-    }
-    bench::print_table("Figure 11 — speedup at the crossbar LLC latency", &names, &series, "speedup");
+    let mut spec = presets::find("figure11").expect("embedded preset");
+    spec.run = bench::run_length();
+    let report = run_campaign(&spec, &EngineOptions::default()).expect("campaign run");
+    print!("{}", to_table(&report));
 }

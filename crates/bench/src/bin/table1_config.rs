@@ -2,12 +2,42 @@
 fn main() {
     let cfg = bench::table1_config();
     println!("Table I — microarchitectural parameters");
-    println!("cores (modelled per-core)        : 16-core CMP, {} GHz, {}-way OoO", cfg.clock_ghz, cfg.fetch_width);
-    println!("ROB / LSQ                        : {} / {}", cfg.rob_entries, cfg.lsq_entries);
-    println!("branch predictor                 : TAGE, {} KB budget", cfg.predictor_budget_bytes / 1024);
-    println!("BTB                              : {}-entry, {}-way", cfg.btb_entries, cfg.btb_ways);
-    println!("L1-I                             : {} KB, {}-way, {}-cycle, {}-entry prefetch buffer", cfg.l1i_bytes / 1024, cfg.l1i_ways, cfg.l1i_latency, cfg.l1i_prefetch_buffer_entries);
-    println!("LLC (shared NUCA)                : {} MB, {}-way, {}", cfg.llc_bytes / 1024 / 1024, cfg.llc_ways, cfg.noc);
-    println!("memory latency                   : {} ns ({} cycles)", cfg.memory_latency_ns, cfg.memory_latency());
-    println!("FTQ / BTB prefetch buffer        : {} / {} entries", cfg.ftq_entries, cfg.btb_prefetch_buffer_entries);
+    println!(
+        "cores (modelled per-core)        : 16-core CMP, {} GHz, {}-way OoO",
+        cfg.clock_ghz, cfg.fetch_width
+    );
+    println!(
+        "ROB / LSQ                        : {} / {}",
+        cfg.rob_entries, cfg.lsq_entries
+    );
+    println!(
+        "branch predictor                 : TAGE, {} KB budget",
+        cfg.predictor_budget_bytes / 1024
+    );
+    println!(
+        "BTB                              : {}-entry, {}-way",
+        cfg.btb_entries, cfg.btb_ways
+    );
+    println!(
+        "L1-I                             : {} KB, {}-way, {}-cycle, {}-entry prefetch buffer",
+        cfg.l1i_bytes / 1024,
+        cfg.l1i_ways,
+        cfg.l1i_latency,
+        cfg.l1i_prefetch_buffer_entries
+    );
+    println!(
+        "LLC (shared NUCA)                : {} MB, {}-way, {}",
+        cfg.llc_bytes / 1024 / 1024,
+        cfg.llc_ways,
+        cfg.noc
+    );
+    println!(
+        "memory latency                   : {} ns ({} cycles)",
+        cfg.memory_latency_ns,
+        cfg.memory_latency()
+    );
+    println!(
+        "FTQ / BTB prefetch buffer        : {} / {} entries",
+        cfg.ftq_entries, cfg.btb_prefetch_buffer_entries
+    );
 }

@@ -1,7 +1,10 @@
 //! Table II: the synthetic server workloads and their measured properties.
 use workloads::{analysis, CodeLayout, Trace, WorkloadKind};
 fn main() {
-    println!("{:<11} {:<62} {:>12} {:>12} {:>12}", "workload", "description", "footprint KB", "dyn br/ki", "taken WS");
+    println!(
+        "{:<11} {:<62} {:>12} {:>12} {:>12}",
+        "workload", "description", "footprint KB", "dyn br/ki", "taken WS"
+    );
     for kind in WorkloadKind::ALL {
         let profile = kind.profile();
         let layout = CodeLayout::generate(&profile);

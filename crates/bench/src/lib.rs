@@ -16,34 +16,37 @@ use workloads::WorkloadKind;
 /// Run length used by the figure binaries. Override the number of measured
 /// blocks with the `BOOMERANG_BLOCKS` environment variable (e.g.
 /// `BOOMERANG_BLOCKS=20000` for a quick smoke run).
+///
+/// An unparseable value is reported on stderr and ignored rather than
+/// silently falling back to the paper-length run.
 pub fn run_length() -> RunLength {
-    let default = RunLength::paper_default();
-    match std::env::var("BOOMERANG_BLOCKS").ok().and_then(|v| v.parse::<usize>().ok()) {
-        Some(blocks) => RunLength {
-            trace_blocks: blocks.max(1_000),
-            warmup_blocks: (blocks / 6).max(500),
+    match std::env::var("BOOMERANG_BLOCKS") {
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(blocks) => RunLength {
+                trace_blocks: blocks.max(1_000),
+                warmup_blocks: (blocks / 6).max(500),
+            },
+            Err(err) => {
+                eprintln!(
+                    "warning: ignoring unparseable BOOMERANG_BLOCKS={raw:?} ({err}); \
+                     using the paper-default run length"
+                );
+                RunLength::paper_default()
+            }
         },
-        None => default,
+        Err(_) => RunLength::paper_default(),
     }
 }
 
-/// Generates every paper workload with the harness run length, in parallel.
+/// Generates every paper workload with the harness run length, in parallel on
+/// the [`sim_core::pool`] work-stealing pool.
 pub fn all_workloads() -> Vec<WorkloadData> {
     let length = run_length();
-    let mut out: Vec<(usize, WorkloadData)> = Vec::new();
-    crossbeam::scope(|scope| {
-        let handles: Vec<_> = WorkloadKind::ALL
-            .iter()
-            .enumerate()
-            .map(|(i, &kind)| scope.spawn(move |_| (i, WorkloadData::generate(kind, length))))
-            .collect();
-        for h in handles {
-            out.push(h.join().expect("workload generation panicked"));
-        }
-    })
-    .expect("scope failed");
-    out.sort_by_key(|(i, _)| *i);
-    out.into_iter().map(|(_, d)| d).collect()
+    sim_core::pool::run_indexed(
+        sim_core::pool::default_workers(),
+        &WorkloadKind::ALL,
+        |_, &kind| WorkloadData::generate(kind, length),
+    )
 }
 
 /// The Table I configuration.

@@ -141,11 +141,16 @@ pub struct WorkloadData {
 impl WorkloadData {
     /// Generates the workload with the given run length.
     pub fn generate(kind: WorkloadKind, length: RunLength) -> Self {
-        let layout = CodeLayout::generate(&kind.profile());
-        let trace =
-            Trace::generate_blocks(&layout, length.trace_blocks + length.warmup_blocks);
+        Self::generate_from_profile(&kind.profile(), length)
+    }
+
+    /// Generates a workload from an explicit profile (e.g. one with a
+    /// re-derived seed or adjusted footprint), with the given run length.
+    pub fn generate_from_profile(profile: &workloads::WorkloadProfile, length: RunLength) -> Self {
+        let layout = CodeLayout::generate(profile);
+        let trace = Trace::generate_blocks(&layout, length.trace_blocks + length.warmup_blocks);
         WorkloadData {
-            kind,
+            kind: profile.kind,
             layout,
             trace,
             length,
@@ -210,38 +215,29 @@ impl CellResult {
 }
 
 /// Runs `mechanisms` over every workload in `workloads` under `config`,
-/// returning one [`CellResult`] per (workload, mechanism) pair. Workloads run
-/// in parallel on scoped threads.
+/// returning one [`CellResult`] per (workload, mechanism) pair. Execution is
+/// sharded across the [`sim_core::pool`] work-stealing pool, one task per
+/// workload, so heavyweight workloads re-balance across idle cores instead of
+/// serialising the sweep.
 pub fn run_matrix(
     workloads: &[WorkloadData],
     mechanisms: &[Mechanism],
     config: &MicroarchConfig,
 ) -> Vec<CellResult> {
-    let mut results: Vec<Vec<CellResult>> = Vec::new();
-    crossbeam::scope(|scope| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|data| {
-                scope.spawn(move |_| {
-                    let baseline = data.run(Mechanism::Baseline, config);
-                    mechanisms
-                        .iter()
-                        .map(|&m| CellResult {
-                            workload: data.kind.name().to_string(),
-                            mechanism: m.label().to_string(),
-                            stats: data.run(m, config),
-                            baseline,
-                        })
-                        .collect::<Vec<_>>()
+    let per_workload =
+        sim_core::pool::run_indexed(sim_core::pool::default_workers(), workloads, |_, data| {
+            let baseline = data.run(Mechanism::Baseline, config);
+            mechanisms
+                .iter()
+                .map(|&m| CellResult {
+                    workload: data.kind.name().to_string(),
+                    mechanism: m.label().to_string(),
+                    stats: data.run(m, config),
+                    baseline,
                 })
-            })
-            .collect();
-        for handle in handles {
-            results.push(handle.join().expect("workload simulation thread panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
-    results.into_iter().flatten().collect()
+                .collect::<Vec<_>>()
+        });
+    per_workload.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -252,7 +248,10 @@ mod tests {
     fn mechanism_catalog() {
         assert_eq!(Mechanism::FIGURE7.len(), 6);
         assert_eq!(Mechanism::FIGURE11.len(), 5);
-        assert_eq!(Mechanism::Boomerang(ThrottlePolicy::PAPER_DEFAULT).label(), "Boomerang");
+        assert_eq!(
+            Mechanism::Boomerang(ThrottlePolicy::PAPER_DEFAULT).label(),
+            "Boomerang"
+        );
         // The §VI-D headline: Boomerang needs ~540 bytes, Confluence ~240 KB.
         assert_eq!(
             Mechanism::Boomerang(ThrottlePolicy::PAPER_DEFAULT).metadata_bytes(),

@@ -173,7 +173,10 @@ impl ControlFlowMechanism for Boomerang {
         let last_line = resolving
             .map(|e| geometry.line_of(e.branch_pc()))
             .unwrap_or(first_line);
-        let lines_to_walk = last_line.0.saturating_sub(first_line.0).min(MAX_PROBE_LINES);
+        let lines_to_walk = last_line
+            .0
+            .saturating_sub(first_line.0)
+            .min(MAX_PROBE_LINES);
 
         let was_in_l1 = ctx.hierarchy.present(first_line);
         let mut latency = 0;
@@ -235,8 +238,13 @@ mod tests {
     fn run(mechanism: Box<dyn ControlFlowMechanism>) -> frontend::SimStats {
         let layout = CodeLayout::generate(&WorkloadProfile::tiny(97));
         let trace = Trace::generate_blocks(&layout, 25_000);
-        Simulator::new(MicroarchConfig::hpca17(), &layout, trace.blocks(), mechanism)
-            .run_with_warmup(2_000)
+        Simulator::new(
+            MicroarchConfig::hpca17(),
+            &layout,
+            trace.blocks(),
+            mechanism,
+        )
+        .run_with_warmup(2_000)
     }
 
     #[test]

@@ -77,9 +77,8 @@ pub fn comparison() -> Vec<StorageRow> {
 /// Renders the comparison as a plain-text table.
 pub fn comparison_table() -> String {
     let rows = comparison();
-    let mut out = String::from(
-        "mechanism     metadata (bytes)  system support  carves LLC capacity\n",
-    );
+    let mut out =
+        String::from("mechanism     metadata (bytes)  system support  carves LLC capacity\n");
     for r in rows {
         out.push_str(&format!(
             "{:<13} {:>16}  {:<14}  {}\n",
@@ -119,7 +118,15 @@ mod tests {
     #[test]
     fn table_renders_every_mechanism() {
         let table = comparison_table();
-        for name in ["Next Line", "DIP", "FDIP", "PIF", "SHIFT", "Confluence", "Boomerang"] {
+        for name in [
+            "Next Line",
+            "DIP",
+            "FDIP",
+            "PIF",
+            "SHIFT",
+            "Confluence",
+            "Boomerang",
+        ] {
             assert!(table.contains(name), "missing {name} in:\n{table}");
         }
     }

@@ -2,9 +2,9 @@
 //! evaluation, checked end-to-end on small synthetic workloads.
 
 use boomerang::{Mechanism, RunLength, WorkloadData};
+use frontend::Simulator;
 use sim_core::{MicroarchConfig, NocModel, PerfectComponents};
 use workloads::WorkloadKind;
-use frontend::Simulator;
 struct Bench {
     layout: workloads::CodeLayout,
     trace: workloads::Trace,
@@ -45,7 +45,10 @@ fn figure1_opportunity_perfect_l1i_and_btb_help() {
     let s1 = perfect_l1i.speedup_vs(&baseline);
     let s2 = perfect_both.speedup_vs(&baseline);
     assert!(s1 > 1.03, "perfect L1-I speedup too small: {s1:.3}");
-    assert!(s2 > s1, "perfect BTB must add on top of perfect L1-I: {s2:.3} vs {s1:.3}");
+    assert!(
+        s2 > s1,
+        "perfect BTB must add on top of perfect L1-I: {s2:.3} vs {s1:.3}"
+    );
 }
 
 #[test]
@@ -70,7 +73,12 @@ fn figure8_prefetchers_cover_stall_cycles() {
     let bench = Bench::new(WorkloadKind::Zeus, 256 * 1024, 40_000);
     let cfg = MicroarchConfig::hpca17();
     let baseline = bench.run(Mechanism::Baseline, &cfg);
-    for mechanism in [Mechanism::NextLine, Mechanism::Fdip, Mechanism::Shift, Mechanism::Boomerang(Default::default())] {
+    for mechanism in [
+        Mechanism::NextLine,
+        Mechanism::Fdip,
+        Mechanism::Shift,
+        Mechanism::Boomerang(Default::default()),
+    ] {
         let stats = bench.run(mechanism, &cfg);
         let coverage = stats.stall_coverage_vs(&baseline);
         assert!(
@@ -93,7 +101,10 @@ fn figure9_boomerang_matches_confluence_and_beats_pure_prefetchers() {
     assert!(boomerang.speedup_vs(&baseline) > 1.0);
     assert!(boomerang.speedup_vs(&baseline) >= fdip.speedup_vs(&baseline) * 0.98);
     let ratio = boomerang.cycles as f64 / confluence.cycles as f64;
-    assert!((0.8..=1.2).contains(&ratio), "Boomerang vs Confluence cycle ratio {ratio:.3}");
+    assert!(
+        (0.8..=1.2).contains(&ratio),
+        "Boomerang vs Confluence cycle ratio {ratio:.3}"
+    );
 }
 
 #[test]

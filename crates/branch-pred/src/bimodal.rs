@@ -18,7 +18,10 @@ impl Bimodal {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "bimodal table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "bimodal table size must be a power of two"
+        );
         Bimodal {
             // Initialise to weakly not-taken.
             counters: vec![1; entries],
@@ -79,7 +82,10 @@ mod tests {
         p.update(pc, true);
         assert!(p.predict(pc));
         p.update(pc, false);
-        assert!(p.predict(pc), "one not-taken must not flip a strongly-taken counter");
+        assert!(
+            p.predict(pc),
+            "one not-taken must not flip a strongly-taken counter"
+        );
         p.update(pc, false);
         p.update(pc, false);
         assert!(!p.predict(pc));
@@ -100,7 +106,7 @@ mod tests {
             }
         }
         // A bimodal predictor mispredicts roughly once per loop exit.
-        assert!(mispredicts >= 9 && mispredicts <= 25, "mispredicts {mispredicts}");
+        assert!((9..=25).contains(&mispredicts), "mispredicts {mispredicts}");
     }
 
     #[test]

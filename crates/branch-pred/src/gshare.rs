@@ -25,7 +25,10 @@ impl Gshare {
     ///
     /// Panics if `entries` is not a power of two or `history_bits` exceeds 32.
     pub fn new(entries: usize, history_bits: u32) -> Self {
-        assert!(entries.is_power_of_two(), "gshare table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "gshare table size must be a power of two"
+        );
         assert!(history_bits <= 32, "history length capped at 32 bits");
         Gshare {
             counters: vec![1; entries],

@@ -117,20 +117,28 @@ mod tests {
         for kind in PredictorKind::ALL {
             let p = kind.build(8 * 1024);
             assert!(!p.name().is_empty());
-            assert_eq!(kind.label().is_empty(), false);
+            assert!(!kind.label().is_empty());
         }
     }
 
     #[test]
     fn predictors_learn_a_strongly_biased_branch() {
-        for kind in [PredictorKind::Tage, PredictorKind::Gshare, PredictorKind::Bimodal] {
+        for kind in [
+            PredictorKind::Tage,
+            PredictorKind::Gshare,
+            PredictorKind::Bimodal,
+        ] {
             let mut p = kind.build(8 * 1024);
             let pc = Addr::new(0x40_0044);
             for _ in 0..100 {
                 p.predict(pc);
                 p.update(pc, true);
             }
-            assert!(p.predict(pc), "{} failed to learn an always-taken branch", p.name());
+            assert!(
+                p.predict(pc),
+                "{} failed to learn an always-taken branch",
+                p.name()
+            );
         }
     }
 
@@ -153,7 +161,10 @@ mod tests {
         // The default budget of Table I is roughly 8 KB.
         let table1 = PredictorKind::Tage.build(8 * 1024);
         let bits = table1.storage_bits();
-        assert!(bits <= 10 * 1024 * 8, "TAGE exceeds its budget: {bits} bits");
+        assert!(
+            bits <= 10 * 1024 * 8,
+            "TAGE exceeds its budget: {bits} bits"
+        );
         assert!(bits >= 4 * 1024 * 8, "TAGE wastes its budget: {bits} bits");
     }
 }

@@ -35,7 +35,10 @@ impl ReturnAddressStack {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "the return address stack needs at least one entry");
+        assert!(
+            capacity > 0,
+            "the return address stack needs at least one entry"
+        );
         ReturnAddressStack {
             entries: vec![Addr::new(0); capacity],
             top: 0,

@@ -101,14 +101,13 @@ impl Tage {
 
         let min_history = 4u32;
         let max_history = 128u32;
-        let ratio = (f64::from(max_history) / f64::from(min_history))
-            .powf(1.0 / (num_tables as f64 - 1.0));
+        let ratio =
+            (f64::from(max_history) / f64::from(min_history)).powf(1.0 / (num_tables as f64 - 1.0));
         let mut tables = Vec::with_capacity(num_tables);
         let mut index_folds = Vec::with_capacity(num_tables);
         let mut tag_folds = Vec::with_capacity(num_tables);
         for i in 0..num_tables {
-            let history_length =
-                (f64::from(min_history) * ratio.powi(i as i32)).round() as u32;
+            let history_length = (f64::from(min_history) * ratio.powi(i as i32)).round() as u32;
             let index_bits = table_entries.trailing_zeros();
             tables.push(TaggedTable {
                 entries: vec![TaggedEntry::default(); table_entries as usize],
@@ -356,7 +355,10 @@ mod tests {
         let mut p = Tage::with_budget(8 * 1024);
         let pc = Addr::new(0x40_1000);
         let miss = train(&mut p, pc, &[true], 200);
-        assert!(miss < 10, "too many mispredicts on an always-taken branch: {miss}");
+        assert!(
+            miss < 10,
+            "too many mispredicts on an always-taken branch: {miss}"
+        );
     }
 
     #[test]
@@ -384,7 +386,10 @@ mod tests {
         );
         // And it should be close to perfect once warmed up.
         let warmed = train(&mut tage, pc, &pattern, 50);
-        assert!(warmed <= 40, "warmed TAGE mispredicts {warmed} of 400 loop branches");
+        assert!(
+            warmed <= 40,
+            "warmed TAGE mispredicts {warmed} of 400 loop branches"
+        );
     }
 
     #[test]
@@ -421,7 +426,10 @@ mod tests {
         let p = Tage::with_budget(8 * 1024);
         let lengths: Vec<u32> = p.tables.iter().map(|t| t.history_length).collect();
         for pair in lengths.windows(2) {
-            assert!(pair[1] > pair[0], "history lengths must increase: {lengths:?}");
+            assert!(
+                pair[1] > pair[0],
+                "history lengths must increase: {lengths:?}"
+            );
         }
         assert_eq!(*lengths.first().unwrap(), 4);
         assert_eq!(*lengths.last().unwrap(), 128);

@@ -47,8 +47,14 @@ impl BasicBlockBtb {
     /// Panics if `entries` is not a power of two, `ways` is zero, or `ways`
     /// does not divide `entries`.
     pub fn new(entries: u64, ways: u64) -> Self {
-        assert!(entries.is_power_of_two(), "BTB entries must be a power of two");
-        assert!(ways > 0 && entries % ways == 0, "ways must divide entries");
+        assert!(
+            entries.is_power_of_two(),
+            "BTB entries must be a power of two"
+        );
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "ways must divide entries"
+        );
         let num_sets = (entries / ways) as usize;
         BasicBlockBtb {
             sets: vec![Vec::with_capacity(ways as usize); num_sets],
@@ -133,7 +139,10 @@ impl BasicBlockBtb {
         let ways = self.ways;
         let set_idx = self.set_index(entry.block_start);
         let set = &mut self.sets[set_idx];
-        if let Some(way) = set.iter_mut().find(|w| w.entry.block_start == entry.block_start) {
+        if let Some(way) = set
+            .iter_mut()
+            .find(|w| w.entry.block_start == entry.block_start)
+        {
             way.entry = entry;
             way.last_use = stamp;
             return;
@@ -239,8 +248,14 @@ mod tests {
         // Touch `a` so `b` becomes LRU.
         assert!(btb.lookup(Addr::new(a)).is_hit());
         btb.insert(entry(c, 2, 0x9000));
-        assert!(btb.lookup(Addr::new(a)).is_hit(), "recently used entry must survive");
-        assert!(!btb.lookup(Addr::new(b)).is_hit(), "LRU entry must be evicted");
+        assert!(
+            btb.lookup(Addr::new(a)).is_hit(),
+            "recently used entry must survive"
+        );
+        assert!(
+            !btb.lookup(Addr::new(b)).is_hit(),
+            "LRU entry must be evicted"
+        );
         assert!(btb.lookup(Addr::new(c)).is_hit());
     }
 

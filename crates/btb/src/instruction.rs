@@ -35,8 +35,14 @@ impl InstructionBtb {
     /// Panics if `entries` is not a power of two, `ways` is zero, or `ways`
     /// does not divide `entries`.
     pub fn new(entries: u64, ways: u64) -> Self {
-        assert!(entries.is_power_of_two(), "BTB entries must be a power of two");
-        assert!(ways > 0 && entries % ways == 0, "ways must divide entries");
+        assert!(
+            entries.is_power_of_two(),
+            "BTB entries must be a power of two"
+        );
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "ways must divide entries"
+        );
         let num_sets = (entries / ways) as usize;
         InstructionBtb {
             sets: vec![Vec::with_capacity(ways as usize); num_sets],
@@ -194,6 +200,9 @@ mod tests {
         let (_, e2) = entry(0x1000, 2, 0xa000);
         btb.insert(pc, e2);
         assert_eq!(btb.len(), 1);
-        assert_eq!(btb.lookup(pc).entry().unwrap().target, Some(Addr::new(0xa000)));
+        assert_eq!(
+            btb.lookup(pc).entry().unwrap().target,
+            Some(Addr::new(0xa000))
+        );
     }
 }

@@ -75,7 +75,8 @@ impl BtbEntry {
 
     /// Address of the terminating branch instruction.
     pub fn branch_pc(&self) -> Addr {
-        self.block_start.add_instructions(self.block_size.saturating_sub(1))
+        self.block_start
+            .add_instructions(self.block_size.saturating_sub(1))
     }
 
     /// Fall-through address (the instruction after the block).
@@ -115,7 +116,11 @@ mod tests {
 
     #[test]
     fn entry_geometry() {
-        let term = BranchInfo::direct(Addr::new(0x101c), BranchKind::Conditional, Addr::new(0x2000));
+        let term = BranchInfo::direct(
+            Addr::new(0x101c),
+            BranchKind::Conditional,
+            Addr::new(0x2000),
+        );
         let e = BtbEntry::from_block(Addr::new(0x1000), 8, term);
         assert_eq!(e.branch_pc(), Addr::new(0x101c));
         assert_eq!(e.fall_through(), Addr::new(0x1020));

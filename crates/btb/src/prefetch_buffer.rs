@@ -27,7 +27,10 @@ impl BtbPrefetchBuffer {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "the BTB prefetch buffer needs at least one entry");
+        assert!(
+            capacity > 0,
+            "the BTB prefetch buffer needs at least one entry"
+        );
         BtbPrefetchBuffer {
             entries: VecDeque::with_capacity(capacity),
             capacity,
@@ -117,7 +120,11 @@ mod tests {
     use sim_core::{BranchInfo, BranchKind};
 
     fn entry(start: u64) -> BtbEntry {
-        let term = BranchInfo::direct(Addr::new(start + 12), BranchKind::Conditional, Addr::new(0x9000));
+        let term = BranchInfo::direct(
+            Addr::new(start + 12),
+            BranchKind::Conditional,
+            Addr::new(0x9000),
+        );
         BtbEntry::from_block(Addr::new(start), 4, term)
     }
 
@@ -142,7 +149,10 @@ mod tests {
         buf.insert(entry(0x3000));
         buf.insert(entry(0x4000));
         assert_eq!(buf.len(), 3);
-        assert!(buf.peek(Addr::new(0x1000)).is_none(), "oldest entry must be dropped");
+        assert!(
+            buf.peek(Addr::new(0x1000)).is_none(),
+            "oldest entry must be dropped"
+        );
         assert!(buf.peek(Addr::new(0x4000)).is_some());
         assert_eq!(buf.inserts(), 4);
     }

@@ -72,7 +72,10 @@ mod tests {
     fn large_btbs_cost_hundreds_of_kilobytes() {
         // §II-C: 16-32K entries cost up to ~280 KB of state per core.
         let bytes_32k = bb_btb_bytes(32 * 1024);
-        assert!(bytes_32k > 250 * 1024 && bytes_32k < 400 * 1024, "{bytes_32k}");
+        assert!(
+            bytes_32k > 250 * 1024 && bytes_32k < 400 * 1024,
+            "{bytes_32k}"
+        );
         // The baseline 2K-entry BTB is ~21 KB.
         let bytes_2k = bb_btb_bytes(2 * 1024);
         assert!(bytes_2k > 15 * 1024 && bytes_2k < 32 * 1024, "{bytes_2k}");

@@ -70,7 +70,11 @@ pub struct HierarchyStats {
 impl HierarchyStats {
     /// Total demand fetches observed.
     pub fn demand_fetches(&self) -> u64 {
-        self.l1_hits + self.prefetch_buffer_hits + self.inflight_hits + self.llc_fills + self.memory_fills
+        self.l1_hits
+            + self.prefetch_buffer_hits
+            + self.inflight_hits
+            + self.llc_fills
+            + self.memory_fills
     }
 
     /// Demand fetches that had to wait on a fill (full or partial miss).
@@ -125,13 +129,18 @@ impl InstructionHierarchy {
         if self.outstanding.is_empty() {
             return;
         }
-        let ready: Vec<CacheLine> = self
+        let mut ready: Vec<(u64, CacheLine)> = self
             .outstanding
             .iter()
             .filter(|(_, f)| f.ready_at <= now)
-            .map(|(&l, _)| l)
+            .map(|(&l, f)| (f.ready_at, l))
             .collect();
-        for line in ready {
+        // Install in completion order (line id breaking ties), not HashMap
+        // iteration order: the prefetch buffer is a bounded FIFO, so the
+        // install order decides who survives eviction, and it must not vary
+        // between otherwise-identical runs.
+        ready.sort_unstable();
+        for (_, line) in ready {
             self.outstanding.remove(&line);
             if let Some(evicted_unused) = self.prefetch_buffer.insert(line) {
                 if evicted_unused {
@@ -229,7 +238,12 @@ impl InstructionHierarchy {
             self.llc.insert(line);
             self.memory_latency
         };
-        self.outstanding.insert(line, OutstandingFill { ready_at: now + latency });
+        self.outstanding.insert(
+            line,
+            OutstandingFill {
+                ready_at: now + latency,
+            },
+        );
         self.stats.prefetches_issued += 1;
         true
     }
@@ -260,7 +274,12 @@ impl InstructionHierarchy {
         };
         // The probe's fill lands in the prefetch buffer so that the
         // subsequent demand fetch of the same block hits.
-        self.outstanding.insert(line, OutstandingFill { ready_at: now + latency });
+        self.outstanding.insert(
+            line,
+            OutstandingFill {
+                ready_at: now + latency,
+            },
+        );
         self.stats.prefetches_issued += 1;
         latency + self.l1_latency
     }
@@ -336,7 +355,10 @@ mod tests {
         h.demand_fetch(CacheLine(3), 0);
         assert!(!h.prefetch_probe(CacheLine(3), 10));
         assert!(h.prefetch_probe(CacheLine(4), 10));
-        assert!(!h.prefetch_probe(CacheLine(4), 11), "in-flight probe is redundant");
+        assert!(
+            !h.prefetch_probe(CacheLine(4), 11),
+            "in-flight probe is redundant"
+        );
         assert_eq!(h.stats().prefetches_redundant, 2);
         assert_eq!(h.stats().prefetches_issued, 1);
     }

@@ -44,8 +44,14 @@ impl SetAssocCache {
     /// Panics if `lines` is not a power of two, `ways` is zero, or `ways`
     /// does not divide `lines`.
     pub fn new(lines: u64, ways: u64) -> Self {
-        assert!(lines.is_power_of_two(), "cache lines must be a power of two");
-        assert!(ways > 0 && lines % ways == 0, "ways must divide lines");
+        assert!(
+            lines.is_power_of_two(),
+            "cache lines must be a power of two"
+        );
+        assert!(
+            ways > 0 && lines.is_multiple_of(ways),
+            "ways must divide lines"
+        );
         let num_sets = (lines / ways) as usize;
         SetAssocCache {
             sets: vec![Vec::with_capacity(ways as usize); num_sets],

@@ -1,0 +1,159 @@
+//! `boomerang-sim` — the command-line front door to the Boomerang simulator.
+//!
+//! ```text
+//! boomerang-sim run <spec.toml> [--jobs N] [--smoke] [--out DIR] [--quiet]
+//! boomerang-sim run --preset <name> [...]
+//! boomerang-sim list-presets
+//! ```
+
+use campaign::{presets, run_campaign, CampaignSpec, EngineOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "boomerang-sim — declarative experiment campaigns for the Boomerang reproduction
+
+USAGE:
+    boomerang-sim run <spec.toml> [OPTIONS]
+    boomerang-sim run --preset <name> [OPTIONS]
+    boomerang-sim list-presets
+
+OPTIONS:
+    --preset <name>   Run an embedded preset instead of a spec file
+    --jobs <N>        Worker threads (default: all cores)
+    --smoke           Replace the spec's run length with a short smoke run
+    --out <DIR>       Report directory (default: campaign-out)
+    --quiet           Suppress the progress banner and result table
+    -h, --help        Show this help
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        None | Some("-h") | Some("--help") => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some("list-presets") => {
+            println!("{:<12} {:>5}  description", "preset", "jobs");
+            for preset in presets::PRESETS {
+                let spec = preset.spec();
+                println!(
+                    "{:<12} {:>5}  {}",
+                    preset.name,
+                    campaign::expand(&spec).len(),
+                    preset.description
+                );
+            }
+            Ok(())
+        }
+        Some("run") => run_command(&args[1..]),
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn run_command(args: &[String]) -> Result<(), String> {
+    let mut spec_path: Option<PathBuf> = None;
+    let mut preset: Option<String> = None;
+    let mut jobs: usize = 0;
+    let mut smoke = false;
+    let mut out_dir = PathBuf::from("campaign-out");
+    let mut quiet = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--preset" => {
+                let name = it.next().ok_or("--preset needs a name")?;
+                preset = Some(name.clone());
+            }
+            "--jobs" => {
+                let n = it.next().ok_or("--jobs needs a count")?;
+                jobs = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --jobs value `{n}`"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--smoke" => smoke = true,
+            "--out" => {
+                let dir = it.next().ok_or("--out needs a directory")?;
+                out_dir = PathBuf::from(dir);
+            }
+            "--quiet" => quiet = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`\n\n{USAGE}"));
+            }
+            path => {
+                if spec_path.is_some() {
+                    return Err("more than one spec file given".into());
+                }
+                spec_path = Some(PathBuf::from(path));
+            }
+        }
+    }
+
+    let spec = match (&spec_path, &preset) {
+        (Some(_), Some(_)) => {
+            return Err("give either a spec file or --preset, not both".into());
+        }
+        (None, None) => {
+            return Err(format!("nothing to run\n\n{USAGE}"));
+        }
+        (None, Some(name)) => presets::find(name).map_err(|e| e.to_string())?,
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            CampaignSpec::from_toml_str(&text).map_err(|e| format!("{}: {e}", path.display()))?
+        }
+    };
+
+    let options = EngineOptions { jobs, smoke };
+    let job_count = campaign::expand(&spec).len();
+    if !quiet {
+        let workers = if jobs == 0 {
+            sim_core::pool::default_workers()
+        } else {
+            jobs
+        };
+        eprintln!(
+            "campaign `{}`: {} jobs ({} configs x {} workloads x {} seeds, {} mechanisms + baselines) on {} workers{}",
+            spec.name,
+            job_count,
+            spec.configs.len(),
+            spec.workloads.len(),
+            spec.seeds.len(),
+            spec.mechanisms.len(),
+            workers,
+            if smoke { " [smoke]" } else { "" },
+        );
+    }
+
+    let report = run_campaign(&spec, &options).map_err(|e| e.to_string())?;
+    let paths = campaign::write_reports(&report, &out_dir)
+        .map_err(|e| format!("cannot write reports to {}: {e}", out_dir.display()))?;
+    if !quiet {
+        print!("{}", campaign::to_table(&report));
+        eprintln!(
+            "\nwrote {} and {}",
+            paths.json.display(),
+            paths.csv.display()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,131 @@
+//! Cartesian expansion of a [`CampaignSpec`] into an ordered job list.
+//!
+//! The expansion order is canonical — configs, then workloads, then seeds,
+//! then mechanisms — and every (config, workload, seed) group is prefixed
+//! with a no-prefetch baseline reference job unless the spec already sweeps
+//! `baseline` itself. Reports are emitted in job order, which is what makes
+//! them byte-identical regardless of how many worker threads execute the
+//! jobs.
+
+use crate::spec::CampaignSpec;
+use boomerang::Mechanism;
+use workloads::WorkloadKind;
+
+/// One simulation to run: a single cell of the campaign matrix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Job {
+    /// Position in the canonical job order.
+    pub index: usize,
+    /// Index into [`CampaignSpec::configs`].
+    pub config: usize,
+    /// The workload.
+    pub workload: WorkloadKind,
+    /// Seed offset (0 = the workload's paper seed).
+    pub seed: u64,
+    /// The mechanism.
+    pub mechanism: Mechanism,
+    /// `true` for baseline reference jobs the expander added (not requested
+    /// as a spec cell, but required to compute speedups/coverage).
+    pub implicit_baseline: bool,
+}
+
+/// Expands a spec into its canonical job list.
+pub fn expand(spec: &CampaignSpec) -> Vec<Job> {
+    let needs_implicit_baseline = !spec.mechanisms.contains(&Mechanism::Baseline);
+    let mut jobs = Vec::with_capacity(
+        spec.cell_count()
+            + if needs_implicit_baseline {
+                spec.configs.len() * spec.workloads.len() * spec.seeds.len()
+            } else {
+                0
+            },
+    );
+    for config in 0..spec.configs.len() {
+        for &workload in &spec.workloads {
+            for &seed in &spec.seeds {
+                if needs_implicit_baseline {
+                    jobs.push(Job {
+                        index: jobs.len(),
+                        config,
+                        workload,
+                        seed,
+                        mechanism: Mechanism::Baseline,
+                        implicit_baseline: true,
+                    });
+                }
+                for &mechanism in &spec.mechanisms {
+                    jobs.push(Job {
+                        index: jobs.len(),
+                        config,
+                        workload,
+                        seed,
+                        mechanism,
+                        implicit_baseline: false,
+                    });
+                }
+            }
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    fn spec(mechs: &str) -> CampaignSpec {
+        CampaignSpec::from_toml_str(&format!(
+            "name = \"x\"\nworkloads = [\"nutch\", \"db2\"]\nmechanisms = {mechs}\nseeds = [0, 1]\n\n[[config]]\nlabel = \"a\"\n\n[[config]]\nlabel = \"b\"\nnoc = 18\n"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_include_implicit_baselines() {
+        let s = spec("[\"fdip\", \"boomerang\"]");
+        let jobs = expand(&s);
+        // 2 configs x 2 workloads x 2 seeds x (2 mechanisms + 1 baseline).
+        assert_eq!(jobs.len(), 2 * 2 * 2 * 3);
+        assert_eq!(jobs.iter().filter(|j| j.implicit_baseline).count(), 8);
+        // Indices are the canonical positions.
+        for (i, job) in jobs.iter().enumerate() {
+            assert_eq!(job.index, i);
+        }
+        // Every group leads with its baseline.
+        assert!(jobs[0].implicit_baseline);
+        assert_eq!(jobs[1].mechanism, Mechanism::Fdip);
+    }
+
+    #[test]
+    fn explicit_baseline_is_not_duplicated() {
+        let s = spec("[\"baseline\", \"fdip\"]");
+        let jobs = expand(&s);
+        assert_eq!(jobs.len(), 2 * 2 * 2 * 2);
+        assert!(jobs.iter().all(|j| !j.implicit_baseline));
+        assert_eq!(
+            jobs.iter()
+                .filter(|j| j.mechanism == Mechanism::Baseline)
+                .count(),
+            8
+        );
+    }
+
+    #[test]
+    fn order_is_configs_workloads_seeds_mechanisms() {
+        let s = spec("[\"fdip\"]");
+        let jobs = expand(&s);
+        let pos = |j: &Job| {
+            (
+                j.config,
+                s.workloads.iter().position(|&w| w == j.workload).unwrap(),
+                s.seeds.iter().position(|&x| x == j.seed).unwrap(),
+            )
+        };
+        let mut sorted = jobs.clone();
+        sorted.sort_by_key(|j| (pos(j), j.index));
+        assert_eq!(jobs, sorted, "expansion must already be in canonical order");
+        assert_eq!(jobs[0].config, 0);
+        assert_eq!(jobs.last().unwrap().config, 1);
+    }
+}

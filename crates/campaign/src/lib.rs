@@ -1,0 +1,61 @@
+//! Declarative, sharded experiment campaigns for the Boomerang reproduction.
+//!
+//! The crates below this one can simulate any single (workload, mechanism,
+//! configuration) cell; this crate is the layer that runs *matrices* of them
+//! at scale. A campaign is described declaratively — a TOML [`spec`] naming
+//! the workloads, mechanisms, configuration points, seeds and run length to
+//! sweep — then:
+//!
+//! 1. [`expand`] turns the spec into a canonical job list (adding the
+//!    no-prefetch baseline reference each group needs for speedups),
+//! 2. [`engine`] shards the jobs across a work-stealing thread pool
+//!    ([`sim_core::pool`]) with deterministic per-job seeds, and
+//! 3. [`sink`] renders the aggregated results as JSON, CSV and a human
+//!    table — byte-identical output for a given spec regardless of the
+//!    worker count.
+//!
+//! The `boomerang-sim` binary in this crate is the command-line front door:
+//! `boomerang-sim run spec.toml`, `boomerang-sim run --preset figure9`,
+//! `boomerang-sim list-presets`. The paper's figure matrices ship as
+//! embedded [`presets`].
+//!
+//! # Example
+//!
+//! ```
+//! use campaign::{run_campaign, CampaignSpec, EngineOptions};
+//!
+//! let spec = CampaignSpec::from_toml_str(r#"
+//! name = "quick"
+//! workloads = ["nutch"]
+//! mechanisms = ["fdip", "boomerang"]
+//!
+//! [run]
+//! trace_blocks = 2000
+//! warmup_blocks = 400
+//! "#).unwrap();
+//!
+//! let report = run_campaign(&spec, &EngineOptions::default()).unwrap();
+//! // One implicit baseline + the two requested mechanisms.
+//! assert_eq!(report.rows.len(), 3);
+//! assert!(report.rows.iter().all(|r| r.speedup() > 0.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod expand;
+pub mod json;
+pub mod presets;
+pub mod sink;
+pub mod spec;
+pub mod toml;
+
+pub use engine::{derive_seed, run_campaign, CampaignReport, EngineOptions, RowResult};
+pub use expand::{expand, Job};
+pub use presets::{Preset, PRESETS};
+pub use sink::{to_csv, to_json, to_table, write_reports, ReportPaths};
+pub use spec::{
+    mechanism_token, parse_mechanism, parse_predictor, parse_workload, CampaignSpec,
+    ConfigOverride, ConfigPoint, NocSel, SpecError,
+};

@@ -1,0 +1,197 @@
+//! Named campaign presets for the paper's figures.
+//!
+//! Presets are ordinary spec TOML embedded in the binary, so
+//! `boomerang-sim run --preset figure9` works without any files on disk and
+//! the figure binaries in `crates/bench` can share the exact same matrices.
+
+use crate::spec::{CampaignSpec, SpecError};
+
+/// A named, embedded campaign spec.
+#[derive(Clone, Copy, Debug)]
+pub struct Preset {
+    /// Preset name (the `--preset` argument).
+    pub name: &'static str,
+    /// One-line description shown by `list-presets`.
+    pub description: &'static str,
+    /// The spec TOML.
+    pub toml: &'static str,
+}
+
+impl Preset {
+    /// Parses the embedded TOML.
+    pub fn spec(&self) -> CampaignSpec {
+        CampaignSpec::from_toml_str(self.toml)
+            .unwrap_or_else(|e| panic!("embedded preset `{}` is invalid: {e}", self.name))
+    }
+}
+
+/// The Figure 7 matrix: squashes per kilo-instruction for the six mechanisms
+/// on all six workloads at the Table I configuration.
+const FIGURE7: Preset = Preset {
+    name: "figure7",
+    description: "Fig. 7 — squash causes, six mechanisms, Table I config",
+    toml: r#"
+name = "figure7"
+description = "Pipeline squashes per kilo-instruction by cause (2K-entry BTB)"
+workloads = ["all"]
+mechanisms = ["next-line", "dip", "fdip", "shift", "confluence", "boomerang"]
+predictor = "tage"
+seeds = [0]
+
+[run]
+trace_blocks = 150000
+warmup_blocks = 25000
+
+[[config]]
+label = "table1"
+"#,
+};
+
+/// The Figure 9 matrix: speedup over the no-prefetch baseline.
+const FIGURE9: Preset = Preset {
+    name: "figure9",
+    description: "Fig. 9 — speedup over no-prefetch baseline, Table I config",
+    toml: r#"
+name = "figure9"
+description = "Speedup over the no-prefetch baseline (2K-entry BTB)"
+workloads = ["all"]
+mechanisms = ["next-line", "dip", "fdip", "shift", "confluence", "boomerang"]
+predictor = "tage"
+seeds = [0]
+
+[run]
+trace_blocks = 150000
+warmup_blocks = 25000
+
+[[config]]
+label = "table1"
+"#,
+};
+
+/// The Figure 11 matrix: the crossbar (18-cycle LLC round trip) study.
+const FIGURE11: Preset = Preset {
+    name: "figure11",
+    description: "Fig. 11 — speedup at the crossbar LLC latency",
+    toml: r#"
+name = "figure11"
+description = "Speedup over the no-prefetch baseline at the 18-cycle crossbar LLC"
+workloads = ["all"]
+mechanisms = ["next-line", "fdip", "shift", "confluence", "boomerang"]
+predictor = "tage"
+seeds = [0]
+
+[run]
+trace_blocks = 150000
+warmup_blocks = 25000
+
+[[config]]
+label = "crossbar"
+noc = "crossbar"
+"#,
+};
+
+/// The LLC-latency sensitivity sweep (the Figure 2/5/11 axis) on Apache.
+const LLC_SWEEP: Preset = Preset {
+    name: "llc-sweep",
+    description: "LLC round-trip latency sweep, FDIP vs Boomerang on Apache",
+    toml: r#"
+name = "llc-sweep"
+description = "Stall-cycle coverage of FDIP and Boomerang across LLC round-trip latencies"
+workloads = ["apache"]
+mechanisms = ["fdip", "boomerang"]
+predictor = "tage"
+seeds = [0]
+
+[run]
+trace_blocks = 50000
+warmup_blocks = 10000
+
+[[config]]
+label = "llc-1"
+noc = 1
+
+[[config]]
+label = "llc-10"
+noc = 10
+
+[[config]]
+label = "llc-20"
+noc = 20
+
+[[config]]
+label = "llc-30"
+noc = 30
+
+[[config]]
+label = "llc-40"
+noc = 40
+
+[[config]]
+label = "llc-50"
+noc = 50
+
+[[config]]
+label = "llc-60"
+noc = 60
+
+[[config]]
+label = "llc-70"
+noc = 70
+"#,
+};
+
+/// All presets, in presentation order.
+pub const PRESETS: [Preset; 4] = [FIGURE7, FIGURE9, FIGURE11, LLC_SWEEP];
+
+/// Looks a preset up by name.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] naming the available presets if `name` is unknown.
+pub fn find(name: &str) -> Result<CampaignSpec, SpecError> {
+    PRESETS
+        .iter()
+        .find(|p| p.name.eq_ignore_ascii_case(name))
+        .map(|p| p.spec())
+        .ok_or_else(|| {
+            SpecError::Invalid(format!(
+                "unknown preset `{name}` (available: {})",
+                PRESETS.map(|p| p.name).join(", ")
+            ))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boomerang::Mechanism;
+
+    #[test]
+    fn every_preset_parses_and_round_trips() {
+        for preset in PRESETS {
+            let spec = preset.spec();
+            assert_eq!(spec.name, preset.name.replace('_', "-"));
+            let again = CampaignSpec::from_toml_str(&spec.to_toml_string()).unwrap();
+            assert_eq!(spec, again, "preset {}", preset.name);
+        }
+    }
+
+    #[test]
+    fn figure_presets_match_the_paper_matrices() {
+        let fig9 = find("figure9").unwrap();
+        assert_eq!(fig9.workloads.len(), 6);
+        assert_eq!(fig9.mechanisms.as_slice(), Mechanism::FIGURE7.as_slice());
+        let fig11 = find("figure11").unwrap();
+        assert_eq!(fig11.mechanisms.as_slice(), Mechanism::FIGURE11.as_slice());
+        assert_eq!(fig11.configs[0].build().llc_round_trip(), 18);
+        let sweep = find("llc-sweep").unwrap();
+        assert_eq!(sweep.configs.len(), 8);
+        assert_eq!(sweep.configs[7].build().llc_round_trip(), 70);
+    }
+
+    #[test]
+    fn unknown_preset_is_a_helpful_error() {
+        let err = find("figure99").unwrap_err().to_string();
+        assert!(err.contains("figure9"), "{err}");
+    }
+}

@@ -1,0 +1,301 @@
+//! Report rendering: JSON, CSV, and a human-readable table.
+//!
+//! All three renderers are pure functions of the [`CampaignReport`] row list,
+//! which the engine emits in canonical job order — so for a given spec the
+//! bytes written here are identical no matter how the sweep was sharded.
+
+use crate::engine::{CampaignReport, RowResult};
+use crate::json::Json;
+use crate::spec::mechanism_token;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Renders the full JSON report.
+pub fn to_json(report: &CampaignReport) -> String {
+    let rows: Vec<Json> = report.rows.iter().map(row_json).collect();
+    Json::object()
+        .field("campaign", report.spec.name.as_str())
+        .field("description", report.spec.description.as_str())
+        .field(
+            "run",
+            Json::object()
+                .field("trace_blocks", report.effective_run.trace_blocks)
+                .field("warmup_blocks", report.effective_run.warmup_blocks)
+                .field("smoke", report.smoke),
+        )
+        .field("jobs", report.rows.len())
+        .field("results", rows)
+        .pretty()
+}
+
+fn row_json(row: &RowResult) -> Json {
+    let s = &row.stats;
+    let squash_rates = s.squashes_per_kilo();
+    Json::object()
+        .field("config", row.config_label.as_str())
+        .field("workload", row.job.workload.name())
+        .field("mechanism", mechanism_token(row.job.mechanism))
+        .field("seed", row.job.seed)
+        .field("baseline_ref", row.job.implicit_baseline)
+        .field("speedup", row.speedup())
+        .field("stall_coverage", row.coverage())
+        .field("ipc", s.ipc())
+        .field("btb_miss_rate", s.btb_miss_rate())
+        .field("squashes_per_ki", squash_rates.total())
+        .field(
+            "stats",
+            Json::object()
+                .field("instructions", s.instructions)
+                .field("cycles", s.cycles)
+                .field("fetch_stall_cycles", s.fetch_stall_cycles)
+                .field("squash_stall_cycles", s.squash_stall_cycles)
+                .field("ftq_empty_cycles", s.ftq_empty_cycles)
+                .field("rob_full_cycles", s.rob_full_cycles)
+                .field("squashes_btb_miss", s.squashes.btb_miss)
+                .field("squashes_misprediction", s.squashes.misprediction)
+                .field("btb_lookups", s.btb_lookups)
+                .field("btb_misses", s.btb_misses)
+                .field("prefetch_buffer_hits", s.prefetch_buffer_hits)
+                .field("prefetches_issued", s.prefetches_issued)
+                .field("conditional_predictions", s.conditional_predictions)
+                .field("conditional_mispredictions", s.conditional_mispredictions)
+                .field("miss_breakdown_sequential", s.miss_breakdown.sequential)
+                .field("miss_breakdown_conditional", s.miss_breakdown.conditional)
+                .field(
+                    "miss_breakdown_unconditional",
+                    s.miss_breakdown.unconditional,
+                ),
+        )
+        .field("baseline_cycles", row.baseline.cycles)
+        .field(
+            "baseline_fetch_stall_cycles",
+            row.baseline.fetch_stall_cycles,
+        )
+}
+
+/// Renders the CSV report (header + one line per row, RFC-4180 quoting for
+/// the label fields).
+pub fn to_csv(report: &CampaignReport) -> String {
+    let mut out = String::from(
+        "config,workload,mechanism,seed,baseline_ref,speedup,stall_coverage,ipc,\
+         instructions,cycles,fetch_stall_cycles,btb_miss_rate,\
+         mispredict_per_ki,btb_miss_per_ki\n",
+    );
+    for row in &report.rows {
+        let s = &row.stats;
+        let rates = s.squashes_per_kilo();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            csv_field(&row.config_label),
+            csv_field(row.job.workload.name()),
+            csv_field(&mechanism_token(row.job.mechanism)),
+            row.job.seed,
+            row.job.implicit_baseline,
+            row.speedup(),
+            row.coverage(),
+            s.ipc(),
+            s.instructions,
+            s.cycles,
+            s.fetch_stall_cycles,
+            s.btb_miss_rate(),
+            rates.misprediction,
+            rates.btb_miss,
+        );
+    }
+    out
+}
+
+fn csv_field(value: &str) -> String {
+    if value.contains([',', '"', '\n']) {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_string()
+    }
+}
+
+/// Renders a per-config speedup table (one row per workload, one column per
+/// mechanism, arithmetic-mean footer), in the style of the paper's figures.
+pub fn to_table(report: &CampaignReport) -> String {
+    let mut out = String::new();
+    for (config_idx, point) in report.spec.configs.iter().enumerate() {
+        for &seed in &report.spec.seeds {
+            let rows: Vec<&RowResult> = report
+                .rows
+                .iter()
+                .filter(|r| {
+                    r.job.config == config_idx && r.job.seed == seed && !r.job.implicit_baseline
+                })
+                .collect();
+            if rows.is_empty() {
+                continue;
+            }
+            let _ = write!(out, "\n=== {} — config `{}`", report.spec.name, point.label);
+            if report.spec.seeds.len() > 1 {
+                let _ = write!(out, ", seed {seed}");
+            }
+            let _ = writeln!(out, " — speedup over no-prefetch baseline ===");
+
+            // One column per distinct mechanism (not per label: several
+            // Boomerang throttle variants share the "Boomerang" label, and
+            // each must keep its own column). Headers fall back to the spec
+            // token whenever a label is ambiguous within this table.
+            let mut mechanisms: Vec<boomerang::Mechanism> = Vec::new();
+            for row in &rows {
+                if !mechanisms.contains(&row.job.mechanism) {
+                    mechanisms.push(row.job.mechanism);
+                }
+            }
+            let headers: Vec<String> = mechanisms
+                .iter()
+                .map(|&m| {
+                    let ambiguous = mechanisms
+                        .iter()
+                        .filter(|&&other| other.label() == m.label())
+                        .count()
+                        > 1;
+                    if ambiguous {
+                        mechanism_token(m)
+                    } else {
+                        m.label().to_string()
+                    }
+                })
+                .collect();
+            // Column width fits the longest header plus a separating space.
+            let width = headers.iter().map(String::len).max().unwrap_or(0).max(12) + 1;
+            let _ = write!(out, "{:<12}", "workload");
+            for h in &headers {
+                let _ = write!(out, "{h:>width$}");
+            }
+            out.push('\n');
+
+            let mut columns: Vec<Vec<f64>> = vec![Vec::new(); mechanisms.len()];
+            for &workload in &report.spec.workloads {
+                let _ = write!(out, "{:<12}", workload.name());
+                for (col, &m) in mechanisms.iter().enumerate() {
+                    let cell = rows
+                        .iter()
+                        .find(|r| r.job.workload == workload && r.job.mechanism == m);
+                    match cell {
+                        Some(r) => {
+                            let v = r.speedup();
+                            columns[col].push(v);
+                            let _ = write!(out, "{v:>width$.3}");
+                        }
+                        None => {
+                            let _ = write!(out, "{:>width$}", "-");
+                        }
+                    }
+                }
+                out.push('\n');
+            }
+            let _ = write!(out, "{:<12}", "Avg");
+            for col in &columns {
+                let avg = sim_core::stats::arithmetic_mean(col);
+                let _ = write!(out, "{avg:>width$.3}");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// The files a campaign run writes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReportPaths {
+    /// The JSON report path.
+    pub json: PathBuf,
+    /// The CSV report path.
+    pub csv: PathBuf,
+}
+
+/// Writes `<name>.json` and `<name>.csv` under `dir` (created if needed).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_reports(report: &CampaignReport, dir: &Path) -> io::Result<ReportPaths> {
+    std::fs::create_dir_all(dir)?;
+    let json = dir.join(format!("{}.json", report.spec.name));
+    let csv = dir.join(format!("{}.csv", report.spec.name));
+    std::fs::write(&json, to_json(report))?;
+    std::fs::write(&csv, to_csv(report))?;
+    Ok(ReportPaths { json, csv })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_campaign, EngineOptions};
+    use crate::spec::CampaignSpec;
+
+    fn tiny_report() -> CampaignReport {
+        let spec = CampaignSpec::from_toml_str(
+            "name = \"sink-test\"\nworkloads = [\"nutch\"]\nmechanisms = [\"fdip\"]\n\n[run]\ntrace_blocks = 2000\nwarmup_blocks = 400\n",
+        )
+        .unwrap();
+        run_campaign(&spec, &EngineOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn json_has_per_row_entries() {
+        let report = tiny_report();
+        let text = to_json(&report);
+        assert!(text.contains("\"campaign\": \"sink-test\""));
+        assert!(text.contains("\"jobs\": 2"));
+        assert!(text.contains("\"mechanism\": \"fdip\""));
+        assert!(text.contains("\"mechanism\": \"baseline\""));
+        assert!(text.ends_with("\n"));
+    }
+
+    #[test]
+    fn csv_row_count_matches() {
+        let report = tiny_report();
+        let csv = to_csv(&report);
+        assert_eq!(csv.lines().count(), 1 + report.rows.len());
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("table1,Nutch,baseline,0,true"));
+    }
+
+    #[test]
+    fn csv_quoting() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn table_keeps_boomerang_throttle_variants_apart() {
+        let spec = CampaignSpec::from_toml_str(
+            "name = \"throttles\"\nworkloads = [\"nutch\"]\nmechanisms = [\"boomerang\", \"boomerang:none\", \"fdip\"]\n\n[run]\ntrace_blocks = 2000\nwarmup_blocks = 400\n",
+        )
+        .unwrap();
+        let report = run_campaign(&spec, &EngineOptions::default()).unwrap();
+        let table = to_table(&report);
+        // Ambiguous labels fall back to spec tokens; unambiguous ones keep
+        // their figure label.
+        assert!(table.contains("FDIP"), "{table}");
+        let header = table.lines().nth(2).unwrap();
+        assert!(
+            header.contains("boomerang") && header.contains("boomerang:none"),
+            "each throttle variant needs its own column: {header}"
+        );
+        // Three mechanism columns + the workload row label.
+        assert_eq!(header.split_whitespace().count(), 4, "{header}");
+    }
+
+    #[test]
+    fn table_lists_workloads_and_mechanisms() {
+        let report = tiny_report();
+        let table = to_table(&report);
+        assert!(table.contains("Nutch"));
+        assert!(table.contains("FDIP"));
+        assert!(table.contains("Avg"));
+        // The implicit baseline reference is not a table column.
+        assert!(!table.contains("Baseline"));
+    }
+}

@@ -1,0 +1,740 @@
+//! The declarative campaign spec: what to sweep, expressed as data.
+//!
+//! A campaign is the cartesian product of workloads × mechanisms ×
+//! configuration points × seeds, at one run length, evaluated with one
+//! direction predictor. Specs are written in a TOML subset (see
+//! [`crate::toml`]) and round-trip losslessly through
+//! [`CampaignSpec::from_toml_str`] / [`CampaignSpec::to_toml_string`]:
+//!
+//! ```toml
+//! name = "figure9"
+//! description = "Speedup over the no-prefetch baseline"
+//! workloads = ["all"]
+//! mechanisms = ["next-line", "dip", "fdip", "shift", "confluence", "boomerang"]
+//! predictor = "tage"
+//! seeds = [0]
+//!
+//! [run]
+//! trace_blocks = 150000
+//! warmup_blocks = 25000
+//!
+//! [[config]]
+//! label = "table1"
+//! ```
+//!
+//! Configuration points start from the paper's Table I
+//! ([`MicroarchConfig::hpca17`]) and apply named overrides, so a spec states
+//! only what it changes.
+
+use crate::toml::{self, Document, Table, TomlError, Value};
+use boomerang::{Mechanism, RunLength, ThrottlePolicy};
+use branch_pred::PredictorKind;
+use sim_core::{MicroarchConfig, NocModel, PerfectComponents};
+use std::fmt;
+use workloads::WorkloadKind;
+
+/// Interconnect selection in a spec (`noc = "mesh" | "crossbar" | <cycles>`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NocSel {
+    /// The paper's 4x4 mesh (30-cycle LLC round trip).
+    Mesh,
+    /// The §VI-E2 crossbar (18-cycle LLC round trip).
+    Crossbar,
+    /// A fixed LLC round-trip latency, for sweeps.
+    Fixed(u64),
+}
+
+impl NocSel {
+    fn to_model(self) -> NocModel {
+        match self {
+            NocSel::Mesh => NocModel::Mesh4x4,
+            NocSel::Crossbar => NocModel::Crossbar,
+            NocSel::Fixed(lat) => NocModel::Fixed(lat),
+        }
+    }
+}
+
+/// One named override of the Table I configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ConfigOverride {
+    /// `btb_entries = N`
+    BtbEntries(u64),
+    /// `btb_ways = N`
+    BtbWays(u64),
+    /// `ftq_entries = N`
+    FtqEntries(usize),
+    /// `l1i_bytes = N`
+    L1iBytes(u64),
+    /// `fetch_width = N`
+    FetchWidth(u64),
+    /// `rob_entries = N`
+    RobEntries(u64),
+    /// `memory_latency_ns = X`
+    MemoryLatencyNs(f64),
+    /// `prefetch_probes_per_cycle = N`
+    PrefetchProbesPerCycle(u64),
+    /// `noc = "mesh" | "crossbar" | N`
+    Noc(NocSel),
+    /// `perfect_l1i = true|false`
+    PerfectL1i(bool),
+    /// `perfect_btb = true|false`
+    PerfectBtb(bool),
+}
+
+impl ConfigOverride {
+    fn apply(self, cfg: &mut MicroarchConfig) {
+        match self {
+            ConfigOverride::BtbEntries(v) => cfg.btb_entries = v,
+            ConfigOverride::BtbWays(v) => cfg.btb_ways = v,
+            ConfigOverride::FtqEntries(v) => cfg.ftq_entries = v,
+            ConfigOverride::L1iBytes(v) => cfg.l1i_bytes = v,
+            ConfigOverride::FetchWidth(v) => cfg.fetch_width = v,
+            ConfigOverride::RobEntries(v) => cfg.rob_entries = v,
+            ConfigOverride::MemoryLatencyNs(v) => cfg.memory_latency_ns = v,
+            ConfigOverride::PrefetchProbesPerCycle(v) => cfg.prefetch_probes_per_cycle = v,
+            ConfigOverride::Noc(sel) => cfg.noc = sel.to_model(),
+            ConfigOverride::PerfectL1i(v) => cfg.perfect.perfect_l1i = v,
+            ConfigOverride::PerfectBtb(v) => cfg.perfect.perfect_btb = v,
+        }
+    }
+
+    fn write(self, table: &mut Table) {
+        match self {
+            ConfigOverride::BtbEntries(v) => table.insert("btb_entries", Value::Int(v as i64)),
+            ConfigOverride::BtbWays(v) => table.insert("btb_ways", Value::Int(v as i64)),
+            ConfigOverride::FtqEntries(v) => table.insert("ftq_entries", Value::Int(v as i64)),
+            ConfigOverride::L1iBytes(v) => table.insert("l1i_bytes", Value::Int(v as i64)),
+            ConfigOverride::FetchWidth(v) => table.insert("fetch_width", Value::Int(v as i64)),
+            ConfigOverride::RobEntries(v) => table.insert("rob_entries", Value::Int(v as i64)),
+            ConfigOverride::MemoryLatencyNs(v) => {
+                table.insert("memory_latency_ns", Value::Float(v))
+            }
+            ConfigOverride::PrefetchProbesPerCycle(v) => {
+                table.insert("prefetch_probes_per_cycle", Value::Int(v as i64))
+            }
+            ConfigOverride::Noc(NocSel::Mesh) => table.insert("noc", Value::Str("mesh".into())),
+            ConfigOverride::Noc(NocSel::Crossbar) => {
+                table.insert("noc", Value::Str("crossbar".into()))
+            }
+            ConfigOverride::Noc(NocSel::Fixed(lat)) => table.insert("noc", Value::Int(lat as i64)),
+            ConfigOverride::PerfectL1i(v) => table.insert("perfect_l1i", Value::Bool(v)),
+            ConfigOverride::PerfectBtb(v) => table.insert("perfect_btb", Value::Bool(v)),
+        }
+    }
+}
+
+/// One configuration point of the sweep: a label plus Table I overrides.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConfigPoint {
+    /// Label used in reports (e.g. `"table1"`, `"llc-18"`).
+    pub label: String,
+    /// Overrides applied on top of [`MicroarchConfig::hpca17`], in order.
+    pub overrides: Vec<ConfigOverride>,
+}
+
+impl ConfigPoint {
+    /// The baseline Table I point with no overrides.
+    pub fn table1(label: impl Into<String>) -> Self {
+        ConfigPoint {
+            label: label.into(),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Materialises the [`MicroarchConfig`] this point describes.
+    pub fn build(&self) -> MicroarchConfig {
+        let mut cfg = MicroarchConfig::hpca17();
+        cfg.perfect = PerfectComponents::none();
+        for o in &self.overrides {
+            o.apply(&mut cfg);
+        }
+        cfg
+    }
+}
+
+/// A fully parsed campaign description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name; also the stem of the report files.
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+    /// Workloads to sweep.
+    pub workloads: Vec<WorkloadKind>,
+    /// Mechanisms to sweep.
+    pub mechanisms: Vec<Mechanism>,
+    /// Direction predictor for every job.
+    pub predictor: PredictorKind,
+    /// Seed offsets; `0` keeps each workload's paper seed, other values
+    /// re-derive layout and trace deterministically (see
+    /// [`crate::engine::derive_seed`]).
+    pub seeds: Vec<u64>,
+    /// Simulation length for every job.
+    pub run: RunLength,
+    /// Configuration points.
+    pub configs: Vec<ConfigPoint>,
+}
+
+/// Error produced while interpreting a spec.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// The TOML layer rejected the document.
+    Toml(TomlError),
+    /// The document parsed but does not describe a valid campaign.
+    Invalid(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Toml(e) => write!(f, "{e}"),
+            SpecError::Invalid(msg) => write!(f, "invalid campaign spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<TomlError> for SpecError {
+    fn from(e: TomlError) -> Self {
+        SpecError::Toml(e)
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> SpecError {
+    SpecError::Invalid(msg.into())
+}
+
+/// Parses a workload token (paper name, case-insensitive).
+pub fn parse_workload(token: &str) -> Result<WorkloadKind, SpecError> {
+    let t = token.to_ascii_lowercase();
+    WorkloadKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.name().to_ascii_lowercase() == t)
+        .ok_or_else(|| {
+            invalid(format!(
+                "unknown workload `{token}` (expected one of {}, or \"all\")",
+                WorkloadKind::ALL.map(|k| k.name()).join(", ")
+            ))
+        })
+}
+
+/// Parses a mechanism token: `baseline`, `next-line`, `dip`, `fdip`, `pif`,
+/// `shift`, `confluence`, `boomerang`, `boomerang:none`, or `boomerang:N`
+/// (next-N-blocks throttle).
+pub fn parse_mechanism(token: &str) -> Result<Mechanism, SpecError> {
+    let t = token.to_ascii_lowercase();
+    Ok(match t.as_str() {
+        "baseline" => Mechanism::Baseline,
+        "next-line" | "nextline" => Mechanism::NextLine,
+        "dip" => Mechanism::Dip,
+        "fdip" => Mechanism::Fdip,
+        "pif" => Mechanism::Pif,
+        "shift" => Mechanism::Shift,
+        "confluence" => Mechanism::Confluence,
+        "boomerang" => Mechanism::Boomerang(ThrottlePolicy::PAPER_DEFAULT),
+        _ => {
+            if let Some(policy) = t.strip_prefix("boomerang:") {
+                let policy = match policy {
+                    "none" => ThrottlePolicy::None,
+                    n => ThrottlePolicy::NextN(n.parse::<u64>().map_err(|_| {
+                        invalid(format!(
+                            "bad boomerang throttle `{token}` (use boomerang:none or boomerang:N)"
+                        ))
+                    })?),
+                };
+                Mechanism::Boomerang(policy)
+            } else {
+                return Err(invalid(format!("unknown mechanism `{token}`")));
+            }
+        }
+    })
+}
+
+/// The canonical spec token for a mechanism (inverse of [`parse_mechanism`]).
+pub fn mechanism_token(m: Mechanism) -> String {
+    match m {
+        Mechanism::Baseline => "baseline".into(),
+        Mechanism::NextLine => "next-line".into(),
+        Mechanism::Dip => "dip".into(),
+        Mechanism::Fdip => "fdip".into(),
+        Mechanism::Pif => "pif".into(),
+        Mechanism::Shift => "shift".into(),
+        Mechanism::Confluence => "confluence".into(),
+        Mechanism::Boomerang(ThrottlePolicy::PAPER_DEFAULT) => "boomerang".into(),
+        Mechanism::Boomerang(ThrottlePolicy::None) => "boomerang:none".into(),
+        Mechanism::Boomerang(ThrottlePolicy::NextN(n)) => format!("boomerang:{n}"),
+    }
+}
+
+/// Parses a predictor token (`tage`, `gshare`, `bimodal`, `never-taken`).
+pub fn parse_predictor(token: &str) -> Result<PredictorKind, SpecError> {
+    Ok(match token.to_ascii_lowercase().as_str() {
+        "tage" => PredictorKind::Tage,
+        "gshare" => PredictorKind::Gshare,
+        "bimodal" => PredictorKind::Bimodal,
+        "never-taken" | "nevertaken" => PredictorKind::NeverTaken,
+        _ => return Err(invalid(format!("unknown predictor `{token}`"))),
+    })
+}
+
+fn predictor_token(p: PredictorKind) -> &'static str {
+    match p {
+        PredictorKind::Tage => "tage",
+        PredictorKind::Gshare => "gshare",
+        PredictorKind::Bimodal => "bimodal",
+        PredictorKind::NeverTaken => "never-taken",
+    }
+}
+
+impl CampaignSpec {
+    /// Parses a spec from TOML text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] for malformed TOML or an invalid campaign
+    /// (unknown workloads/mechanisms/keys, empty axes, bad config values).
+    pub fn from_toml_str(text: &str) -> Result<Self, SpecError> {
+        let doc = toml::parse(text)?;
+        for key in doc.root.keys() {
+            match key {
+                "name" | "description" | "workloads" | "mechanisms" | "predictor" | "seeds" => {}
+                other => return Err(invalid(format!("unknown top-level key `{other}`"))),
+            }
+        }
+        for (name, _) in &doc.tables {
+            if name != "run" {
+                return Err(invalid(format!("unknown table [{name}]")));
+            }
+        }
+        for (name, _) in &doc.arrays {
+            if name != "config" {
+                return Err(invalid(format!("unknown array of tables [[{name}]]")));
+            }
+        }
+
+        let name = req_str(&doc.root, "name")?;
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(invalid(format!(
+                "campaign name `{name}` must be a non-empty [A-Za-z0-9_-]+ file stem"
+            )));
+        }
+        let description = opt_str(&doc.root, "description")?.unwrap_or_default();
+
+        let workload_tokens = req_str_array(&doc.root, "workloads")?;
+        let workloads = if workload_tokens
+            .iter()
+            .any(|t| t.eq_ignore_ascii_case("all"))
+        {
+            if workload_tokens.len() != 1 {
+                return Err(invalid(
+                    "\"all\" stands for every workload and cannot be mixed with named workloads",
+                ));
+            }
+            WorkloadKind::ALL.to_vec()
+        } else {
+            workload_tokens
+                .iter()
+                .map(|t| parse_workload(t))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        if workloads.is_empty() {
+            return Err(invalid("workloads must not be empty"));
+        }
+        reject_duplicates(&workloads, "workloads", |w| w.name().to_string())?;
+
+        let mechanisms = req_str_array(&doc.root, "mechanisms")?
+            .iter()
+            .map(|t| parse_mechanism(t))
+            .collect::<Result<Vec<_>, _>>()?;
+        if mechanisms.is_empty() {
+            return Err(invalid("mechanisms must not be empty"));
+        }
+        // Compare parsed values, not tokens: `boomerang` and `boomerang:2`
+        // normalise to the same mechanism.
+        reject_duplicates(&mechanisms, "mechanisms", |&m| mechanism_token(m))?;
+
+        let predictor = match opt_str(&doc.root, "predictor")? {
+            Some(tok) => parse_predictor(&tok)?,
+            None => PredictorKind::Tage,
+        };
+
+        let seeds = match doc.root.get("seeds") {
+            None => vec![0],
+            Some(v) => {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| invalid("`seeds` must be an array of integers"))?;
+                let seeds = items
+                    .iter()
+                    .map(|i| {
+                        i.as_u64()
+                            .ok_or_else(|| invalid("`seeds` must be non-negative integers"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if seeds.is_empty() {
+                    return Err(invalid("seeds must not be empty"));
+                }
+                reject_duplicates(&seeds, "seeds", |s| s.to_string())?;
+                seeds
+            }
+        };
+
+        let run = match doc.table("run") {
+            None => RunLength::paper_default(),
+            Some(table) => {
+                for key in table.keys() {
+                    if key != "trace_blocks" && key != "warmup_blocks" {
+                        return Err(invalid(format!("unknown [run] key `{key}`")));
+                    }
+                }
+                let default = RunLength::paper_default();
+                RunLength {
+                    trace_blocks: opt_usize(table, "trace_blocks")?.unwrap_or(default.trace_blocks),
+                    warmup_blocks: opt_usize(table, "warmup_blocks")?
+                        .unwrap_or(default.warmup_blocks),
+                }
+            }
+        };
+        if run.trace_blocks == 0 {
+            return Err(invalid("run.trace_blocks must be positive"));
+        }
+
+        let config_tables = doc.array("config");
+        let configs = if config_tables.is_empty() {
+            vec![ConfigPoint::table1("table1")]
+        } else {
+            config_tables
+                .iter()
+                .map(parse_config_point)
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        let labels: Vec<&str> = configs.iter().map(|c| c.label.as_str()).collect();
+        reject_duplicates(&labels, "config label", |l| l.to_string())?;
+        for point in &configs {
+            point
+                .build()
+                .validate()
+                .map_err(|e| invalid(format!("config `{}`: {e}", point.label)))?;
+        }
+
+        Ok(CampaignSpec {
+            name,
+            description,
+            workloads,
+            mechanisms,
+            predictor,
+            seeds,
+            run,
+            configs,
+        })
+    }
+
+    /// Serialises the spec as TOML; `from_toml_str(to_toml_string(s)) == s`.
+    pub fn to_toml_string(&self) -> String {
+        let mut doc = Document::default();
+        doc.root.insert("name", Value::Str(self.name.clone()));
+        if !self.description.is_empty() {
+            doc.root
+                .insert("description", Value::Str(self.description.clone()));
+        }
+        doc.root.insert(
+            "workloads",
+            Value::Array(
+                self.workloads
+                    .iter()
+                    .map(|w| Value::Str(w.name().to_ascii_lowercase()))
+                    .collect(),
+            ),
+        );
+        doc.root.insert(
+            "mechanisms",
+            Value::Array(
+                self.mechanisms
+                    .iter()
+                    .map(|&m| Value::Str(mechanism_token(m)))
+                    .collect(),
+            ),
+        );
+        doc.root.insert(
+            "predictor",
+            Value::Str(predictor_token(self.predictor).into()),
+        );
+        doc.root.insert(
+            "seeds",
+            Value::Array(self.seeds.iter().map(|&s| Value::Int(s as i64)).collect()),
+        );
+
+        let mut run = Table::default();
+        run.insert("trace_blocks", Value::Int(self.run.trace_blocks as i64));
+        run.insert("warmup_blocks", Value::Int(self.run.warmup_blocks as i64));
+        doc.tables.push(("run".into(), run));
+
+        let mut configs = Vec::new();
+        for point in &self.configs {
+            let mut table = Table::default();
+            table.insert("label", Value::Str(point.label.clone()));
+            for o in &point.overrides {
+                o.write(&mut table);
+            }
+            configs.push(table);
+        }
+        doc.arrays.push(("config".into(), configs));
+        toml::write(&doc)
+    }
+
+    /// Total number of explicitly requested cells (before the engine adds
+    /// implicit baseline reference jobs).
+    pub fn cell_count(&self) -> usize {
+        self.configs.len() * self.workloads.len() * self.seeds.len() * self.mechanisms.len()
+    }
+}
+
+fn parse_config_point(table: &Table) -> Result<ConfigPoint, SpecError> {
+    let label = req_str(table, "label")?;
+    if label.is_empty() {
+        return Err(invalid("config label must not be empty"));
+    }
+    let mut overrides = Vec::new();
+    for (key, value) in &table.entries {
+        let o = match key.as_str() {
+            "label" => continue,
+            "btb_entries" => ConfigOverride::BtbEntries(as_u64(value, key)?),
+            "btb_ways" => ConfigOverride::BtbWays(as_u64(value, key)?),
+            "ftq_entries" => ConfigOverride::FtqEntries(as_u64(value, key)? as usize),
+            "l1i_bytes" => ConfigOverride::L1iBytes(as_u64(value, key)?),
+            "fetch_width" => ConfigOverride::FetchWidth(as_u64(value, key)?),
+            "rob_entries" => ConfigOverride::RobEntries(as_u64(value, key)?),
+            "memory_latency_ns" => ConfigOverride::MemoryLatencyNs(
+                value
+                    .as_f64()
+                    .ok_or_else(|| invalid("memory_latency_ns must be a number"))?,
+            ),
+            "prefetch_probes_per_cycle" => {
+                ConfigOverride::PrefetchProbesPerCycle(as_u64(value, key)?)
+            }
+            "noc" => ConfigOverride::Noc(match value {
+                Value::Str(s) if s.eq_ignore_ascii_case("mesh") => NocSel::Mesh,
+                Value::Str(s) if s.eq_ignore_ascii_case("crossbar") => NocSel::Crossbar,
+                Value::Int(i) if *i >= 0 => NocSel::Fixed(*i as u64),
+                _ => {
+                    return Err(invalid(
+                        "noc must be \"mesh\", \"crossbar\", or a fixed cycle count",
+                    ))
+                }
+            }),
+            "perfect_l1i" => ConfigOverride::PerfectL1i(
+                value
+                    .as_bool()
+                    .ok_or_else(|| invalid("perfect_l1i must be a boolean"))?,
+            ),
+            "perfect_btb" => ConfigOverride::PerfectBtb(
+                value
+                    .as_bool()
+                    .ok_or_else(|| invalid("perfect_btb must be a boolean"))?,
+            ),
+            other => {
+                return Err(invalid(format!(
+                    "unknown [[config]] key `{other}` for config `{label}`"
+                )))
+            }
+        };
+        overrides.push(o);
+    }
+    Ok(ConfigPoint { label, overrides })
+}
+
+fn as_u64(value: &Value, key: &str) -> Result<u64, SpecError> {
+    value
+        .as_u64()
+        .ok_or_else(|| invalid(format!("`{key}` must be a non-negative integer")))
+}
+
+fn req_str(table: &Table, key: &str) -> Result<String, SpecError> {
+    opt_str(table, key)?.ok_or_else(|| invalid(format!("missing required key `{key}`")))
+}
+
+fn opt_str(table: &Table, key: &str) -> Result<Option<String>, SpecError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| invalid(format!("`{key}` must be a string"))),
+    }
+}
+
+/// Rejects repeated entries in a sweep axis: each duplicate would become a
+/// full redundant simulation job per matrix cell.
+fn reject_duplicates<T: PartialEq>(
+    items: &[T],
+    axis: &str,
+    describe: impl Fn(&T) -> String,
+) -> Result<(), SpecError> {
+    for (i, item) in items.iter().enumerate() {
+        if items[..i].contains(item) {
+            return Err(invalid(format!(
+                "duplicate `{axis}` entry `{}`",
+                describe(item)
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn req_str_array(table: &Table, key: &str) -> Result<Vec<String>, SpecError> {
+    let value = table
+        .get(key)
+        .ok_or_else(|| invalid(format!("missing required key `{key}`")))?;
+    let items = value
+        .as_array()
+        .ok_or_else(|| invalid(format!("`{key}` must be an array of strings")))?;
+    items
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| invalid(format!("`{key}` must contain only strings")))
+        })
+        .collect()
+}
+
+fn opt_usize(table: &Table, key: &str) -> Result<Option<usize>, SpecError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(|u| Some(u as usize))
+            .ok_or_else(|| invalid(format!("`{key}` must be a non-negative integer"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"
+name = "demo"
+description = "two-point sweep"
+workloads = ["nutch", "db2"]
+mechanisms = ["fdip", "boomerang", "boomerang:none"]
+predictor = "tage"
+seeds = [0, 7]
+
+[run]
+trace_blocks = 4000
+warmup_blocks = 800
+
+[[config]]
+label = "table1"
+
+[[config]]
+label = "llc-18"
+noc = 18
+btb_entries = 4096
+"#;
+
+    #[test]
+    fn parses_a_full_spec() {
+        let spec = CampaignSpec::from_toml_str(SPEC).unwrap();
+        assert_eq!(spec.name, "demo");
+        assert_eq!(spec.workloads, vec![WorkloadKind::Nutch, WorkloadKind::Db2]);
+        assert_eq!(spec.mechanisms.len(), 3);
+        assert_eq!(spec.seeds, vec![0, 7]);
+        assert_eq!(spec.run.trace_blocks, 4000);
+        assert_eq!(spec.configs.len(), 2);
+        assert_eq!(spec.cell_count(), 2 * 2 * 2 * 3);
+        let cfg = spec.configs[1].build();
+        assert_eq!(cfg.btb_entries, 4096);
+        assert_eq!(cfg.llc_round_trip(), 18);
+    }
+
+    #[test]
+    fn round_trips_losslessly() {
+        let spec = CampaignSpec::from_toml_str(SPEC).unwrap();
+        let text = spec.to_toml_string();
+        let again = CampaignSpec::from_toml_str(&text).unwrap();
+        assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn defaults_are_filled_in() {
+        let spec = CampaignSpec::from_toml_str(
+            "name = \"d\"\nworkloads = [\"all\"]\nmechanisms = [\"fdip\"]\n",
+        )
+        .unwrap();
+        assert_eq!(spec.workloads.len(), 6);
+        assert_eq!(spec.predictor, PredictorKind::Tage);
+        assert_eq!(spec.seeds, vec![0]);
+        assert_eq!(spec.run, RunLength::paper_default());
+        assert_eq!(spec.configs, vec![ConfigPoint::table1("table1")]);
+    }
+
+    #[test]
+    fn mechanism_tokens_round_trip() {
+        for token in [
+            "baseline",
+            "next-line",
+            "dip",
+            "fdip",
+            "pif",
+            "shift",
+            "confluence",
+            "boomerang",
+            "boomerang:none",
+            "boomerang:8",
+        ] {
+            let m = parse_mechanism(token).unwrap();
+            assert_eq!(mechanism_token(m), token, "token {token}");
+        }
+        assert!(parse_mechanism("warp-drive").is_err());
+        assert!(parse_mechanism("boomerang:x").is_err());
+        // boomerang:2 normalises to the paper-default token.
+        assert_eq!(
+            mechanism_token(parse_mechanism("boomerang:2").unwrap()),
+            "boomerang"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        let no_name = "workloads = [\"all\"]\nmechanisms = [\"fdip\"]\n";
+        assert!(CampaignSpec::from_toml_str(no_name).is_err());
+        let bad_workload = "name = \"x\"\nworkloads = [\"excel\"]\nmechanisms = [\"fdip\"]\n";
+        assert!(CampaignSpec::from_toml_str(bad_workload).is_err());
+        let unknown_key =
+            "name = \"x\"\nworkloads = [\"all\"]\nmechanisms = [\"fdip\"]\nfrobs = 1\n";
+        assert!(CampaignSpec::from_toml_str(unknown_key).is_err());
+        let bad_cfg = "name = \"x\"\nworkloads = [\"all\"]\nmechanisms = [\"fdip\"]\n\n[[config]]\nlabel = \"a\"\nbtb_entries = 3000\n";
+        assert!(
+            CampaignSpec::from_toml_str(bad_cfg).is_err(),
+            "non-power-of-two BTB must fail validation"
+        );
+        let dup_label = "name = \"x\"\nworkloads = [\"all\"]\nmechanisms = [\"fdip\"]\n\n[[config]]\nlabel = \"a\"\n\n[[config]]\nlabel = \"a\"\n";
+        assert!(CampaignSpec::from_toml_str(dup_label).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_axis_entries() {
+        let dup_workload =
+            "name = \"x\"\nworkloads = [\"nutch\", \"nutch\"]\nmechanisms = [\"fdip\"]\n";
+        assert!(CampaignSpec::from_toml_str(dup_workload).is_err());
+        let mixed_all = "name = \"x\"\nworkloads = [\"all\", \"nutch\"]\nmechanisms = [\"fdip\"]\n";
+        assert!(CampaignSpec::from_toml_str(mixed_all).is_err());
+        let dup_seed =
+            "name = \"x\"\nworkloads = [\"all\"]\nmechanisms = [\"fdip\"]\nseeds = [3, 3]\n";
+        assert!(CampaignSpec::from_toml_str(dup_seed).is_err());
+        // boomerang and boomerang:2 normalise to the same mechanism value.
+        let dup_mech =
+            "name = \"x\"\nworkloads = [\"all\"]\nmechanisms = [\"boomerang\", \"boomerang:2\"]\n";
+        let err = CampaignSpec::from_toml_str(dup_mech)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+}

@@ -1,0 +1,540 @@
+//! A small TOML subset parser and writer for campaign specs.
+//!
+//! The offline environment has no registry `toml` crate, so this module
+//! implements exactly the dialect the campaign specs use — and rejects
+//! everything else with a line-numbered error instead of guessing:
+//!
+//! * top-level `key = value` pairs,
+//! * `[table]` and `[[array-of-tables]]` headers (single-level names),
+//! * values: basic strings, integers, floats, booleans, and flat arrays of
+//!   those scalars,
+//! * `#` comments and blank lines.
+//!
+//! Order is preserved everywhere so that a parse → write → parse round trip
+//! is the identity on the document model.
+
+use std::fmt;
+
+/// A scalar or flat-array TOML value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A basic (double-quoted) string.
+    Str(String),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A flat array of scalars.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers coerce), if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(f) => Some(f),
+            Value::Int(i) => Some(i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// An ordered set of `key = value` pairs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Table {
+    /// The pairs in document order.
+    pub entries: Vec<(String, Value)>,
+}
+
+impl Table {
+    /// Looks a key up.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Appends a pair.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        self.entries.push((key.into(), value));
+    }
+
+    /// The keys in document order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+}
+
+/// A parsed document: root pairs, named tables, and arrays of tables.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Document {
+    /// Top-level `key = value` pairs.
+    pub root: Table,
+    /// `[name]` tables, in document order.
+    pub tables: Vec<(String, Table)>,
+    /// `[[name]]` arrays of tables, in document order of first appearance.
+    pub arrays: Vec<(String, Vec<Table>)>,
+}
+
+impl Document {
+    /// Looks a `[name]` table up.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// Looks a `[[name]]` array of tables up (empty slice if absent).
+    pub fn array(&self, name: &str) -> &[Table] {
+        self.arrays
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// A parse error with its 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TomlError {
+    /// 1-based line the error was detected on.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TOML parse error on line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+fn err(line: usize, message: impl Into<String>) -> TomlError {
+    TomlError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a document.
+///
+/// # Errors
+///
+/// Returns a [`TomlError`] naming the offending line for any construct
+/// outside the supported subset (nested tables, inline tables, multi-line
+/// strings, dates, duplicate keys, ...).
+pub fn parse(input: &str) -> Result<Document, TomlError> {
+    let mut doc = Document::default();
+    // Where new `key = value` pairs currently land.
+    enum Target {
+        Root,
+        Table(usize),
+        Array(usize),
+    }
+    let mut target = Target::Root;
+
+    for (idx, raw_line) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line, lineno)?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = line.strip_prefix("[[") {
+            let name = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| err(lineno, "unterminated [[table]] header"))?
+                .trim();
+            validate_key(name, lineno)?;
+            let pos = match doc.arrays.iter().position(|(n, _)| n == name) {
+                Some(pos) => pos,
+                None => {
+                    doc.arrays.push((name.to_string(), Vec::new()));
+                    doc.arrays.len() - 1
+                }
+            };
+            doc.arrays[pos].1.push(Table::default());
+            target = Target::Array(pos);
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, "unterminated [table] header"))?
+                .trim();
+            validate_key(name, lineno)?;
+            if doc.tables.iter().any(|(n, _)| n == name) {
+                return Err(err(lineno, format!("duplicate table [{name}]")));
+            }
+            doc.tables.push((name.to_string(), Table::default()));
+            target = Target::Table(doc.tables.len() - 1);
+        } else {
+            let eq = line
+                .find('=')
+                .ok_or_else(|| err(lineno, "expected `key = value`"))?;
+            let key = line[..eq].trim();
+            validate_key(key, lineno)?;
+            let value = parse_value(line[eq + 1..].trim(), lineno)?;
+            let table = match target {
+                Target::Root => &mut doc.root,
+                Target::Table(i) => &mut doc.tables[i].1,
+                Target::Array(i) => {
+                    let tables = &mut doc.arrays[i].1;
+                    tables.last_mut().expect("array header pushed a table")
+                }
+            };
+            if table.get(key).is_some() {
+                return Err(err(lineno, format!("duplicate key `{key}`")));
+            }
+            table.insert(key, value);
+        }
+    }
+    Ok(doc)
+}
+
+/// Removes a trailing `#` comment, respecting string literals.
+fn strip_comment(line: &str, lineno: usize) -> Result<&str, TomlError> {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return Ok(&line[..i]),
+            _ => {}
+        }
+        escaped = false;
+    }
+    if in_string {
+        return Err(err(lineno, "unterminated string"));
+    }
+    Ok(line)
+}
+
+fn validate_key(key: &str, lineno: usize) -> Result<(), TomlError> {
+    if key.is_empty() {
+        return Err(err(lineno, "empty key"));
+    }
+    if !key
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Err(err(
+            lineno,
+            format!("unsupported key `{key}` (bare ASCII keys only, no dotted names)"),
+        ));
+    }
+    Ok(())
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, TomlError> {
+    if text.is_empty() {
+        return Err(err(lineno, "missing value"));
+    }
+    if let Some(rest) = text.strip_prefix('[') {
+        let inner = rest
+            .strip_suffix(']')
+            .ok_or_else(|| err(lineno, "unterminated array (arrays must be single-line)"))?;
+        let mut items = Vec::new();
+        for part in split_array_items(inner, lineno)? {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            let item = parse_value(part, lineno)?;
+            if matches!(item, Value::Array(_)) {
+                return Err(err(lineno, "nested arrays are not supported"));
+            }
+            items.push(item);
+        }
+        return Ok(Value::Array(items));
+    }
+    if text.starts_with('"') {
+        return parse_string(text, lineno);
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    // TOML permits `_` in numbers only between digits (`10_000`, not `_1`,
+    // `1_` or `1__0`); anything else falls through to the error below.
+    if underscores_between_digits(text) {
+        let cleaned = text.replace('_', "");
+        if let Ok(i) = cleaned.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+        if (cleaned.contains('.') || cleaned.contains('e') || cleaned.contains('E'))
+            && !cleaned.ends_with('.')
+        {
+            if let Ok(f) = cleaned.parse::<f64>() {
+                return Ok(Value::Float(f));
+            }
+        }
+    }
+    Err(err(lineno, format!("unsupported value `{text}`")))
+}
+
+/// `true` when every `_` in `text` sits between two ASCII digits.
+fn underscores_between_digits(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    bytes.iter().enumerate().all(|(i, &c)| {
+        c != b'_'
+            || (i > 0
+                && bytes[i - 1].is_ascii_digit()
+                && bytes.get(i + 1).is_some_and(|n| n.is_ascii_digit()))
+    })
+}
+
+/// Splits the inside of an array on commas that are not inside strings.
+fn split_array_items(inner: &str, lineno: usize) -> Result<Vec<&str>, TomlError> {
+    let mut items = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            ',' if !in_string => {
+                items.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        escaped = false;
+    }
+    if in_string {
+        return Err(err(lineno, "unterminated string in array"));
+    }
+    items.push(&inner[start..]);
+    Ok(items)
+}
+
+fn parse_string(text: &str, lineno: usize) -> Result<Value, TomlError> {
+    let inner = text
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| err(lineno, "unterminated string"))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '"' {
+            return Err(err(lineno, "unexpected `\"` inside string"));
+        }
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some(other) => {
+                return Err(err(lineno, format!("unsupported escape `\\{other}`")));
+            }
+            None => return Err(err(lineno, "dangling escape at end of string")),
+        }
+    }
+    Ok(Value::Str(out))
+}
+
+/// Serialises a document in the same subset [`parse`] reads.
+pub fn write(doc: &Document) -> String {
+    let mut out = String::new();
+    write_pairs(&mut out, &doc.root);
+    for (name, table) in &doc.tables {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!("[{name}]\n"));
+        write_pairs(&mut out, table);
+    }
+    for (name, tables) in &doc.arrays {
+        for table in tables {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!("[[{name}]]\n"));
+            write_pairs(&mut out, table);
+        }
+    }
+    out
+}
+
+fn write_pairs(out: &mut String, table: &Table) {
+    for (key, value) in &table.entries {
+        out.push_str(key);
+        out.push_str(" = ");
+        write_value(out, value);
+        out.push('\n');
+    }
+}
+
+fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    _ => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            let s = format!("{f}");
+            out.push_str(&s);
+            // TOML floats must carry a decimal point or exponent.
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') && !s.contains("inf") {
+                out.push_str(".0");
+            }
+        }
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# A campaign
+name = "demo"
+seeds = [0, 1, 2]
+scale = 1.5
+fast = true
+
+[run]
+trace_blocks = 10_000
+
+[[config]]
+label = "a"
+noc = "mesh"
+
+[[config]]
+label = "b"
+llc_latency = 18
+"#;
+
+    #[test]
+    fn parses_the_supported_subset() {
+        let doc = parse(SAMPLE).unwrap();
+        assert_eq!(doc.root.get("name").unwrap().as_str(), Some("demo"));
+        assert_eq!(doc.root.get("seeds").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(doc.root.get("scale").unwrap().as_f64(), Some(1.5));
+        assert_eq!(doc.root.get("fast").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            doc.table("run")
+                .unwrap()
+                .get("trace_blocks")
+                .unwrap()
+                .as_u64(),
+            Some(10_000)
+        );
+        let configs = doc.array("config");
+        assert_eq!(configs.len(), 2);
+        assert_eq!(configs[1].get("llc_latency").unwrap().as_u64(), Some(18));
+    }
+
+    #[test]
+    fn round_trips_through_write() {
+        let doc = parse(SAMPLE).unwrap();
+        let text = write(&doc);
+        let again = parse(&text).unwrap();
+        assert_eq!(doc, again);
+    }
+
+    #[test]
+    fn strings_with_escapes_round_trip() {
+        let doc = parse("s = \"a \\\"quoted\\\" \\\\ path\\nnext\"").unwrap();
+        assert_eq!(
+            doc.root.get("s").unwrap().as_str(),
+            Some("a \"quoted\" \\ path\nnext")
+        );
+        let again = parse(&write(&doc)).unwrap();
+        assert_eq!(doc, again);
+    }
+
+    #[test]
+    fn comments_and_hash_in_strings() {
+        let doc = parse("k = \"a # not comment\" # real comment").unwrap();
+        assert_eq!(doc.root.get("k").unwrap().as_str(), Some("a # not comment"));
+    }
+
+    #[test]
+    fn rejects_unsupported_constructs() {
+        assert!(parse("k = {a = 1}").is_err());
+        assert!(parse("k = [[1, 2], [3]]").is_err());
+        assert!(parse("[a.b]\nk = 1").is_err());
+        assert!(parse("k = 1\nk = 2").is_err());
+        assert!(parse("k = 1979-05-27").is_err());
+        // Underscores only between digits.
+        assert!(parse("k = _1").is_err());
+        assert!(parse("k = 1_").is_err());
+        assert!(parse("k = 1__0").is_err());
+        assert_eq!(
+            parse("k = 10_000").unwrap().root.get("k").unwrap().as_u64(),
+            Some(10_000)
+        );
+        let e = parse("ok = 1\nbroken").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

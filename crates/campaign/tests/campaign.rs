@@ -1,0 +1,153 @@
+//! Integration tests of the campaign subsystem: spec round-trips, cartesian
+//! expansion, and sharding determinism.
+
+use campaign::{expand, run_campaign, to_csv, to_json, CampaignSpec, EngineOptions, PRESETS};
+
+/// A deliberately mixed spec: 2 configs x 2 workloads x 2 seeds x 3
+/// mechanisms, short enough to simulate in a test.
+const SPEC: &str = r#"
+name = "integration"
+description = "integration test sweep"
+workloads = ["nutch", "streaming"]
+mechanisms = ["next-line", "fdip", "boomerang"]
+predictor = "tage"
+seeds = [0, 11]
+
+[run]
+trace_blocks = 2500
+warmup_blocks = 500
+
+[[config]]
+label = "table1"
+
+[[config]]
+label = "crossbar"
+noc = "crossbar"
+"#;
+
+#[test]
+fn spec_toml_round_trip() {
+    let spec = CampaignSpec::from_toml_str(SPEC).unwrap();
+    let text = spec.to_toml_string();
+    let again = CampaignSpec::from_toml_str(&text).unwrap();
+    assert_eq!(spec, again);
+    // And a second generation is a fixed point byte-wise.
+    assert_eq!(text, again.to_toml_string());
+}
+
+#[test]
+fn preset_specs_round_trip() {
+    for preset in PRESETS {
+        let spec = preset.spec();
+        let again = CampaignSpec::from_toml_str(&spec.to_toml_string()).unwrap();
+        assert_eq!(spec, again, "preset {}", preset.name);
+    }
+}
+
+#[test]
+fn cartesian_expansion_counts() {
+    let spec = CampaignSpec::from_toml_str(SPEC).unwrap();
+    assert_eq!(spec.cell_count(), 2 * 2 * 2 * 3);
+    let jobs = expand(&spec);
+    // Every (config, workload, seed) group gains one implicit baseline.
+    assert_eq!(jobs.len(), 2 * 2 * 2 * (3 + 1));
+    assert_eq!(jobs.iter().filter(|j| j.implicit_baseline).count(), 8);
+
+    // With baseline swept explicitly, no implicit jobs are added.
+    let with_baseline = CampaignSpec::from_toml_str(&SPEC.replace(
+        "[\"next-line\", \"fdip\", \"boomerang\"]",
+        "[\"baseline\", \"fdip\"]",
+    ))
+    .unwrap();
+    let jobs = expand(&with_baseline);
+    assert_eq!(jobs.len(), 2 * 2 * 2 * 2);
+    assert!(jobs.iter().all(|j| !j.implicit_baseline));
+}
+
+#[test]
+fn reports_are_byte_identical_across_worker_counts() {
+    let spec = CampaignSpec::from_toml_str(SPEC).unwrap();
+
+    let serial = run_campaign(
+        &spec,
+        &EngineOptions {
+            jobs: 1,
+            smoke: false,
+        },
+    )
+    .unwrap();
+    let sharded = run_campaign(
+        &spec,
+        &EngineOptions {
+            jobs: 8,
+            smoke: false,
+        },
+    )
+    .unwrap();
+
+    let (json_1, json_8) = (to_json(&serial), to_json(&sharded));
+    assert_eq!(json_1, json_8, "JSON report must not depend on --jobs");
+    assert_eq!(
+        to_csv(&serial),
+        to_csv(&sharded),
+        "CSV report must not depend on --jobs"
+    );
+
+    // Sanity on the content: every row simulated work and the baseline rows
+    // are their own reference.
+    assert_eq!(serial.rows.len(), expand(&spec).len());
+    for row in &serial.rows {
+        assert!(row.stats.instructions > 0);
+        if row.job.implicit_baseline {
+            assert_eq!(row.stats, row.baseline);
+        }
+    }
+}
+
+#[test]
+fn smoke_overrides_the_run_length() {
+    let spec = CampaignSpec::from_toml_str(SPEC).unwrap();
+    let report = run_campaign(
+        &spec,
+        &EngineOptions {
+            jobs: 4,
+            smoke: true,
+        },
+    )
+    .unwrap();
+    assert!(report.smoke);
+    assert_eq!(report.effective_run, boomerang::RunLength::smoke_test());
+    let json = to_json(&report);
+    assert!(json.contains("\"smoke\": true"));
+}
+
+#[test]
+fn distinct_seed_offsets_simulate_distinct_traces() {
+    let spec = CampaignSpec::from_toml_str(SPEC).unwrap();
+    let report = run_campaign(
+        &spec,
+        &EngineOptions {
+            jobs: 4,
+            smoke: false,
+        },
+    )
+    .unwrap();
+    let cycles_of = |seed: u64| {
+        report
+            .rows
+            .iter()
+            .find(|r| {
+                r.job.seed == seed
+                    && r.config_label == "table1"
+                    && r.job.workload.name() == "Nutch"
+                    && r.job.implicit_baseline
+            })
+            .map(|r| r.stats.cycles)
+            .unwrap()
+    };
+    assert_ne!(
+        cycles_of(0),
+        cycles_of(11),
+        "seed offsets must produce independent workload samples"
+    );
+}

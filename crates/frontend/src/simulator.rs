@@ -161,7 +161,13 @@ impl<'a> Simulator<'a> {
         let mut warmup_done = warmup_blocks == 0;
         // Generous safety bound: no workload needs more than ~200 cycles per
         // instruction even with a cold, prefetch-free front end.
-        let max_cycles = 500 + 200 * self.trace.iter().map(DynamicBlock::instructions).sum::<u64>();
+        let max_cycles = 500
+            + 200
+                * self
+                    .trace
+                    .iter()
+                    .map(DynamicBlock::instructions)
+                    .sum::<u64>();
         while self.committed_blocks < total && self.now < max_cycles {
             self.step();
             if !warmup_done && self.committed_blocks >= warmup_blocks {
@@ -203,6 +209,7 @@ impl<'a> Simulator<'a> {
         self.stats.prefetches_issued = h.prefetches_issued;
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn with_ctx<R>(
         config: &MicroarchConfig,
         layout: &'a CodeLayout,
@@ -465,7 +472,10 @@ impl<'a> Simulator<'a> {
         }
 
         let geometry = self.layout.geometry();
-        let mut budget = self.config.fetch_width.min(self.backend.free_slots() as u64);
+        let mut budget = self
+            .config
+            .fetch_width
+            .min(self.backend.free_slots() as u64);
         while budget > 0 && fetch.pos < fetch.entry.instructions {
             let pc = fetch.entry.start.add_instructions(fetch.pos);
             let line = geometry.line_of(pc);
@@ -576,11 +586,22 @@ mod tests {
     fn baseline_run_is_sane() {
         let (layout, trace) = setup();
         let stats = run(MicroarchConfig::hpca17(), &layout, &trace);
-        assert!(stats.instructions > 50_000, "instructions {}", stats.instructions);
-        assert!(stats.cycles > stats.instructions / 3, "cycles {}", stats.cycles);
+        assert!(
+            stats.instructions > 50_000,
+            "instructions {}",
+            stats.instructions
+        );
+        assert!(
+            stats.cycles > stats.instructions / 3,
+            "cycles {}",
+            stats.cycles
+        );
         let ipc = stats.ipc();
         assert!(ipc > 0.1 && ipc <= 3.0, "implausible IPC {ipc}");
-        assert!(stats.fetch_stall_cycles > 0, "a cold 32KB L1-I must stall sometimes");
+        assert!(
+            stats.fetch_stall_cycles > 0,
+            "a cold 32KB L1-I must stall sometimes"
+        );
         assert!(stats.squashes.total() > 0);
         assert!(stats.btb_lookups > 0);
         assert!(stats.miss_breakdown.total() == stats.fetch_stall_cycles);
@@ -617,7 +638,10 @@ mod tests {
             &layout,
             &trace,
         );
-        assert!(base.squashes.btb_miss > 0, "baseline must suffer BTB-miss squashes");
+        assert!(
+            base.squashes.btb_miss > 0,
+            "baseline must suffer BTB-miss squashes"
+        );
         assert_eq!(perfect.squashes.btb_miss, 0);
         assert!(perfect.cycles <= base.cycles);
     }
@@ -625,8 +649,16 @@ mod tests {
     #[test]
     fn bigger_btb_reduces_btb_miss_squashes() {
         let (layout, trace) = setup();
-        let small = run(MicroarchConfig::hpca17().with_btb_entries(256), &layout, &trace);
-        let large = run(MicroarchConfig::hpca17().with_btb_entries(32 * 1024), &layout, &trace);
+        let small = run(
+            MicroarchConfig::hpca17().with_btb_entries(256),
+            &layout,
+            &trace,
+        );
+        let large = run(
+            MicroarchConfig::hpca17().with_btb_entries(32 * 1024),
+            &layout,
+            &trace,
+        );
         assert!(
             large.squashes.btb_miss < small.squashes.btb_miss,
             "32K-entry BTB ({}) must squash less than 256-entry ({})",
@@ -659,8 +691,15 @@ mod tests {
         let stats = run(MicroarchConfig::hpca17(), &layout, &trace);
         assert!(stats.conditional_mispredictions <= stats.conditional_predictions);
         assert!(stats.btb_misses <= stats.btb_lookups);
-        assert!(stats.squashes.total() * 5 < stats.instructions, "squash rate implausible");
+        assert!(
+            stats.squashes.total() * 5 < stats.instructions,
+            "squash rate implausible"
+        );
         // Misprediction rate with TAGE on these workloads should be modest.
-        assert!(stats.misprediction_rate() < 0.2, "rate {}", stats.misprediction_rate());
+        assert!(
+            stats.misprediction_rate() < 0.2,
+            "rate {}",
+            stats.misprediction_rate()
+        );
     }
 }

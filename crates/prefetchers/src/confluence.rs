@@ -110,8 +110,13 @@ mod tests {
     fn run(mechanism: Box<dyn ControlFlowMechanism>) -> frontend::SimStats {
         let layout = CodeLayout::generate(&WorkloadProfile::tiny(61));
         let trace = Trace::generate_blocks(&layout, 25_000);
-        Simulator::new(MicroarchConfig::hpca17(), &layout, trace.blocks(), mechanism)
-            .run_with_warmup(2_000)
+        Simulator::new(
+            MicroarchConfig::hpca17(),
+            &layout,
+            trace.blocks(),
+            mechanism,
+        )
+        .run_with_warmup(2_000)
     }
 
     #[test]

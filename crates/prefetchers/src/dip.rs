@@ -25,7 +25,10 @@ impl Dip {
     /// Creates a DIP with a `capacity`-entry discontinuity table and a
     /// next-`next_line_degree`-line sequential prefetcher.
     pub fn new(capacity: usize, next_line_degree: u64) -> Self {
-        assert!(capacity > 0, "the discontinuity table needs at least one entry");
+        assert!(
+            capacity > 0,
+            "the discontinuity table needs at least one entry"
+        );
         Dip {
             table: HashMap::with_capacity(capacity),
             insertion_order: Vec::with_capacity(capacity),
@@ -41,8 +44,8 @@ impl Dip {
     }
 
     fn record(&mut self, from: CacheLine, to: CacheLine) {
-        if self.table.contains_key(&from) {
-            self.table.insert(from, to);
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.table.entry(from) {
+            e.insert(to);
             return;
         }
         if self.table.len() >= self.capacity {
@@ -109,7 +112,10 @@ mod tests {
         assert_eq!(dip.table_len(), 2);
         dip.record(CacheLine(3), CacheLine(300));
         assert_eq!(dip.table_len(), 2);
-        assert!(!dip.table.contains_key(&CacheLine(1)), "oldest entry evicted");
+        assert!(
+            !dip.table.contains_key(&CacheLine(1)),
+            "oldest entry evicted"
+        );
         // Re-recording an existing key updates in place without eviction.
         dip.record(CacheLine(2), CacheLine(999));
         assert_eq!(dip.table[&CacheLine(2)], CacheLine(999));

@@ -136,7 +136,10 @@ mod tests {
         // dip slightly because fewer squashes mean fewer wrong-path
         // prefetches that happen to land on the correct path (§VI-B).
         let delta = large.stall_coverage_vs(&baseline) - small.stall_coverage_vs(&baseline);
-        assert!(delta > -0.25, "coverage collapsed with a larger BTB: {delta}");
+        assert!(
+            delta > -0.25,
+            "coverage collapsed with a larger BTB: {delta}"
+        );
     }
 
     #[test]
@@ -147,12 +150,15 @@ mod tests {
         // noise of the baseline.
         assert!(fdip.squashes.btb_miss > 0);
         let ratio = fdip.squashes.btb_miss as f64 / baseline.squashes.btb_miss.max(1) as f64;
-        assert!(ratio > 0.5, "FDIP unexpectedly removed BTB-miss squashes ({ratio})");
+        assert!(
+            ratio > 0.5,
+            "FDIP unexpectedly removed BTB-miss squashes ({ratio})"
+        );
     }
 
     #[test]
     fn prefetch_engine_bookkeeping() {
-        let mut fdip = Fdip::new();
+        let fdip = Fdip::new();
         assert_eq!(fdip.pending(), 0);
         assert_eq!(fdip.issued(), 0);
         assert!(fdip.is_fetch_directed());

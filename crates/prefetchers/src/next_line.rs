@@ -95,6 +95,9 @@ mod tests {
             baseline.fetch_stall_cycles
         );
         // Sequential misses are what it covers; it cannot fix BTB misses.
-        assert_eq!(next_line.squashes.btb_miss > 0, baseline.squashes.btb_miss > 0);
+        assert_eq!(
+            next_line.squashes.btb_miss > 0,
+            baseline.squashes.btb_miss > 0
+        );
     }
 }

@@ -336,8 +336,13 @@ mod tests {
         let layout = CodeLayout::generate(&WorkloadProfile::tiny(53));
         let trace = Trace::generate_blocks(&layout, 25_000);
         let cfg = MicroarchConfig::hpca17();
-        let baseline = Simulator::new(cfg.clone(), &layout, trace.blocks(), Box::new(NoPrefetch::new()))
-            .run_with_warmup(2_000);
+        let baseline = Simulator::new(
+            cfg.clone(),
+            &layout,
+            trace.blocks(),
+            Box::new(NoPrefetch::new()),
+        )
+        .run_with_warmup(2_000);
         let pif = Simulator::new(cfg.clone(), &layout, trace.blocks(), Box::new(Pif::new()))
             .run_with_warmup(2_000);
         let shift = Simulator::new(cfg, &layout, trace.blocks(), Box::new(Shift::new()))
@@ -357,7 +362,7 @@ mod tests {
     fn storage_costs_match_the_papers_quotes() {
         let pif = Pif::new();
         let pif_kb = pif.storage_overhead_bits() / 8 / 1024;
-        assert!(pif_kb >= 180 && pif_kb <= 260, "PIF metadata {pif_kb} KB");
+        assert!((180..=260).contains(&pif_kb), "PIF metadata {pif_kb} KB");
         let shift = Shift::new();
         assert_eq!(shift.storage_overhead_bits() / 8 / 1024, 240);
         assert!(shift.lookup_latency() > 0);

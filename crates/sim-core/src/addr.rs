@@ -52,16 +52,12 @@ impl Addr {
 
     /// Absolute distance in bytes between two addresses.
     pub const fn distance(self, other: Addr) -> u64 {
-        if self.0 >= other.0 {
-            self.0 - other.0
-        } else {
-            other.0 - self.0
-        }
+        self.0.abs_diff(other.0)
     }
 
     /// Returns `true` if this address is aligned to instruction size.
     pub const fn is_instruction_aligned(self) -> bool {
-        self.0 % INSTRUCTION_BYTES == 0
+        self.0.is_multiple_of(INSTRUCTION_BYTES)
     }
 }
 
@@ -117,11 +113,7 @@ impl CacheLine {
     /// Absolute distance in lines between two cache lines — the x-axis of
     /// Figure 4 in the paper.
     pub const fn distance(self, other: CacheLine) -> u64 {
-        if self.0 >= other.0 {
-            self.0 - other.0
-        } else {
-            other.0 - self.0
-        }
+        self.0.abs_diff(other.0)
     }
 }
 

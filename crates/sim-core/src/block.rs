@@ -57,7 +57,8 @@ impl BasicBlock {
 
     /// Address of the last instruction (the branch, when present).
     pub fn last_instruction(&self) -> Addr {
-        self.start.add_instructions(self.instructions.saturating_sub(1))
+        self.start
+            .add_instructions(self.instructions.saturating_sub(1))
     }
 
     /// Address of the instruction immediately following the block.

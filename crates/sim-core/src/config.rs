@@ -251,17 +251,23 @@ impl MicroarchConfig {
         if !self.btb_entries.is_power_of_two() {
             return Err(ConfigError::new("btb_entries must be a power of two"));
         }
-        if self.btb_ways == 0 || self.btb_entries % self.btb_ways != 0 {
+        if self.btb_ways == 0 || !self.btb_entries.is_multiple_of(self.btb_ways) {
             return Err(ConfigError::new(
                 "btb_ways must be non-zero and divide btb_entries",
             ));
         }
-        if self.l1i_bytes % (self.line.line_bytes() * self.l1i_ways) != 0 {
+        if !self
+            .l1i_bytes
+            .is_multiple_of(self.line.line_bytes() * self.l1i_ways)
+        {
             return Err(ConfigError::new(
                 "l1i_bytes must be a multiple of line size times associativity",
             ));
         }
-        if self.llc_bytes % (self.line.line_bytes() * self.llc_ways) != 0 {
+        if !self
+            .llc_bytes
+            .is_multiple_of(self.line.line_bytes() * self.llc_ways)
+        {
             return Err(ConfigError::new(
                 "llc_bytes must be a multiple of line size times associativity",
             ));
@@ -299,7 +305,11 @@ impl ConfigError {
 
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid microarchitectural configuration: {}", self.message)
+        write!(
+            f,
+            "invalid microarchitectural configuration: {}",
+            self.message
+        )
     }
 }
 

@@ -15,6 +15,8 @@
 //!   speedup).
 //! * [`rng`] — deterministic, seedable random number helpers so that every
 //!   workload trace and every experiment is exactly reproducible.
+//! * [`pool`] — a small work-stealing thread pool on which the experiment
+//!   harness and the campaign engine shard their sweeps.
 //!
 //! # Example
 //!
@@ -36,6 +38,7 @@ pub mod addr;
 pub mod block;
 pub mod branch;
 pub mod config;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 

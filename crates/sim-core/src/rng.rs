@@ -76,7 +76,10 @@ impl SimRng {
     ///
     /// Panics if `weights` is empty or sums to zero.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
-        assert!(!weights.is_empty(), "weighted_index needs at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "weighted_index needs at least one weight"
+        );
         let total: f64 = weights.iter().copied().map(|w| w.max(0.0)).sum();
         assert!(total > 0.0, "weights must not all be zero");
         let mut draw = self.unit() * total;
@@ -120,8 +123,13 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = SimRng::seeded(1);
         let mut b = SimRng::seeded(2);
-        let same = (0..32).filter(|_| a.range_u64(0, 1 << 30) == b.range_u64(0, 1 << 30)).count();
-        assert!(same < 4, "independent seeds should rarely collide, got {same}/32");
+        let same = (0..32)
+            .filter(|_| a.range_u64(0, 1 << 30) == b.range_u64(0, 1 << 30))
+            .count();
+        assert!(
+            same < 4,
+            "independent seeds should rarely collide, got {same}/32"
+        );
     }
 
     #[test]

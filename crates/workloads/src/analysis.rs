@@ -77,11 +77,7 @@ impl BranchDistanceHistogram {
         if self.total == 0 {
             return 0.0;
         }
-        let upto: u64 = self
-            .buckets
-            .iter()
-            .take((d + 1) as usize)
-            .sum();
+        let upto: u64 = self.buckets.iter().take((d + 1) as usize).sum();
         upto as f64 / self.total as f64
     }
 

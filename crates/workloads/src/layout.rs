@@ -20,8 +20,7 @@
 use crate::profile::WorkloadProfile;
 use sim_core::rng::SimRng;
 use sim_core::{
-    Addr, BasicBlock, BranchInfo, BranchKind, CacheLine, LineGeometry,
-    MAX_BASIC_BLOCK_INSTRUCTIONS,
+    Addr, BasicBlock, BranchInfo, BranchKind, CacheLine, LineGeometry, MAX_BASIC_BLOCK_INSTRUCTIONS,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -466,8 +465,7 @@ impl Builder {
     fn plan_blocks(&mut self) -> Plan {
         let target_instructions = self.profile.footprint_bytes / sim_core::INSTRUCTION_BYTES;
         let utility_fraction = self.profile.hot_function_fraction.clamp(0.03, 0.4);
-        let service_instructions =
-            (target_instructions as f64 * (1.0 - utility_fraction)) as u64;
+        let service_instructions = (target_instructions as f64 * (1.0 - utility_fraction)) as u64;
         let num_roots = self.profile.service_roots.max(1);
         let per_subtree_instructions = (service_instructions / num_roots as u64).max(256);
 
@@ -549,7 +547,13 @@ impl Builder {
         // every service call site always has a valid lower layer to call.
         if !roles.contains(&Role::Utility) {
             let fid = FunctionId(functions.len() as u32);
-            self.plan_function(fid, Role::Utility, &mut planned, &mut functions, &mut cursor);
+            self.plan_function(
+                fid,
+                Role::Utility,
+                &mut planned,
+                &mut functions,
+                &mut cursor,
+            );
             roles.push(Role::Utility);
         }
 
@@ -621,7 +625,12 @@ impl Builder {
             t.jump,
             t.indirect_jump,
             t.early_return,
-            t.conditional() + if allow_calls { 0.0 } else { t.call + t.indirect_call },
+            t.conditional()
+                + if allow_calls {
+                    0.0
+                } else {
+                    t.call + t.indirect_call
+                },
         ];
         match self.rng.weighted_index(&weights) {
             0 => BranchKind::Call,
@@ -692,7 +701,9 @@ impl Builder {
                     // are strictly forward so that unconditional control flow
                     // alone can never form a cycle.
                     let n = 2 + self.rng.index(5);
-                    let targets = (0..n).map(|_| self.pick_forward_target(func, idx)).collect();
+                    let targets = (0..n)
+                        .map(|_| self.pick_forward_target(func, idx))
+                        .collect();
                     ControlFlow::IndirectJump { targets }
                 }
                 BranchKind::Conditional => {
@@ -785,7 +796,10 @@ impl Builder {
     /// skipping a geometrically distributed number of blocks.
     fn pick_forward_target(&mut self, func: &Function, from_idx: usize) -> BlockId {
         let last = (func.first_block + func.num_blocks - 1) as usize;
-        debug_assert!(from_idx < last, "forward jumps cannot originate from the last block");
+        debug_assert!(
+            from_idx < last,
+            "forward jumps cannot originate from the last block"
+        );
         let remaining = (last - from_idx) as u64;
         let skip = self.rng.geometric(3.0, remaining.max(1));
         BlockId((from_idx as u64 + skip) as u32)
@@ -820,7 +834,9 @@ impl Builder {
         distance_lines: u64,
         backward: bool,
     ) -> BlockId {
-        let from_pc = planned[from_idx].start.add_instructions(planned[from_idx].instructions - 1);
+        let from_pc = planned[from_idx]
+            .start
+            .add_instructions(planned[from_idx].instructions - 1);
         let line_bytes = self.geometry.line_bytes();
         let offset = distance_lines * line_bytes + self.rng.range_u64(0, line_bytes);
         let desired = if backward {
@@ -870,9 +886,7 @@ impl Builder {
         ];
         match self.rng.weighted_index(&weights) {
             0 => {
-                let trips = 2 + self
-                    .rng
-                    .geometric(mix.mean_trip_count.max(2.0) - 1.0, 24) as u32;
+                let trips = 2 + self.rng.geometric(mix.mean_trip_count.max(2.0) - 1.0, 24) as u32;
                 BranchBehavior::Loop { trip_count: trips }
             }
             1 => {
@@ -954,7 +968,10 @@ mod tests {
         let layout = tiny_layout();
         let mut expected = CODE_BASE;
         for b in layout.blocks() {
-            assert_eq!(b.block.start, expected, "blocks must be laid out contiguously");
+            assert_eq!(
+                b.block.start, expected,
+                "blocks must be laid out contiguously"
+            );
             expected = b.block.fall_through();
         }
         assert_eq!(expected, layout.code_end());
@@ -1051,7 +1068,10 @@ mod tests {
     fn next_branch_lookup_walks_forward() {
         let layout = tiny_layout();
         let first = &layout.blocks()[0];
-        assert_eq!(layout.next_branch_at_or_after(first.start()), Some(first.id));
+        assert_eq!(
+            layout.next_branch_at_or_after(first.start()),
+            Some(first.id)
+        );
         // Just past the first block's branch, the next branch is block 1's.
         let after = first.branch_pc().add_instructions(1);
         assert_eq!(layout.next_branch_at_or_after(after), Some(BlockId(1)));
@@ -1145,9 +1165,7 @@ mod tests {
     #[test]
     fn larger_profiles_generate_more_blocks() {
         let small = CodeLayout::generate(&WorkloadProfile::tiny(5));
-        let big = CodeLayout::generate(
-            &WorkloadProfile::tiny(5).with_footprint_bytes(160 * 1024),
-        );
+        let big = CodeLayout::generate(&WorkloadProfile::tiny(5).with_footprint_bytes(160 * 1024));
         assert!(big.blocks().len() > small.blocks().len());
         assert!(big.summary().instructions > small.summary().instructions);
     }

@@ -40,11 +40,7 @@ pub struct TerminatorMix {
 impl TerminatorMix {
     /// Fraction of blocks ending in a conditional branch.
     pub fn conditional(&self) -> f64 {
-        (1.0 - self.call
-            - self.indirect_call
-            - self.jump
-            - self.indirect_jump
-            - self.early_return)
+        (1.0 - self.call - self.indirect_call - self.jump - self.indirect_jump - self.early_return)
             .max(0.0)
     }
 

@@ -181,8 +181,7 @@ impl<'a> TraceGenerator<'a> {
                 // re-entering backward loops so control flows forward towards
                 // a return.
                 if is_taken
-                    && (self.over_soft_budget()
-                        || self.blocks_in_activation > ACTIVATION_SOFT_CAP)
+                    && (self.over_soft_budget() || self.blocks_in_activation > ACTIVATION_SOFT_CAP)
                     && self.layout.block(taken).start() <= static_block.branch_pc()
                 {
                     is_taken = false;

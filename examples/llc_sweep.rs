@@ -1,30 +1,40 @@
-//! LLC-latency sensitivity (the Figure 2/5/11 axis): sweeps the average LLC
-//! round-trip latency and reports FDIP's and Boomerang's stall-cycle coverage
-//! over the no-prefetch baseline on one workload.
+//! LLC-latency sensitivity (the Figure 2/5/11 axis) through the campaign
+//! API: loads `specs/llc_sweep.toml`, runs the declarative sweep sharded
+//! across the work-stealing pool, and prints FDIP's and Boomerang's
+//! stall-cycle coverage over the no-prefetch baseline at each LLC round-trip
+//! latency.
 //!
 //! Run with: `cargo run --release --example llc_sweep`
 
-use boomerang::{Mechanism, RunLength, WorkloadData};
-use sim_core::{MicroarchConfig, NocModel};
-use workloads::WorkloadKind;
+use boomerang::Mechanism;
+use campaign::{run_campaign, CampaignSpec, EngineOptions};
 
 fn main() {
-    let length = RunLength {
-        trace_blocks: 50_000,
-        warmup_blocks: 10_000,
-    };
-    let data = WorkloadData::generate(WorkloadKind::Apache, length);
-    println!("{:>11} {:>14} {:>17}", "LLC latency", "FDIP coverage", "Boomerang coverage");
-    for latency in [1u64, 10, 20, 30, 40, 50, 60, 70] {
-        let cfg = MicroarchConfig::hpca17().with_noc(NocModel::Fixed(latency));
-        let baseline = data.run(Mechanism::Baseline, &cfg);
-        let fdip = data.run(Mechanism::Fdip, &cfg);
-        let boom = data.run(Mechanism::Boomerang(Default::default()), &cfg);
+    let spec_path = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/llc_sweep.toml");
+    let text = std::fs::read_to_string(spec_path)
+        .unwrap_or_else(|e| panic!("cannot read {spec_path}: {e}"));
+    let spec = CampaignSpec::from_toml_str(&text).unwrap_or_else(|e| panic!("{spec_path}: {e}"));
+
+    let report = run_campaign(&spec, &EngineOptions::default()).expect("campaign run");
+
+    println!(
+        "{:>11} {:>14} {:>17}",
+        "LLC latency", "FDIP coverage", "Boomerang coverage"
+    );
+    for (config_idx, point) in spec.configs.iter().enumerate() {
+        let coverage = |mechanism: Mechanism| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.job.config == config_idx && r.job.mechanism == mechanism)
+                .map(|r| r.coverage() * 100.0)
+                .expect("spec sweeps this mechanism")
+        };
         println!(
             "{:>11} {:>13.1}% {:>16.1}%",
-            latency,
-            fdip.stall_coverage_vs(&baseline) * 100.0,
-            boom.stall_coverage_vs(&baseline) * 100.0
+            point.build().llc_round_trip(),
+            coverage(Mechanism::Fdip),
+            coverage(Mechanism::Boomerang(Default::default())),
         );
     }
 }

@@ -25,7 +25,11 @@ fn main() {
         baseline.squashes_per_kilo().total()
     );
 
-    for mechanism in [Mechanism::Fdip, Mechanism::Confluence, Mechanism::Boomerang(Default::default())] {
+    for mechanism in [
+        Mechanism::Fdip,
+        Mechanism::Confluence,
+        Mechanism::Boomerang(Default::default()),
+    ] {
         let stats = data.run(mechanism, &config);
         println!(
             "{:<12}: IPC {:.3}, coverage {:>5.1}%, BTB-miss squashes/k-instr {:.2}, speedup {:.3}x, metadata {} bytes",

@@ -1,0 +1,11 @@
+//! Umbrella package for the Boomerang reproduction workspace.
+//!
+//! This crate exists so the runnable walkthroughs in `examples/` have a
+//! package to live in; the actual functionality is in the workspace crates.
+//! Start from [`boomerang`] for the experiment API or [`campaign`] for the
+//! declarative campaign engine and the `boomerang-sim` CLI.
+
+#![warn(missing_docs)]
+
+pub use boomerang;
+pub use campaign;

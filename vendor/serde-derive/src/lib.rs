@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim.
+//!
+//! The workspace only uses serde derives as declarations of intent — nothing
+//! serializes through the serde data model at runtime (the `campaign` crate
+//! does its own TOML/JSON encoding). These derives therefore expand to
+//! nothing, which keeps every `#[derive(Serialize, Deserialize)]` in the tree
+//! compiling without the real proc-macro stack (syn/quote) available.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

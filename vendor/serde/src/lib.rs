@@ -1,0 +1,14 @@
+//! Minimal offline stand-in for the `serde` facade.
+//!
+//! Exposes the two trait names and the derive macros the workspace imports
+//! (`use serde::{Deserialize, Serialize}` + `#[derive(...)]`). The derives are
+//! no-ops and the traits are empty markers: no code in this tree serializes
+//! through the serde data model (see `vendor/README.md`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
