@@ -8,7 +8,7 @@
 
 use crate::mechanism::{Boomerang, ThrottlePolicy};
 use branch_pred::PredictorKind;
-use frontend::{ControlFlowMechanism, SimStats, Simulator};
+use frontend::{ControlFlowMechanism, SimEngine, SimStats, Simulator};
 use prefetchers::MechanismKind;
 use serde::{Deserialize, Serialize};
 use sim_core::MicroarchConfig;
@@ -178,6 +178,19 @@ impl WorkloadData {
         config: &MicroarchConfig,
         predictor: PredictorKind,
     ) -> SimStats {
+        self.run_with_predictor_engine(mechanism, config, predictor, SimEngine::default())
+    }
+
+    /// Runs `mechanism` on an explicit simulation engine (the benchmark
+    /// harness times the event-horizon engine against the per-cycle
+    /// reference on identical work; both produce bit-identical stats).
+    pub fn run_with_predictor_engine(
+        &self,
+        mechanism: Mechanism,
+        config: &MicroarchConfig,
+        predictor: PredictorKind,
+        engine: SimEngine,
+    ) -> SimStats {
         let mut sim = Simulator::with_predictor(
             config.clone(),
             &self.layout,
@@ -185,7 +198,7 @@ impl WorkloadData {
             mechanism.build(),
             predictor,
         );
-        sim.run_with_warmup(self.length.warmup_blocks)
+        sim.run_with_warmup_engine(self.length.warmup_blocks, engine)
     }
 }
 

@@ -149,6 +149,10 @@ impl ControlFlowMechanism for Boomerang {
         self.prefetcher.tick(ctx);
     }
 
+    fn next_tick_event(&self) -> Option<u64> {
+        self.prefetcher.next_tick_event()
+    }
+
     fn on_squash(&mut self, cause: SquashCause, ctx: &mut MechContext<'_>) {
         self.prefetcher.on_squash(cause, ctx);
     }
@@ -186,7 +190,7 @@ impl ControlFlowMechanism for Boomerang {
             // Predecode every walked block: the entry resolving the miss goes
             // straight to the BTB, the other branches go to the BTB prefetch
             // buffer.
-            for entry in ctx.predecode_line(line) {
+            for entry in frontend::predecode_line_iter(ctx.layout, line) {
                 if entry.target.is_none() {
                     continue; // indirect targets cannot be predecoded
                 }

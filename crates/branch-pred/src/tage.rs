@@ -31,33 +31,43 @@ struct TaggedTable {
 
 /// Folded-history helper: compresses an arbitrarily long global history into
 /// `target_bits` by XOR-folding, updated incrementally.
+///
+/// The mask and both XOR positions are fixed for the life of the fold, so
+/// they are precomputed at construction — `update` runs twice per tagged
+/// table on every branch outcome, and the `original_length % target_bits`
+/// division alone was a measurable slice of simulation time.
 #[derive(Clone, Debug)]
 struct FoldedHistory {
     folded: u64,
-    original_length: u32,
-    target_bits: u32,
+    mask: u64,
+    /// Position the incoming bit is XOR-folded into (`target_bits - 1`).
+    top_pos: u32,
+    /// Position the evicted bit leaves from (`original_length % target_bits`).
+    out_pos: u32,
 }
 
 impl FoldedHistory {
     fn new(original_length: u32, target_bits: u32) -> Self {
+        let target_bits = target_bits.max(1);
         FoldedHistory {
             folded: 0,
-            original_length,
-            target_bits: target_bits.max(1),
+            mask: (1u64 << target_bits) - 1,
+            top_pos: (target_bits - 1).min(63),
+            out_pos: original_length % target_bits,
         }
     }
 
+    #[inline]
     fn update(&mut self, new_bit: bool, evicted_bit: bool) {
-        let mask = (1u64 << self.target_bits) - 1;
         // Shift in the new bit.
-        self.folded = ((self.folded << 1) | u64::from(new_bit)) & mask;
-        self.folded ^= u64::from(new_bit) << (self.target_bits - 1).min(63);
+        self.folded = ((self.folded << 1) | u64::from(new_bit)) & self.mask;
+        self.folded ^= u64::from(new_bit) << self.top_pos;
         // Remove the bit that fell off the end of the original history.
-        let out_pos = self.original_length % self.target_bits;
-        self.folded ^= u64::from(evicted_bit) << out_pos;
-        self.folded &= mask;
+        self.folded ^= u64::from(evicted_bit) << self.out_pos;
+        self.folded &= self.mask;
     }
 
+    #[inline]
     fn value(&self) -> u64 {
         self.folded
     }
@@ -74,8 +84,12 @@ pub struct Tage {
     index_folds: Vec<FoldedHistory>,
     /// Folded histories for tag computation, one per tagged table.
     tag_folds: Vec<FoldedHistory>,
-    /// Global history as a shift register (most recent bit is bit 0).
-    history: Vec<bool>,
+    /// Global history as a ring buffer: the logically `i`-th most recent bit
+    /// lives at `history[(history_head + i) & history_mask]`, so pushing a
+    /// bit moves the head instead of memmoving the whole register.
+    history: Box<[bool]>,
+    history_head: usize,
+    history_mask: usize,
     max_history: u32,
     /// "use alternate on newly allocated" counter.
     use_alt_on_na: i8,
@@ -125,7 +139,9 @@ impl Tage {
             tables,
             index_folds,
             tag_folds,
-            history: vec![false; max_history as usize + 1],
+            history: vec![false; (max_history as usize + 1).next_power_of_two()].into_boxed_slice(),
+            history_head: 0,
+            history_mask: (max_history as usize + 1).next_power_of_two() - 1,
             max_history,
             use_alt_on_na: 0,
             lfsr: 0x1234_5678_9abc_def0,
@@ -181,18 +197,16 @@ impl Tage {
     }
 
     fn push_history(&mut self, taken: bool) {
-        // The history vector keeps max_history + 1 bits so that folded
-        // histories can observe the evicted bit.
-        let evicted_index = self.max_history as usize;
+        // The ring keeps at least max_history + 1 bits so that folded
+        // histories can observe the bit each table's window evicts.
         for t in 0..self.tables.len() {
             let hl = self.tables[t].history_length as usize;
-            let evicted = self.history[hl - 1];
+            let evicted = self.history[(self.history_head + hl - 1) & self.history_mask];
             self.index_folds[t].update(taken, evicted);
             self.tag_folds[t].update(taken, evicted);
         }
-        self.history.rotate_right(1);
-        self.history[0] = taken;
-        debug_assert!(self.history.len() == evicted_index + 1);
+        self.history_head = (self.history_head + self.history_mask) & self.history_mask;
+        self.history[self.history_head] = taken;
     }
 }
 

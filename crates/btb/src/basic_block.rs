@@ -24,7 +24,17 @@ use sim_core::Addr;
 /// ```
 #[derive(Clone, Debug)]
 pub struct BasicBlockBtb {
-    sets: Vec<Vec<Way>>,
+    /// Way tags in one flat allocation, stride-indexed: set `s` occupies
+    /// `tags[s * ways .. (s + 1) * ways]`. Tags are scanned on every BPU
+    /// lookup, so they carry only the block start and LRU stamp (16 bytes a
+    /// way — a whole 4-way set fits one cache line); the full entries live
+    /// in the parallel `entries` array, touched only on a hit. A `last_use`
+    /// of zero marks an empty way (the stamp is pre-incremented, so live
+    /// ways carry non-zero stamps); ways fill lowest-index-first, preserving
+    /// the iteration order of the original `Vec<Vec<_>>` representation.
+    tags: Box<[WayTag]>,
+    entries: Box<[BtbEntry]>,
+    num_sets: usize,
     ways: usize,
     set_mask: u64,
     lookups: u64,
@@ -33,11 +43,33 @@ pub struct BasicBlockBtb {
     stamp: u64,
 }
 
-#[derive(Clone, Debug)]
-struct Way {
-    entry: BtbEntry,
+#[derive(Clone, Copy, Debug)]
+struct WayTag {
+    block_start: Addr,
     last_use: u64,
 }
+
+impl WayTag {
+    const EMPTY: WayTag = WayTag {
+        block_start: Addr::new(0),
+        last_use: 0,
+    };
+
+    fn is_occupied(&self) -> bool {
+        self.last_use != 0
+    }
+
+    fn holds(&self, block_start: Addr) -> bool {
+        self.last_use != 0 && self.block_start == block_start
+    }
+}
+
+const FILLER_ENTRY: BtbEntry = BtbEntry {
+    block_start: Addr::new(0),
+    block_size: 1,
+    kind: sim_core::BranchKind::DirectJump,
+    target: None,
+};
 
 impl BasicBlockBtb {
     /// Creates a BTB with `entries` total entries and `ways` associativity.
@@ -57,7 +89,9 @@ impl BasicBlockBtb {
         );
         let num_sets = (entries / ways) as usize;
         BasicBlockBtb {
-            sets: vec![Vec::with_capacity(ways as usize); num_sets],
+            tags: vec![WayTag::EMPTY; entries as usize].into_boxed_slice(),
+            entries: vec![FILLER_ENTRY; entries as usize].into_boxed_slice(),
+            num_sets,
             ways: ways as usize,
             set_mask: num_sets as u64 - 1,
             lookups: 0,
@@ -69,12 +103,12 @@ impl BasicBlockBtb {
 
     /// Total capacity in entries.
     pub fn capacity(&self) -> u64 {
-        (self.sets.len() * self.ways) as u64
+        (self.num_sets * self.ways) as u64
     }
 
     /// Number of entries currently resident.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.tags.iter().filter(|w| w.is_occupied()).count()
     }
 
     /// `true` if the BTB holds no entries.
@@ -101,34 +135,38 @@ impl BasicBlockBtb {
         }
     }
 
-    fn set_index(&self, block_start: Addr) -> usize {
-        ((block_start.raw() >> 2) & self.set_mask) as usize
+    /// Index of the first way of the set holding `block_start`.
+    fn set_base(&self, block_start: Addr) -> usize {
+        ((block_start.raw() >> 2) & self.set_mask) as usize * self.ways
+    }
+
+    /// Way index of `block_start` within its set, if resident.
+    fn find_way(&self, block_start: Addr) -> Option<usize> {
+        let base = self.set_base(block_start);
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|w| w.holds(block_start))
+            .map(|i| base + i)
     }
 
     /// Looks up the entry for the basic block starting at `block_start`.
     pub fn lookup(&mut self, block_start: Addr) -> BtbLookup {
         self.lookups += 1;
         self.stamp += 1;
-        let stamp = self.stamp;
-        let set = self.set_index(block_start);
-        for way in &mut self.sets[set] {
-            if way.entry.block_start == block_start {
-                way.last_use = stamp;
+        match self.find_way(block_start) {
+            Some(way) => {
+                self.tags[way].last_use = self.stamp;
                 self.hits += 1;
-                return BtbLookup::Hit(way.entry);
+                BtbLookup::Hit(self.entries[way])
             }
+            None => BtbLookup::Miss,
         }
-        BtbLookup::Miss
     }
 
     /// Checks for an entry without updating statistics or LRU state (used by
     /// prefetchers probing the BTB).
     pub fn probe(&self, block_start: Addr) -> Option<BtbEntry> {
-        let set = self.set_index(block_start);
-        self.sets[set]
-            .iter()
-            .find(|w| w.entry.block_start == block_start)
-            .map(|w| w.entry)
+        self.find_way(block_start).map(|way| self.entries[way])
     }
 
     /// Inserts or updates an entry, evicting the LRU way of its set if full.
@@ -136,52 +174,47 @@ impl BasicBlockBtb {
         self.insertions += 1;
         self.stamp += 1;
         let stamp = self.stamp;
-        let ways = self.ways;
-        let set_idx = self.set_index(entry.block_start);
-        let set = &mut self.sets[set_idx];
-        if let Some(way) = set
-            .iter_mut()
-            .find(|w| w.entry.block_start == entry.block_start)
-        {
-            way.entry = entry;
-            way.last_use = stamp;
+        if let Some(way) = self.find_way(entry.block_start) {
+            self.entries[way] = entry;
+            self.tags[way].last_use = stamp;
             return;
         }
-        if set.len() < ways {
-            set.push(Way {
-                entry,
-                last_use: stamp,
-            });
-            return;
-        }
-        let victim = set
-            .iter_mut()
-            .min_by_key(|w| w.last_use)
-            .expect("a full set always has a victim");
-        *victim = Way {
-            entry,
+        let base = self.set_base(entry.block_start);
+        let set = &mut self.tags[base..base + self.ways];
+        let way = match set.iter().position(|w| !w.is_occupied()) {
+            Some(empty) => base + empty,
+            None => {
+                let victim = set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.last_use)
+                    .expect("a full set always has a victim")
+                    .0;
+                base + victim
+            }
+        };
+        self.tags[way] = WayTag {
+            block_start: entry.block_start,
             last_use: stamp,
         };
+        self.entries[way] = entry;
     }
 
     /// Updates the stored target of an existing entry (used when an indirect
     /// branch resolves to a new target). Returns `true` if the entry existed.
     pub fn update_target(&mut self, block_start: Addr, target: Addr) -> bool {
-        let set = self.set_index(block_start);
-        for way in &mut self.sets[set] {
-            if way.entry.block_start == block_start {
-                way.entry.target = Some(target);
-                return true;
+        match self.find_way(block_start) {
+            Some(way) => {
+                self.entries[way].target = Some(target);
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Removes every entry (used between experiment phases).
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.tags.fill(WayTag::EMPTY);
     }
 }
 

@@ -8,13 +8,27 @@
 //! entry into the BTB.
 
 use crate::BtbEntry;
-use sim_core::Addr;
-use std::collections::VecDeque;
+use sim_core::{Addr, FxHashMap, OrderQueue};
 
-/// A small FIFO buffer of prefilled BTB entries (32 entries in the paper).
+/// A small FIFO buffer of prefilled BTB entries (32 entries in the paper),
+/// indexed by block start address.
+///
+/// The BPU probes this buffer on every BTB lookup, and Boomerang's BTB miss
+/// probe inserts a burst of entries per predecoded line, so both `insert`
+/// and `take` sit on the simulator's hot path. Entries live in a hash index
+/// keyed by block start; an [`OrderQueue`] of `(addr, generation)` slots
+/// remembers the replacement order, with slots whose generation no longer
+/// matches the index (taken entries) skipped during eviction and compacted
+/// away in amortised O(1).
 #[derive(Clone, Debug)]
 pub struct BtbPrefetchBuffer {
-    entries: VecDeque<BtbEntry>,
+    /// Insertion order with tombstone skipping.
+    order: OrderQueue<Addr>,
+    /// Live entries with the generation of their FIFO slot. An in-place
+    /// update (§IV-B re-predecode of the same block) keeps the generation,
+    /// and therefore the original FIFO position.
+    index: FxHashMap<Addr, (BtbEntry, u64)>,
+    next_generation: u64,
     capacity: usize,
     hits: u64,
     inserts: u64,
@@ -32,7 +46,9 @@ impl BtbPrefetchBuffer {
             "the BTB prefetch buffer needs at least one entry"
         );
         BtbPrefetchBuffer {
-            entries: VecDeque::with_capacity(capacity),
+            order: OrderQueue::new(2 * capacity),
+            index: FxHashMap::default(),
+            next_generation: 0,
             capacity,
             hits: 0,
             inserts: 0,
@@ -41,12 +57,12 @@ impl BtbPrefetchBuffer {
 
     /// Number of entries currently buffered.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// `true` if the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 
     /// Capacity in entries.
@@ -68,42 +84,45 @@ impl BtbPrefetchBuffer {
     /// (first-in-first-out replacement, §IV-B).
     pub fn insert(&mut self, entry: BtbEntry) {
         self.inserts += 1;
-        if let Some(existing) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.block_start == entry.block_start)
-        {
+        if let Some((existing, _)) = self.index.get_mut(&entry.block_start) {
             *existing = entry;
             return;
         }
-        if self.entries.len() == self.capacity {
-            self.entries.pop_front();
+        if self.index.len() == self.capacity {
+            let index = &self.index;
+            if let Some(victim) = self
+                .order
+                .pop_oldest_live(|a, gen| index.get(a).is_some_and(|&(_, g)| g == gen))
+            {
+                self.index.remove(&victim);
+            }
         }
-        self.entries.push_back(entry);
+        let index = &self.index;
+        self.order
+            .maybe_compact(|a, gen| index.get(a).is_some_and(|&(_, g)| g == gen));
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        self.order.push(entry.block_start, generation);
+        self.index.insert(entry.block_start, (entry, generation));
     }
 
     /// Looks up (and removes) the entry for the block starting at
     /// `block_start`. A hit means the entry is being promoted into the BTB.
     pub fn take(&mut self, block_start: Addr) -> Option<BtbEntry> {
-        let pos = self
-            .entries
-            .iter()
-            .position(|e| e.block_start == block_start)?;
+        let (entry, _) = self.index.remove(&block_start)?;
         self.hits += 1;
-        self.entries.remove(pos)
+        Some(entry)
     }
 
     /// Checks for an entry without removing it.
     pub fn peek(&self, block_start: Addr) -> Option<BtbEntry> {
-        self.entries
-            .iter()
-            .find(|e| e.block_start == block_start)
-            .copied()
+        self.index.get(&block_start).map(|&(entry, _)| entry)
     }
 
     /// Discards all buffered entries.
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.order.clear();
+        self.index.clear();
     }
 
     /// Storage cost in bits: each entry holds a 46-bit tag, 30-bit target,
@@ -163,6 +182,30 @@ mod tests {
         buf.insert(entry(0x1000));
         buf.insert(entry(0x1000));
         assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn taken_entry_does_not_shield_later_entries_from_eviction() {
+        let mut buf = BtbPrefetchBuffer::new(2);
+        buf.insert(entry(0x1000));
+        buf.insert(entry(0x2000));
+        assert!(buf.take(Addr::new(0x1000)).is_some());
+        buf.insert(entry(0x1000)); // re-inserted: now the newest
+        buf.insert(entry(0x3000)); // must evict 0x2000, the oldest live
+        assert!(buf.peek(Addr::new(0x2000)).is_none());
+        assert!(buf.peek(Addr::new(0x1000)).is_some());
+        assert!(buf.peek(Addr::new(0x3000)).is_some());
+    }
+
+    #[test]
+    fn order_queue_stays_bounded_under_take_insert_churn() {
+        let mut buf = BtbPrefetchBuffer::new(4);
+        for i in 0..10_000u64 {
+            buf.insert(entry(0x1000 + i * 0x40));
+            assert!(buf.take(Addr::new(0x1000 + i * 0x40)).is_some());
+            assert!(buf.order.slot_count() <= 2 * buf.capacity() + 1);
+        }
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -9,8 +9,10 @@
 
 use crate::prefetch_buffer::LinePrefetchBuffer;
 use crate::set_assoc::SetAssocCache;
+use sim_core::FxHashMap;
 use sim_core::{CacheLine, Latency, MicroarchConfig};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Where a demand fetch was satisfied.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -37,11 +39,60 @@ pub struct DemandOutcome {
     pub level: HitLevel,
 }
 
-/// An outstanding (in-flight) prefetch fill. Demand misses are charged their
+/// Outstanding (in-flight) prefetch fills. Demand misses are charged their
 /// full latency at access time, so only prefetch fills need tracking.
-#[derive(Clone, Copy, Debug)]
-struct OutstandingFill {
-    ready_at: u64,
+///
+/// Two structures share the work on the hot path: a `HashMap` answering O(1)
+/// membership/ready-time queries, and a min-heap ordered by `(ready_at,
+/// line)` from which completed fills drain in deterministic completion order
+/// without the per-access `Vec`-collect-and-sort the previous implementation
+/// paid. Fills promoted out of the map early (demand hits on in-flight
+/// lines) leave stale heap entries behind; the drain loop detects them by
+/// comparing the popped `ready_at` against the map and skips them.
+#[derive(Clone, Debug, Default)]
+struct FillQueue {
+    ready_at: FxHashMap<CacheLine, u64>,
+    heap: BinaryHeap<Reverse<(u64, CacheLine)>>,
+}
+
+impl FillQueue {
+    fn len(&self) -> usize {
+        self.ready_at.len()
+    }
+
+    fn contains(&self, line: CacheLine) -> bool {
+        self.ready_at.contains_key(&line)
+    }
+
+    fn get(&self, line: CacheLine) -> Option<u64> {
+        self.ready_at.get(&line).copied()
+    }
+
+    fn insert(&mut self, line: CacheLine, ready_at: u64) {
+        self.ready_at.insert(line, ready_at);
+        self.heap.push(Reverse((ready_at, line)));
+    }
+
+    fn remove(&mut self, line: CacheLine) {
+        // The heap entry goes stale and is skipped when popped.
+        self.ready_at.remove(&line);
+    }
+
+    /// Pops the next fill completing at or before `now`, in `(ready_at,
+    /// line)` order — the same order the previous sort established.
+    fn pop_ready(&mut self, now: u64) -> Option<CacheLine> {
+        while let Some(&Reverse((ready_at, line))) = self.heap.peek() {
+            if ready_at > now {
+                return None;
+            }
+            self.heap.pop();
+            if self.ready_at.get(&line) == Some(&ready_at) {
+                self.ready_at.remove(&line);
+                return Some(line);
+            }
+        }
+        None
+    }
 }
 
 /// Statistics of the instruction hierarchy.
@@ -89,7 +140,7 @@ pub struct InstructionHierarchy {
     l1i: SetAssocCache,
     prefetch_buffer: LinePrefetchBuffer,
     llc: SetAssocCache,
-    outstanding: HashMap<CacheLine, OutstandingFill>,
+    outstanding: FillQueue,
     l1_latency: Latency,
     llc_latency: Latency,
     memory_latency: Latency,
@@ -104,7 +155,7 @@ impl InstructionHierarchy {
             l1i: SetAssocCache::new(config.l1i_lines(), config.l1i_ways),
             prefetch_buffer: LinePrefetchBuffer::new(config.l1i_prefetch_buffer_entries),
             llc: SetAssocCache::new(config.llc_lines(), config.llc_ways),
-            outstanding: HashMap::new(),
+            outstanding: FillQueue::default(),
             l1_latency: config.l1i_latency,
             llc_latency: config.llc_round_trip(),
             memory_latency: config.memory_latency(),
@@ -126,22 +177,11 @@ impl InstructionHierarchy {
     /// Completes any outstanding fills that are ready at `now`, installing
     /// them into the L1-I (demand fills) or the prefetch buffer (prefetches).
     pub fn drain_completed_fills(&mut self, now: u64) {
-        if self.outstanding.is_empty() {
-            return;
-        }
-        let mut ready: Vec<(u64, CacheLine)> = self
-            .outstanding
-            .iter()
-            .filter(|(_, f)| f.ready_at <= now)
-            .map(|(&l, f)| (f.ready_at, l))
-            .collect();
-        // Install in completion order (line id breaking ties), not HashMap
-        // iteration order: the prefetch buffer is a bounded FIFO, so the
-        // install order decides who survives eviction, and it must not vary
-        // between otherwise-identical runs.
-        ready.sort_unstable();
-        for (_, line) in ready {
-            self.outstanding.remove(&line);
+        // Install in completion order (line id breaking ties), which the fill
+        // queue's heap yields directly: the prefetch buffer is a bounded
+        // FIFO, so the install order decides who survives eviction, and it
+        // must not vary between otherwise-identical runs.
+        while let Some(line) = self.outstanding.pop_ready(now) {
             if let Some(evicted_unused) = self.prefetch_buffer.insert(line) {
                 if evicted_unused {
                     self.stats.prefetches_unused += 1;
@@ -190,9 +230,9 @@ impl InstructionHierarchy {
 
         // In-flight fill: wait out the remaining latency, then treat the line
         // as a demand fill into the L1-I.
-        if let Some(fill) = self.outstanding.get(&line).copied() {
-            let remaining = fill.ready_at.saturating_sub(now).max(1);
-            self.outstanding.remove(&line);
+        if let Some(ready_at) = self.outstanding.get(line) {
+            let remaining = ready_at.saturating_sub(now).max(1);
+            self.outstanding.remove(line);
             self.l1i.insert(line);
             self.stats.inflight_hits += 1;
             return DemandOutcome {
@@ -227,7 +267,7 @@ impl InstructionHierarchy {
         if self.perfect_l1i
             || self.l1i.contains(line)
             || self.prefetch_buffer.contains(line)
-            || self.outstanding.contains_key(&line)
+            || self.outstanding.contains(line)
         {
             self.stats.prefetches_redundant += 1;
             return false;
@@ -238,12 +278,7 @@ impl InstructionHierarchy {
             self.llc.insert(line);
             self.memory_latency
         };
-        self.outstanding.insert(
-            line,
-            OutstandingFill {
-                ready_at: now + latency,
-            },
-        );
+        self.outstanding.insert(line, now + latency);
         self.stats.prefetches_issued += 1;
         true
     }
@@ -263,8 +298,8 @@ impl InstructionHierarchy {
         if self.present(line) {
             return self.l1_latency;
         }
-        if let Some(fill) = self.outstanding.get(&line) {
-            return fill.ready_at.saturating_sub(now).max(1) + self.l1_latency;
+        if let Some(ready_at) = self.outstanding.get(line) {
+            return ready_at.saturating_sub(now).max(1) + self.l1_latency;
         }
         let latency = if self.llc.contains(line) {
             self.llc_latency
@@ -274,12 +309,7 @@ impl InstructionHierarchy {
         };
         // The probe's fill lands in the prefetch buffer so that the
         // subsequent demand fetch of the same block hits.
-        self.outstanding.insert(
-            line,
-            OutstandingFill {
-                ready_at: now + latency,
-            },
-        );
+        self.outstanding.insert(line, now + latency);
         self.stats.prefetches_issued += 1;
         latency + self.l1_latency
     }

@@ -4,13 +4,23 @@
 //! L1-I, so that wrong-path or useless prefetches do not pollute the cache. A
 //! demand hit promotes the line into the L1-I; unused lines age out FIFO.
 
-use sim_core::CacheLine;
-use std::collections::VecDeque;
+use sim_core::{CacheLine, FxHashMap, OrderQueue};
 
-/// A FIFO buffer of prefetched cache lines.
+/// A FIFO buffer of prefetched cache lines with O(1) membership.
+///
+/// `contains` and `take` used to scan the FIFO linearly on every demand
+/// fetch; the buffer now keeps a hash index from line to the *generation* of
+/// its live FIFO slot. A `take` simply drops the index entry, leaving a
+/// tombstone in the [`OrderQueue`]; eviction and its amortised compaction
+/// skip slots whose generation no longer matches the index, so FIFO eviction
+/// order is exactly what the scan-based implementation produced.
 #[derive(Clone, Debug)]
 pub struct LinePrefetchBuffer {
-    lines: VecDeque<CacheLine>,
+    /// Insertion order with tombstone skipping.
+    order: OrderQueue<CacheLine>,
+    /// Live lines mapped to the generation of their slot in `order`.
+    index: FxHashMap<CacheLine, u64>,
+    next_generation: u64,
     capacity: usize,
     hits: u64,
     evicted_unused: u64,
@@ -25,7 +35,9 @@ impl LinePrefetchBuffer {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "the prefetch buffer needs at least one entry");
         LinePrefetchBuffer {
-            lines: VecDeque::with_capacity(capacity),
+            order: OrderQueue::new(2 * capacity),
+            index: FxHashMap::default(),
+            next_generation: 0,
             capacity,
             hits: 0,
             evicted_unused: 0,
@@ -34,12 +46,12 @@ impl LinePrefetchBuffer {
 
     /// Number of lines currently buffered.
     pub fn len(&self) -> usize {
-        self.lines.len()
+        self.index.len()
     }
 
     /// `true` if the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.lines.is_empty()
+        self.index.is_empty()
     }
 
     /// Capacity in lines.
@@ -59,7 +71,7 @@ impl LinePrefetchBuffer {
 
     /// `true` if `line` is buffered.
     pub fn contains(&self, line: CacheLine) -> bool {
-        self.lines.contains(&line)
+        self.index.contains_key(&line)
     }
 
     /// Inserts a prefetched line. Returns `Some(true)` if an unused line was
@@ -70,19 +82,30 @@ impl LinePrefetchBuffer {
             return None;
         }
         let mut evicted = false;
-        if self.lines.len() == self.capacity {
-            self.lines.pop_front();
-            self.evicted_unused += 1;
-            evicted = true;
+        if self.index.len() == self.capacity {
+            let index = &self.index;
+            if let Some(victim) = self
+                .order
+                .pop_oldest_live(|l, gen| index.get(l) == Some(&gen))
+            {
+                self.index.remove(&victim);
+                self.evicted_unused += 1;
+                evicted = true;
+            }
         }
-        self.lines.push_back(line);
+        let index = &self.index;
+        self.order
+            .maybe_compact(|l, gen| index.get(l) == Some(&gen));
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        self.order.push(line, generation);
+        self.index.insert(line, generation);
         Some(evicted)
     }
 
     /// Removes `line` on a demand hit, returning `true` if it was present.
     pub fn take(&mut self, line: CacheLine) -> bool {
-        if let Some(pos) = self.lines.iter().position(|&l| l == line) {
-            self.lines.remove(pos);
+        if self.index.remove(&line).is_some() {
             self.hits += 1;
             true
         } else {
@@ -92,7 +115,8 @@ impl LinePrefetchBuffer {
 
     /// Discards all buffered lines.
     pub fn clear(&mut self) {
-        self.lines.clear();
+        self.order.clear();
+        self.index.clear();
     }
 }
 
@@ -128,6 +152,37 @@ mod tests {
         assert!(!b.contains(CacheLine(1)));
         assert_eq!(b.evicted_unused(), 1);
         assert_eq!(b.capacity(), 2);
+    }
+
+    #[test]
+    fn reinserted_line_keeps_its_new_fifo_position() {
+        let mut b = LinePrefetchBuffer::new(2);
+        b.insert(CacheLine(1));
+        b.insert(CacheLine(2));
+        assert!(b.take(CacheLine(1)));
+        b.insert(CacheLine(1)); // re-inserted: now the newest, not the oldest
+        assert_eq!(b.insert(CacheLine(3)), Some(true));
+        assert!(b.contains(CacheLine(1)), "re-inserted line must survive");
+        assert!(
+            !b.contains(CacheLine(2)),
+            "oldest live line must be evicted"
+        );
+        assert!(b.contains(CacheLine(3)));
+    }
+
+    #[test]
+    fn order_queue_stays_bounded_under_take_insert_churn() {
+        let mut b = LinePrefetchBuffer::new(4);
+        for i in 0..10_000u64 {
+            b.insert(CacheLine(i));
+            assert!(b.take(CacheLine(i)));
+            assert!(
+                b.order.slot_count() <= 2 * b.capacity() + 1,
+                "stale slots must be compacted, got {}",
+                b.order.slot_count()
+            );
+        }
+        assert!(b.is_empty());
     }
 
     #[test]

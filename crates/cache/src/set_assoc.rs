@@ -22,7 +22,14 @@ use sim_core::CacheLine;
 /// ```
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
-    sets: Vec<Vec<WayState>>,
+    /// All ways of all sets in one flat allocation, stride-indexed: set `s`
+    /// occupies `slots[s * ways .. (s + 1) * ways]`. A `last_use` of zero
+    /// marks an empty way (the stamp is pre-incremented, so live ways always
+    /// carry a non-zero stamp); within a set, ways fill lowest-index-first,
+    /// which preserves the insertion-order iteration the previous
+    /// `Vec<Vec<_>>` representation had.
+    slots: Box<[WayState]>,
+    num_sets: usize,
     ways: usize,
     set_mask: u64,
     stamp: u64,
@@ -34,6 +41,21 @@ pub struct SetAssocCache {
 struct WayState {
     line: CacheLine,
     last_use: u64,
+}
+
+impl WayState {
+    const EMPTY: WayState = WayState {
+        line: CacheLine(0),
+        last_use: 0,
+    };
+
+    fn is_occupied(&self) -> bool {
+        self.last_use != 0
+    }
+
+    fn holds(&self, line: CacheLine) -> bool {
+        self.last_use != 0 && self.line == line
+    }
 }
 
 impl SetAssocCache {
@@ -54,7 +76,8 @@ impl SetAssocCache {
         );
         let num_sets = (lines / ways) as usize;
         SetAssocCache {
-            sets: vec![Vec::with_capacity(ways as usize); num_sets],
+            slots: vec![WayState::EMPTY; lines as usize].into_boxed_slice(),
+            num_sets,
             ways: ways as usize,
             set_mask: num_sets as u64 - 1,
             stamp: 0,
@@ -65,12 +88,12 @@ impl SetAssocCache {
 
     /// Total capacity in lines.
     pub fn capacity(&self) -> u64 {
-        (self.sets.len() * self.ways) as u64
+        (self.num_sets * self.ways) as u64
     }
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.slots.iter().filter(|w| w.is_occupied()).count()
     }
 
     /// `true` if the cache holds no lines.
@@ -88,14 +111,17 @@ impl SetAssocCache {
         self.misses
     }
 
-    fn set_index(&self, line: CacheLine) -> usize {
-        (line.0 & self.set_mask) as usize
+    /// The flat-slice range holding `line`'s set.
+    fn set_range(&self, line: CacheLine) -> std::ops::Range<usize> {
+        let set = (line.0 & self.set_mask) as usize;
+        set * self.ways..(set + 1) * self.ways
     }
 
     /// Checks residence without touching LRU state or statistics.
     pub fn contains(&self, line: CacheLine) -> bool {
-        let set = self.set_index(line);
-        self.sets[set].iter().any(|w| w.line == line)
+        self.slots[self.set_range(line)]
+            .iter()
+            .any(|w| w.holds(line))
     }
 
     /// Accesses `line`: returns `true` on a hit (updating LRU and
@@ -104,9 +130,9 @@ impl SetAssocCache {
     pub fn access(&mut self, line: CacheLine) -> bool {
         self.stamp += 1;
         let stamp = self.stamp;
-        let set = self.set_index(line);
-        for way in &mut self.sets[set] {
-            if way.line == line {
+        let range = self.set_range(line);
+        for way in &mut self.slots[range] {
+            if way.holds(line) {
                 way.last_use = stamp;
                 self.hits += 1;
                 return true;
@@ -121,18 +147,17 @@ impl SetAssocCache {
     pub fn insert(&mut self, line: CacheLine) -> Option<CacheLine> {
         self.stamp += 1;
         let stamp = self.stamp;
-        let ways = self.ways;
-        let set_idx = self.set_index(line);
-        let set = &mut self.sets[set_idx];
-        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
+        let range = self.set_range(line);
+        let set = &mut self.slots[range];
+        if let Some(way) = set.iter_mut().find(|w| w.holds(line)) {
             way.last_use = stamp;
             return None;
         }
-        if set.len() < ways {
-            set.push(WayState {
+        if let Some(empty) = set.iter_mut().find(|w| !w.is_occupied()) {
+            *empty = WayState {
                 line,
                 last_use: stamp,
-            });
+            };
             return None;
         }
         let victim = set
@@ -149,9 +174,7 @@ impl SetAssocCache {
 
     /// Removes every line.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.slots.fill(WayState::EMPTY);
     }
 }
 

@@ -3,10 +3,11 @@
 //! ```text
 //! boomerang-sim run <spec.toml> [--jobs N] [--smoke] [--out DIR] [--quiet]
 //! boomerang-sim run --preset <name> [...]
+//! boomerang-sim bench [--preset <name>]... [--smoke] [--check FILE]
 //! boomerang-sim list-presets
 //! ```
 
-use campaign::{presets, run_campaign, CampaignSpec, EngineOptions};
+use campaign::{presets, run_campaign, BenchOptions, CampaignSpec, EngineOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -16,6 +17,7 @@ const USAGE: &str =
 USAGE:
     boomerang-sim run <spec.toml> [OPTIONS]
     boomerang-sim run --preset <name> [OPTIONS]
+    boomerang-sim bench [BENCH OPTIONS]
     boomerang-sim list-presets
 
 OPTIONS:
@@ -25,6 +27,19 @@ OPTIONS:
     --out <DIR>       Report directory (default: campaign-out)
     --quiet           Suppress the progress banner and result table
     -h, --help        Show this help
+
+BENCH OPTIONS (see README \"Performance\"):
+    --preset <name>   Benchmark this preset (repeatable; default: figure9)
+    --jobs <N>        Worker threads (default: all cores)
+    --smoke           Benchmark only smoke-length entries (the CI mode)
+    --full            Benchmark only full-length entries
+    --iterations <K>  Timed iterations per engine (default: 3)
+    --no-reference    Skip timing the per-cycle reference engine
+    --out <FILE>      Bench report path (default: bench-out/bench.json; pass
+                      BENCH_PR<n>.json explicitly to (re)write a committed
+                      trajectory baseline)
+    --check <FILE>    Fail if deterministic fields drift from this baseline
+    --quiet           Suppress the summary table
 ";
 
 fn main() -> ExitCode {
@@ -58,8 +73,93 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("run") => run_command(&args[1..]),
+        Some("bench") => bench_command(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
+}
+
+fn bench_command(args: &[String]) -> Result<(), String> {
+    let mut options = BenchOptions {
+        presets: Vec::new(),
+        ..BenchOptions::default()
+    };
+    // Deliberately NOT the committed BENCH_PR<n>.json baseline: casual bench
+    // runs must not silently rewrite the repo's perf trajectory.
+    let mut out = PathBuf::from("bench-out/bench.json");
+    let mut check: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--preset" => {
+                let name = it.next().ok_or("--preset needs a name")?;
+                options.presets.push(name.clone());
+            }
+            "--jobs" => {
+                let n = it.next().ok_or("--jobs needs a count")?;
+                options.jobs = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --jobs value `{n}`"))?;
+                if options.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--smoke" => options.smoke_only = true,
+            "--full" => options.full_only = true,
+            "--iterations" => {
+                let n = it.next().ok_or("--iterations needs a count")?;
+                options.iterations = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --iterations value `{n}`"))?;
+            }
+            "--no-reference" => options.time_reference = false,
+            "--out" => {
+                let path = it.next().ok_or("--out needs a file path")?;
+                out = PathBuf::from(path);
+            }
+            "--check" => {
+                let path = it.next().ok_or("--check needs a file path")?;
+                check = Some(PathBuf::from(path));
+            }
+            "--quiet" => quiet = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            other => {
+                return Err(format!("unknown bench option `{other}`\n\n{USAGE}"));
+            }
+        }
+    }
+    if options.presets.is_empty() {
+        options.presets = BenchOptions::default().presets;
+    }
+
+    let report = campaign::run_bench(&options)?;
+    let json = campaign::bench_to_json(&report);
+    if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+    }
+    std::fs::write(&out, &json).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    if !quiet {
+        print!("{}", campaign::bench_to_table(&report));
+        eprintln!("\nwrote {}", out.display());
+    }
+    if let Some(baseline_path) = check {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
+        campaign::check_against(&baseline, &report)
+            .map_err(|e| format!("bench drift against {}:\n{e}", baseline_path.display()))?;
+        if !quiet {
+            eprintln!(
+                "deterministic fields match the committed baseline {}",
+                baseline_path.display()
+            );
+        }
+    }
+    Ok(())
 }
 
 fn run_command(args: &[String]) -> Result<(), String> {
@@ -123,7 +223,11 @@ fn run_command(args: &[String]) -> Result<(), String> {
         }
     };
 
-    let options = EngineOptions { jobs, smoke };
+    let options = EngineOptions {
+        jobs,
+        smoke,
+        ..EngineOptions::default()
+    };
     let job_count = campaign::expand(&spec).len();
     if !quiet {
         let workers = if jobs == 0 {

@@ -31,6 +31,10 @@ pub struct EngineOptions {
     /// Replace the spec's run length with [`RunLength::smoke_test`] (CI and
     /// quick sanity runs).
     pub smoke: bool,
+    /// Which simulation engine drives each job. Both engines produce
+    /// bit-identical reports; the per-cycle reference exists for the bench
+    /// harness and for differential testing.
+    pub engine: frontend::SimEngine,
 }
 
 /// Derives the effective workload-profile seed for a seed offset.
@@ -131,7 +135,12 @@ pub fn run_campaign(
     let configs: Vec<_> = spec.configs.iter().map(|c| c.build()).collect();
     let stats: Vec<SimStats> = pool::run_indexed(workers, &jobs, |_, job| {
         let data = data_by_key[&(job.workload, job.seed)];
-        data.run_with_predictor(job.mechanism, &configs[job.config], spec.predictor)
+        data.run_with_predictor_engine(
+            job.mechanism,
+            &configs[job.config],
+            spec.predictor,
+            options.engine,
+        )
     });
 
     // Phase 3: join each row with its group baseline, in job order.
@@ -189,7 +198,7 @@ mod tests {
             &spec,
             &EngineOptions {
                 jobs: 2,
-                smoke: false,
+                ..EngineOptions::default()
             },
         )
         .unwrap();

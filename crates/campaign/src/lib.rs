@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bench;
 pub mod engine;
 pub mod expand;
 pub mod json;
@@ -51,6 +52,10 @@ pub mod sink;
 pub mod spec;
 pub mod toml;
 
+pub use bench::{
+    bench_to_json, bench_to_table, check_against, fnv1a64, run_bench, BenchEntry, BenchOptions,
+    BenchReport,
+};
 pub use engine::{derive_seed, run_campaign, CampaignReport, EngineOptions, RowResult};
 pub use expand::{expand, Job};
 pub use presets::{Preset, PRESETS};

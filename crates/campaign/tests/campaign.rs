@@ -73,6 +73,7 @@ fn reports_are_byte_identical_across_worker_counts() {
         &EngineOptions {
             jobs: 1,
             smoke: false,
+            ..EngineOptions::default()
         },
     )
     .unwrap();
@@ -81,6 +82,7 @@ fn reports_are_byte_identical_across_worker_counts() {
         &EngineOptions {
             jobs: 8,
             smoke: false,
+            ..EngineOptions::default()
         },
     )
     .unwrap();
@@ -112,6 +114,7 @@ fn smoke_overrides_the_run_length() {
         &EngineOptions {
             jobs: 4,
             smoke: true,
+            ..EngineOptions::default()
         },
     )
     .unwrap();
@@ -129,6 +132,7 @@ fn distinct_seed_offsets_simulate_distinct_traces() {
         &EngineOptions {
             jobs: 4,
             smoke: false,
+            ..EngineOptions::default()
         },
     )
     .unwrap();

@@ -11,13 +11,50 @@
 
 use sim_core::rng::SimRng;
 use sim_core::{Latency, MicroarchConfig};
-use std::collections::VecDeque;
 use workloads::BackendProfile;
+
+/// A fixed ring buffer of in-order completion times: the retire loop runs
+/// every simulated cycle, so the ROB avoids `VecDeque`'s growable-capacity
+/// indexing in favour of a power-of-two ring sized once at construction.
+#[derive(Clone, Debug)]
+struct Rob {
+    slots: Box<[u64]>,
+    mask: usize,
+    head: usize,
+    len: usize,
+}
+
+impl Rob {
+    fn with_capacity(capacity: usize) -> Self {
+        let size = capacity.next_power_of_two().max(1);
+        Rob {
+            slots: vec![0; size].into_boxed_slice(),
+            mask: size - 1,
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn front(&self) -> Option<u64> {
+        (self.len > 0).then(|| self.slots[self.head])
+    }
+
+    fn push_back(&mut self, ready_at: u64) {
+        self.slots[(self.head + self.len) & self.mask] = ready_at;
+        self.len += 1;
+    }
+
+    fn pop_front(&mut self) {
+        debug_assert!(self.len > 0);
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+    }
+}
 
 /// The simplified back end: a ROB of completion times with in-order retire.
 #[derive(Clone, Debug)]
 pub struct BackEnd {
-    rob: VecDeque<u64>,
+    rob: Rob,
     capacity: usize,
     retire_width: u64,
     profile: BackendProfile,
@@ -32,7 +69,7 @@ impl BackEnd {
     /// reproducible data-stall patterns.
     pub fn new(config: &MicroarchConfig, profile: BackendProfile, seed: u64) -> Self {
         BackEnd {
-            rob: VecDeque::with_capacity(config.rob_entries as usize),
+            rob: Rob::with_capacity(config.rob_entries as usize),
             capacity: config.rob_entries as usize,
             retire_width: config.fetch_width,
             profile,
@@ -45,17 +82,17 @@ impl BackEnd {
 
     /// Number of free ROB slots.
     pub fn free_slots(&self) -> usize {
-        self.capacity - self.rob.len()
+        self.capacity - self.rob.len
     }
 
     /// `true` when no more instructions can be accepted.
     pub fn is_full(&self) -> bool {
-        self.rob.len() >= self.capacity
+        self.rob.len >= self.capacity
     }
 
     /// Occupancy in instructions.
     pub fn occupancy(&self) -> usize {
-        self.rob.len()
+        self.rob.len
     }
 
     /// Instructions retired so far.
@@ -90,13 +127,50 @@ impl BackEnd {
         accepted
     }
 
+    /// Completion time of the oldest in-flight instruction, if any. In-order
+    /// retire means nothing leaves the ROB before this cycle.
+    pub fn next_completion(&self) -> Option<u64> {
+        self.rob.front()
+    }
+
+    /// Retires exactly as `for t in from..to { self.retire(t) }` would, but
+    /// in O(instructions retired) instead of O(cycles): cycles where the ROB
+    /// head has not completed retire nothing and are jumped over.
+    pub fn retire_span(&mut self, from: u64, to: u64) {
+        let mut cycle = from;
+        while cycle < to {
+            match self.rob.front() {
+                Some(ready) if ready > cycle => {
+                    if ready >= to {
+                        break;
+                    }
+                    cycle = ready;
+                }
+                Some(_) => {}
+                None => break,
+            }
+            let mut n = 0;
+            while n < self.retire_width {
+                match self.rob.front() {
+                    Some(ready) if ready <= cycle => {
+                        self.rob.pop_front();
+                        n += 1;
+                    }
+                    _ => break,
+                }
+            }
+            self.retired += n;
+            cycle += 1;
+        }
+    }
+
     /// Retires completed instructions in order, up to the retire width.
     /// Returns how many retired this cycle.
     pub fn retire(&mut self, now: u64) -> u64 {
         let mut n = 0;
         while n < self.retire_width {
             match self.rob.front() {
-                Some(&ready) if ready <= now => {
+                Some(ready) if ready <= now => {
                     self.rob.pop_front();
                     n += 1;
                 }
@@ -166,6 +240,27 @@ mod tests {
             cycles > 128 / 3,
             "draining must take at least occupancy/width cycles, took {cycles}"
         );
+    }
+
+    #[test]
+    fn retire_span_matches_per_cycle_retire() {
+        let cfg = MicroarchConfig::hpca17();
+        let profile = WorkloadKind::Oracle.profile().backend;
+        let mut bulk = BackEnd::new(&cfg, profile, 9);
+        let mut stepped = BackEnd::new(&cfg, profile, 9);
+        bulk.push_instructions(100, 0);
+        stepped.push_instructions(100, 0);
+        let windows = [(0u64, 7u64), (7, 8), (8, 40), (40, 41), (41, 1000)];
+        for &(from, to) in &windows {
+            for t in from..to {
+                stepped.retire(t);
+            }
+            bulk.retire_span(from, to);
+            assert_eq!(bulk.occupancy(), stepped.occupancy(), "window {from}..{to}");
+            assert_eq!(bulk.retired(), stepped.retired(), "window {from}..{to}");
+            assert_eq!(bulk.next_completion(), stepped.next_completion());
+        }
+        assert_eq!(bulk.occupancy(), 0);
     }
 
     #[test]

@@ -42,6 +42,8 @@ pub mod stats;
 
 pub use backend::BackEnd;
 pub use ftq::{Ftq, FtqEntry, Reached, SquashCause};
-pub use mechanism::{BtbMissAction, ControlFlowMechanism, MechContext, NoPrefetch};
-pub use simulator::Simulator;
+pub use mechanism::{
+    predecode_line_iter, BtbMissAction, ControlFlowMechanism, MechContext, NoPrefetch,
+};
+pub use simulator::{SimEngine, Simulator};
 pub use stats::{MissBreakdown, SimStats, SquashRates, SquashStats};

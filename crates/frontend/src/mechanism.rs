@@ -43,6 +43,21 @@ pub struct MechContext<'a> {
     pub btb_prefetch_buffer: &'a mut BtbPrefetchBuffer,
 }
 
+/// Predecodes the cache line in `layout`, yielding a BTB entry for every
+/// branch it contains, in address order. Allocation-free: mechanisms that
+/// predecode on the hot path (Confluence on every demand fetch, Boomerang on
+/// every BTB miss probe) iterate this while mutating the rest of their
+/// [`MechContext`].
+pub fn predecode_line_iter(
+    layout: &CodeLayout,
+    line: CacheLine,
+) -> impl Iterator<Item = BtbEntry> + '_ {
+    layout.branches_in_line(line).iter().map(move |&id| {
+        let sb = layout.block(id);
+        BtbEntry::from_block(sb.start(), sb.block.instructions, sb.terminator())
+    })
+}
+
 impl MechContext<'_> {
     /// Issues an L1-I prefetch probe for `line` (§IV-A). Returns `true` if a
     /// fill was started.
@@ -54,15 +69,10 @@ impl MechContext<'_> {
     /// for every *direct* branch it contains (indirect branches and returns
     /// carry no target in the instruction bytes, so no entry can be built for
     /// them — the same limitation real predecoders have).
+    ///
+    /// Hot paths should prefer the allocation-free [`predecode_line_iter`].
     pub fn predecode_line(&self, line: CacheLine) -> Vec<BtbEntry> {
-        self.layout
-            .branches_in_line(line)
-            .iter()
-            .map(|&id| {
-                let sb = self.layout.block(id);
-                BtbEntry::from_block(sb.start(), sb.block.instructions, sb.terminator())
-            })
-            .collect()
+        predecode_line_iter(self.layout, line).collect()
     }
 
     /// The first basic block whose terminating branch lies at or after
@@ -119,6 +129,26 @@ pub trait ControlFlowMechanism {
 
     /// Called once per simulated cycle.
     fn tick(&mut self, _ctx: &mut MechContext<'_>) {}
+
+    /// The earliest cycle at which [`ControlFlowMechanism::tick`] would do
+    /// any work, given that no other hook runs first.
+    ///
+    /// * `None` — `tick` is a no-op until some other hook (`on_ftq_push`,
+    ///   `on_demand_fetch`, `on_commit`, `on_btb_miss`, `on_squash`) mutates
+    ///   the mechanism. This is the default for mechanisms with an empty
+    ///   `tick`.
+    /// * `Some(t)` — `tick` is a no-op at every cycle strictly before `t`
+    ///   (mechanisms with queued work that becomes ready at `t`; `Some(0)`
+    ///   means "work is ready right now").
+    ///
+    /// The event-horizon engine uses this to bulk-advance over cycles where
+    /// every unit is provably idle; an implementation that under-reports
+    /// (claims idleness while `tick` would mutate state) breaks the
+    /// bit-identical-statistics guarantee, so implementations must be
+    /// conservative.
+    fn next_tick_event(&self) -> Option<u64> {
+        None
+    }
 
     /// Called when the pipeline squashes.
     fn on_squash(&mut self, _cause: SquashCause, _ctx: &mut MechContext<'_>) {}

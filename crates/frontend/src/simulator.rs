@@ -39,6 +39,29 @@ use workloads::CodeLayout;
 /// pending (the emulation of FDIP's wrong-path behaviour).
 const WRONG_PATH_PREFETCH_LIMIT: u64 = 8;
 
+/// Which execution engine drives a simulation run.
+///
+/// Both engines produce bit-identical [`SimStats`]; the reference stepper
+/// exists as the differential-testing oracle and the benchmark baseline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SimEngine {
+    /// Bulk-advances over provably dead cycles (the default).
+    #[default]
+    EventHorizon,
+    /// Executes every cycle with one [`Simulator::step`] call.
+    PerCycleReference,
+}
+
+impl SimEngine {
+    /// Stable token naming the engine (used in benchmark reports).
+    pub const fn token(self) -> &'static str {
+        match self {
+            SimEngine::EventHorizon => "event-horizon",
+            SimEngine::PerCycleReference => "per-cycle-reference",
+        }
+    }
+}
+
 /// State of a pending wrong-path episode.
 #[derive(Clone, Copy, Debug)]
 struct WrongPath {
@@ -77,6 +100,9 @@ pub struct Simulator<'a> {
 
     now: u64,
     stats: SimStats,
+    /// Cycles actually executed by [`step`](Self::step) (diagnostic: the
+    /// event-horizon engine's win is `stats.cycles - stepped_cycles`).
+    stepped_cycles: u64,
     bpu_index: usize,
     committed_blocks: usize,
     bpu_busy_until: u64,
@@ -131,6 +157,7 @@ impl<'a> Simulator<'a> {
             backend,
             now: 0,
             stats: SimStats::default(),
+            stepped_cycles: 0,
             bpu_index: 0,
             committed_blocks: 0,
             bpu_busy_until: 0,
@@ -153,21 +180,69 @@ impl<'a> Simulator<'a> {
         self.run_with_warmup(0)
     }
 
+    /// Generous safety bound: no workload needs more than ~200 cycles per
+    /// instruction even with a cold, prefetch-free front end.
+    fn cycle_bound(&self) -> u64 {
+        500 + 200
+            * self
+                .trace
+                .iter()
+                .map(DynamicBlock::instructions)
+                .sum::<u64>()
+    }
+
     /// Runs the whole trace, resetting statistics after the first
     /// `warmup_blocks` committed blocks so that cold-start effects (empty
     /// caches, empty BTB, untrained predictor) do not dominate the results.
+    ///
+    /// This is the *event-horizon* engine: instead of burning one [`step`]
+    /// per cycle, it computes the next cycle at which any unit can do real
+    /// work — wrong-path resolution, an L1-I fill completing, the BPU's
+    /// busy/stall timers, the ROB head completing, a pending mechanism
+    /// prefetch becoming ready — and bulk-advances over the dead cycles in
+    /// between, incrementing the per-cycle stall counters in closed form.
+    /// The resulting [`SimStats`] are bit-identical to
+    /// [`run_with_warmup_reference`](Self::run_with_warmup_reference), which
+    /// retains the per-cycle loop as the differential-testing oracle.
+    ///
+    /// [`step`]: Self::step
     pub fn run_with_warmup(&mut self, warmup_blocks: usize) -> SimStats {
         let total = self.trace.len();
         let mut warmup_done = warmup_blocks == 0;
-        // Generous safety bound: no workload needs more than ~200 cycles per
-        // instruction even with a cold, prefetch-free front end.
-        let max_cycles = 500
-            + 200
-                * self
-                    .trace
-                    .iter()
-                    .map(DynamicBlock::instructions)
-                    .sum::<u64>();
+        let max_cycles = self.cycle_bound();
+        while self.committed_blocks < total && self.now < max_cycles {
+            if let Some(horizon) = self.idle_horizon() {
+                // Dead cycles never commit a block, so a bulk advance can
+                // never cross the warmup boundary.
+                self.advance_idle(horizon.min(max_cycles));
+            } else {
+                self.step();
+                if !warmup_done && self.committed_blocks >= warmup_blocks {
+                    self.reset_stats();
+                    warmup_done = true;
+                }
+            }
+        }
+        self.finalize_stats();
+        self.stats
+    }
+
+    /// Runs with an explicit engine choice (the benchmark harness times both
+    /// engines on identical work).
+    pub fn run_with_warmup_engine(&mut self, warmup_blocks: usize, engine: SimEngine) -> SimStats {
+        match engine {
+            SimEngine::EventHorizon => self.run_with_warmup(warmup_blocks),
+            SimEngine::PerCycleReference => self.run_with_warmup_reference(warmup_blocks),
+        }
+    }
+
+    /// The retained per-cycle reference engine: semantically the definition
+    /// of the simulator, kept as the oracle the event-horizon engine is
+    /// differentially tested (and benchmarked) against.
+    pub fn run_with_warmup_reference(&mut self, warmup_blocks: usize) -> SimStats {
+        let total = self.trace.len();
+        let mut warmup_done = warmup_blocks == 0;
+        let max_cycles = self.cycle_bound();
         while self.committed_blocks < total && self.now < max_cycles {
             self.step();
             if !warmup_done && self.committed_blocks >= warmup_blocks {
@@ -179,6 +254,120 @@ impl<'a> Simulator<'a> {
         self.stats
     }
 
+    /// If the current cycle (and possibly a run of following cycles) is
+    /// provably dead — no unit can change any state beyond stall counters and
+    /// in-order retirement — returns the first cycle at which something can
+    /// happen again. Returns `None` when the current cycle must be stepped.
+    fn idle_horizon(&self) -> Option<u64> {
+        let mut horizon = u64::MAX;
+
+        // Checks are ordered to reject the common *active* cases with the
+        // cheapest comparisons; the virtual mechanism call comes last, only
+        // once every non-virtual check already found the cycle dead.
+
+        // Fetch engine.
+        match &self.fetch {
+            Some(f) => {
+                if self.now < f.busy_until {
+                    // Stalled on an L1-I fill until `busy_until`.
+                    horizon = f.busy_until;
+                } else {
+                    // Ready to fetch: only a full ROB keeps the cycle dead,
+                    // and only until the ROB head completes. (`step` retires
+                    // before fetching, so a head completing *at* a cycle
+                    // unblocks that same cycle.)
+                    if !self.backend.is_full() {
+                        return None;
+                    }
+                    match self.backend.next_completion() {
+                        Some(ready) if ready > self.now => horizon = ready,
+                        _ => return None,
+                    }
+                }
+            }
+            None => {
+                // An idle fetch engine pops the FTQ the same cycle the BPU
+                // pushes, so an empty FTQ stays empty for the whole window.
+                if !self.ftq.is_empty() {
+                    return None;
+                }
+            }
+        }
+
+        // BPU: parked states (waiting for a squash, FTQ full, trace
+        // exhausted) only end through events accounted elsewhere or through
+        // fetch activity, which is never skipped; timer states end at the
+        // later of the two busy/stall timers.
+        let bpu_parked = self.bpu_waiting_for_squash
+            || self.wrong_path.is_some()
+            || self.ftq.is_full()
+            || self.bpu_index >= self.trace.len();
+        if !bpu_parked {
+            let wake = self.bpu_busy_until.max(self.bpu_stalled_until);
+            if wake <= self.now {
+                return None;
+            }
+            horizon = horizon.min(wake);
+        }
+
+        // Wrong-path episode: the squash fires at `resolve_at`; until then,
+        // fetch-directed mechanisms prefetch one wrong-path line per cycle
+        // while their budget lasts.
+        if let Some(wp) = self.wrong_path {
+            if self.now >= wp.resolve_at {
+                return None;
+            }
+            if self.mechanism.is_fetch_directed() && wp.lines_prefetched < WRONG_PATH_PREFETCH_LIMIT
+            {
+                return None;
+            }
+            horizon = horizon.min(wp.resolve_at);
+        }
+
+        // Mechanism tick: pending prefetch work wakes the mechanism.
+        match self.mechanism.next_tick_event() {
+            Some(t) if t <= self.now => return None,
+            Some(t) => horizon = horizon.min(t),
+            None => {}
+        }
+
+        (horizon > self.now).then_some(horizon)
+    }
+
+    /// Bulk-advances `now` to `horizon` across a window of dead cycles,
+    /// applying exactly the state changes the per-cycle loop would have:
+    /// stall counters in closed form and in-order retirement.
+    fn advance_idle(&mut self, horizon: u64) {
+        debug_assert!(horizon > self.now);
+        let span = horizon - self.now;
+        match &self.fetch {
+            Some(f) if self.now < f.busy_until => {
+                debug_assert!(horizon <= f.busy_until);
+                self.stats.fetch_stall_cycles += span;
+                let category = if f.pos == 0 {
+                    f.entry.reached
+                } else {
+                    Reached::Sequential
+                };
+                self.stats.miss_breakdown.add(category, span);
+            }
+            Some(_) => {
+                // Dead with a ready fetch only ever means a full ROB.
+                self.stats.rob_full_cycles += span;
+            }
+            None => {
+                if self.wrong_path.is_some() {
+                    self.stats.squash_stall_cycles += span;
+                } else if self.committed_blocks < self.trace.len() {
+                    self.stats.ftq_empty_cycles += span;
+                }
+            }
+        }
+        self.backend.retire_span(self.now, horizon);
+        self.now = horizon;
+        self.stats.cycles += span;
+    }
+
     /// Executes one cycle.
     pub fn step(&mut self) {
         self.handle_wrong_path();
@@ -188,6 +377,14 @@ impl<'a> Simulator<'a> {
         self.fetch_cycle();
         self.now += 1;
         self.stats.cycles += 1;
+        self.stepped_cycles += 1;
+    }
+
+    /// Cycles executed one-by-one (as opposed to bulk-skipped by the
+    /// event-horizon engine); `stats().cycles - stepped_cycles()` is the
+    /// number of dead cycles the engine jumped over.
+    pub fn stepped_cycles(&self) -> u64 {
+        self.stepped_cycles
     }
 
     /// Statistics collected so far (finalised copies are returned by `run`).
@@ -195,12 +392,16 @@ impl<'a> Simulator<'a> {
         self.stats
     }
 
+    /// Warmup reset: every statistic (including the cycle counter used for
+    /// IPC) restarts from zero, while `now` keeps running monotonically so
+    /// in-flight fill timestamps in the memory hierarchy stay valid.
+    ///
+    /// The event-horizon engine preserves these semantics for free: a reset
+    /// can only trigger when a block commits, blocks only commit in stepped
+    /// (non-skipped) cycles, and bulk-advanced windows therefore never
+    /// straddle the warmup boundary.
     fn reset_stats(&mut self) {
-        let cycles_so_far = self.stats.cycles;
         self.stats = SimStats::default();
-        // Keep absolute time monotonic for the memory hierarchy but restart
-        // the cycle counter used for IPC.
-        let _ = cycles_so_far;
     }
 
     fn finalize_stats(&mut self) {
@@ -500,12 +701,19 @@ impl<'a> Simulator<'a> {
                     break;
                 }
             }
-            let accepted = self.backend.push_instructions(1, self.now);
-            if accepted == 0 {
+            // Burst every instruction the current line can still supply:
+            // one `push_instructions` call draws the same per-instruction
+            // latencies as single pushes would, without per-instruction loop
+            // and tag-check overhead.
+            let chunk = budget
+                .min(fetch.entry.instructions - fetch.pos)
+                .min(geometry.instructions_left_in_line(pc));
+            let accepted = self.backend.push_instructions(chunk, self.now);
+            fetch.pos += accepted;
+            budget -= accepted;
+            if accepted < chunk {
                 break;
             }
-            fetch.pos += 1;
-            budget -= 1;
         }
 
         if fetch.pos >= fetch.entry.instructions {
@@ -605,6 +813,21 @@ mod tests {
         assert!(stats.squashes.total() > 0);
         assert!(stats.btb_lookups > 0);
         assert!(stats.miss_breakdown.total() == stats.fetch_stall_cycles);
+    }
+
+    #[test]
+    fn event_horizon_matches_per_cycle_reference() {
+        let (layout, trace) = setup();
+        for config in [
+            MicroarchConfig::hpca17(),
+            MicroarchConfig::hpca17().with_btb_entries(256),
+            MicroarchConfig::hpca17().with_noc(sim_core::NocModel::Fixed(70)),
+        ] {
+            let fast = run(config.clone(), &layout, &trace);
+            let slow = Simulator::new(config, &layout, trace.blocks(), Box::new(NoPrefetch::new()))
+                .run_with_warmup_reference(2_000);
+            assert_eq!(fast, slow);
+        }
     }
 
     #[test]

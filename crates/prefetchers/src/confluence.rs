@@ -37,7 +37,7 @@ impl Confluence {
 
     /// Predecodes `line` and inserts BTB entries for its direct branches.
     fn prefill_btb(&mut self, line: CacheLine, ctx: &mut MechContext<'_>) {
-        for entry in ctx.predecode_line(line) {
+        for entry in frontend::predecode_line_iter(ctx.layout, line) {
             // Only direct branches carry their target in the cache block;
             // indirect branches and returns cannot be prefilled (§II-C).
             if entry.target.is_some() {
@@ -91,6 +91,10 @@ impl ControlFlowMechanism for Confluence {
                 None => break,
             }
         }
+    }
+
+    fn next_tick_event(&self) -> Option<u64> {
+        self.streamer.next_pending_ready()
     }
 
     fn storage_overhead_bits(&self) -> u64 {

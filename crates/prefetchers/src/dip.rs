@@ -8,13 +8,12 @@
 //! same.
 
 use frontend::{ControlFlowMechanism, MechContext};
-use sim_core::CacheLine;
-use std::collections::HashMap;
+use sim_core::{CacheLine, FxHashMap};
 
 /// Discontinuity prefetcher + next-N-line.
 #[derive(Clone, Debug)]
 pub struct Dip {
-    table: HashMap<CacheLine, CacheLine>,
+    table: FxHashMap<CacheLine, CacheLine>,
     insertion_order: Vec<CacheLine>,
     capacity: usize,
     next_line_degree: u64,
@@ -30,7 +29,7 @@ impl Dip {
             "the discontinuity table needs at least one entry"
         );
         Dip {
-            table: HashMap::with_capacity(capacity),
+            table: FxHashMap::default(),
             insertion_order: Vec::with_capacity(capacity),
             capacity,
             next_line_degree,

@@ -76,6 +76,12 @@ impl ControlFlowMechanism for Fdip {
         }
     }
 
+    fn next_tick_event(&self) -> Option<u64> {
+        // Queued probes issue on the very next tick; an empty queue stays
+        // empty until the next FTQ push.
+        (!self.pending.is_empty()).then_some(0)
+    }
+
     fn on_squash(&mut self, _cause: frontend::SquashCause, _ctx: &mut MechContext<'_>) {
         // Prefetch probes for the squashed path are abandoned.
         self.pending.clear();

@@ -18,8 +18,8 @@
 //! (32K-entry history, 8K-entry index).
 
 use frontend::{ControlFlowMechanism, MechContext};
-use sim_core::{CacheLine, DynamicBlock, Latency};
-use std::collections::{HashMap, VecDeque};
+use sim_core::{CacheLine, DynamicBlock, FxHashMap, Latency, OrderQueue};
+use std::collections::VecDeque;
 
 /// Shared temporal-streaming machinery used by both PIF and SHIFT.
 #[derive(Clone, Debug)]
@@ -28,7 +28,13 @@ pub struct TemporalStreamer {
     history: VecDeque<CacheLine>,
     history_capacity: usize,
     /// Most recent position (monotonic sequence number) of each line.
-    index: HashMap<CacheLine, u64>,
+    index: FxHashMap<CacheLine, u64>,
+    /// Index insertion order as `(line, seq)` slots; a slot tombstones once
+    /// the line is re-recorded with a newer seq. Replaces the former
+    /// full-index `min_by_key` scan (O(index) per eviction) with an
+    /// amortised O(1) pop of the oldest live slot — the victim is identical,
+    /// because the oldest live slot is exactly the index's minimum seq.
+    index_order: OrderQueue<CacheLine>,
     index_capacity: usize,
     /// Sequence number of the oldest element still in `history`.
     base_seq: u64,
@@ -56,7 +62,8 @@ impl TemporalStreamer {
         TemporalStreamer {
             history: VecDeque::with_capacity(history_capacity),
             history_capacity,
-            index: HashMap::with_capacity(index_capacity),
+            index: FxHashMap::default(),
+            index_order: OrderQueue::new(2 * index_capacity),
             index_capacity,
             base_seq: 0,
             pending: VecDeque::new(),
@@ -95,13 +102,20 @@ impl TemporalStreamer {
         self.history.push_back(line);
         let seq = self.base_seq + self.history.len() as u64 - 1;
         if self.index.len() >= self.index_capacity && !self.index.contains_key(&line) {
-            // Evict an arbitrary (oldest-seq) entry to respect the index
-            // budget.
-            if let Some((&victim, _)) = self.index.iter().min_by_key(|(_, &s)| s) {
+            // Evict the oldest-seq entry to respect the index budget.
+            let index = &self.index;
+            if let Some(victim) = self
+                .index_order
+                .pop_oldest_live(|l, s| index.get(l) == Some(&s))
+            {
                 self.index.remove(&victim);
             }
         }
+        let index = &self.index;
+        self.index_order
+            .maybe_compact(|l, s| index.get(l) == Some(&s));
         self.index.insert(line, seq);
+        self.index_order.push(line, seq);
     }
 
     /// Looks up `line` and queues the lines that followed it in the recorded
@@ -132,6 +146,13 @@ impl TemporalStreamer {
                 break;
             }
         }
+    }
+
+    /// The cycle at which the oldest pending prefetch becomes ready, or
+    /// `None` if nothing is pending. Issue order is FIFO, so nothing issues
+    /// before the front entry's ready cycle.
+    pub fn next_pending_ready(&self) -> Option<u64> {
+        self.pending.front().map(|&(ready, _)| ready)
     }
 
     /// Issues at most one ready pending prefetch and returns the line it
@@ -211,6 +232,10 @@ impl ControlFlowMechanism for Pif {
         self.streamer.issue_pending(budget, ctx);
     }
 
+    fn next_tick_event(&self) -> Option<u64> {
+        self.streamer.next_pending_ready()
+    }
+
     fn storage_overhead_bits(&self) -> u64 {
         self.streamer.storage_bits()
     }
@@ -283,6 +308,10 @@ impl ControlFlowMechanism for Shift {
         self.streamer.issue_pending(budget, ctx);
     }
 
+    fn next_tick_event(&self) -> Option<u64> {
+        self.streamer.next_pending_ready()
+    }
+
     fn storage_overhead_bits(&self) -> u64 {
         // The history is virtualised into the LLC; the dedicated cost the
         // paper quotes is the LLC tag-array extension for the index table
@@ -333,8 +362,16 @@ mod tests {
 
     #[test]
     fn pif_and_shift_cover_stall_cycles() {
-        let layout = CodeLayout::generate(&WorkloadProfile::tiny(53));
-        let trace = Trace::generate_blocks(&layout, 25_000);
+        // Temporal streamers can only cover *recurring* misses: the active
+        // code footprint must comfortably exceed the 32 KB L1-I so that lines
+        // recorded in the history are evicted and miss again after warmup.
+        // The stock tiny profile (48 KB) barely overflows the L1-I — its
+        // post-warmup misses are almost entirely compulsory, which PIF/SHIFT
+        // cannot replay — so this test widens the footprint to 4x the L1-I
+        // and runs long enough for the working set to wrap several times.
+        let profile = WorkloadProfile::tiny(53).with_footprint_bytes(128 * 1024);
+        let layout = CodeLayout::generate(&profile);
+        let trace = Trace::generate_blocks(&layout, 40_000);
         let cfg = MicroarchConfig::hpca17();
         let baseline = Simulator::new(
             cfg.clone(),
@@ -342,11 +379,11 @@ mod tests {
             trace.blocks(),
             Box::new(NoPrefetch::new()),
         )
-        .run_with_warmup(2_000);
+        .run_with_warmup(8_000);
         let pif = Simulator::new(cfg.clone(), &layout, trace.blocks(), Box::new(Pif::new()))
-            .run_with_warmup(2_000);
+            .run_with_warmup(8_000);
         let shift = Simulator::new(cfg, &layout, trace.blocks(), Box::new(Shift::new()))
-            .run_with_warmup(2_000);
+            .run_with_warmup(8_000);
         assert!(
             pif.fetch_stall_cycles < baseline.fetch_stall_cycles,
             "PIF must cover stalls ({} vs {})",

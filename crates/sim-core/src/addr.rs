@@ -178,6 +178,13 @@ impl LineGeometry {
         Addr::new(line.0 << self.shift)
     }
 
+    /// Number of instructions from `addr` (inclusive) to the end of its
+    /// cache line — the largest burst the fetch engine can take without
+    /// another tag access.
+    pub const fn instructions_left_in_line(&self, addr: Addr) -> u64 {
+        (self.line_bytes - (addr.raw() & (self.line_bytes - 1))) / INSTRUCTION_BYTES
+    }
+
     /// Distance between the lines of two addresses, in lines.
     pub const fn line_distance(&self, a: Addr, b: Addr) -> u64 {
         self.line_of(a).distance(self.line_of(b))

@@ -1,0 +1,114 @@
+//! A fast, deterministic hasher for the simulator's hot-path maps.
+//!
+//! The default `std::collections::HashMap` hasher (SipHash-1-3) is designed
+//! to resist hash-flooding from untrusted keys; the simulator's keys are
+//! cache-line indices and instruction addresses it generated itself, so that
+//! robustness only costs cycles — profiling shows SipHash rounds on every
+//! prefetch probe and line-index lookup. This module provides the classic
+//! multiply-xor "Fx" hash (as used by rustc), which reduces a `u64` key to a
+//! handful of arithmetic instructions.
+//!
+//! Determinism note: unlike `RandomState`, [`FxBuildHasher`] has no per-map
+//! seed, so iteration order is stable across runs. Nothing in the simulator
+//! may depend on map iteration order anyway (the campaign engine's
+//! byte-identical-report contract is enforced by tests), but stability here
+//! removes a whole class of accidental nondeterminism.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher specialised for small integer-like keys.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// Zero-sized `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast deterministic hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the fast deterministic hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_work_and_hashes_are_stable() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 64, i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(64 * 5)), Some(&5));
+
+        let hash = |n: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(n);
+            h.finish()
+        };
+        assert_eq!(hash(42), hash(42));
+        assert_ne!(hash(42), hash(43));
+        // Nearby keys must not collide into the same bucket pattern.
+        let mut low_bits: Vec<u64> = (0..64).map(|i| hash(i) & 0x7f).collect();
+        low_bits.dedup();
+        assert!(low_bits.len() > 16, "low bits must spread for ring keys");
+    }
+
+    #[test]
+    fn byte_writes_match_word_writes_for_whole_words() {
+        let mut a = FxHasher::default();
+        a.write(&7u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(7);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

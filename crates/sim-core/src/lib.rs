@@ -38,6 +38,8 @@ pub mod addr;
 pub mod block;
 pub mod branch;
 pub mod config;
+pub mod fxhash;
+pub mod order_queue;
 pub mod pool;
 pub mod rng;
 pub mod stats;
@@ -46,4 +48,6 @@ pub use addr::{Addr, CacheLine, LineGeometry, INSTRUCTION_BYTES};
 pub use block::{BasicBlock, DynamicBlock, MAX_BASIC_BLOCK_INSTRUCTIONS};
 pub use branch::{BranchInfo, BranchKind, BranchOutcome};
 pub use config::{Latency, MicroarchConfig, NocModel, PerfectComponents};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use order_queue::OrderQueue;
 pub use stats::{Counter, Ratio};

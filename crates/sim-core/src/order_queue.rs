@@ -1,0 +1,113 @@
+//! Insertion-order tracking with tombstones, shared by the indexed FIFOs.
+//!
+//! Three hot structures — the L1-I prefetch buffer, the BTB prefetch buffer
+//! and the temporal streamer's index — pair a hash index (O(1) membership)
+//! with a FIFO that remembers insertion order for eviction. Removing a key
+//! from the index must not pay an O(n) scan of the FIFO, so the FIFO keeps
+//! `(key, tag)` slots and treats a slot as a *tombstone* once the index no
+//! longer maps the key to that tag. This type centralises the shared
+//! algorithm: push a tagged slot, pop the oldest live slot (skipping
+//! tombstones), and compact tombstones away once the queue doubles past its
+//! live capacity — amortised O(1) per operation.
+//!
+//! The caller supplies the tags (any per-key-monotonic value works: a
+//! dedicated generation counter, or an existing sequence number) and decides
+//! liveness by comparing a slot's tag against its index.
+
+use std::collections::VecDeque;
+
+/// A FIFO of `(key, tag)` slots with tombstone skipping and amortised
+/// compaction.
+#[derive(Clone, Debug)]
+pub struct OrderQueue<K> {
+    slots: VecDeque<(K, u64)>,
+    /// Queue length at which [`OrderQueue::maybe_compact`] actually compacts
+    /// (conventionally twice the live capacity).
+    compact_threshold: usize,
+}
+
+impl<K: Copy> OrderQueue<K> {
+    /// Creates a queue that compacts once its length reaches
+    /// `compact_threshold`.
+    pub fn new(compact_threshold: usize) -> Self {
+        OrderQueue {
+            slots: VecDeque::with_capacity(compact_threshold),
+            compact_threshold,
+        }
+    }
+
+    /// Number of slots, live and tombstoned.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Appends a slot. `tag` must be what the caller's index maps `key` to
+    /// while this slot is live; a key re-pushed with a newer tag turns every
+    /// older slot for it into a tombstone.
+    pub fn push(&mut self, key: K, tag: u64) {
+        self.slots.push_back((key, tag));
+    }
+
+    /// Pops slots from the front until one satisfies `is_live`, returning
+    /// that slot's key (the oldest live entry — exactly the FIFO victim a
+    /// tombstone-free queue would yield). Tombstones on the way are
+    /// discarded; the live slot itself is removed too, so the caller must
+    /// drop the key from its index.
+    pub fn pop_oldest_live(&mut self, mut is_live: impl FnMut(&K, u64) -> bool) -> Option<K> {
+        while let Some((key, tag)) = self.slots.pop_front() {
+            if is_live(&key, tag) {
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    /// Drops every tombstone if the queue has grown to its compaction
+    /// threshold. Call on each push: the O(len) sweep then amortises to O(1)
+    /// because at least half the swept slots are removed.
+    pub fn maybe_compact(&mut self, mut is_live: impl FnMut(&K, u64) -> bool) {
+        if self.slots.len() >= self.compact_threshold {
+            self.slots.retain(|&(key, tag)| is_live(&key, tag));
+        }
+    }
+
+    /// Removes every slot.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn pops_oldest_live_and_skips_tombstones() {
+        let mut index: HashMap<u32, u64> = HashMap::new();
+        let mut q: OrderQueue<u32> = OrderQueue::new(8);
+        for (gen, key) in [10u32, 11, 12].iter().enumerate() {
+            q.push(*key, gen as u64);
+            index.insert(*key, gen as u64);
+        }
+        // Re-push key 10 with a newer tag: its old slot becomes a tombstone.
+        q.push(10, 3);
+        index.insert(10, 3);
+        let victim = q.pop_oldest_live(|k, tag| index.get(k) == Some(&tag));
+        assert_eq!(victim, Some(11), "oldest live is 11, not tombstoned 10");
+    }
+
+    #[test]
+    fn compaction_keeps_only_live_slots() {
+        let mut index: HashMap<u32, u64> = HashMap::new();
+        let mut q: OrderQueue<u32> = OrderQueue::new(4);
+        for i in 0..4u32 {
+            q.push(i, u64::from(i));
+        }
+        index.insert(3, 3);
+        q.maybe_compact(|k, tag| index.get(k) == Some(&tag));
+        assert_eq!(q.slot_count(), 1);
+        q.clear();
+        assert_eq!(q.slot_count(), 0);
+    }
+}

@@ -44,6 +44,7 @@ impl SimRng {
     /// # Panics
     ///
     /// Panics if `lo >= hi`.
+    #[inline]
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
         self.inner.gen_range(lo..hi)
@@ -54,18 +55,21 @@ impl SimRng {
     /// # Panics
     ///
     /// Panics if `n == 0`.
+    #[inline]
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot pick an index from an empty collection");
         self.inner.gen_range(0..n)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
         self.inner.gen::<f64>() < p
     }
 
     /// Uniform `f64` in `[0, 1)`.
+    #[inline]
     pub fn unit(&mut self) -> f64 {
         self.inner.gen::<f64>()
     }

@@ -19,10 +19,10 @@
 
 use crate::profile::WorkloadProfile;
 use sim_core::rng::SimRng;
+use sim_core::FxHashMap;
 use sim_core::{
     Addr, BasicBlock, BranchInfo, BranchKind, CacheLine, LineGeometry, MAX_BASIC_BLOCK_INSTRUCTIONS,
 };
-use std::collections::HashMap;
 use std::fmt;
 
 /// Base address at which the synthetic text segment is laid out.
@@ -214,8 +214,8 @@ pub struct CodeLayout {
     geometry: LineGeometry,
     blocks: Vec<StaticBlock>,
     functions: Vec<Function>,
-    by_start: HashMap<Addr, BlockId>,
-    branches_by_line: HashMap<CacheLine, Vec<BlockId>>,
+    by_start: FxHashMap<Addr, BlockId>,
+    branches_by_line: FxHashMap<CacheLine, Vec<BlockId>>,
     service_roots: Vec<FunctionId>,
     dispatcher: FunctionId,
     code_end: Addr,
@@ -429,8 +429,8 @@ impl Builder {
             .map(|b| b.block.fall_through())
             .unwrap_or(CODE_BASE);
 
-        let mut by_start = HashMap::with_capacity(blocks.len());
-        let mut branches_by_line: HashMap<CacheLine, Vec<BlockId>> = HashMap::new();
+        let mut by_start = FxHashMap::default();
+        let mut branches_by_line: FxHashMap<CacheLine, Vec<BlockId>> = FxHashMap::default();
         for b in &blocks {
             by_start.insert(b.block.start, b.id);
             branches_by_line

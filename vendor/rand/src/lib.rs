@@ -32,12 +32,14 @@ pub trait Standard: Sized {
 }
 
 impl Standard for u64 {
+    #[inline]
     fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
         rng.next_u64()
     }
 }
 
 impl Standard for u32 {
+    #[inline]
     fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
         // rand's 64-bit SmallRng implements next_u32 by truncating next_u64.
         rng.next_u64() as u32
@@ -51,6 +53,7 @@ impl Standard for bool {
 }
 
 impl Standard for f64 {
+    #[inline]
     fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
         // 53 uniform mantissa bits in [0, 1).
         (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
@@ -176,6 +179,7 @@ pub mod rngs {
     }
 
     impl RngCore for SmallRng {
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
                 .wrapping_add(self.s[3])
