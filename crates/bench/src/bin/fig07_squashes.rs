@@ -20,7 +20,7 @@ fn main() {
         let r = row.stats.squashes_per_kilo();
         println!(
             "{:<11} {:<12} {:>14.2} {:>12.2} {:>9.2}",
-            row.job.workload.name(),
+            row.workload_label,
             row.job.mechanism.label(),
             r.misprediction,
             r.btb_miss,

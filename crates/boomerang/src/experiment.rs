@@ -146,6 +146,13 @@ impl WorkloadData {
 
     /// Generates a workload from an explicit profile (e.g. one with a
     /// re-derived seed or adjusted footprint), with the given run length.
+    ///
+    /// This is the entry point the campaign engine uses for its workload
+    /// axis: custom `[[workload]]` spec entries resolve to profiles that
+    /// share a `kind` with a paper preset but differ in footprint, service
+    /// roots, branch mix, etc. — so [`WorkloadData::kind`] names the *base*
+    /// workload, not a unique identity. Campaign code identifies workloads
+    /// by axis index and label instead.
     pub fn generate_from_profile(profile: &workloads::WorkloadProfile, length: RunLength) -> Self {
         let layout = CodeLayout::generate(profile);
         let trace = Trace::generate_blocks(&layout, length.trace_blocks + length.warmup_blocks);

@@ -60,15 +60,22 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("list-presets") => {
-            println!("{:<12} {:>5}  description", "preset", "jobs");
+            println!(
+                "{:<16} {:>5} {:>10}  description",
+                "preset", "jobs", "workloads"
+            );
             for preset in presets::PRESETS {
                 let spec = preset.spec();
                 println!(
-                    "{:<12} {:>5}  {}",
+                    "{:<16} {:>5} {:>10}  {}",
                     preset.name,
                     campaign::expand(&spec).len(),
+                    spec.workloads.len(),
                     preset.description
                 );
+                if let Some(labels) = custom_axis_labels(&spec) {
+                    println!("{:<16} {:>5} {:>10}  workload axis: {labels}", "", "", "");
+                }
             }
             Ok(())
         }
@@ -76,6 +83,19 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("bench") => bench_command(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
+}
+
+/// The joined workload-axis labels of a spec whose axis goes beyond the
+/// paper presets (custom profile families are the part worth surfacing);
+/// `None` for plain preset axes.
+fn custom_axis_labels(spec: &CampaignSpec) -> Option<String> {
+    spec.workloads.iter().any(|w| !w.is_preset()).then(|| {
+        spec.workloads
+            .iter()
+            .map(|w| w.label.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    })
 }
 
 fn bench_command(args: &[String]) -> Result<(), String> {
@@ -246,6 +266,9 @@ fn run_command(args: &[String]) -> Result<(), String> {
             workers,
             if smoke { " [smoke]" } else { "" },
         );
+        if let Some(labels) = custom_axis_labels(&spec) {
+            eprintln!("workload axis: {labels}");
+        }
     }
 
     let report = run_campaign(&spec, &options).map_err(|e| e.to_string())?;

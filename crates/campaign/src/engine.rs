@@ -21,7 +21,6 @@ use boomerang::{Mechanism, RunLength, WorkloadData};
 use frontend::SimStats;
 use sim_core::pool;
 use std::collections::HashMap;
-use workloads::WorkloadKind;
 
 /// Execution options orthogonal to the spec.
 #[derive(Clone, Copy, Debug, Default)]
@@ -60,6 +59,10 @@ pub struct RowResult {
     pub job: Job,
     /// Label of the job's config point.
     pub config_label: String,
+    /// Label of the job's workload-axis point (the paper name for presets,
+    /// the spec's `[[workload]]` label — with any list-expansion suffix —
+    /// for custom profiles).
+    pub workload_label: String,
     /// Simulation statistics of the job itself.
     pub stats: SimStats,
     /// Statistics of the group's no-prefetch baseline run (equal to `stats`
@@ -119,16 +122,20 @@ pub fn run_campaign(
         spec.run
     };
 
-    // Phase 1: generate each distinct (workload, seed) once, in parallel.
-    let mut keys: Vec<(WorkloadKind, u64)> = jobs.iter().map(|j| (j.workload, j.seed)).collect();
-    keys.sort_unstable_by_key(|&(w, s)| (w.name(), s));
+    // Phase 1: generate each distinct (workload axis point, seed) once, in
+    // parallel. Keyed by the axis *index*, not the workload kind: two custom
+    // `[[workload]]` points may share a base kind while describing different
+    // profiles, and a kind-keyed cache would silently hand one point the
+    // other's generated code.
+    let mut keys: Vec<(usize, u64)> = jobs.iter().map(|j| (j.workload, j.seed)).collect();
+    keys.sort_unstable();
     keys.dedup();
-    let generated = pool::run_indexed(workers, &keys, |_, &(kind, seed)| {
-        let profile = kind.profile();
+    let generated = pool::run_indexed(workers, &keys, |_, &(workload, seed)| {
+        let profile = &spec.workloads[workload].profile;
         let effective = derive_seed(profile.seed, seed);
-        WorkloadData::generate_from_profile(&profile.with_seed(effective), run)
+        WorkloadData::generate_from_profile(&profile.clone().with_seed(effective), run)
     });
-    let data_by_key: HashMap<(WorkloadKind, u64), &WorkloadData> =
+    let data_by_key: HashMap<(usize, u64), &WorkloadData> =
         keys.iter().copied().zip(generated.iter()).collect();
 
     // Phase 2: run every job on the work-stealing pool.
@@ -144,7 +151,7 @@ pub fn run_campaign(
     });
 
     // Phase 3: join each row with its group baseline, in job order.
-    let mut baselines: HashMap<(usize, WorkloadKind, u64), SimStats> = HashMap::new();
+    let mut baselines: HashMap<(usize, usize, u64), SimStats> = HashMap::new();
     for (job, s) in jobs.iter().zip(&stats) {
         if job.mechanism == Mechanism::Baseline {
             baselines.insert((job.config, job.workload, job.seed), *s);
@@ -160,6 +167,7 @@ pub fn run_campaign(
             RowResult {
                 job: *job,
                 config_label: spec.configs[job.config].label.clone(),
+                workload_label: spec.workloads[job.workload].label.clone(),
                 stats: *s,
                 baseline,
             }
@@ -211,5 +219,36 @@ mod tests {
             assert!(row.stats.instructions > 0);
             assert_eq!(row.baseline, base.stats);
         }
+    }
+
+    #[test]
+    fn same_kind_custom_workloads_do_not_share_generated_code() {
+        // Regression: the generation cache used to be keyed (WorkloadKind,
+        // seed), so two axis points with the same base kind collided and one
+        // silently simulated the other's layout. Keyed by axis index, the
+        // two footprints below must produce different baselines.
+        let spec = CampaignSpec::from_toml_str(
+            "name = \"t\"\nmechanisms = [\"fdip\"]\n\n[run]\ntrace_blocks = 3000\nwarmup_blocks = 500\n\n[[workload]]\nlabel = \"small\"\nbase = \"nutch\"\nfootprint_bytes = 131072\n\n[[workload]]\nlabel = \"large\"\nbase = \"nutch\"\nfootprint_bytes = 1048576\n",
+        )
+        .unwrap();
+        let report = run_campaign(&spec, &EngineOptions::default()).unwrap();
+        assert_eq!(report.rows.len(), 4); // 2 workloads x (baseline + fdip)
+        let baseline_cycles: Vec<u64> = report
+            .rows
+            .iter()
+            .filter(|r| r.job.implicit_baseline)
+            .map(|r| r.stats.cycles)
+            .collect();
+        assert_eq!(baseline_cycles.len(), 2);
+        assert_ne!(
+            baseline_cycles[0], baseline_cycles[1],
+            "same-kind workload points must simulate their own layouts"
+        );
+        let labels: Vec<&str> = report
+            .rows
+            .iter()
+            .map(|r| r.workload_label.as_str())
+            .collect();
+        assert_eq!(labels, vec!["small", "small", "large", "large"]);
     }
 }

@@ -9,7 +9,6 @@
 
 use crate::spec::CampaignSpec;
 use boomerang::Mechanism;
-use workloads::WorkloadKind;
 
 /// One simulation to run: a single cell of the campaign matrix.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -18,8 +17,10 @@ pub struct Job {
     pub index: usize,
     /// Index into [`CampaignSpec::configs`].
     pub config: usize,
-    /// The workload.
-    pub workload: WorkloadKind,
+    /// Index into [`CampaignSpec::workloads`] (the resolved workload axis).
+    /// An index — not a workload kind — because two axis points may share a
+    /// base kind while describing different profiles.
+    pub workload: usize,
     /// Seed offset (0 = the workload's paper seed).
     pub seed: u64,
     /// The mechanism.
@@ -41,7 +42,7 @@ pub fn expand(spec: &CampaignSpec) -> Vec<Job> {
             },
     );
     for config in 0..spec.configs.len() {
-        for &workload in &spec.workloads {
+        for workload in 0..spec.workloads.len() {
             for &seed in &spec.seeds {
                 if needs_implicit_baseline {
                     jobs.push(Job {
@@ -118,7 +119,7 @@ mod tests {
         let pos = |j: &Job| {
             (
                 j.config,
-                s.workloads.iter().position(|&w| w == j.workload).unwrap(),
+                j.workload,
                 s.seeds.iter().position(|&x| x == j.seed).unwrap(),
             )
         };

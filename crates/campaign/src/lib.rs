@@ -62,5 +62,5 @@ pub use presets::{Preset, PRESETS};
 pub use sink::{to_csv, to_json, to_table, write_reports, ReportPaths};
 pub use spec::{
     mechanism_token, parse_mechanism, parse_predictor, parse_workload, CampaignSpec,
-    ConfigOverride, ConfigPoint, NocSel, SpecError,
+    ConfigOverride, ConfigPoint, NocSel, SpecError, WorkloadPoint, MAX_WORKLOAD_POINTS,
 };

@@ -140,8 +140,37 @@ noc = 70
 "#,
 };
 
+/// The instruction-footprint sensitivity sweep: a single `[[workload]]`
+/// table expanding into a 3 footprints x 2 service-root-count family of
+/// Nutch-based profiles, from comfortably L1-I/BTB-resident (256 KB) to the
+/// multi-megabyte regime the paper's server workloads live in.
+const FOOTPRINT_SWEEP: Preset = Preset {
+    name: "footprint-sweep",
+    description: "Footprint x service-roots profile sweep, FDIP vs Boomerang",
+    toml: r#"
+name = "footprint-sweep"
+description = "Speedup across instruction footprints and service-root counts (Nutch-based profiles)"
+mechanisms = ["fdip", "boomerang"]
+predictor = "tage"
+seeds = [0]
+
+[run]
+trace_blocks = 50000
+warmup_blocks = 10000
+
+[[config]]
+label = "table1"
+
+[[workload]]
+label = "nutch"
+base = "nutch"
+footprint_bytes = [262144, 1048576, 4194304]
+service_roots = [32, 96]
+"#,
+};
+
 /// All presets, in presentation order.
-pub const PRESETS: [Preset; 4] = [FIGURE7, FIGURE9, FIGURE11, LLC_SWEEP];
+pub const PRESETS: [Preset; 5] = [FIGURE7, FIGURE9, FIGURE11, LLC_SWEEP, FOOTPRINT_SWEEP];
 
 /// Looks a preset up by name.
 ///
@@ -187,6 +216,19 @@ mod tests {
         let sweep = find("llc-sweep").unwrap();
         assert_eq!(sweep.configs.len(), 8);
         assert_eq!(sweep.configs[7].build().llc_round_trip(), 70);
+    }
+
+    #[test]
+    fn footprint_sweep_expands_the_workload_axis() {
+        let sweep = find("footprint-sweep").unwrap();
+        assert_eq!(sweep.workloads.len(), 6);
+        assert!(sweep.workloads.iter().all(|w| !w.is_preset()));
+        assert_eq!(sweep.workloads[0].label, "nutch-262144-32");
+        assert_eq!(sweep.workloads[0].profile.footprint_bytes, 262_144);
+        assert_eq!(sweep.workloads[5].label, "nutch-4194304-96");
+        assert_eq!(sweep.workloads[5].profile.service_roots, 96);
+        // 6 workloads x (2 mechanisms + implicit baseline).
+        assert_eq!(crate::expand::expand(&sweep).len(), 18);
     }
 
     #[test]

@@ -34,7 +34,7 @@ fn row_json(row: &RowResult) -> Json {
     let squash_rates = s.squashes_per_kilo();
     Json::object()
         .field("config", row.config_label.as_str())
-        .field("workload", row.job.workload.name())
+        .field("workload", row.workload_label.as_str())
         .field("mechanism", mechanism_token(row.job.mechanism))
         .field("seed", row.job.seed)
         .field("baseline_ref", row.job.implicit_baseline)
@@ -89,7 +89,7 @@ pub fn to_csv(report: &CampaignReport) -> String {
             out,
             "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             csv_field(&row.config_label),
-            csv_field(row.job.workload.name()),
+            csv_field(&row.workload_label),
             csv_field(&mechanism_token(row.job.mechanism)),
             row.job.seed,
             row.job.implicit_baseline,
@@ -162,17 +162,27 @@ pub fn to_table(report: &CampaignReport) -> String {
                     }
                 })
                 .collect();
-            // Column width fits the longest header plus a separating space.
+            // Column width fits the longest header plus a separating space;
+            // the workload column fits the longest label (12 keeps the
+            // paper-preset tables byte-stable).
             let width = headers.iter().map(String::len).max().unwrap_or(0).max(12) + 1;
-            let _ = write!(out, "{:<12}", "workload");
+            let name_width = report
+                .spec
+                .workloads
+                .iter()
+                .map(|w| w.label.len())
+                .max()
+                .unwrap_or(0)
+                .max(12);
+            let _ = write!(out, "{:<name_width$}", "workload");
             for h in &headers {
                 let _ = write!(out, "{h:>width$}");
             }
             out.push('\n');
 
             let mut columns: Vec<Vec<f64>> = vec![Vec::new(); mechanisms.len()];
-            for &workload in &report.spec.workloads {
-                let _ = write!(out, "{:<12}", workload.name());
+            for (workload, point) in report.spec.workloads.iter().enumerate() {
+                let _ = write!(out, "{:<name_width$}", point.label);
                 for (col, &m) in mechanisms.iter().enumerate() {
                     let cell = rows
                         .iter()
@@ -190,7 +200,7 @@ pub fn to_table(report: &CampaignReport) -> String {
                 }
                 out.push('\n');
             }
-            let _ = write!(out, "{:<12}", "Avg");
+            let _ = write!(out, "{:<name_width$}", "Avg");
             for col in &columns {
                 let avg = sim_core::stats::arithmetic_mean(col);
                 let _ = write!(out, "{avg:>width$.3}");

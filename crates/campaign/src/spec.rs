@@ -25,13 +25,32 @@
 //! Configuration points start from the paper's Table I
 //! ([`MicroarchConfig::hpca17`]) and apply named overrides, so a spec states
 //! only what it changes.
+//!
+//! The workload axis is not limited to the six paper presets: `[[workload]]`
+//! tables define *custom* workloads that start from a `base` preset and
+//! override [`WorkloadProfile`] fields, with list values sweeping the field
+//! cartesianly into a family of profiles:
+//!
+//! ```toml
+//! [[workload]]
+//! label = "nutch-fp"
+//! base = "nutch"
+//! footprint_bytes = [262144, 1048576, 4194304]
+//! service_roots = [32, 96]
+//!
+//! [workload.backend]
+//! l1d_miss_rate = 0.06
+//! ```
+//!
+//! expands into six workload points (`nutch-fp-262144-32`, ...), each a full
+//! profile validated field-by-field at parse time.
 
 use crate::toml::{self, Document, Table, TomlError, Value};
 use boomerang::{Mechanism, RunLength, ThrottlePolicy};
 use branch_pred::PredictorKind;
 use sim_core::{MicroarchConfig, NocModel, PerfectComponents};
 use std::fmt;
-use workloads::WorkloadKind;
+use workloads::{WorkloadKind, WorkloadProfile};
 
 /// Interconnect selection in a spec (`noc = "mesh" | "crossbar" | <cycles>`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -100,23 +119,23 @@ impl ConfigOverride {
 
     fn write(self, table: &mut Table) {
         match self {
-            ConfigOverride::BtbEntries(v) => table.insert("btb_entries", Value::Int(v as i64)),
-            ConfigOverride::BtbWays(v) => table.insert("btb_ways", Value::Int(v as i64)),
-            ConfigOverride::FtqEntries(v) => table.insert("ftq_entries", Value::Int(v as i64)),
-            ConfigOverride::L1iBytes(v) => table.insert("l1i_bytes", Value::Int(v as i64)),
-            ConfigOverride::FetchWidth(v) => table.insert("fetch_width", Value::Int(v as i64)),
-            ConfigOverride::RobEntries(v) => table.insert("rob_entries", Value::Int(v as i64)),
+            ConfigOverride::BtbEntries(v) => table.insert("btb_entries", int_value(v)),
+            ConfigOverride::BtbWays(v) => table.insert("btb_ways", int_value(v)),
+            ConfigOverride::FtqEntries(v) => table.insert("ftq_entries", int_value(v as u64)),
+            ConfigOverride::L1iBytes(v) => table.insert("l1i_bytes", int_value(v)),
+            ConfigOverride::FetchWidth(v) => table.insert("fetch_width", int_value(v)),
+            ConfigOverride::RobEntries(v) => table.insert("rob_entries", int_value(v)),
             ConfigOverride::MemoryLatencyNs(v) => {
                 table.insert("memory_latency_ns", Value::Float(v))
             }
             ConfigOverride::PrefetchProbesPerCycle(v) => {
-                table.insert("prefetch_probes_per_cycle", Value::Int(v as i64))
+                table.insert("prefetch_probes_per_cycle", int_value(v))
             }
             ConfigOverride::Noc(NocSel::Mesh) => table.insert("noc", Value::Str("mesh".into())),
             ConfigOverride::Noc(NocSel::Crossbar) => {
                 table.insert("noc", Value::Str("crossbar".into()))
             }
-            ConfigOverride::Noc(NocSel::Fixed(lat)) => table.insert("noc", Value::Int(lat as i64)),
+            ConfigOverride::Noc(NocSel::Fixed(lat)) => table.insert("noc", int_value(lat)),
             ConfigOverride::PerfectL1i(v) => table.insert("perfect_l1i", Value::Bool(v)),
             ConfigOverride::PerfectBtb(v) => table.insert("perfect_btb", Value::Bool(v)),
         }
@@ -152,6 +171,44 @@ impl ConfigPoint {
     }
 }
 
+/// One resolved point of the workload axis: a report label plus the full
+/// profile the engine generates for it.
+///
+/// Points come from two spec surfaces: the classic `workloads = [...]` name
+/// array (each name resolves to its paper preset with the paper label) and
+/// `[[workload]]` tables, which start from a `base` preset, apply profile
+/// overrides, and may expand into several points when an override value is a
+/// list (see [`CampaignSpec::from_toml_str`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadPoint {
+    /// Label used in reports. Paper presets use the paper name ("Nutch");
+    /// list-expanded custom entries get one `-<value>` suffix per listed
+    /// override, in document order.
+    pub label: String,
+    /// The fully resolved profile.
+    pub profile: WorkloadProfile,
+}
+
+impl WorkloadPoint {
+    /// The unmodified paper preset for `kind`, labelled with the paper name.
+    pub fn preset(kind: WorkloadKind) -> Self {
+        WorkloadPoint {
+            label: kind.name().to_string(),
+            profile: kind.profile(),
+        }
+    }
+
+    /// Whether this point is byte-for-byte a paper preset (label and
+    /// profile). Such points serialise back into the `workloads` name array.
+    pub fn is_preset(&self) -> bool {
+        self.label == self.profile.kind.name() && self.profile == self.profile.kind.profile()
+    }
+}
+
+/// Upper bound on resolved workload-axis points, so a typo'd override list
+/// cannot expand into an accidental multi-gigabyte generation phase.
+pub const MAX_WORKLOAD_POINTS: usize = 512;
+
 /// A fully parsed campaign description.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CampaignSpec {
@@ -159,8 +216,10 @@ pub struct CampaignSpec {
     pub name: String,
     /// One-line description.
     pub description: String,
-    /// Workloads to sweep.
-    pub workloads: Vec<WorkloadKind>,
+    /// The resolved workload axis, in canonical order: named paper presets
+    /// first, then `[[workload]]` points in document (and list-expansion)
+    /// order.
+    pub workloads: Vec<WorkloadPoint>,
     /// Mechanisms to sweep.
     pub mechanisms: Vec<Mechanism>,
     /// Direction predictor for every job.
@@ -309,7 +368,7 @@ impl CampaignSpec {
             }
         }
         for (name, _) in &doc.arrays {
-            if name != "config" {
+            if name != "config" && name != "workload" {
                 return Err(invalid(format!("unknown array of tables [[{name}]]")));
             }
         }
@@ -326,8 +385,15 @@ impl CampaignSpec {
         }
         let description = opt_str(&doc.root, "description")?.unwrap_or_default();
 
-        let workload_tokens = req_str_array(&doc.root, "workloads")?;
-        let workloads = if workload_tokens
+        let workload_tables = doc.array("workload");
+        let workload_tokens = match doc.root.get("workloads") {
+            Some(_) => req_str_array(&doc.root, "workloads")?,
+            // The name array may be omitted when the spec defines its own
+            // `[[workload]]` axis.
+            None if !workload_tables.is_empty() => Vec::new(),
+            None => return Err(invalid("missing required key `workloads`")),
+        };
+        let named = if workload_tokens
             .iter()
             .any(|t| t.eq_ignore_ascii_case("all"))
         {
@@ -343,10 +409,35 @@ impl CampaignSpec {
                 .map(|t| parse_workload(t))
                 .collect::<Result<Vec<_>, _>>()?
         };
+        reject_duplicates(&named, "workloads", |w| w.name().to_string())?;
+        let mut workloads: Vec<WorkloadPoint> =
+            named.into_iter().map(WorkloadPoint::preset).collect();
+        for table in workload_tables {
+            workloads.extend(parse_workload_points(table)?);
+        }
         if workloads.is_empty() {
             return Err(invalid("workloads must not be empty"));
         }
-        reject_duplicates(&workloads, "workloads", |w| w.name().to_string())?;
+        if workloads.len() > MAX_WORKLOAD_POINTS {
+            return Err(invalid(format!(
+                "workload axis expands to {} points (max {MAX_WORKLOAD_POINTS})",
+                workloads.len()
+            )));
+        }
+        reject_duplicates(
+            &workloads
+                .iter()
+                .map(|w| w.label.to_ascii_lowercase())
+                .collect::<Vec<_>>(),
+            "workload label",
+            |l| l.clone(),
+        )?;
+        for point in &workloads {
+            point
+                .profile
+                .validate()
+                .map_err(|e| invalid(format!("workload `{}`: {e}", point.label)))?;
+        }
 
         let mechanisms = req_str_array(&doc.root, "mechanisms")?
             .iter()
@@ -392,6 +483,9 @@ impl CampaignSpec {
                     if key != "trace_blocks" && key != "warmup_blocks" {
                         return Err(invalid(format!("unknown [run] key `{key}`")));
                     }
+                }
+                if let Some((sub, _)) = table.subtables.first() {
+                    return Err(invalid(format!("unknown sub-table [run.{sub}]")));
                 }
                 let default = RunLength::paper_default();
                 RunLength {
@@ -443,15 +537,23 @@ impl CampaignSpec {
             doc.root
                 .insert("description", Value::Str(self.description.clone()));
         }
-        doc.root.insert(
-            "workloads",
-            Value::Array(
-                self.workloads
-                    .iter()
-                    .map(|w| Value::Str(w.name().to_ascii_lowercase()))
-                    .collect(),
-            ),
-        );
+        // The longest prefix of unmodified paper presets serialises as the
+        // classic name array; every later point becomes an explicit
+        // `[[workload]]` table (already expanded: one scalar table per
+        // point). Parsing puts named workloads before `[[workload]]` points,
+        // so this is the identity on parsed specs.
+        let preset_prefix = self.workloads.iter().take_while(|w| w.is_preset()).count();
+        if preset_prefix > 0 {
+            doc.root.insert(
+                "workloads",
+                Value::Array(
+                    self.workloads[..preset_prefix]
+                        .iter()
+                        .map(|w| Value::Str(w.profile.kind.name().to_ascii_lowercase()))
+                        .collect(),
+                ),
+            );
+        }
         doc.root.insert(
             "mechanisms",
             Value::Array(
@@ -467,12 +569,12 @@ impl CampaignSpec {
         );
         doc.root.insert(
             "seeds",
-            Value::Array(self.seeds.iter().map(|&s| Value::Int(s as i64)).collect()),
+            Value::Array(self.seeds.iter().map(|&s| int_value(s)).collect()),
         );
 
         let mut run = Table::default();
-        run.insert("trace_blocks", Value::Int(self.run.trace_blocks as i64));
-        run.insert("warmup_blocks", Value::Int(self.run.warmup_blocks as i64));
+        run.insert("trace_blocks", int_value(self.run.trace_blocks as u64));
+        run.insert("warmup_blocks", int_value(self.run.warmup_blocks as u64));
         doc.tables.push(("run".into(), run));
 
         let mut configs = Vec::new();
@@ -485,6 +587,14 @@ impl CampaignSpec {
             configs.push(table);
         }
         doc.arrays.push(("config".into(), configs));
+
+        let custom: Vec<Table> = self.workloads[preset_prefix..]
+            .iter()
+            .map(write_workload_point)
+            .collect();
+        if !custom.is_empty() {
+            doc.arrays.push(("workload".into(), custom));
+        }
         toml::write(&doc)
     }
 
@@ -500,13 +610,18 @@ fn parse_config_point(table: &Table) -> Result<ConfigPoint, SpecError> {
     if label.is_empty() {
         return Err(invalid("config label must not be empty"));
     }
+    if let Some((sub, _)) = table.subtables.first() {
+        return Err(invalid(format!(
+            "unknown sub-table [config.{sub}] for config `{label}` (sub-tables only apply to [[workload]])"
+        )));
+    }
     let mut overrides = Vec::new();
     for (key, value) in &table.entries {
         let o = match key.as_str() {
             "label" => continue,
             "btb_entries" => ConfigOverride::BtbEntries(as_u64(value, key)?),
             "btb_ways" => ConfigOverride::BtbWays(as_u64(value, key)?),
-            "ftq_entries" => ConfigOverride::FtqEntries(as_u64(value, key)? as usize),
+            "ftq_entries" => ConfigOverride::FtqEntries(as_usize(value, key)?),
             "l1i_bytes" => ConfigOverride::L1iBytes(as_u64(value, key)?),
             "fetch_width" => ConfigOverride::FetchWidth(as_u64(value, key)?),
             "rob_entries" => ConfigOverride::RobEntries(as_u64(value, key)?),
@@ -547,6 +662,237 @@ fn parse_config_point(table: &Table) -> Result<ConfigPoint, SpecError> {
         overrides.push(o);
     }
     Ok(ConfigPoint { label, overrides })
+}
+
+/// Parses one `[[workload]]` table into its resolved points.
+///
+/// The table names a `base` preset and applies profile overrides on top of
+/// it. A scalar override sets the field; a *list* override sweeps it, with
+/// every listed key expanding cartesianly (in document order) into one point
+/// per combination. Expanded points get a `-<value>` label suffix per listed
+/// key, so `label = "fp"` with `footprint_bytes = [262144, 1048576]` and
+/// `service_roots = [32, 96]` yields `fp-262144-32`, `fp-262144-96`,
+/// `fp-1048576-32`, `fp-1048576-96`.
+fn parse_workload_points(table: &Table) -> Result<Vec<WorkloadPoint>, SpecError> {
+    let label = req_str(table, "label")?;
+    if label.is_empty() {
+        return Err(invalid("workload label must not be empty"));
+    }
+    let context = |msg: String| invalid(format!("workload `{label}`: {msg}"));
+    let base_names = || {
+        WorkloadKind::ALL
+            .map(|k| k.name().to_ascii_lowercase())
+            .join(", ")
+    };
+    let base_token = match table.get("base") {
+        None => {
+            return Err(context(format!(
+                "missing required key `base` (one of {})",
+                base_names()
+            )))
+        }
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| context("`base` must be a string naming a paper workload".into()))?,
+    };
+    // Not parse_workload: its error suggests "all", which `base` (one
+    // concrete preset) does not accept, and lacks the label context.
+    let base = WorkloadKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(base_token))
+        .ok_or_else(|| {
+            context(format!(
+                "unknown base workload `{base_token}` (expected one of {})",
+                base_names()
+            ))
+        })?;
+    let mut profile = base.profile();
+
+    // Scalar overrides apply once; list overrides are collected as sweep
+    // axes, in document order.
+    let mut sweeps: Vec<(String, Vec<Value>)> = Vec::new();
+    let mut seen_utility = false;
+    for (key, value) in &table.entries {
+        let canonical = match key.as_str() {
+            "label" | "base" => continue,
+            "description" => {
+                profile.description = value
+                    .as_str()
+                    .ok_or_else(|| context("`description` must be a string".into()))?
+                    .to_string();
+                continue;
+            }
+            // Deprecated alias of `utility_fraction` (the field's old,
+            // misleading name).
+            "hot_function_fraction" | "utility_fraction" => {
+                if seen_utility {
+                    return Err(context(
+                        "give either `utility_fraction` or its deprecated alias \
+                         `hot_function_fraction`, not both"
+                            .into(),
+                    ));
+                }
+                seen_utility = true;
+                "utility_fraction"
+            }
+            k if WORKLOAD_OVERRIDE_KEYS.contains(&k) => k,
+            other => {
+                return Err(context(format!(
+                    "unknown [[workload]] key `{other}` (overridable fields: {})",
+                    WORKLOAD_OVERRIDE_KEYS.join(", ")
+                )))
+            }
+        };
+        match value {
+            Value::Array(items) => {
+                if items.is_empty() {
+                    return Err(context(format!("override list `{key}` must not be empty")));
+                }
+                reject_duplicates(items, key, label_fragment).map_err(|e| match e {
+                    SpecError::Invalid(msg) => context(msg),
+                    other => other,
+                })?;
+                sweeps.push((canonical.to_string(), items.clone()));
+            }
+            scalar => {
+                apply_workload_override(&mut profile, canonical, scalar).map_err(context)?;
+            }
+        }
+    }
+    for (name, sub) in &table.subtables {
+        if !matches!(name.as_str(), "terminators" | "conditionals" | "backend") {
+            return Err(context(format!(
+                "unknown sub-table [workload.{name}] (expected terminators, conditionals or backend)"
+            )));
+        }
+        for (key, value) in &sub.entries {
+            if value.as_array().is_some() {
+                return Err(context(format!(
+                    "`{name}.{key}`: override lists are only supported on top-level workload keys"
+                )));
+            }
+            apply_workload_override(&mut profile, &format!("{name}.{key}"), value)
+                .map_err(context)?;
+        }
+    }
+
+    // Cap the cartesian size *before* materialising any points, so a typo'd
+    // spec (six 40-value lists = 4e9 combinations) is an error, not an OOM.
+    let combinations = sweeps
+        .iter()
+        .try_fold(1usize, |acc, (_, values)| acc.checked_mul(values.len()))
+        .filter(|&n| n <= MAX_WORKLOAD_POINTS);
+    if combinations.is_none() {
+        return Err(context(format!(
+            "override lists expand to {} points (max {MAX_WORKLOAD_POINTS})",
+            sweeps
+                .iter()
+                .map(|(_, values)| values.len().to_string())
+                .collect::<Vec<_>>()
+                .join(" x ")
+        )));
+    }
+
+    // Cartesian expansion of the list overrides: earlier keys vary slowest.
+    let mut points = vec![WorkloadPoint {
+        label: label.clone(),
+        profile,
+    }];
+    for (key, values) in &sweeps {
+        let mut expanded = Vec::with_capacity(points.len() * values.len());
+        for point in &points {
+            for value in values {
+                let mut profile = point.profile.clone();
+                apply_workload_override(&mut profile, key, value).map_err(context)?;
+                expanded.push(WorkloadPoint {
+                    label: format!("{}-{}", point.label, label_fragment(value)),
+                    profile,
+                });
+            }
+        }
+        points = expanded;
+    }
+    Ok(points)
+}
+
+/// Top-level `[[workload]]` keys that override a scalar profile field (the
+/// canonical spellings; `hot_function_fraction` is accepted as a deprecated
+/// alias of `utility_fraction`).
+const WORKLOAD_OVERRIDE_KEYS: [&str; 10] = [
+    "footprint_bytes",
+    "service_roots",
+    "max_call_depth",
+    "seed",
+    "mean_block_instructions",
+    "mean_function_blocks",
+    "cond_target_mean_lines",
+    "cond_backward_fraction",
+    "hot_callee_fraction",
+    "utility_fraction",
+];
+
+/// Applies one scalar override (canonical key) to a profile. Errors are
+/// plain messages; the caller adds the workload-label context.
+fn apply_workload_override(
+    profile: &mut WorkloadProfile,
+    key: &str,
+    value: &Value,
+) -> Result<(), String> {
+    let integer = || {
+        value
+            .as_u64()
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer"))
+    };
+    let index = || {
+        integer().and_then(|v| {
+            usize::try_from(v)
+                .map_err(|_| format!("`{key}` value {v} exceeds this platform's usize range"))
+        })
+    };
+    let number = || {
+        value
+            .as_f64()
+            .ok_or_else(|| format!("`{key}` must be a number"))
+    };
+    match key {
+        "footprint_bytes" => profile.footprint_bytes = integer()?,
+        "service_roots" => profile.service_roots = index()?,
+        "max_call_depth" => profile.max_call_depth = index()?,
+        "seed" => profile.seed = integer()?,
+        "mean_block_instructions" => profile.mean_block_instructions = number()?,
+        "mean_function_blocks" => profile.mean_function_blocks = number()?,
+        "cond_target_mean_lines" => profile.cond_target_mean_lines = number()?,
+        "cond_backward_fraction" => profile.cond_backward_fraction = number()?,
+        "hot_callee_fraction" => profile.hot_callee_fraction = number()?,
+        "utility_fraction" => profile.utility_fraction = number()?,
+        "terminators.call" => profile.terminators.call = number()?,
+        "terminators.indirect_call" => profile.terminators.indirect_call = number()?,
+        "terminators.jump" => profile.terminators.jump = number()?,
+        "terminators.indirect_jump" => profile.terminators.indirect_jump = number()?,
+        "terminators.early_return" => profile.terminators.early_return = number()?,
+        "conditionals.loop_backedge" => profile.conditionals.loop_backedge = number()?,
+        "conditionals.pattern" => profile.conditionals.pattern = number()?,
+        "conditionals.data_dependent" => profile.conditionals.data_dependent = number()?,
+        "conditionals.bias_mean" => profile.conditionals.bias_mean = number()?,
+        "conditionals.mean_trip_count" => profile.conditionals.mean_trip_count = number()?,
+        "backend.load_fraction" => profile.backend.load_fraction = number()?,
+        "backend.l1d_miss_rate" => profile.backend.l1d_miss_rate = number()?,
+        "backend.llc_miss_rate" => profile.backend.llc_miss_rate = number()?,
+        "backend.base_latency" => profile.backend.base_latency = integer()?,
+        other => return Err(format!("unknown workload override `{other}`")),
+    }
+    Ok(())
+}
+
+/// The label suffix a swept override value contributes (`262144`, `0.3`).
+fn label_fragment(value: &Value) -> String {
+    match value {
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format!("{f}"),
+        Value::Str(s) => s.clone(),
+        Value::Bool(b) => b.to_string(),
+        Value::Array(_) => "list".to_string(),
+    }
 }
 
 fn as_u64(value: &Value, key: &str) -> Result<u64, SpecError> {
@@ -607,11 +953,183 @@ fn req_str_array(table: &Table, key: &str) -> Result<Vec<String>, SpecError> {
 fn opt_usize(table: &Table, key: &str) -> Result<Option<usize>, SpecError> {
     match table.get(key) {
         None => Ok(None),
-        Some(v) => v
-            .as_u64()
-            .map(|u| Some(u as usize))
-            .ok_or_else(|| invalid(format!("`{key}` must be a non-negative integer"))),
+        Some(v) => as_usize(v, key).map(Some),
     }
+}
+
+/// Parses a non-negative integer that must also fit this platform's `usize`.
+/// On 32-bit targets a plain `as usize` cast would silently truncate; this
+/// rejects the value instead.
+fn as_usize(value: &Value, key: &str) -> Result<usize, SpecError> {
+    let v = as_u64(value, key)?;
+    usize::try_from(v).map_err(|_| {
+        invalid(format!(
+            "`{key}` value {v} exceeds this platform's usize range"
+        ))
+    })
+}
+
+/// A TOML integer value.
+///
+/// # Panics
+///
+/// Panics if the value exceeds `i64::MAX`. Parsing rejects such values (the
+/// TOML layer only produces non-negative `i64`s), so this can only trigger
+/// on a hand-constructed spec — where the old silent `as i64` wrap would
+/// have emitted a negative number and corrupted the round-trip guarantee.
+fn int_value(v: u64) -> Value {
+    Value::Int(i64::try_from(v).expect("campaign spec integer exceeds TOML's i64 range"))
+}
+
+/// Serialises one custom workload point as a scalar `[[workload]]` table:
+/// `label`, `base`, and exactly the fields that differ from the base preset,
+/// with sub-struct fields in their `[workload.*]` sub-tables.
+fn write_workload_point(point: &WorkloadPoint) -> Table {
+    let base = point.profile.kind.profile();
+    let p = &point.profile;
+    let mut table = Table::default();
+    table.insert("label", Value::Str(point.label.clone()));
+    table.insert("base", Value::Str(p.kind.name().to_ascii_lowercase()));
+    if p.description != base.description {
+        table.insert("description", Value::Str(p.description.clone()));
+    }
+    if p.seed != base.seed {
+        table.insert("seed", int_value(p.seed));
+    }
+    if p.footprint_bytes != base.footprint_bytes {
+        table.insert("footprint_bytes", int_value(p.footprint_bytes));
+    }
+    if p.service_roots != base.service_roots {
+        table.insert("service_roots", int_value(p.service_roots as u64));
+    }
+    if p.max_call_depth != base.max_call_depth {
+        table.insert("max_call_depth", int_value(p.max_call_depth as u64));
+    }
+    let floats = [
+        (
+            "mean_block_instructions",
+            p.mean_block_instructions,
+            base.mean_block_instructions,
+        ),
+        (
+            "mean_function_blocks",
+            p.mean_function_blocks,
+            base.mean_function_blocks,
+        ),
+        (
+            "cond_target_mean_lines",
+            p.cond_target_mean_lines,
+            base.cond_target_mean_lines,
+        ),
+        (
+            "cond_backward_fraction",
+            p.cond_backward_fraction,
+            base.cond_backward_fraction,
+        ),
+        (
+            "hot_callee_fraction",
+            p.hot_callee_fraction,
+            base.hot_callee_fraction,
+        ),
+        (
+            "utility_fraction",
+            p.utility_fraction,
+            base.utility_fraction,
+        ),
+    ];
+    for (key, value, base_value) in floats {
+        if value != base_value {
+            table.insert(key, Value::Float(value));
+        }
+    }
+
+    if p.terminators != base.terminators {
+        let sub = table.insert_subtable("terminators");
+        let fields = [
+            ("call", p.terminators.call, base.terminators.call),
+            (
+                "indirect_call",
+                p.terminators.indirect_call,
+                base.terminators.indirect_call,
+            ),
+            ("jump", p.terminators.jump, base.terminators.jump),
+            (
+                "indirect_jump",
+                p.terminators.indirect_jump,
+                base.terminators.indirect_jump,
+            ),
+            (
+                "early_return",
+                p.terminators.early_return,
+                base.terminators.early_return,
+            ),
+        ];
+        for (key, value, base_value) in fields {
+            if value != base_value {
+                sub.insert(key, Value::Float(value));
+            }
+        }
+    }
+    if p.conditionals != base.conditionals {
+        let sub = table.insert_subtable("conditionals");
+        let fields = [
+            (
+                "loop_backedge",
+                p.conditionals.loop_backedge,
+                base.conditionals.loop_backedge,
+            ),
+            ("pattern", p.conditionals.pattern, base.conditionals.pattern),
+            (
+                "data_dependent",
+                p.conditionals.data_dependent,
+                base.conditionals.data_dependent,
+            ),
+            (
+                "bias_mean",
+                p.conditionals.bias_mean,
+                base.conditionals.bias_mean,
+            ),
+            (
+                "mean_trip_count",
+                p.conditionals.mean_trip_count,
+                base.conditionals.mean_trip_count,
+            ),
+        ];
+        for (key, value, base_value) in fields {
+            if value != base_value {
+                sub.insert(key, Value::Float(value));
+            }
+        }
+    }
+    if p.backend != base.backend {
+        let sub = table.insert_subtable("backend");
+        let fields = [
+            (
+                "load_fraction",
+                p.backend.load_fraction,
+                base.backend.load_fraction,
+            ),
+            (
+                "l1d_miss_rate",
+                p.backend.l1d_miss_rate,
+                base.backend.l1d_miss_rate,
+            ),
+            (
+                "llc_miss_rate",
+                p.backend.llc_miss_rate,
+                base.backend.llc_miss_rate,
+            ),
+        ];
+        for (key, value, base_value) in fields {
+            if value != base_value {
+                sub.insert(key, Value::Float(value));
+            }
+        }
+        if p.backend.base_latency != base.backend.base_latency {
+            sub.insert("base_latency", int_value(p.backend.base_latency));
+        }
+    }
+    table
 }
 
 #[cfg(test)]
@@ -643,7 +1161,13 @@ btb_entries = 4096
     fn parses_a_full_spec() {
         let spec = CampaignSpec::from_toml_str(SPEC).unwrap();
         assert_eq!(spec.name, "demo");
-        assert_eq!(spec.workloads, vec![WorkloadKind::Nutch, WorkloadKind::Db2]);
+        assert_eq!(
+            spec.workloads,
+            vec![
+                WorkloadPoint::preset(WorkloadKind::Nutch),
+                WorkloadPoint::preset(WorkloadKind::Db2)
+            ]
+        );
         assert_eq!(spec.mechanisms.len(), 3);
         assert_eq!(spec.seeds, vec![0, 7]);
         assert_eq!(spec.run.trace_blocks, 4000);
@@ -717,6 +1241,280 @@ btb_entries = 4096
         );
         let dup_label = "name = \"x\"\nworkloads = [\"all\"]\nmechanisms = [\"fdip\"]\n\n[[config]]\nlabel = \"a\"\n\n[[config]]\nlabel = \"a\"\n";
         assert!(CampaignSpec::from_toml_str(dup_label).is_err());
+    }
+
+    #[test]
+    fn rejects_subtables_on_run_and_config() {
+        // Sub-tables are a [[workload]]-only construct; attaching one to
+        // [run] or a [[config]] must be an error, not silently dropped.
+        let run_sub = "name = \"x\"\nworkloads = [\"all\"]\nmechanisms = [\"fdip\"]\n\n[run]\ntrace_blocks = 2000\n\n[run.extra]\nfoo = 1\n";
+        let err = CampaignSpec::from_toml_str(run_sub)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("[run.extra]"), "{err}");
+        let config_sub = "name = \"x\"\nworkloads = [\"all\"]\nmechanisms = [\"fdip\"]\n\n[[config]]\nlabel = \"a\"\n\n[config.backend]\nl1d_miss_rate = 0.5\n";
+        let err = CampaignSpec::from_toml_str(config_sub)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("[config.backend]"), "{err}");
+    }
+
+    const WORKLOAD_AXIS_SPEC: &str = r#"
+name = "fp-sweep"
+mechanisms = ["fdip"]
+
+[run]
+trace_blocks = 2000
+warmup_blocks = 400
+
+[[workload]]
+label = "fp"
+base = "nutch"
+footprint_bytes = [262144, 1048576, 4194304]
+service_roots = [32, 96]
+hot_callee_fraction = 0.45
+
+[workload.backend]
+l1d_miss_rate = 0.06
+
+[[workload]]
+label = "tight"
+base = "streaming"
+mean_block_instructions = 9.5
+
+[workload.terminators]
+call = 0.06
+
+[workload.conditionals]
+bias_mean = 0.9
+"#;
+
+    #[test]
+    fn workload_axis_expands_cartesianly() {
+        let spec = CampaignSpec::from_toml_str(WORKLOAD_AXIS_SPEC).unwrap();
+        // 3 footprints x 2 service-root counts + the scalar "tight" entry.
+        assert_eq!(spec.workloads.len(), 7);
+        let labels: Vec<&str> = spec.workloads.iter().map(|w| w.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "fp-262144-32",
+                "fp-262144-96",
+                "fp-1048576-32",
+                "fp-1048576-96",
+                "fp-4194304-32",
+                "fp-4194304-96",
+                "tight",
+            ]
+        );
+        // Scalar overrides apply to every expanded point.
+        for point in &spec.workloads[..6] {
+            assert_eq!(point.profile.kind, WorkloadKind::Nutch);
+            assert_eq!(point.profile.hot_callee_fraction, 0.45);
+            assert_eq!(point.profile.backend.l1d_miss_rate, 0.06);
+            assert!(!point.is_preset());
+        }
+        assert_eq!(spec.workloads[0].profile.footprint_bytes, 262_144);
+        assert_eq!(spec.workloads[0].profile.service_roots, 32);
+        assert_eq!(spec.workloads[5].profile.footprint_bytes, 4_194_304);
+        assert_eq!(spec.workloads[5].profile.service_roots, 96);
+        // Untouched fields keep the base preset's values.
+        assert_eq!(
+            spec.workloads[0].profile.max_call_depth,
+            WorkloadKind::Nutch.profile().max_call_depth
+        );
+        let tight = &spec.workloads[6];
+        assert_eq!(tight.profile.mean_block_instructions, 9.5);
+        assert_eq!(tight.profile.terminators.call, 0.06);
+        assert_eq!(tight.profile.conditionals.bias_mean, 0.9);
+        assert_eq!(spec.cell_count(), 7);
+    }
+
+    #[test]
+    fn workload_axis_round_trips() {
+        let spec = CampaignSpec::from_toml_str(WORKLOAD_AXIS_SPEC).unwrap();
+        let text = spec.to_toml_string();
+        let again = CampaignSpec::from_toml_str(&text).unwrap();
+        assert_eq!(spec, again);
+        assert_eq!(text, again.to_toml_string());
+        // The expanded points serialise as scalar [[workload]] tables with
+        // sub-tables for the backend override.
+        assert!(text.contains("[[workload]]"), "{text}");
+        assert!(text.contains("[workload.backend]"), "{text}");
+        assert!(!text.contains("workloads ="), "{text}");
+    }
+
+    #[test]
+    fn named_and_custom_workloads_mix() {
+        let spec = CampaignSpec::from_toml_str(
+            "name = \"mix\"\nworkloads = [\"nutch\"]\nmechanisms = [\"fdip\"]\n\n[[workload]]\nlabel = \"big\"\nbase = \"nutch\"\nfootprint_bytes = 4194304\n",
+        )
+        .unwrap();
+        assert_eq!(spec.workloads.len(), 2);
+        assert!(spec.workloads[0].is_preset());
+        assert_eq!(spec.workloads[1].label, "big");
+        let again = CampaignSpec::from_toml_str(&spec.to_toml_string()).unwrap();
+        assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn preset_clone_normalises_to_the_name_array() {
+        // A [[workload]] entry that is byte-for-byte a paper preset is the
+        // same axis point as naming the workload.
+        let explicit = CampaignSpec::from_toml_str(
+            "name = \"x\"\nmechanisms = [\"fdip\"]\n\n[[workload]]\nlabel = \"Nutch\"\nbase = \"nutch\"\n",
+        )
+        .unwrap();
+        let named = CampaignSpec::from_toml_str(
+            "name = \"x\"\nworkloads = [\"nutch\"]\nmechanisms = [\"fdip\"]\n",
+        )
+        .unwrap();
+        assert_eq!(explicit.workloads, named.workloads);
+        assert_eq!(explicit, named);
+        assert!(explicit
+            .to_toml_string()
+            .contains("workloads = [\"nutch\"]"));
+    }
+
+    #[test]
+    fn workload_axis_rejects_bad_tables() {
+        let base = "name = \"x\"\nmechanisms = [\"fdip\"]\n";
+        // Missing base.
+        let e = CampaignSpec::from_toml_str(&format!("{base}\n[[workload]]\nlabel = \"a\"\n"))
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("base"), "{e}");
+        // Unknown override key.
+        let e = CampaignSpec::from_toml_str(&format!(
+            "{base}\n[[workload]]\nlabel = \"a\"\nbase = \"nutch\"\nfrobs = 1\n"
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(e.contains("frobs"), "{e}");
+        // Unknown sub-table.
+        assert!(CampaignSpec::from_toml_str(&format!(
+            "{base}\n[[workload]]\nlabel = \"a\"\nbase = \"nutch\"\n\n[workload.frontend]\nx = 1\n"
+        ))
+        .is_err());
+        // Lists inside sub-tables are not supported.
+        assert!(CampaignSpec::from_toml_str(&format!(
+            "{base}\n[[workload]]\nlabel = \"a\"\nbase = \"nutch\"\n\n[workload.backend]\nload_fraction = [0.1, 0.2]\n"
+        ))
+        .is_err());
+        // Empty override list.
+        assert!(CampaignSpec::from_toml_str(&format!(
+            "{base}\n[[workload]]\nlabel = \"a\"\nbase = \"nutch\"\nfootprint_bytes = []\n"
+        ))
+        .is_err());
+        // Duplicate values within one override list.
+        assert!(CampaignSpec::from_toml_str(&format!(
+            "{base}\n[[workload]]\nlabel = \"a\"\nbase = \"nutch\"\nfootprint_bytes = [262144, 262144]\n"
+        ))
+        .is_err());
+        // Both the canonical key and its deprecated alias.
+        assert!(CampaignSpec::from_toml_str(&format!(
+            "{base}\n[[workload]]\nlabel = \"a\"\nbase = \"nutch\"\nutility_fraction = 0.1\nhot_function_fraction = 0.1\n"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn deprecated_hot_function_fraction_alias_still_parses() {
+        let spec = CampaignSpec::from_toml_str(
+            "name = \"x\"\nmechanisms = [\"fdip\"]\n\n[[workload]]\nlabel = \"a\"\nbase = \"nutch\"\nhot_function_fraction = 0.2\n",
+        )
+        .unwrap();
+        assert_eq!(spec.workloads[0].profile.utility_fraction, 0.2);
+    }
+
+    #[test]
+    fn invalid_profile_values_are_field_level_spec_errors() {
+        let e = CampaignSpec::from_toml_str(
+            "name = \"x\"\nmechanisms = [\"fdip\"]\n\n[[workload]]\nlabel = \"bad\"\nbase = \"nutch\"\nfootprint_bytes = 0\n",
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(e.contains("workload `bad`"), "{e}");
+        assert!(e.contains("footprint_bytes"), "{e}");
+        assert!(e.contains("got 0"), "{e}");
+
+        let e = CampaignSpec::from_toml_str(
+            "name = \"x\"\nmechanisms = [\"fdip\"]\n\n[[workload]]\nlabel = \"bad\"\nbase = \"db2\"\n\n[workload.conditionals]\nmean_trip_count = 1.0\n",
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(e.contains("conditionals.mean_trip_count"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_workload_labels_are_rejected() {
+        // Across two [[workload]] tables.
+        assert!(CampaignSpec::from_toml_str(
+            "name = \"x\"\nmechanisms = [\"fdip\"]\n\n[[workload]]\nlabel = \"a\"\nbase = \"nutch\"\n\n[[workload]]\nlabel = \"a\"\nbase = \"db2\"\n"
+        )
+        .is_err());
+        // Against a named preset (case-insensitive).
+        assert!(CampaignSpec::from_toml_str(
+            "name = \"x\"\nworkloads = [\"nutch\"]\nmechanisms = [\"fdip\"]\n\n[[workload]]\nlabel = \"nutch\"\nbase = \"db2\"\n"
+        )
+        .is_err());
+        // Colliding expanded labels.
+        assert!(CampaignSpec::from_toml_str(
+            "name = \"x\"\nmechanisms = [\"fdip\"]\n\n[[workload]]\nlabel = \"a\"\nbase = \"nutch\"\nfootprint_bytes = [262144]\n\n[[workload]]\nlabel = \"a-262144\"\nbase = \"nutch\"\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn workload_axis_expansion_is_capped() {
+        // 9^4 = 6561 > MAX_WORKLOAD_POINTS.
+        let list = "[131072, 262144, 393216, 524288, 655360, 786432, 917504, 1048576, 1179648]";
+        let depths = "[4, 5, 6, 7, 8, 9, 10, 11, 12]";
+        let roots = "[8, 9, 10, 11, 12, 13, 14, 15, 16]";
+        let fractions = "[0.1, 0.11, 0.12, 0.13, 0.14, 0.15, 0.16, 0.17, 0.18]";
+        let e = CampaignSpec::from_toml_str(&format!(
+            "name = \"x\"\nmechanisms = [\"fdip\"]\n\n[[workload]]\nlabel = \"a\"\nbase = \"nutch\"\nfootprint_bytes = {list}\nmax_call_depth = {depths}\nservice_roots = {roots}\nhot_callee_fraction = {fractions}\n"
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(e.contains("max 512"), "{e}");
+    }
+
+    #[test]
+    fn out_of_range_integers_are_rejected_not_truncated() {
+        // Beyond i64: the TOML layer rejects the literal outright.
+        let e = CampaignSpec::from_toml_str(
+            "name = \"x\"\nworkloads = [\"all\"]\nmechanisms = [\"fdip\"]\n\n[[config]]\nlabel = \"a\"\nftq_entries = 9223372036854775808\n",
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(e.contains("9223372036854775808"), "{e}");
+        // Negative integers never reach a cast.
+        assert!(CampaignSpec::from_toml_str(
+            "name = \"x\"\nworkloads = [\"all\"]\nmechanisms = [\"fdip\"]\n\n[run]\ntrace_blocks = -5\n"
+        )
+        .is_err());
+        // Large-but-representable values round-trip exactly instead of
+        // wrapping (pre-fix, `u64 as i64` style casts corrupted them on the
+        // way out and `u64 as usize` truncated them on 32-bit targets).
+        let spec = CampaignSpec::from_toml_str(
+            "name = \"x\"\nworkloads = [\"all\"]\nmechanisms = [\"fdip\"]\nseeds = [9223372036854775807]\n",
+        )
+        .unwrap();
+        assert_eq!(spec.seeds, vec![i64::MAX as u64]);
+        let again = CampaignSpec::from_toml_str(&spec.to_toml_string()).unwrap();
+        assert_eq!(spec, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds TOML's i64 range")]
+    fn hand_constructed_overflow_panics_instead_of_wrapping() {
+        let mut spec = CampaignSpec::from_toml_str(
+            "name = \"x\"\nworkloads = [\"all\"]\nmechanisms = [\"fdip\"]\n",
+        )
+        .unwrap();
+        spec.seeds = vec![u64::MAX];
+        let _ = spec.to_toml_string();
     }
 
     #[test]

@@ -6,6 +6,10 @@
 //!
 //! * top-level `key = value` pairs,
 //! * `[table]` and `[[array-of-tables]]` headers (single-level names),
+//! * one level of sub-tables: a `[parent.child]` header following `[parent]`
+//!   or `[[parent]]` attaches `child` to that table (for arrays of tables,
+//!   to the most recent element) — this is what lets a `[[workload]]` entry
+//!   carry `[workload.terminators]` / `[workload.backend]` overrides,
 //! * values: basic strings, integers, floats, booleans, and flat arrays of
 //!   those scalars,
 //! * `#` comments and blank lines.
@@ -73,11 +77,15 @@ impl Value {
     }
 }
 
-/// An ordered set of `key = value` pairs.
+/// An ordered set of `key = value` pairs, plus one level of named
+/// sub-tables (`[parent.child]` headers).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Table {
     /// The pairs in document order.
     pub entries: Vec<(String, Value)>,
+    /// Sub-tables in document order. Always empty for sub-tables themselves
+    /// (the dialect allows exactly one level of nesting).
+    pub subtables: Vec<(String, Table)>,
 }
 
 impl Table {
@@ -94,6 +102,20 @@ impl Table {
     /// The keys in document order.
     pub fn keys(&self) -> impl Iterator<Item = &str> {
         self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Looks a sub-table up.
+    pub fn subtable(&self, name: &str) -> Option<&Table> {
+        self.subtables
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+
+    /// Appends a sub-table and returns a mutable reference to it.
+    pub fn insert_subtable(&mut self, name: impl Into<String>) -> &mut Table {
+        self.subtables.push((name.into(), Table::default()));
+        &mut self.subtables.last_mut().expect("just pushed").1
     }
 }
 
@@ -161,11 +183,15 @@ fn err(line: usize, message: impl Into<String>) -> TomlError {
 /// strings, dates, duplicate keys, ...).
 pub fn parse(input: &str) -> Result<Document, TomlError> {
     let mut doc = Document::default();
-    // Where new `key = value` pairs currently land.
+    // Where new `key = value` pairs currently land. The `Sub` variants point
+    // at the most recently opened `[parent.child]` sub-table of a `[table]`
+    // or of the last `[[array]]` element.
     enum Target {
         Root,
         Table(usize),
         Array(usize),
+        TableSub(usize),
+        ArraySub(usize),
     }
     let mut target = Target::Root;
 
@@ -197,6 +223,46 @@ pub fn parse(input: &str) -> Result<Document, TomlError> {
                 .strip_suffix(']')
                 .ok_or_else(|| err(lineno, "unterminated [table] header"))?
                 .trim();
+            if let Some((parent, child)) = name.split_once('.') {
+                let (parent, child) = (parent.trim(), child.trim());
+                validate_key(parent, lineno)?;
+                validate_key(child, lineno)?;
+                // A sub-table attaches to the table the cursor is currently
+                // in, so `[a.b]` must directly follow `[a]` / `[[a]]` (or a
+                // sibling sub-table of the same parent).
+                let parent_table = match target {
+                    Target::Table(i) | Target::TableSub(i) if doc.tables[i].0 == parent => {
+                        target = Target::TableSub(i);
+                        &mut doc.tables[i].1
+                    }
+                    Target::Array(i) | Target::ArraySub(i) if doc.arrays[i].0 == parent => {
+                        target = Target::ArraySub(i);
+                        doc.arrays[i].1.last_mut().expect("array header pushed")
+                    }
+                    _ => {
+                        return Err(err(
+                            lineno,
+                            format!(
+                            "sub-table [{parent}.{child}] must follow [{parent}] or [[{parent}]]"
+                        ),
+                        ))
+                    }
+                };
+                if parent_table.subtable(child).is_some() {
+                    return Err(err(
+                        lineno,
+                        format!("duplicate sub-table [{parent}.{child}]"),
+                    ));
+                }
+                if parent_table.get(child).is_some() {
+                    return Err(err(
+                        lineno,
+                        format!("sub-table [{parent}.{child}] collides with key `{child}`"),
+                    ));
+                }
+                parent_table.insert_subtable(child);
+                continue;
+            }
             validate_key(name, lineno)?;
             if doc.tables.iter().any(|(n, _)| n == name) {
                 return Err(err(lineno, format!("duplicate table [{name}]")));
@@ -216,6 +282,15 @@ pub fn parse(input: &str) -> Result<Document, TomlError> {
                 Target::Array(i) => {
                     let tables = &mut doc.arrays[i].1;
                     tables.last_mut().expect("array header pushed a table")
+                }
+                Target::TableSub(i) => {
+                    let subs = &mut doc.tables[i].1.subtables;
+                    &mut subs.last_mut().expect("sub-table header pushed").1
+                }
+                Target::ArraySub(i) => {
+                    let element = doc.arrays[i].1.last_mut().expect("array header pushed");
+                    let subs = &mut element.subtables;
+                    &mut subs.last_mut().expect("sub-table header pushed").1
                 }
             };
             if table.get(key).is_some() {
@@ -391,6 +466,7 @@ pub fn write(doc: &Document) -> String {
         }
         out.push_str(&format!("[{name}]\n"));
         write_pairs(&mut out, table);
+        write_subtables(&mut out, name, table);
     }
     for (name, tables) in &doc.arrays {
         for table in tables {
@@ -399,9 +475,18 @@ pub fn write(doc: &Document) -> String {
             }
             out.push_str(&format!("[[{name}]]\n"));
             write_pairs(&mut out, table);
+            write_subtables(&mut out, name, table);
         }
     }
     out
+}
+
+fn write_subtables(out: &mut String, parent: &str, table: &Table) {
+    for (child, sub) in &table.subtables {
+        out.push('\n');
+        out.push_str(&format!("[{parent}.{child}]\n"));
+        write_pairs(out, sub);
+    }
 }
 
 fn write_pairs(out: &mut String, table: &Table) {
@@ -520,10 +605,86 @@ llc_latency = 18
     }
 
     #[test]
+    fn subtables_attach_to_their_parent() {
+        let doc = parse(
+            "[[workload]]\nlabel = \"a\"\n\n[workload.terminators]\ncall = 0.1\n\n[workload.backend]\nbase_latency = 2\n\n[[workload]]\nlabel = \"b\"\n\n[workload.backend]\nbase_latency = 3\n",
+        )
+        .unwrap();
+        let entries = doc.array("workload");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            entries[0]
+                .subtable("terminators")
+                .unwrap()
+                .get("call")
+                .unwrap()
+                .as_f64(),
+            Some(0.1)
+        );
+        assert_eq!(
+            entries[0]
+                .subtable("backend")
+                .unwrap()
+                .get("base_latency")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+        assert!(entries[1].subtable("terminators").is_none());
+        assert_eq!(
+            entries[1]
+                .subtable("backend")
+                .unwrap()
+                .get("base_latency")
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
+
+        // Plain [table] parents work too, and the writer round-trips both.
+        let doc = parse("[run]\nx = 1\n\n[run.sub]\ny = 2\n").unwrap();
+        assert_eq!(
+            doc.table("run")
+                .unwrap()
+                .subtable("sub")
+                .unwrap()
+                .get("y")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+        let again = parse(&write(&doc)).unwrap();
+        assert_eq!(doc, again);
+    }
+
+    #[test]
+    fn subtables_round_trip_through_write() {
+        let text = "[[w]]\nl = \"a\"\n\n[w.t]\ncall = 0.5\n";
+        let doc = parse(text).unwrap();
+        let written = write(&doc);
+        assert_eq!(parse(&written).unwrap(), doc);
+        // A second generation is a byte-level fixed point.
+        assert_eq!(write(&parse(&written).unwrap()), written);
+    }
+
+    #[test]
+    fn rejects_bad_subtables() {
+        // Sub-table with no preceding parent.
+        assert!(parse("[a.b]\nk = 1").is_err());
+        // Wrong parent.
+        assert!(parse("[x]\n\n[a.b]\nk = 1").is_err());
+        // Duplicate sub-table of the same element.
+        assert!(parse("[[a]]\n\n[a.b]\n\n[a.b]\n").is_err());
+        // Collision with an existing key of the parent.
+        assert!(parse("[[a]]\nb = 1\n\n[a.b]\n").is_err());
+        // More than one level of nesting.
+        assert!(parse("[[a]]\n\n[a.b.c]\n").is_err());
+    }
+
+    #[test]
     fn rejects_unsupported_constructs() {
         assert!(parse("k = {a = 1}").is_err());
         assert!(parse("k = [[1, 2], [3]]").is_err());
-        assert!(parse("[a.b]\nk = 1").is_err());
         assert!(parse("k = 1\nk = 2").is_err());
         assert!(parse("k = 1979-05-27").is_err());
         // Underscores only between digits.

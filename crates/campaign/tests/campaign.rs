@@ -64,6 +64,100 @@ fn cartesian_expansion_counts() {
     assert!(jobs.iter().all(|j| !j.implicit_baseline));
 }
 
+/// A spec exercising the whole `[[workload]]` surface: override lists,
+/// scalar overrides, and all three sub-tables.
+const WORKLOAD_AXIS_SPEC: &str = r#"
+name = "axis"
+mechanisms = ["fdip"]
+
+[run]
+trace_blocks = 2500
+warmup_blocks = 500
+
+[[workload]]
+label = "fp"
+base = "apache"
+footprint_bytes = [262144, 524288]
+service_roots = [16, 48]
+hot_callee_fraction = 0.4
+
+[workload.terminators]
+call = 0.09
+
+[workload.conditionals]
+bias_mean = 0.85
+
+[workload.backend]
+l1d_miss_rate = 0.055
+base_latency = 2
+"#;
+
+#[test]
+fn workload_axis_spec_round_trips() {
+    let spec = CampaignSpec::from_toml_str(WORKLOAD_AXIS_SPEC).unwrap();
+    assert_eq!(spec.workloads.len(), 4);
+    let text = spec.to_toml_string();
+    let again = CampaignSpec::from_toml_str(&text).unwrap();
+    assert_eq!(spec, again);
+    assert_eq!(text, again.to_toml_string());
+    // The sub-table overrides survive the trip on every expanded point.
+    for point in &again.workloads {
+        assert_eq!(point.profile.terminators.call, 0.09);
+        assert_eq!(point.profile.conditionals.bias_mean, 0.85);
+        assert_eq!(point.profile.backend.l1d_miss_rate, 0.055);
+        assert_eq!(point.profile.backend.base_latency, 2);
+    }
+}
+
+#[test]
+fn duplicate_workload_labels_rejected_across_sources() {
+    let dup = WORKLOAD_AXIS_SPEC.replace(
+        "label = \"fp\"\nbase = \"apache\"",
+        "label = \"Apache\"\nbase = \"apache\"",
+    );
+    // "Apache-..." expanded labels are fine on their own...
+    assert!(CampaignSpec::from_toml_str(&dup).is_ok());
+    // ...but naming the preset under the same label must be rejected.
+    let with_named = dup.replace(
+        "mechanisms = [\"fdip\"]",
+        "workloads = [\"apache\"]\nmechanisms = [\"fdip\"]",
+    );
+    let clash = with_named.replace(
+        "footprint_bytes = [262144, 524288]\nservice_roots = [16, 48]\n",
+        "",
+    );
+    let err = CampaignSpec::from_toml_str(&clash).unwrap_err().to_string();
+    assert!(err.contains("duplicate"), "{err}");
+}
+
+/// The differential guarantee of the workload-identity refactor: an explicit
+/// `[[workload]]` clone of a paper workload is the *same axis point* as
+/// naming the workload, and the whole campaign report is byte-identical.
+#[test]
+fn explicit_workload_clone_matches_named_workload() {
+    let named = CampaignSpec::from_toml_str(
+        "name = \"diff\"\nworkloads = [\"streaming\"]\nmechanisms = [\"fdip\", \"boomerang\"]\n\n[run]\ntrace_blocks = 2500\nwarmup_blocks = 500\n",
+    )
+    .unwrap();
+    let cloned = CampaignSpec::from_toml_str(
+        "name = \"diff\"\nmechanisms = [\"fdip\", \"boomerang\"]\n\n[run]\ntrace_blocks = 2500\nwarmup_blocks = 500\n\n[[workload]]\nlabel = \"Streaming\"\nbase = \"streaming\"\n",
+    )
+    .unwrap();
+    assert_eq!(named, cloned);
+    let options = EngineOptions {
+        jobs: 2,
+        ..EngineOptions::default()
+    };
+    let report_named = run_campaign(&named, &options).unwrap();
+    let report_cloned = run_campaign(&cloned, &options).unwrap();
+    assert_eq!(
+        to_json(&report_named),
+        to_json(&report_cloned),
+        "a [[workload]] clone of a paper workload must report identical stats"
+    );
+    assert_eq!(to_csv(&report_named), to_csv(&report_cloned));
+}
+
 #[test]
 fn reports_are_byte_identical_across_worker_counts() {
     let spec = CampaignSpec::from_toml_str(SPEC).unwrap();
@@ -143,7 +237,7 @@ fn distinct_seed_offsets_simulate_distinct_traces() {
             .find(|r| {
                 r.job.seed == seed
                     && r.config_label == "table1"
-                    && r.job.workload.name() == "Nutch"
+                    && r.workload_label == "Nutch"
                     && r.job.implicit_baseline
             })
             .map(|r| r.stats.cycles)

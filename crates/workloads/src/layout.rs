@@ -235,9 +235,14 @@ impl CodeLayout {
     ///
     /// # Panics
     ///
-    /// Panics if the profile fails [`WorkloadProfile::is_valid`].
+    /// Panics if the profile fails [`WorkloadProfile::validate`]. Callers
+    /// accepting user-authored profiles (the campaign spec parser) validate
+    /// at parse time, so a panic here indicates a programming error, and the
+    /// message names the offending field.
     pub fn generate_with_geometry(profile: &WorkloadProfile, geometry: LineGeometry) -> Self {
-        assert!(profile.is_valid(), "invalid workload profile");
+        if let Err(e) = profile.validate() {
+            panic!("invalid workload profile: {e}");
+        }
         Builder::new(profile.clone(), geometry).build()
     }
 
@@ -464,7 +469,7 @@ impl Builder {
     ///   libc-like helpers) that every service calls into.
     fn plan_blocks(&mut self) -> Plan {
         let target_instructions = self.profile.footprint_bytes / sim_core::INSTRUCTION_BYTES;
-        let utility_fraction = self.profile.hot_function_fraction.clamp(0.03, 0.4);
+        let utility_fraction = self.profile.utility_fraction.clamp(0.03, 0.4);
         let service_instructions = (target_instructions as f64 * (1.0 - utility_fraction)) as u64;
         let num_roots = self.profile.service_roots.max(1);
         let per_subtree_instructions = (service_instructions / num_roots as u64).max(256);

@@ -42,6 +42,7 @@ pub use layout::{
     StaticBlock, CODE_BASE,
 };
 pub use profile::{
-    BackendProfile, ConditionalBehaviorMix, TerminatorMix, WorkloadKind, WorkloadProfile,
+    BackendProfile, ConditionalBehaviorMix, ProfileError, TerminatorMix, WorkloadKind,
+    WorkloadProfile, MIN_FOOTPRINT_BYTES,
 };
 pub use trace::{Trace, TraceGenerator};

@@ -46,14 +46,29 @@ impl TerminatorMix {
 
     /// Validates that the fractions are non-negative and sum to at most one.
     pub fn is_valid(&self) -> bool {
+        self.validate().is_ok()
+    }
+
+    /// Validates the mix, naming the offending field on failure.
+    pub fn validate(&self) -> Result<(), ProfileError> {
         let parts = [
-            self.call,
-            self.indirect_call,
-            self.jump,
-            self.indirect_jump,
-            self.early_return,
+            ("terminators.call", self.call),
+            ("terminators.indirect_call", self.indirect_call),
+            ("terminators.jump", self.jump),
+            ("terminators.indirect_jump", self.indirect_jump),
+            ("terminators.early_return", self.early_return),
         ];
-        parts.iter().all(|&p| (0.0..=1.0).contains(&p)) && parts.iter().sum::<f64>() <= 1.0
+        for (field, p) in parts {
+            unit_fraction(field, p)?;
+        }
+        let sum: f64 = parts.iter().map(|&(_, p)| p).sum();
+        if sum > 1.0 {
+            return Err(ProfileError::new(
+                "terminators",
+                format!("fractions sum to {sum} (must be at most 1)"),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -85,11 +100,34 @@ impl ConditionalBehaviorMix {
 
     /// Validates the mix.
     pub fn is_valid(&self) -> bool {
-        let parts = [self.loop_backedge, self.pattern, self.data_dependent];
-        parts.iter().all(|&p| (0.0..=1.0).contains(&p))
-            && parts.iter().sum::<f64>() <= 1.0
-            && (0.0..=1.0).contains(&self.bias_mean)
-            && self.mean_trip_count >= 2.0
+        self.validate().is_ok()
+    }
+
+    /// Validates the mix, naming the offending field on failure.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        let parts = [
+            ("conditionals.loop_backedge", self.loop_backedge),
+            ("conditionals.pattern", self.pattern),
+            ("conditionals.data_dependent", self.data_dependent),
+        ];
+        for (field, p) in parts {
+            unit_fraction(field, p)?;
+        }
+        let sum: f64 = parts.iter().map(|&(_, p)| p).sum();
+        if sum > 1.0 {
+            return Err(ProfileError::new(
+                "conditionals",
+                format!("fractions sum to {sum} (must be at most 1)"),
+            ));
+        }
+        unit_fraction("conditionals.bias_mean", self.bias_mean)?;
+        if self.mean_trip_count.is_nan() || self.mean_trip_count < 2.0 {
+            return Err(ProfileError::new(
+                "conditionals.mean_trip_count",
+                format!("must be at least 2 (got {})", self.mean_trip_count),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -114,10 +152,59 @@ pub struct BackendProfile {
 impl BackendProfile {
     /// Validates the back-end parameters.
     pub fn is_valid(&self) -> bool {
-        (0.0..=1.0).contains(&self.load_fraction)
-            && (0.0..=1.0).contains(&self.l1d_miss_rate)
-            && (0.0..=1.0).contains(&self.llc_miss_rate)
-            && self.base_latency >= 1
+        self.validate().is_ok()
+    }
+
+    /// Validates the back-end parameters, naming the offending field on
+    /// failure.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        unit_fraction("backend.load_fraction", self.load_fraction)?;
+        unit_fraction("backend.l1d_miss_rate", self.l1d_miss_rate)?;
+        unit_fraction("backend.llc_miss_rate", self.llc_miss_rate)?;
+        if self.base_latency < 1 {
+            return Err(ProfileError::new(
+                "backend.base_latency",
+                "must be at least 1 cycle (got 0)".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A field-level [`WorkloadProfile`] validation error: which field is out of
+/// range and why. Surfaces through the campaign spec parser so a bad
+/// user-authored profile is rejected with its field name instead of
+/// panicking a simulation worker mid-campaign.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileError {
+    /// Dotted path of the offending field (e.g. `terminators.call`).
+    pub field: &'static str,
+    /// What is wrong with the value.
+    pub message: String,
+}
+
+impl ProfileError {
+    fn new(field: &'static str, message: String) -> Self {
+        ProfileError { field, message }
+    }
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}` {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+fn unit_fraction(field: &'static str, value: f64) -> Result<(), ProfileError> {
+    if (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(ProfileError::new(
+            field,
+            format!("must be a fraction in [0, 1] (got {value})"),
+        ))
     }
 }
 
@@ -208,8 +295,18 @@ pub struct WorkloadProfile {
     /// rather than a uniformly random one; higher values create more
     /// temporal reuse and thus more L1-I hits.
     pub hot_callee_fraction: f64,
-    /// Fraction of functions considered "hot".
-    pub hot_function_fraction: f64,
+    /// Fraction of the instruction footprint occupied by the shared
+    /// *utility layer*: the leaf helper code (allocator, libc-like routines)
+    /// at the tail of the layout that every service calls into. Utility
+    /// functions are exactly the ones `Function::is_hot` marks, and they are
+    /// the "hot" callees that [`hot_callee_fraction`](Self::hot_callee_fraction)
+    /// steers call sites toward — so a larger utility layer spreads the same
+    /// reuse over more code. Layout generation clamps the value to
+    /// `[0.03, 0.4]`.
+    ///
+    /// Formerly (mis)named `hot_function_fraction`; campaign specs still
+    /// accept that key as a deprecated alias.
+    pub utility_fraction: f64,
     /// Back-end data-stall model.
     pub backend: BackendProfile,
 }
@@ -250,7 +347,7 @@ impl WorkloadProfile {
                 max_call_depth: 18,
                 service_roots: 96,
                 hot_callee_fraction: 0.3,
-                hot_function_fraction: 0.06,
+                utility_fraction: 0.06,
                 backend: BackendProfile {
                     load_fraction: 0.26,
                     l1d_miss_rate: 0.045,
@@ -284,7 +381,7 @@ impl WorkloadProfile {
                 max_call_depth: 16,
                 service_roots: 48,
                 hot_callee_fraction: 0.4,
-                hot_function_fraction: 0.08,
+                utility_fraction: 0.08,
                 backend: BackendProfile {
                     load_fraction: 0.24,
                     l1d_miss_rate: 0.05,
@@ -318,7 +415,7 @@ impl WorkloadProfile {
                 max_call_depth: 20,
                 service_roots: 128,
                 hot_callee_fraction: 0.28,
-                hot_function_fraction: 0.05,
+                utility_fraction: 0.05,
                 backend: BackendProfile {
                     load_fraction: 0.27,
                     l1d_miss_rate: 0.05,
@@ -352,7 +449,7 @@ impl WorkloadProfile {
                 max_call_depth: 19,
                 service_roots: 112,
                 hot_callee_fraction: 0.3,
-                hot_function_fraction: 0.05,
+                utility_fraction: 0.05,
                 backend: BackendProfile {
                     load_fraction: 0.26,
                     l1d_miss_rate: 0.048,
@@ -386,7 +483,7 @@ impl WorkloadProfile {
                 max_call_depth: 22,
                 service_roots: 192,
                 hot_callee_fraction: 0.22,
-                hot_function_fraction: 0.04,
+                utility_fraction: 0.04,
                 backend: BackendProfile {
                     load_fraction: 0.30,
                     l1d_miss_rate: 0.06,
@@ -420,7 +517,7 @@ impl WorkloadProfile {
                 max_call_depth: 22,
                 service_roots: 224,
                 hot_callee_fraction: 0.2,
-                hot_function_fraction: 0.04,
+                utility_fraction: 0.04,
                 backend: BackendProfile {
                     load_fraction: 0.31,
                     l1d_miss_rate: 0.062,
@@ -463,6 +560,86 @@ impl WorkloadProfile {
         self
     }
 
+    /// Returns the profile with a different number of service entry points
+    /// (instruction working-set churn).
+    #[must_use]
+    pub fn with_service_roots(mut self, roots: usize) -> Self {
+        self.service_roots = roots;
+        self
+    }
+
+    /// Returns the profile with a different hot-callee fraction (temporal
+    /// reuse of the utility layer).
+    #[must_use]
+    pub fn with_hot_callee_fraction(mut self, fraction: f64) -> Self {
+        self.hot_callee_fraction = fraction;
+        self
+    }
+
+    /// Returns the profile with a different utility-layer size fraction.
+    #[must_use]
+    pub fn with_utility_fraction(mut self, fraction: f64) -> Self {
+        self.utility_fraction = fraction;
+        self
+    }
+
+    /// Returns the profile with a different mean basic-block length.
+    #[must_use]
+    pub fn with_mean_block_instructions(mut self, mean: f64) -> Self {
+        self.mean_block_instructions = mean;
+        self
+    }
+
+    /// Returns the profile with a different mean function size in blocks.
+    #[must_use]
+    pub fn with_mean_function_blocks(mut self, mean: f64) -> Self {
+        self.mean_function_blocks = mean;
+        self
+    }
+
+    /// Returns the profile with a different mean taken-conditional target
+    /// distance in cache lines (the Figure 4 axis).
+    #[must_use]
+    pub fn with_cond_target_mean_lines(mut self, mean: f64) -> Self {
+        self.cond_target_mean_lines = mean;
+        self
+    }
+
+    /// Returns the profile with a different backward-conditional fraction.
+    #[must_use]
+    pub fn with_cond_backward_fraction(mut self, fraction: f64) -> Self {
+        self.cond_backward_fraction = fraction;
+        self
+    }
+
+    /// Returns the profile with a different maximum call depth.
+    #[must_use]
+    pub fn with_max_call_depth(mut self, depth: usize) -> Self {
+        self.max_call_depth = depth;
+        self
+    }
+
+    /// Returns the profile with a different terminator mix.
+    #[must_use]
+    pub fn with_terminators(mut self, mix: TerminatorMix) -> Self {
+        self.terminators = mix;
+        self
+    }
+
+    /// Returns the profile with a different conditional-behaviour mix.
+    #[must_use]
+    pub fn with_conditionals(mut self, mix: ConditionalBehaviorMix) -> Self {
+        self.conditionals = mix;
+        self
+    }
+
+    /// Returns the profile with a different back-end model.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendProfile) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Short name of the underlying workload.
     pub fn name(&self) -> &'static str {
         self.kind.name()
@@ -470,20 +647,68 @@ impl WorkloadProfile {
 
     /// Validates that all fractions and means are in range.
     pub fn is_valid(&self) -> bool {
-        self.footprint_bytes >= 16 * 1024
-            && self.mean_block_instructions >= 2.0
-            && self.mean_function_blocks >= 2.0
-            && self.terminators.is_valid()
-            && self.conditionals.is_valid()
-            && self.cond_target_mean_lines > 0.0
-            && (0.0..=1.0).contains(&self.cond_backward_fraction)
-            && self.max_call_depth >= 2
-            && self.service_roots >= 1
-            && (0.0..=1.0).contains(&self.hot_callee_fraction)
-            && (0.0..=1.0).contains(&self.hot_function_fraction)
-            && self.backend.is_valid()
+        self.validate().is_ok()
+    }
+
+    /// Validates the profile, naming the first offending field on failure.
+    ///
+    /// The campaign spec parser calls this for every resolved `[[workload]]`
+    /// entry, so an out-of-range value is reported as a field-level spec
+    /// error at parse time instead of panicking a pool worker inside
+    /// [`crate::layout::CodeLayout::generate`] mid-campaign.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        if self.footprint_bytes < MIN_FOOTPRINT_BYTES {
+            return Err(ProfileError::new(
+                "footprint_bytes",
+                format!(
+                    "must be at least {MIN_FOOTPRINT_BYTES} bytes (got {})",
+                    self.footprint_bytes
+                ),
+            ));
+        }
+        if self.mean_block_instructions.is_nan() || self.mean_block_instructions < 2.0 {
+            return Err(ProfileError::new(
+                "mean_block_instructions",
+                format!("must be at least 2 (got {})", self.mean_block_instructions),
+            ));
+        }
+        if self.mean_function_blocks.is_nan() || self.mean_function_blocks < 2.0 {
+            return Err(ProfileError::new(
+                "mean_function_blocks",
+                format!("must be at least 2 (got {})", self.mean_function_blocks),
+            ));
+        }
+        self.terminators.validate()?;
+        self.conditionals.validate()?;
+        if self.cond_target_mean_lines.is_nan() || self.cond_target_mean_lines <= 0.0 {
+            return Err(ProfileError::new(
+                "cond_target_mean_lines",
+                format!("must be positive (got {})", self.cond_target_mean_lines),
+            ));
+        }
+        unit_fraction("cond_backward_fraction", self.cond_backward_fraction)?;
+        if self.max_call_depth < 2 {
+            return Err(ProfileError::new(
+                "max_call_depth",
+                format!("must be at least 2 (got {})", self.max_call_depth),
+            ));
+        }
+        if self.service_roots < 1 {
+            return Err(ProfileError::new(
+                "service_roots",
+                "must be at least 1 (got 0)".to_string(),
+            ));
+        }
+        unit_fraction("hot_callee_fraction", self.hot_callee_fraction)?;
+        unit_fraction("utility_fraction", self.utility_fraction)?;
+        self.backend.validate()?;
+        Ok(())
     }
 }
+
+/// Smallest footprint a profile may request (16 KB): below this the layered
+/// dispatcher/service/utility structure degenerates.
+pub const MIN_FOOTPRINT_BYTES: u64 = 16 * 1024;
 
 #[cfg(test)]
 mod tests {
@@ -566,10 +791,61 @@ mod tests {
         let p = WorkloadKind::Apache
             .profile()
             .with_footprint_bytes(64 * 1024)
-            .with_seed(99);
+            .with_seed(99)
+            .with_service_roots(24)
+            .with_hot_callee_fraction(0.5)
+            .with_utility_fraction(0.1)
+            .with_mean_block_instructions(7.0)
+            .with_mean_function_blocks(10.0)
+            .with_cond_target_mean_lines(2.0)
+            .with_cond_backward_fraction(0.25)
+            .with_max_call_depth(9);
         assert_eq!(p.footprint_bytes, 64 * 1024);
         assert_eq!(p.seed, 99);
+        assert_eq!(p.service_roots, 24);
+        assert_eq!(p.hot_callee_fraction, 0.5);
+        assert_eq!(p.utility_fraction, 0.1);
+        assert_eq!(p.mean_block_instructions, 7.0);
+        assert_eq!(p.mean_function_blocks, 10.0);
+        assert_eq!(p.cond_target_mean_lines, 2.0);
+        assert_eq!(p.cond_backward_fraction, 0.25);
+        assert_eq!(p.max_call_depth, 9);
         assert_eq!(p.name(), "Apache");
+        assert!(p.is_valid());
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        let err = WorkloadProfile::tiny(1)
+            .with_footprint_bytes(0)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err.field, "footprint_bytes");
+        assert!(err.to_string().contains("got 0"), "{err}");
+
+        let err = WorkloadProfile::tiny(1)
+            .with_service_roots(0)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err.field, "service_roots");
+
+        let err = WorkloadProfile::tiny(1)
+            .with_hot_callee_fraction(1.5)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err.field, "hot_callee_fraction");
+
+        let mut bad_mix = WorkloadProfile::tiny(1);
+        bad_mix.terminators.call = 0.95;
+        bad_mix.terminators.jump = 0.95;
+        let err = bad_mix.validate().unwrap_err();
+        assert_eq!(err.field, "terminators");
+        assert!(err.to_string().contains("sum"), "{err}");
+
+        let mut bad_backend = WorkloadProfile::tiny(1);
+        bad_backend.backend.base_latency = 0;
+        let err = bad_backend.validate().unwrap_err();
+        assert_eq!(err.field, "backend.base_latency");
     }
 
     #[test]

@@ -1,42 +1,46 @@
 //! OLTP BTB-pressure study: Oracle- and DB2-like workloads have the largest
 //! branch working sets in the paper (75% of DB2's squashes are BTB-miss
 //! induced on the baseline). This example sweeps the BTB size for FDIP and
-//! compares it against Boomerang at the practical 2K-entry size, showing that
-//! prefilling the BTB recovers most of what a 16x larger BTB would buy.
+//! Boomerang, showing that prefilling the practical 2K-entry BTB recovers
+//! most of what a 16x larger BTB would buy.
+//!
+//! The sweep is an ordinary campaign spec rendered through the same
+//! `campaign::sink` table CI gates, so this output stays consistent with
+//! `boomerang-sim run`.
 //!
 //! Run with: `cargo run --release --example oltp_btb_pressure`
 
-use boomerang::{Mechanism, RunLength, WorkloadData};
-use sim_core::MicroarchConfig;
-use workloads::WorkloadKind;
+use campaign::{run_campaign, to_table, CampaignSpec, EngineOptions};
 
 fn main() {
-    let length = RunLength {
-        trace_blocks: 60_000,
-        warmup_blocks: 10_000,
-    };
-    for kind in [WorkloadKind::Oracle, WorkloadKind::Db2] {
-        println!("== {kind} ==");
-        let data = WorkloadData::generate(kind, length);
-        let base_cfg = MicroarchConfig::hpca17();
-        let baseline = data.run(Mechanism::Baseline, &base_cfg);
+    let spec = CampaignSpec::from_toml_str(
+        r#"
+name = "oltp-btb-pressure"
+description = "BTB-size sweep on the OLTP workloads, FDIP vs Boomerang"
+workloads = ["oracle", "db2"]
+mechanisms = ["fdip", "boomerang"]
+predictor = "tage"
+seeds = [0]
 
-        for btb_entries in [2048u64, 8192, 32 * 1024] {
-            let cfg = MicroarchConfig::hpca17().with_btb_entries(btb_entries);
-            let stats = data.run(Mechanism::Fdip, &cfg);
-            println!(
-                "FDIP, {:>5}-entry BTB : speedup {:.3}x, BTB-miss squashes/ki {:.2}",
-                btb_entries,
-                stats.speedup_vs(&baseline),
-                stats.squashes_per_kilo().btb_miss
-            );
-        }
-        let boom = data.run(Mechanism::Boomerang(Default::default()), &base_cfg);
-        println!(
-            "Boomerang, 2048-entry : speedup {:.3}x, BTB-miss squashes/ki {:.2}  (metadata: 540 bytes)",
-            boom.speedup_vs(&baseline),
-            boom.squashes_per_kilo().btb_miss
-        );
-        println!();
-    }
+[run]
+trace_blocks = 60000
+warmup_blocks = 10000
+
+[[config]]
+label = "btb-2048"
+
+[[config]]
+label = "btb-8192"
+btb_entries = 8192
+
+[[config]]
+label = "btb-32768"
+btb_entries = 32768
+"#,
+    )
+    .expect("embedded spec is valid");
+
+    let report = run_campaign(&spec, &EngineOptions::default()).expect("campaign runs");
+    print!("{}", to_table(&report));
+    println!("\nBoomerang metadata: ~540 bytes; a 32K-entry BTB costs ~16x the 2K-entry one.");
 }

@@ -1,40 +1,36 @@
 //! Web-server front-end study: the scenario the paper's introduction
 //! motivates. Runs the two SPECweb99 web-server workloads (Apache, Zeus)
-//! through every control-flow-delivery mechanism of Figure 9 and reports
-//! speedup and squash rates per workload.
+//! through every control-flow-delivery mechanism of Figure 9 and prints the
+//! speedup table.
+//!
+//! The study is an ordinary campaign spec rendered through the same
+//! `campaign::sink` table CI gates, so this output stays consistent with
+//! `boomerang-sim run`.
 //!
 //! Run with: `cargo run --release --example webserver_frontend`
 
-use boomerang::{Mechanism, RunLength, WorkloadData};
-use sim_core::MicroarchConfig;
-use workloads::WorkloadKind;
+use campaign::{run_campaign, to_table, CampaignSpec, EngineOptions};
 
 fn main() {
-    let config = MicroarchConfig::hpca17();
-    let length = RunLength {
-        trace_blocks: 60_000,
-        warmup_blocks: 10_000,
-    };
-    for kind in [WorkloadKind::Apache, WorkloadKind::Zeus] {
-        println!("== {kind} ==");
-        let data = WorkloadData::generate(kind, length);
-        let baseline = data.run(Mechanism::Baseline, &config);
-        println!(
-            "{:<12} {:>9} {:>12} {:>12} {:>10}",
-            "mechanism", "speedup", "coverage", "btb-sq/ki", "mpred/ki"
-        );
-        for mechanism in Mechanism::FIGURE7 {
-            let stats = data.run(mechanism, &config);
-            let rates = stats.squashes_per_kilo();
-            println!(
-                "{:<12} {:>8.3}x {:>11.1}% {:>12.2} {:>10.2}",
-                mechanism.label(),
-                stats.speedup_vs(&baseline),
-                stats.stall_coverage_vs(&baseline) * 100.0,
-                rates.btb_miss,
-                rates.misprediction
-            );
-        }
-        println!();
-    }
+    let spec = CampaignSpec::from_toml_str(
+        r#"
+name = "webserver-frontend"
+description = "Figure 9 mechanisms on the SPECweb99 web-server workloads"
+workloads = ["apache", "zeus"]
+mechanisms = ["next-line", "dip", "fdip", "shift", "confluence", "boomerang"]
+predictor = "tage"
+seeds = [0]
+
+[run]
+trace_blocks = 60000
+warmup_blocks = 10000
+
+[[config]]
+label = "table1"
+"#,
+    )
+    .expect("embedded spec is valid");
+
+    let report = run_campaign(&spec, &EngineOptions::default()).expect("campaign runs");
+    print!("{}", to_table(&report));
 }
