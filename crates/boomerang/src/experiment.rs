@@ -135,6 +135,11 @@ pub struct WorkloadData {
     pub layout: CodeLayout,
     /// The dynamic trace (warm-up plus measurement blocks).
     pub trace: Trace,
+    /// Precomputed back-end latency classes, one per trace instruction (see
+    /// [`workloads::BackendProfile::latency_classes`]): generated once here
+    /// and shared by every (mechanism, config, engine) run over this
+    /// workload instead of re-drawn per instruction inside each run.
+    latency_classes: Vec<u8>,
     length: RunLength,
 }
 
@@ -156,10 +161,14 @@ impl WorkloadData {
     pub fn generate_from_profile(profile: &workloads::WorkloadProfile, length: RunLength) -> Self {
         let layout = CodeLayout::generate(profile);
         let trace = Trace::generate_blocks(&layout, length.trace_blocks + length.warmup_blocks);
+        let latency_classes = profile
+            .backend
+            .latency_classes(profile.seed, trace.instructions() as usize);
         WorkloadData {
             kind: profile.kind,
             layout,
             trace,
+            latency_classes,
             length,
         }
     }
@@ -205,6 +214,7 @@ impl WorkloadData {
             mechanism.build(),
             predictor,
         );
+        sim.use_backend_latency_classes(&self.latency_classes);
         sim.run_with_warmup_engine(self.length.warmup_blocks, engine)
     }
 }

@@ -142,6 +142,8 @@ impl ControlFlowMechanism for Boomerang {
     }
 
     fn on_ftq_push(&mut self, entry: &FtqEntry, ctx: &mut MechContext<'_>) {
+        // Timestamp-invariant: delegates to FDIP's scan, which only enqueues
+        // the entry's lines for `tick` and never reads `ctx.now`.
         self.prefetcher.on_ftq_push(entry, ctx);
     }
 

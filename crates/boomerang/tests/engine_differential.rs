@@ -125,3 +125,124 @@ fn engines_agree_without_warmup_and_with_bimodal_predictor() {
         PredictorKind::Bimodal,
     );
 }
+
+/// Configurations chosen to maximise batched-trickle coverage: a small,
+/// slow-filling L1-I path keeps the fetch engine stalled on fills while the
+/// BPU trickles the FTQ full — the exact windows
+/// `Simulator::trickle_fill_stall` batches. Pins the batched-trickle path
+/// bit-identical to `run_with_warmup_reference` over randomized profiles.
+#[test]
+fn batched_trickle_matches_reference_over_randomized_profiles() {
+    let mut rng = SimRng::seeded(0x0071_c51e_0b47);
+    for _ in 0..4 {
+        let mut profile = WorkloadProfile::tiny(rng.range_u64(0, 1 << 20));
+        profile.footprint_bytes = 96 * 1024 + 32 * 1024 * rng.range_u64(0, 6);
+        profile.hot_callee_fraction = 0.05 + 0.2 * rng.unit();
+        // Deep memory: long fill stalls mean long trickle windows.
+        let config = MicroarchConfig::hpca17()
+            .with_noc(NocModel::Fixed(30 + rng.range_u64(0, 60)))
+            .with_btb_entries(512 << rng.range_u64(0, 3));
+        let blocks = 2_000 + rng.index(2_000);
+        assert_engines_agree(&profile, &config, blocks, 400, PredictorKind::Tage);
+    }
+}
+
+/// Property test of the `ControlFlowMechanism::on_ftq_push`
+/// timestamp-invariance contract: a wrapper perturbs the `ctx.now` every
+/// mechanism variant observes in `on_ftq_push`, and the final statistics
+/// must not change. A mechanism whose FTQ-push hook read the timestamp (or
+/// issued time-stamped hierarchy operations) would fail this, and would
+/// break the event-horizon engine's batched fill-stall trickle, which
+/// anchors `on_ftq_push` timestamps at the batch's first cycle.
+#[test]
+fn ftq_push_timestamp_invariance() {
+    use frontend::{
+        BtbMissAction, ControlFlowMechanism, FtqEntry, MechContext, SimStats, SquashCause,
+    };
+    use sim_core::DynamicBlock;
+
+    /// Forwards every hook unchanged, except that `on_ftq_push` sees a
+    /// jittered timestamp.
+    struct JitterFtqPushTime {
+        inner: Box<dyn ControlFlowMechanism>,
+        offset: u64,
+    }
+
+    impl ControlFlowMechanism for JitterFtqPushTime {
+        fn name(&self) -> &'static str {
+            self.inner.name()
+        }
+        fn on_ftq_push(&mut self, entry: &FtqEntry, ctx: &mut MechContext<'_>) {
+            let real_now = ctx.now;
+            ctx.now = real_now.wrapping_add(self.offset);
+            self.inner.on_ftq_push(entry, ctx);
+            ctx.now = real_now;
+        }
+        fn on_demand_fetch(
+            &mut self,
+            line: sim_core::CacheLine,
+            previous_line: Option<sim_core::CacheLine>,
+            missed: bool,
+            ctx: &mut MechContext<'_>,
+        ) {
+            self.inner.on_demand_fetch(line, previous_line, missed, ctx);
+        }
+        fn on_commit(&mut self, block: &DynamicBlock, ctx: &mut MechContext<'_>) {
+            self.inner.on_commit(block, ctx);
+        }
+        fn on_btb_miss(
+            &mut self,
+            addr: sim_core::Addr,
+            ctx: &mut MechContext<'_>,
+        ) -> BtbMissAction {
+            self.inner.on_btb_miss(addr, ctx)
+        }
+        fn tick(&mut self, ctx: &mut MechContext<'_>) {
+            self.inner.tick(ctx);
+        }
+        fn next_tick_event(&self) -> Option<u64> {
+            self.inner.next_tick_event()
+        }
+        fn on_squash(&mut self, cause: SquashCause, ctx: &mut MechContext<'_>) {
+            self.inner.on_squash(cause, ctx);
+        }
+        fn storage_overhead_bits(&self) -> u64 {
+            self.inner.storage_overhead_bits()
+        }
+        fn is_fetch_directed(&self) -> bool {
+            self.inner.is_fetch_directed()
+        }
+    }
+
+    let profile = WorkloadProfile::tiny(4242).with_footprint_bytes(96 * 1024);
+    let layout = CodeLayout::generate(&profile);
+    let trace = Trace::generate_blocks(&layout, 3_000);
+    let config = MicroarchConfig::hpca17().with_btb_entries(512);
+    let run = |mechanism: Box<dyn ControlFlowMechanism>, engine_ref: bool| -> SimStats {
+        let mut sim = Simulator::new(config.clone(), &layout, trace.blocks(), mechanism);
+        if engine_ref {
+            sim.run_with_warmup_reference(400)
+        } else {
+            sim.run_with_warmup(400)
+        }
+    };
+    for mechanism in all_mechanisms() {
+        let baseline = run(mechanism.build(), false);
+        for offset in [1, 97, u64::MAX / 2] {
+            for engine_ref in [false, true] {
+                let jittered = run(
+                    Box::new(JitterFtqPushTime {
+                        inner: mechanism.build(),
+                        offset,
+                    }),
+                    engine_ref,
+                );
+                assert_eq!(
+                    baseline, jittered,
+                    "on_ftq_push of {mechanism:?} is timestamp-dependent \
+                     (offset {offset}, reference engine: {engine_ref})"
+                );
+            }
+        }
+    }
+}

@@ -29,6 +29,21 @@ struct TaggedTable {
     index_mask: u64,
 }
 
+/// Upper bound on the number of tagged tables, sized so per-prediction
+/// scratch arrays live on the stack.
+const MAX_TAGGED_TABLES: usize = 8;
+
+/// The per-table lookup coordinates of one PC under the current folded
+/// histories: `(index, tag)` for every tagged table, computed in a single
+/// pass so that the provider search, the update path and the allocation path
+/// stop re-deriving them from scratch (the re-derivation used to be one of
+/// the largest single slices of simulation time).
+#[derive(Clone, Copy, Debug)]
+struct TablePaths {
+    idx: [u32; MAX_TAGGED_TABLES],
+    tag: [u16; MAX_TAGGED_TABLES],
+}
+
 /// Folded-history helper: compresses an arbitrarily long global history into
 /// `target_bits` by XOR-folding, updated incrementally.
 ///
@@ -105,6 +120,7 @@ impl Tage {
         // tables, mirroring common TAGE configurations.
         let base_entries = ((budget_bytes * 8 / 2) / 2).next_power_of_two().max(1024);
         let num_tables = 6usize;
+        assert!(num_tables <= MAX_TAGGED_TABLES);
         // Each tagged entry costs tag + 3-bit counter + 2-bit useful.
         let tag_bits = 9u32;
         let entry_bits = u64::from(tag_bits) + 3 + 2;
@@ -161,26 +177,63 @@ impl Tage {
         self.base[self.base_index(pc)] >= 2
     }
 
-    fn table_index(&self, t: usize, pc: Addr) -> usize {
-        let pc_bits = pc.raw() >> 2;
-        let fold = self.index_folds[t].value();
-        ((pc_bits ^ (pc_bits >> 5) ^ fold) & self.tables[t].index_mask) as usize
+    /// The `(index, tag)` coordinates of `pc` in one tagged table under its
+    /// current folded histories: `index = (pc' ^ pc'>>5 ^ fold) & mask` and
+    /// `tag = (pc'>>3 ^ pc' ^ fold<<1 ^ fold) & tag_mask` with
+    /// `pc' = pc >> 2`. The single definition both the eager and the lazy
+    /// coordinate paths share.
+    #[inline]
+    fn table_coords(
+        pc_bits: u64,
+        table: &TaggedTable,
+        index_fold: &FoldedHistory,
+        tag_fold: &FoldedHistory,
+    ) -> (u32, u16) {
+        let idx = ((pc_bits ^ (pc_bits >> 5) ^ index_fold.value()) & table.index_mask) as u32;
+        let tag_mask = (1u64 << table.tag_bits) - 1;
+        let fold = tag_fold.value();
+        let tag = (((pc_bits >> 3) ^ pc_bits ^ (fold << 1) ^ fold) & tag_mask) as u16;
+        (idx, tag)
     }
 
-    fn table_tag(&self, t: usize, pc: Addr) -> u16 {
+    /// Computes every table's `(index, tag)` for `pc` in one pass over the
+    /// precomputed folded histories. Batching the pass keeps the per-table
+    /// loads independent and lets the update and allocation paths reuse the
+    /// coordinates instead of re-deriving them.
+    fn table_paths(&self, pc: Addr) -> TablePaths {
         let pc_bits = pc.raw() >> 2;
-        let fold = self.tag_folds[t].value();
-        let mask = (1u64 << self.tables[t].tag_bits) - 1;
-        (((pc_bits >> 3) ^ pc_bits ^ (fold << 1) ^ fold) & mask) as u16
+        let mut paths = TablePaths {
+            idx: [0; MAX_TAGGED_TABLES],
+            tag: [0; MAX_TAGGED_TABLES],
+        };
+        for (t, ((table, fi), ft)) in self
+            .tables
+            .iter()
+            .zip(&self.index_folds)
+            .zip(&self.tag_folds)
+            .enumerate()
+        {
+            (paths.idx[t], paths.tag[t]) = Self::table_coords(pc_bits, table, fi, ft);
+        }
+        paths
     }
 
     /// Finds the longest-history table with a tag match, returning
-    /// `(table, index)`.
+    /// `(table, index)`, computing each table's coordinates lazily from the
+    /// longest history down (the prediction path usually exits early).
     fn find_provider(&self, pc: Addr) -> Option<(usize, usize)> {
-        for t in (0..self.tables.len()).rev() {
-            let idx = self.table_index(t, pc);
-            if self.tables[t].entries[idx].tag == self.table_tag(t, pc) {
-                return Some((t, idx));
+        let pc_bits = pc.raw() >> 2;
+        for (t, ((table, fi), ft)) in self
+            .tables
+            .iter()
+            .zip(&self.index_folds)
+            .zip(&self.tag_folds)
+            .enumerate()
+            .rev()
+        {
+            let (idx, tag) = Self::table_coords(pc_bits, table, fi, ft);
+            if table.entries[idx as usize].tag == tag {
+                return Some((t, idx as usize));
             }
         }
         None
@@ -199,13 +252,20 @@ impl Tage {
     fn push_history(&mut self, taken: bool) {
         // The ring keeps at least max_history + 1 bits so that folded
         // histories can observe the bit each table's window evicts.
-        for t in 0..self.tables.len() {
-            let hl = self.tables[t].history_length as usize;
-            let evicted = self.history[(self.history_head + hl - 1) & self.history_mask];
-            self.index_folds[t].update(taken, evicted);
-            self.tag_folds[t].update(taken, evicted);
+        let head = self.history_head;
+        let mask = self.history_mask;
+        for ((table, fi), ft) in self
+            .tables
+            .iter()
+            .zip(&mut self.index_folds)
+            .zip(&mut self.tag_folds)
+        {
+            let hl = table.history_length as usize;
+            let evicted = self.history[(head + hl - 1) & mask];
+            fi.update(taken, evicted);
+            ft.update(taken, evicted);
         }
-        self.history_head = (self.history_head + self.history_mask) & self.history_mask;
+        self.history_head = (head + mask) & mask;
         self.history[self.history_head] = taken;
     }
 }
@@ -229,6 +289,10 @@ impl DirectionPredictor for Tage {
     }
 
     fn update(&mut self, pc: Addr, taken: bool) {
+        // The provider search exits early from the longest history down; the
+        // full (index, tag) pass is deferred to `allocate`, the only path
+        // that touches more than the provider's table — so the common
+        // correct-prediction update derives no coordinates it does not use.
         let provider = self.find_provider(pc);
         let provider_pred = match provider {
             Some((t, idx)) => self.tables[t].entries[idx].ctr >= 4,
@@ -268,7 +332,8 @@ impl DirectionPredictor for Tage {
                 }
                 // On a misprediction, allocate in a longer-history table.
                 if provider_pred != taken && t + 1 < self.tables.len() {
-                    self.allocate(pc, taken, t + 1);
+                    let paths = self.table_paths(pc);
+                    self.allocate(&paths, taken, t + 1);
                 }
             }
             None => {
@@ -281,7 +346,8 @@ impl DirectionPredictor for Tage {
                     *c = c.saturating_sub(1);
                 }
                 if base_pred != taken {
-                    self.allocate(pc, taken, 0);
+                    let paths = self.table_paths(pc);
+                    self.allocate(&paths, taken, 0);
                 }
             }
         }
@@ -316,20 +382,19 @@ impl DirectionPredictor for Tage {
 }
 
 impl Tage {
-    /// Allocates an entry for `pc` in a table with history at least as long
-    /// as table `from`, preferring tables whose victim entry is not useful.
-    fn allocate(&mut self, pc: Addr, taken: bool, from: usize) {
+    /// Allocates an entry at the precomputed `paths` in a table with history
+    /// at least as long as table `from`, preferring tables whose victim entry
+    /// is not useful.
+    fn allocate(&mut self, paths: &TablePaths, taken: bool, from: usize) {
         let rand = self.next_random();
         // Try up to two candidate tables, randomised per the TAGE paper to
         // avoid ping-ponging.
         let start = from + (rand as usize & 1) % (self.tables.len() - from).max(1);
         let mut allocated = false;
         for t in start..self.tables.len() {
-            let idx = self.table_index(t, pc);
-            let tag = self.table_tag(t, pc);
-            let entry = &mut self.tables[t].entries[idx];
+            let entry = &mut self.tables[t].entries[paths.idx[t] as usize];
             if entry.useful == 0 {
-                entry.tag = tag;
+                entry.tag = paths.tag[t];
                 entry.ctr = if taken { 4 } else { 3 };
                 entry.useful = 0;
                 allocated = true;
@@ -339,8 +404,7 @@ impl Tage {
         if !allocated {
             // Decay usefulness so future allocations can succeed.
             for t in from..self.tables.len() {
-                let idx = self.table_index(t, pc);
-                let e = &mut self.tables[t].entries[idx];
+                let e = &mut self.tables[t].entries[paths.idx[t] as usize];
                 e.useful = e.useful.saturating_sub(1);
             }
         }

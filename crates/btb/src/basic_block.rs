@@ -25,14 +25,18 @@ use sim_core::Addr;
 #[derive(Clone, Debug)]
 pub struct BasicBlockBtb {
     /// Way tags in one flat allocation, stride-indexed: set `s` occupies
-    /// `tags[s * ways .. (s + 1) * ways]`. Tags are scanned on every BPU
-    /// lookup, so they carry only the block start and LRU stamp (16 bytes a
-    /// way — a whole 4-way set fits one cache line); the full entries live
-    /// in the parallel `entries` array, touched only on a hit. A `last_use`
-    /// of zero marks an empty way (the stamp is pre-incremented, so live
-    /// ways carry non-zero stamps); ways fill lowest-index-first, preserving
-    /// the iteration order of the original `Vec<Vec<_>>` representation.
-    tags: Box<[WayTag]>,
+    /// `starts[s * ways .. (s + 1) * ways]`. Tags are scanned on every BPU
+    /// lookup, so the scan array is SoA-split down to the bare block-start
+    /// words (8 bytes a way — a whole 4-way set fits half a cache line) with
+    /// no occupancy branch: empty ways hold [`EMPTY_START`], which no real
+    /// basic block can start at. The LRU stamps live in the parallel
+    /// `last_use` array (read only on hits and by replacement; zero for
+    /// empty ways, pre-incremented so live ways are non-zero), and the full
+    /// entries in `entries`, touched only on a hit. Ways fill
+    /// lowest-index-first, preserving the iteration order of the original
+    /// `Vec<Vec<_>>` representation.
+    starts: Box<[u64]>,
+    last_use: Box<[u64]>,
     entries: Box<[BtbEntry]>,
     num_sets: usize,
     ways: usize,
@@ -43,26 +47,9 @@ pub struct BasicBlockBtb {
     stamp: u64,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct WayTag {
-    block_start: Addr,
-    last_use: u64,
-}
-
-impl WayTag {
-    const EMPTY: WayTag = WayTag {
-        block_start: Addr::new(0),
-        last_use: 0,
-    };
-
-    fn is_occupied(&self) -> bool {
-        self.last_use != 0
-    }
-
-    fn holds(&self, block_start: Addr) -> bool {
-        self.last_use != 0 && self.block_start == block_start
-    }
-}
+/// Sentinel marking an empty way in the tag array: no basic block can start
+/// at the top of the address space, so the sentinel never matches a lookup.
+const EMPTY_START: u64 = u64::MAX;
 
 const FILLER_ENTRY: BtbEntry = BtbEntry {
     block_start: Addr::new(0),
@@ -89,7 +76,8 @@ impl BasicBlockBtb {
         );
         let num_sets = (entries / ways) as usize;
         BasicBlockBtb {
-            tags: vec![WayTag::EMPTY; entries as usize].into_boxed_slice(),
+            starts: vec![EMPTY_START; entries as usize].into_boxed_slice(),
+            last_use: vec![0; entries as usize].into_boxed_slice(),
             entries: vec![FILLER_ENTRY; entries as usize].into_boxed_slice(),
             num_sets,
             ways: ways as usize,
@@ -108,7 +96,7 @@ impl BasicBlockBtb {
 
     /// Number of entries currently resident.
     pub fn len(&self) -> usize {
-        self.tags.iter().filter(|w| w.is_occupied()).count()
+        self.starts.iter().filter(|&&s| s != EMPTY_START).count()
     }
 
     /// `true` if the BTB holds no entries.
@@ -143,9 +131,9 @@ impl BasicBlockBtb {
     /// Way index of `block_start` within its set, if resident.
     fn find_way(&self, block_start: Addr) -> Option<usize> {
         let base = self.set_base(block_start);
-        self.tags[base..base + self.ways]
+        self.starts[base..base + self.ways]
             .iter()
-            .position(|w| w.holds(block_start))
+            .position(|&s| s == block_start.raw())
             .map(|i| base + i)
     }
 
@@ -155,7 +143,7 @@ impl BasicBlockBtb {
         self.stamp += 1;
         match self.find_way(block_start) {
             Some(way) => {
-                self.tags[way].last_use = self.stamp;
+                self.last_use[way] = self.stamp;
                 self.hits += 1;
                 BtbLookup::Hit(self.entries[way])
             }
@@ -171,32 +159,31 @@ impl BasicBlockBtb {
 
     /// Inserts or updates an entry, evicting the LRU way of its set if full.
     pub fn insert(&mut self, entry: BtbEntry) {
+        debug_assert_ne!(entry.block_start.raw(), EMPTY_START);
         self.insertions += 1;
         self.stamp += 1;
         let stamp = self.stamp;
         if let Some(way) = self.find_way(entry.block_start) {
             self.entries[way] = entry;
-            self.tags[way].last_use = stamp;
+            self.last_use[way] = stamp;
             return;
         }
         let base = self.set_base(entry.block_start);
-        let set = &mut self.tags[base..base + self.ways];
-        let way = match set.iter().position(|w| !w.is_occupied()) {
+        let set = &self.starts[base..base + self.ways];
+        let way = match set.iter().position(|&s| s == EMPTY_START) {
             Some(empty) => base + empty,
             None => {
-                let victim = set
+                let victim = self.last_use[base..base + self.ways]
                     .iter()
                     .enumerate()
-                    .min_by_key(|(_, w)| w.last_use)
+                    .min_by_key(|&(_, &t)| t)
                     .expect("a full set always has a victim")
                     .0;
                 base + victim
             }
         };
-        self.tags[way] = WayTag {
-            block_start: entry.block_start,
-            last_use: stamp,
-        };
+        self.starts[way] = entry.block_start.raw();
+        self.last_use[way] = stamp;
         self.entries[way] = entry;
     }
 
@@ -214,7 +201,8 @@ impl BasicBlockBtb {
 
     /// Removes every entry (used between experiment phases).
     pub fn clear(&mut self) {
-        self.tags.fill(WayTag::EMPTY);
+        self.starts.fill(EMPTY_START);
+        self.last_use.fill(0);
     }
 }
 

@@ -8,31 +8,41 @@
 //! entry into the BTB.
 
 use crate::BtbEntry;
-use sim_core::{Addr, FxHashMap, OrderQueue};
+use sim_core::Addr;
+
+/// Sentinel marking an empty slot: no basic block starts at the top of the
+/// address space.
+const EMPTY_START: u64 = u64::MAX;
 
 /// A small FIFO buffer of prefilled BTB entries (32 entries in the paper),
 /// indexed by block start address.
 ///
-/// The BPU probes this buffer on every BTB lookup, and Boomerang's BTB miss
+/// The BPU probes this buffer on every BTB miss, and Boomerang's BTB miss
 /// probe inserts a burst of entries per predecoded line, so both `insert`
-/// and `take` sit on the simulator's hot path. Entries live in a hash index
-/// keyed by block start; an [`OrderQueue`] of `(addr, generation)` slots
-/// remembers the replacement order, with slots whose generation no longer
-/// matches the index (taken entries) skipped during eviction and compacted
-/// away in amortised O(1).
+/// and `take` sit on the simulator's hot path. At 32 entries, flat
+/// sentinel-scanned arrays beat any hash index: lookups scan a 256-byte
+/// start-address array, and FIFO replacement is an arg-min over the
+/// insertion sequence numbers (an in-place update keeps its slot's
+/// sequence, and therefore its FIFO position, exactly as the paper's
+/// buffer would).
 #[derive(Clone, Debug)]
 pub struct BtbPrefetchBuffer {
-    /// Insertion order with tombstone skipping.
-    order: OrderQueue<Addr>,
-    /// Live entries with the generation of their FIFO slot. An in-place
-    /// update (§IV-B re-predecode of the same block) keeps the generation,
-    /// and therefore the original FIFO position.
-    index: FxHashMap<Addr, (BtbEntry, u64)>,
-    next_generation: u64,
+    starts: Box<[u64]>,
+    seqs: Box<[u64]>,
+    entries: Box<[BtbEntry]>,
+    next_seq: u64,
+    len: usize,
     capacity: usize,
     hits: u64,
     inserts: u64,
 }
+
+const FILLER_ENTRY: BtbEntry = BtbEntry {
+    block_start: Addr::new(0),
+    block_size: 1,
+    kind: sim_core::BranchKind::DirectJump,
+    target: None,
+};
 
 impl BtbPrefetchBuffer {
     /// Creates a buffer holding up to `capacity` entries.
@@ -46,9 +56,11 @@ impl BtbPrefetchBuffer {
             "the BTB prefetch buffer needs at least one entry"
         );
         BtbPrefetchBuffer {
-            order: OrderQueue::new(2 * capacity),
-            index: FxHashMap::default(),
-            next_generation: 0,
+            starts: vec![EMPTY_START; capacity].into_boxed_slice(),
+            seqs: vec![0; capacity].into_boxed_slice(),
+            entries: vec![FILLER_ENTRY; capacity].into_boxed_slice(),
+            next_seq: 0,
+            len: 0,
             capacity,
             hits: 0,
             inserts: 0,
@@ -57,12 +69,12 @@ impl BtbPrefetchBuffer {
 
     /// Number of entries currently buffered.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.len
     }
 
     /// `true` if the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.len == 0
     }
 
     /// Capacity in entries.
@@ -80,49 +92,63 @@ impl BtbPrefetchBuffer {
         self.inserts
     }
 
+    fn find(&self, block_start: Addr) -> Option<usize> {
+        self.starts.iter().position(|&s| s == block_start.raw())
+    }
+
     /// Inserts an entry; the oldest entry is dropped if the buffer is full
     /// (first-in-first-out replacement, §IV-B).
     pub fn insert(&mut self, entry: BtbEntry) {
+        debug_assert_ne!(entry.block_start.raw(), EMPTY_START);
         self.inserts += 1;
-        if let Some((existing, _)) = self.index.get_mut(&entry.block_start) {
-            *existing = entry;
+        if let Some(slot) = self.find(entry.block_start) {
+            // In-place update (§IV-B re-predecode of the same block) keeps
+            // the slot's sequence, and therefore its FIFO position.
+            self.entries[slot] = entry;
             return;
         }
-        if self.index.len() == self.capacity {
-            let index = &self.index;
-            if let Some(victim) = self
-                .order
-                .pop_oldest_live(|a, gen| index.get(a).is_some_and(|&(_, g)| g == gen))
-            {
-                self.index.remove(&victim);
-            }
-        }
-        let index = &self.index;
-        self.order
-            .maybe_compact(|a, gen| index.get(a).is_some_and(|&(_, g)| g == gen));
-        let generation = self.next_generation;
-        self.next_generation += 1;
-        self.order.push(entry.block_start, generation);
-        self.index.insert(entry.block_start, (entry, generation));
+        let slot = if self.len == self.capacity {
+            // FIFO eviction: the oldest live slot has the minimum sequence.
+            self.seqs
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &s)| s)
+                .expect("capacity is non-zero")
+                .0
+        } else {
+            let empty = self
+                .starts
+                .iter()
+                .position(|&s| s == EMPTY_START)
+                .expect("len < capacity implies an empty slot");
+            self.len += 1;
+            empty
+        };
+        self.starts[slot] = entry.block_start.raw();
+        self.seqs[slot] = self.next_seq;
+        self.next_seq += 1;
+        self.entries[slot] = entry;
     }
 
     /// Looks up (and removes) the entry for the block starting at
     /// `block_start`. A hit means the entry is being promoted into the BTB.
     pub fn take(&mut self, block_start: Addr) -> Option<BtbEntry> {
-        let (entry, _) = self.index.remove(&block_start)?;
+        let slot = self.find(block_start)?;
+        self.starts[slot] = EMPTY_START;
+        self.len -= 1;
         self.hits += 1;
-        Some(entry)
+        Some(self.entries[slot])
     }
 
     /// Checks for an entry without removing it.
     pub fn peek(&self, block_start: Addr) -> Option<BtbEntry> {
-        self.index.get(&block_start).map(|&(entry, _)| entry)
+        self.find(block_start).map(|slot| self.entries[slot])
     }
 
     /// Discards all buffered entries.
     pub fn clear(&mut self) {
-        self.order.clear();
-        self.index.clear();
+        self.starts.fill(EMPTY_START);
+        self.len = 0;
     }
 
     /// Storage cost in bits: each entry holds a 46-bit tag, 30-bit target,
@@ -198,12 +224,12 @@ mod tests {
     }
 
     #[test]
-    fn order_queue_stays_bounded_under_take_insert_churn() {
+    fn heavy_take_insert_churn_stays_consistent() {
         let mut buf = BtbPrefetchBuffer::new(4);
         for i in 0..10_000u64 {
             buf.insert(entry(0x1000 + i * 0x40));
             assert!(buf.take(Addr::new(0x1000 + i * 0x40)).is_some());
-            assert!(buf.order.slot_count() <= 2 * buf.capacity() + 1);
+            assert!(buf.len() <= buf.capacity());
         }
         assert!(buf.is_empty());
     }

@@ -49,10 +49,26 @@ pub struct DemandOutcome {
 /// paid. Fills promoted out of the map early (demand hits on in-flight
 /// lines) leave stale heap entries behind; the drain loop detects them by
 /// comparing the popped `ready_at` against the map and skips them.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 struct FillQueue {
     ready_at: FxHashMap<CacheLine, u64>,
     heap: BinaryHeap<Reverse<(u64, CacheLine)>>,
+    /// Conservative lower bound on the earliest completion in the heap
+    /// (`u64::MAX` when the heap is known empty): the drain check that runs
+    /// on every demand fetch and prefetch probe is then one compare instead
+    /// of a heap peek. Early removals only raise the true minimum, so a
+    /// stale bound errs low — the slow path re-establishes it.
+    next_ready: u64,
+}
+
+impl Default for FillQueue {
+    fn default() -> Self {
+        FillQueue {
+            ready_at: FxHashMap::default(),
+            heap: BinaryHeap::new(),
+            next_ready: u64::MAX,
+        }
+    }
 }
 
 impl FillQueue {
@@ -71,6 +87,7 @@ impl FillQueue {
     fn insert(&mut self, line: CacheLine, ready_at: u64) {
         self.ready_at.insert(line, ready_at);
         self.heap.push(Reverse((ready_at, line)));
+        self.next_ready = self.next_ready.min(ready_at);
     }
 
     fn remove(&mut self, line: CacheLine) {
@@ -81,8 +98,12 @@ impl FillQueue {
     /// Pops the next fill completing at or before `now`, in `(ready_at,
     /// line)` order — the same order the previous sort established.
     fn pop_ready(&mut self, now: u64) -> Option<CacheLine> {
+        if now < self.next_ready {
+            return None;
+        }
         while let Some(&Reverse((ready_at, line))) = self.heap.peek() {
             if ready_at > now {
+                self.next_ready = ready_at;
                 return None;
             }
             self.heap.pop();
@@ -91,6 +112,7 @@ impl FillQueue {
                 return Some(line);
             }
         }
+        self.next_ready = u64::MAX;
         None
     }
 }

@@ -6,6 +6,11 @@
 
 use sim_core::CacheLine;
 
+/// Sentinel marking an empty way in the tag array. Instruction lines are
+/// derived from text-segment addresses and can never reach `u64::MAX`, so
+/// the sentinel never collides with a real line.
+const EMPTY_LINE: u64 = u64::MAX;
+
 /// A set-associative tag store with true LRU replacement.
 ///
 /// # Example
@@ -22,40 +27,24 @@ use sim_core::CacheLine;
 /// ```
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
-    /// All ways of all sets in one flat allocation, stride-indexed: set `s`
-    /// occupies `slots[s * ways .. (s + 1) * ways]`. A `last_use` of zero
-    /// marks an empty way (the stamp is pre-incremented, so live ways always
-    /// carry a non-zero stamp); within a set, ways fill lowest-index-first,
-    /// which preserves the insertion-order iteration the previous
-    /// `Vec<Vec<_>>` representation had.
-    slots: Box<[WayState]>,
+    /// Way tags in one flat allocation, stride-indexed: set `s` occupies
+    /// `lines[s * ways .. (s + 1) * ways]`. The tags are split SoA-style
+    /// from the LRU stamps so the way scan every access performs touches a
+    /// contiguous run of bare `u64` tags (a whole 4-way set is 32 bytes) and
+    /// needs no occupancy branch: an empty way holds [`EMPTY_LINE`], which
+    /// never equals a probed line. `last_use` is only read on a hit and by
+    /// the replacement policy. Within a set, ways fill lowest-index-first,
+    /// preserving the iteration order of the original AoS representation;
+    /// the stamp is pre-incremented, so live ways carry non-zero stamps and
+    /// `last_use == 0` stays in lockstep with `lines == EMPTY_LINE`.
+    lines: Box<[u64]>,
+    last_use: Box<[u64]>,
     num_sets: usize,
     ways: usize,
     set_mask: u64,
     stamp: u64,
     hits: u64,
     misses: u64,
-}
-
-#[derive(Clone, Copy, Debug)]
-struct WayState {
-    line: CacheLine,
-    last_use: u64,
-}
-
-impl WayState {
-    const EMPTY: WayState = WayState {
-        line: CacheLine(0),
-        last_use: 0,
-    };
-
-    fn is_occupied(&self) -> bool {
-        self.last_use != 0
-    }
-
-    fn holds(&self, line: CacheLine) -> bool {
-        self.last_use != 0 && self.line == line
-    }
 }
 
 impl SetAssocCache {
@@ -76,7 +65,8 @@ impl SetAssocCache {
         );
         let num_sets = (lines / ways) as usize;
         SetAssocCache {
-            slots: vec![WayState::EMPTY; lines as usize].into_boxed_slice(),
+            lines: vec![EMPTY_LINE; lines as usize].into_boxed_slice(),
+            last_use: vec![0; lines as usize].into_boxed_slice(),
             num_sets,
             ways: ways as usize,
             set_mask: num_sets as u64 - 1,
@@ -93,7 +83,7 @@ impl SetAssocCache {
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.slots.iter().filter(|w| w.is_occupied()).count()
+        self.lines.iter().filter(|&&l| l != EMPTY_LINE).count()
     }
 
     /// `true` if the cache holds no lines.
@@ -119,9 +109,7 @@ impl SetAssocCache {
 
     /// Checks residence without touching LRU state or statistics.
     pub fn contains(&self, line: CacheLine) -> bool {
-        self.slots[self.set_range(line)]
-            .iter()
-            .any(|w| w.holds(line))
+        self.lines[self.set_range(line)].contains(&line.0)
     }
 
     /// Accesses `line`: returns `true` on a hit (updating LRU and
@@ -129,52 +117,51 @@ impl SetAssocCache {
     /// when the fill arrives.
     pub fn access(&mut self, line: CacheLine) -> bool {
         self.stamp += 1;
-        let stamp = self.stamp;
         let range = self.set_range(line);
-        for way in &mut self.slots[range] {
-            if way.holds(line) {
-                way.last_use = stamp;
+        match self.lines[range.clone()].iter().position(|&l| l == line.0) {
+            Some(way) => {
+                self.last_use[range.start + way] = self.stamp;
                 self.hits += 1;
-                return true;
+                true
+            }
+            None => {
+                self.misses += 1;
+                false
             }
         }
-        self.misses += 1;
-        false
     }
 
     /// Inserts `line`, evicting the LRU line of its set if necessary.
     /// Returns the evicted line, if any.
     pub fn insert(&mut self, line: CacheLine) -> Option<CacheLine> {
+        debug_assert_ne!(line.0, EMPTY_LINE, "sentinel line is not insertable");
         self.stamp += 1;
         let stamp = self.stamp;
         let range = self.set_range(line);
-        let set = &mut self.slots[range];
-        if let Some(way) = set.iter_mut().find(|w| w.holds(line)) {
-            way.last_use = stamp;
+        let set = &mut self.lines[range.clone()];
+        // Resident or empty way first (lowest index wins, as before).
+        if let Some(way) = set.iter().position(|&l| l == line.0 || l == EMPTY_LINE) {
+            set[way] = line.0;
+            self.last_use[range.start + way] = stamp;
             return None;
         }
-        if let Some(empty) = set.iter_mut().find(|w| !w.is_occupied()) {
-            *empty = WayState {
-                line,
-                last_use: stamp,
-            };
-            return None;
-        }
-        let victim = set
-            .iter_mut()
-            .min_by_key(|w| w.last_use)
-            .expect("full set always has a victim");
-        let evicted = victim.line;
-        *victim = WayState {
-            line,
-            last_use: stamp,
-        };
-        Some(evicted)
+        // Full set: evict the least recently used way.
+        let victim = self.last_use[range.clone()]
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .expect("full set always has a victim")
+            .0;
+        let evicted = self.lines[range.start + victim];
+        self.lines[range.start + victim] = line.0;
+        self.last_use[range.start + victim] = stamp;
+        Some(CacheLine(evicted))
     }
 
     /// Removes every line.
     pub fn clear(&mut self) {
-        self.slots.fill(WayState::EMPTY);
+        self.lines.fill(EMPTY_LINE);
+        self.last_use.fill(0);
     }
 }
 

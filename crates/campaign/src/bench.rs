@@ -14,13 +14,21 @@
 //!   instructions. CI re-runs the smoke entries and fails if these drift
 //!   from the committed baseline, which pins stats parity forever.
 //! * **`timing`** — wall-clock measurements, machine-dependent by nature and
-//!   never compared byte-for-byte.
+//!   never compared byte-for-byte. Since `bench_format` 2 the phases are
+//!   timed separately: `generation_ms` covers one *cold* workload-generation
+//!   pass (spec expansion + layout/trace/latency-stream generation), and
+//!   each engine's `simulation_ms` samples cover the simulate + aggregate
+//!   phases over those generated workloads. The headline `best_ms` is
+//!   `generation_ms + min(simulation_ms)` — the cold-equivalent campaign
+//!   wall time, directly comparable to the single `wall_ms` of
+//!   `bench_format` 1 entries, per the ROADMAP note that at least one
+//!   generation-cold measurement must anchor every trajectory point.
 //!
 //! The harness also cross-checks the engines against each other on every
 //! entry: both must produce byte-identical campaign reports, or the run
 //! fails.
 
-use crate::engine::{run_campaign, EngineOptions};
+use crate::engine::{generate_workloads, run_generated, EngineOptions};
 use crate::json::Json;
 use crate::presets;
 use crate::sink::to_json;
@@ -61,19 +69,24 @@ impl Default for BenchOptions {
     }
 }
 
-/// Wall-clock samples for one engine on one entry.
+/// Simulation-phase wall-clock samples for one engine on one entry.
 #[derive(Clone, Debug)]
 pub struct EngineTiming {
     /// Engine token (see [`SimEngine::token`]).
     pub engine: &'static str,
-    /// One wall-time sample per iteration, in milliseconds.
-    pub wall_ms: Vec<f64>,
+    /// One simulation-phase wall-time sample per iteration, in milliseconds
+    /// (workload generation excluded — it is timed once per entry as
+    /// [`BenchEntry::generation_ms`]).
+    pub simulation_ms: Vec<f64>,
 }
 
 impl EngineTiming {
-    /// Best (minimum) wall time in milliseconds.
-    pub fn best_ms(&self) -> f64 {
-        self.wall_ms.iter().copied().fold(f64::INFINITY, f64::min)
+    /// Best (minimum) simulation wall time in milliseconds.
+    pub fn best_simulation_ms(&self) -> f64 {
+        self.simulation_ms
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -94,6 +107,9 @@ pub struct BenchEntry {
     pub instructions_total: u64,
     /// FNV-1a-64 digest of the campaign's JSON report (deterministic).
     pub report_digest: String,
+    /// Wall time of the entry's single cold workload-generation pass, in
+    /// milliseconds.
+    pub generation_ms: f64,
     /// Event-horizon engine timings.
     pub event_horizon: EngineTiming,
     /// Per-cycle reference engine timings (absent under `--no-reference`).
@@ -101,17 +117,24 @@ pub struct BenchEntry {
 }
 
 impl BenchEntry {
-    /// Wall-clock speedup of the event-horizon engine over the per-cycle
-    /// reference (best-over-best), if the reference was timed.
+    /// Simulation-phase speedup of the event-horizon engine over the
+    /// per-cycle reference (best-over-best), if the reference was timed.
     pub fn speedup_vs_reference(&self) -> Option<f64> {
         let reference = self.reference.as_ref()?;
-        Some(reference.best_ms() / self.event_horizon.best_ms())
+        Some(reference.best_simulation_ms() / self.event_horizon.best_simulation_ms())
+    }
+
+    /// The headline number: cold generation plus the best event-horizon
+    /// simulation, i.e. the best wall time a cold full campaign run takes.
+    /// Directly comparable to `bench_format` 1's whole-campaign `best_ms`.
+    pub fn best_ms(&self) -> f64 {
+        self.generation_ms + self.event_horizon.best_simulation_ms()
     }
 
     /// Simulated megacycles per wall-clock second on the event-horizon
-    /// engine.
+    /// engine, over the cold-equivalent campaign wall time.
     pub fn mcycles_per_second(&self) -> f64 {
-        self.cycles_total as f64 / 1e6 / (self.event_horizon.best_ms() / 1e3)
+        self.cycles_total as f64 / 1e6 / (self.best_ms() / 1e3)
     }
 }
 
@@ -161,28 +184,41 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
             lengths = vec![false];
         }
         for smoke in lengths {
-            let run = |engine: SimEngine| -> Result<(crate::CampaignReport, String, f64), String> {
+            // One *cold* generation pass per entry, timed separately; every
+            // simulation iteration below reuses it. The ROADMAP's
+            // trajectory-comparability note is honoured by `best_ms`, which
+            // always re-includes this cold generation time.
+            let gen_opts = EngineOptions {
+                jobs: options.jobs,
+                smoke,
+                engine: SimEngine::EventHorizon,
+            };
+            let gen_started = Instant::now();
+            let generated = generate_workloads(&spec, &gen_opts).map_err(|e| e.to_string())?;
+            let generation_ms = gen_started.elapsed().as_secs_f64() * 1e3;
+
+            let run = |engine: SimEngine| -> (crate::CampaignReport, String, f64) {
                 let opts = EngineOptions {
                     jobs: options.jobs,
                     smoke,
                     engine,
                 };
                 let started = Instant::now();
-                let report = run_campaign(&spec, &opts).map_err(|e| e.to_string())?;
+                let report = run_generated(&spec, &opts, &generated);
                 let wall_ms = started.elapsed().as_secs_f64() * 1e3;
                 let json = to_json(&report);
-                Ok((report, json, wall_ms))
+                (report, json, wall_ms)
             };
 
             let mut event_horizon = EngineTiming {
                 engine: SimEngine::EventHorizon.token(),
-                wall_ms: Vec::new(),
+                simulation_ms: Vec::new(),
             };
             let mut rendered = String::new();
             let mut campaign_report = None;
             for _ in 0..options.iterations {
-                let (report, json, wall_ms) = run(SimEngine::EventHorizon)?;
-                event_horizon.wall_ms.push(wall_ms);
+                let (report, json, wall_ms) = run(SimEngine::EventHorizon);
+                event_horizon.simulation_ms.push(wall_ms);
                 rendered = json;
                 campaign_report = Some(report);
             }
@@ -195,11 +231,11 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
             };
             let mut reference = EngineTiming {
                 engine: SimEngine::PerCycleReference.token(),
-                wall_ms: Vec::new(),
+                simulation_ms: Vec::new(),
             };
             for _ in 0..reference_iterations {
-                let (_, json, wall_ms) = run(SimEngine::PerCycleReference)?;
-                reference.wall_ms.push(wall_ms);
+                let (_, json, wall_ms) = run(SimEngine::PerCycleReference);
+                reference.simulation_ms.push(wall_ms);
                 if json != rendered {
                     return Err(format!(
                         "engine parity violation on preset `{name}`{}: the per-cycle \
@@ -223,6 +259,7 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
                 cycles_total,
                 instructions_total,
                 report_digest: format!("fnv1a64:{:016x}", fnv1a64(rendered.as_bytes())),
+                generation_ms,
                 event_horizon,
                 reference: options.time_reference.then_some(reference),
             });
@@ -238,7 +275,8 @@ pub fn bench_to_json(report: &BenchReport) -> String {
         .iter()
         .map(|entry| {
             let mut timing = Json::object()
-                .field("iterations", entry.event_horizon.wall_ms.len())
+                .field("iterations", entry.event_horizon.simulation_ms.len())
+                .field("generation_ms", round_ms(entry.generation_ms))
                 .field(
                     "engines",
                     vec![engine_json(&entry.event_horizon)]
@@ -246,6 +284,9 @@ pub fn bench_to_json(report: &BenchReport) -> String {
                         .chain(entry.reference.as_ref().map(engine_json))
                         .collect::<Vec<Json>>(),
                 )
+                // Cold generation + best simulation: the number comparable
+                // to bench_format 1's whole-campaign best wall time.
+                .field("best_ms", round_ms(entry.best_ms()))
                 .field("event_horizon_mcycles_per_s", entry.mcycles_per_second());
             if let Some(speedup) = entry.speedup_vs_reference() {
                 timing = timing.field("speedup_vs_reference", speedup);
@@ -267,7 +308,7 @@ pub fn bench_to_json(report: &BenchReport) -> String {
         .collect();
     Json::object()
         .field("bench", "boomerang-sim bench")
-        .field("bench_format", 1u64)
+        .field("bench_format", 2u64)
         .field("entries", entries)
         .pretty()
 }
@@ -276,14 +317,14 @@ fn engine_json(timing: &EngineTiming) -> Json {
     Json::object()
         .field("engine", timing.engine)
         .field(
-            "wall_ms",
+            "simulation_ms",
             timing
-                .wall_ms
+                .simulation_ms
                 .iter()
                 .map(|&ms| Json::Float(round_ms(ms)))
                 .collect::<Vec<Json>>(),
         )
-        .field("best_ms", round_ms(timing.best_ms()))
+        .field("best_simulation_ms", round_ms(timing.best_simulation_ms()))
 }
 
 fn round_ms(ms: f64) -> f64 {
@@ -295,26 +336,36 @@ pub fn bench_to_table(report: &BenchReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<12} {:>6} {:>6} {:>14} {:>14} {:>9} {:>12}",
-        "preset", "smoke", "jobs", "horizon ms", "reference ms", "speedup", "Mcycles/s"
+        "{:<20} {:>6} {:>6} {:>8} {:>12} {:>14} {:>9} {:>10} {:>12}",
+        "preset",
+        "smoke",
+        "jobs",
+        "gen ms",
+        "horizon ms",
+        "reference ms",
+        "speedup",
+        "best ms",
+        "Mcycles/s"
     );
     for entry in &report.entries {
         let _ = writeln!(
             out,
-            "{:<12} {:>6} {:>6} {:>14.1} {:>14} {:>9} {:>12.1}",
+            "{:<20} {:>6} {:>6} {:>8.1} {:>12.1} {:>14} {:>9} {:>10.1} {:>12.1}",
             entry.preset,
             entry.smoke,
             entry.campaign_jobs,
-            entry.event_horizon.best_ms(),
+            entry.generation_ms,
+            entry.event_horizon.best_simulation_ms(),
             entry
                 .reference
                 .as_ref()
-                .map(|r| format!("{:.1}", r.best_ms()))
+                .map(|r| format!("{:.1}", r.best_simulation_ms()))
                 .unwrap_or_else(|| "-".into()),
             entry
                 .speedup_vs_reference()
                 .map(|s| format!("{s:.2}x"))
                 .unwrap_or_else(|| "-".into()),
+            entry.best_ms(),
             entry.mcycles_per_second(),
         );
     }

@@ -61,20 +61,20 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         Some("list-presets") => {
             println!(
-                "{:<16} {:>5} {:>10}  description",
+                "{:<20} {:>5} {:>10}  description",
                 "preset", "jobs", "workloads"
             );
             for preset in presets::PRESETS {
                 let spec = preset.spec();
                 println!(
-                    "{:<16} {:>5} {:>10}  {}",
+                    "{:<20} {:>5} {:>10}  {}",
                     preset.name,
                     campaign::expand(&spec).len(),
                     spec.workloads.len(),
                     preset.description
                 );
                 if let Some(labels) = custom_axis_labels(&spec) {
-                    println!("{:<16} {:>5} {:>10}  workload axis: {labels}", "", "", "");
+                    println!("{:<20} {:>5} {:>10}  workload axis: {labels}", "", "", "");
                 }
             }
             Ok(())

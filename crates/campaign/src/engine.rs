@@ -96,17 +96,47 @@ pub struct CampaignReport {
     pub rows: Vec<RowResult>,
 }
 
-/// Runs a campaign to completion.
+/// The output of the campaign's generation phase: the expanded job list plus
+/// every distinct (workload axis point, seed) generated once. Reusable
+/// across multiple [`run_generated`] calls, so the bench harness can time
+/// generation and simulation separately and re-simulate without
+/// regenerating.
+pub struct GeneratedWorkloads {
+    jobs: Vec<Job>,
+    keys: Vec<(usize, u64)>,
+    data: Vec<WorkloadData>,
+    run: RunLength,
+    smoke: bool,
+}
+
+impl GeneratedWorkloads {
+    /// Number of jobs the campaign expands to.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of distinct generated (workload, seed) points.
+    pub fn workload_count(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// The campaign's generation phase: expands the spec and generates each
+/// distinct (workload axis point, seed) once, in parallel on the pool.
+/// Keyed by the axis *index*, not the workload kind: two custom
+/// `[[workload]]` points may share a base kind while describing different
+/// profiles, and a kind-keyed cache would silently hand one point the
+/// other's generated code.
 ///
 /// # Errors
 ///
 /// Returns a [`SpecError`] if the spec expands to nothing (empty axes are
 /// already rejected at parse time, so this indicates a hand-constructed
 /// spec).
-pub fn run_campaign(
+pub fn generate_workloads(
     spec: &CampaignSpec,
     options: &EngineOptions,
-) -> Result<CampaignReport, SpecError> {
+) -> Result<GeneratedWorkloads, SpecError> {
     let jobs = expand(spec);
     if jobs.is_empty() {
         return Err(SpecError::Invalid("campaign expands to zero jobs".into()));
@@ -121,26 +151,67 @@ pub fn run_campaign(
     } else {
         spec.run
     };
-
-    // Phase 1: generate each distinct (workload axis point, seed) once, in
-    // parallel. Keyed by the axis *index*, not the workload kind: two custom
-    // `[[workload]]` points may share a base kind while describing different
-    // profiles, and a kind-keyed cache would silently hand one point the
-    // other's generated code.
     let mut keys: Vec<(usize, u64)> = jobs.iter().map(|j| (j.workload, j.seed)).collect();
     keys.sort_unstable();
     keys.dedup();
-    let generated = pool::run_indexed(workers, &keys, |_, &(workload, seed)| {
+    let data = pool::run_indexed(workers, &keys, |_, &(workload, seed)| {
         let profile = &spec.workloads[workload].profile;
         let effective = derive_seed(profile.seed, seed);
         WorkloadData::generate_from_profile(&profile.clone().with_seed(effective), run)
     });
-    let data_by_key: HashMap<(usize, u64), &WorkloadData> =
-        keys.iter().copied().zip(generated.iter()).collect();
+    Ok(GeneratedWorkloads {
+        jobs,
+        keys,
+        data,
+        run,
+        smoke: options.smoke,
+    })
+}
+
+/// Runs a campaign to completion.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] if the spec expands to nothing (empty axes are
+/// already rejected at parse time, so this indicates a hand-constructed
+/// spec).
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    options: &EngineOptions,
+) -> Result<CampaignReport, SpecError> {
+    let generated = generate_workloads(spec, options)?;
+    Ok(run_generated(spec, options, &generated))
+}
+
+/// The campaign's simulation + aggregation phases over already-generated
+/// workloads (see [`generate_workloads`]). Pure with respect to `generated`:
+/// re-running produces the identical report. The report's run length and
+/// smoke flag come from `generated` (the options that produced the
+/// workloads), so a caller passing different `options.smoke` cannot create
+/// a self-inconsistent report; `options` only supplies the worker count and
+/// engine choice here.
+pub fn run_generated(
+    spec: &CampaignSpec,
+    options: &EngineOptions,
+    generated: &GeneratedWorkloads,
+) -> CampaignReport {
+    let workers = if options.jobs == 0 {
+        pool::default_workers()
+    } else {
+        options.jobs
+    };
+    let jobs = &generated.jobs;
+    let run = generated.run;
+    let data_by_key: HashMap<(usize, u64), &WorkloadData> = generated
+        .keys
+        .iter()
+        .copied()
+        .zip(generated.data.iter())
+        .collect();
 
     // Phase 2: run every job on the work-stealing pool.
     let configs: Vec<_> = spec.configs.iter().map(|c| c.build()).collect();
-    let stats: Vec<SimStats> = pool::run_indexed(workers, &jobs, |_, job| {
+    let stats: Vec<SimStats> = pool::run_indexed(workers, jobs, |_, job| {
         let data = data_by_key[&(job.workload, job.seed)];
         data.run_with_predictor_engine(
             job.mechanism,
@@ -174,12 +245,12 @@ pub fn run_campaign(
         })
         .collect();
 
-    Ok(CampaignReport {
+    CampaignReport {
         spec: spec.clone(),
         effective_run: run,
-        smoke: options.smoke,
+        smoke: generated.smoke,
         rows,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -56,7 +56,10 @@ pub use bench::{
     bench_to_json, bench_to_table, check_against, fnv1a64, run_bench, BenchEntry, BenchOptions,
     BenchReport,
 };
-pub use engine::{derive_seed, run_campaign, CampaignReport, EngineOptions, RowResult};
+pub use engine::{
+    derive_seed, generate_workloads, run_campaign, run_generated, CampaignReport, EngineOptions,
+    GeneratedWorkloads, RowResult,
+};
 pub use expand::{expand, Job};
 pub use presets::{Preset, PRESETS};
 pub use sink::{to_csv, to_json, to_table, write_reports, ReportPaths};

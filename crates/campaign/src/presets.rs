@@ -169,8 +169,81 @@ service_roots = [32, 96]
 "#,
 };
 
+/// The interpreter/JIT dispatch scenario: a branch-mix sweep whose
+/// `[[workload]]` tables crank the indirect-jump and indirect-call weights
+/// far beyond the server profiles, emulating bytecode-interpreter dispatch
+/// loops (computed-goto handler tables) and JIT-compiled polymorphic call
+/// sites. Indirect branches carry no predecodable target, so this scenario
+/// stresses the BTB and TAGE in exactly the way the figure9 workloads do
+/// not: Boomerang's predecode-based prefill cannot resolve the dominant
+/// discontinuities, and prediction leans on history alone.
+const INTERPRETER_DISPATCH: Preset = Preset {
+    name: "interpreter-dispatch",
+    description: "Indirect-heavy interpreter/JIT dispatch branch-mix sweep",
+    toml: r#"
+name = "interpreter-dispatch"
+description = "Speedup under interpreter/JIT-style indirect-heavy dispatch branch mixes"
+mechanisms = ["fdip", "confluence", "boomerang"]
+predictor = "tage"
+seeds = [0]
+
+[run]
+trace_blocks = 50000
+warmup_blocks = 10000
+
+[[config]]
+label = "table1"
+
+# Bytecode interpreter: short handler blocks, each dispatch ending in an
+# indirect jump through the handler table, with pattern-heavy conditionals
+# (operand checks repeat per opcode sequence).
+[[workload]]
+label = "interp"
+base = "oracle"
+footprint_bytes = [1048576, 4194304]
+mean_block_instructions = 4.5
+mean_function_blocks = 9.0
+
+[workload.terminators]
+call = 0.05
+indirect_call = 0.03
+jump = 0.05
+indirect_jump = 0.09
+early_return = 0.03
+
+[workload.conditionals]
+loop_backedge = 0.1
+pattern = 0.2
+data_dependent = 0.06
+bias_mean = 0.74
+mean_trip_count = 4.0
+
+# JIT-compiled dispatch: polymorphic inline caches and vtable calls make
+# indirect *calls* dominate instead, with slightly longer compiled blocks.
+[[workload]]
+label = "jit"
+base = "oracle"
+footprint_bytes = [1048576, 4194304]
+mean_block_instructions = 5.5
+
+[workload.terminators]
+call = 0.08
+indirect_call = 0.07
+jump = 0.06
+indirect_jump = 0.03
+early_return = 0.04
+"#,
+};
+
 /// All presets, in presentation order.
-pub const PRESETS: [Preset; 5] = [FIGURE7, FIGURE9, FIGURE11, LLC_SWEEP, FOOTPRINT_SWEEP];
+pub const PRESETS: [Preset; 6] = [
+    FIGURE7,
+    FIGURE9,
+    FIGURE11,
+    LLC_SWEEP,
+    FOOTPRINT_SWEEP,
+    INTERPRETER_DISPATCH,
+];
 
 /// Looks a preset up by name.
 ///
@@ -229,6 +302,30 @@ mod tests {
         assert_eq!(sweep.workloads[5].profile.service_roots, 96);
         // 6 workloads x (2 mechanisms + implicit baseline).
         assert_eq!(crate::expand::expand(&sweep).len(), 18);
+    }
+
+    #[test]
+    fn interpreter_dispatch_is_indirect_heavy() {
+        let spec = find("interpreter-dispatch").unwrap();
+        // 2 branch mixes x 2 footprints.
+        assert_eq!(spec.workloads.len(), 4);
+        assert_eq!(spec.workloads[0].label, "interp-1048576");
+        assert_eq!(spec.workloads[3].label, "jit-4194304");
+        let oracle = workloads::WorkloadKind::Oracle.profile();
+        let interp = &spec.workloads[0].profile;
+        let jit = &spec.workloads[2].profile;
+        assert!(interp.terminators.indirect_jump >= 10.0 * oracle.terminators.indirect_jump);
+        assert!(jit.terminators.indirect_call > 3.0 * oracle.terminators.indirect_call);
+        // 4 workloads x (3 mechanisms + implicit baseline).
+        assert_eq!(crate::expand::expand(&spec).len(), 16);
+        // The on-disk spec stays in sync with the embedded preset.
+        let disk = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../../specs/interpreter_dispatch.toml"),
+        )
+        .expect("specs/interpreter_dispatch.toml must exist");
+        let disk_spec = CampaignSpec::from_toml_str(&disk).unwrap();
+        assert_eq!(disk_spec, spec);
     }
 
     #[test]

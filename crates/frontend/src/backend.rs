@@ -53,31 +53,75 @@ impl Rob {
 
 /// The simplified back end: a ROB of completion times with in-order retire.
 #[derive(Clone, Debug)]
-pub struct BackEnd {
+pub struct BackEnd<'a> {
     rob: Rob,
     capacity: usize,
     retire_width: u64,
     profile: BackendProfile,
+    /// Precomputed per-instruction latency classes (see
+    /// [`BackendProfile::latency_classes`]), shared by every run over the
+    /// same workload. `None` falls back to drawing the identical cascade
+    /// online from `rng`.
+    latency_classes: Option<&'a [u8]>,
+    class_cursor: usize,
+    /// Class → latency map, indexed by `workloads::latency_class`.
+    class_latencies: [Latency; 4],
+    /// Integer Bernoulli thresholds precomputed from the profile's
+    /// `load_fraction` / `llc_miss_rate` / `l1d_miss_rate`, so the
+    /// per-instruction latency draw of [`exec_latency`](Self::exec_latency)
+    /// is one raw draw and one compare per decision instead of a float
+    /// conversion, clamp and compare — while consuming the *same* RNG stream
+    /// (same number and order of `next_u64` calls) as the original
+    /// `chance()` cascade, which keeps reports byte-identical.
+    load_threshold: u64,
+    llc_miss_threshold: u64,
+    l1d_miss_threshold: u64,
     llc_latency: Latency,
     memory_latency: Latency,
     rng: SimRng,
     retired: u64,
 }
 
-impl BackEnd {
+impl<'a> BackEnd<'a> {
     /// Creates the back end for `config` and `profile`, seeded for
     /// reproducible data-stall patterns.
     pub fn new(config: &MicroarchConfig, profile: BackendProfile, seed: u64) -> Self {
+        let llc_latency = config.llc_round_trip();
+        let memory_latency = config.memory_latency();
         BackEnd {
             rob: Rob::with_capacity(config.rob_entries as usize),
             capacity: config.rob_entries as usize,
             retire_width: config.fetch_width,
             profile,
-            llc_latency: config.llc_round_trip(),
-            memory_latency: config.memory_latency(),
-            rng: SimRng::seeded(seed ^ 0xbac_bac_bac),
+            latency_classes: None,
+            class_cursor: 0,
+            class_latencies: [
+                profile.base_latency,
+                memory_latency,
+                llc_latency,
+                profile.base_latency + 2,
+            ],
+            load_threshold: SimRng::chance_threshold(profile.load_fraction),
+            llc_miss_threshold: SimRng::chance_threshold(profile.llc_miss_rate),
+            l1d_miss_threshold: SimRng::chance_threshold(profile.l1d_miss_rate),
+            llc_latency,
+            memory_latency,
+            rng: SimRng::seeded(seed ^ workloads::LATENCY_SEED_SALT),
             retired: 0,
         }
+    }
+
+    /// Switches the latency source to a precomputed class stream (see
+    /// [`BackendProfile::latency_classes`], generated from the same
+    /// `(profile, seed)` this back end was built with). Must be installed
+    /// before the first instruction is accepted; every simulator run over a
+    /// generated workload shares one stream instead of re-drawing the
+    /// cascade per instruction.
+    pub fn use_latency_classes(&mut self, classes: &'a [u8]) {
+        debug_assert_eq!(self.retired, 0);
+        debug_assert_eq!(self.rob.len, 0);
+        self.latency_classes = Some(classes);
+        self.class_cursor = 0;
     }
 
     /// Number of free ROB slots.
@@ -102,27 +146,45 @@ impl BackEnd {
 
     /// Execution latency of the next instruction, drawn from the workload's
     /// data-stall distribution.
+    ///
+    /// Each branch is one raw draw against a precomputed threshold,
+    /// draw-for-draw equivalent to the original
+    /// `chance(load_fraction)` / `chance(llc_miss_rate)` /
+    /// `chance(l1d_miss_rate)` cascade (see
+    /// [`SimRng::chance_threshold`]); the common non-memory path is a single
+    /// compare-and-return.
+    #[inline]
     fn exec_latency(&mut self) -> Latency {
-        let p = self.profile;
-        if self.rng.chance(p.load_fraction) {
-            if self.rng.chance(p.llc_miss_rate) {
-                return self.memory_latency;
-            }
-            if self.rng.chance(p.l1d_miss_rate) {
-                return self.llc_latency;
-            }
-            return p.base_latency + 2; // L1-D hit
+        if self.rng.unit_bits() >= self.load_threshold {
+            return self.profile.base_latency; // not a load: the common path
         }
-        p.base_latency
+        if self.rng.unit_bits() < self.llc_miss_threshold {
+            return self.memory_latency;
+        }
+        if self.rng.unit_bits() < self.l1d_miss_threshold {
+            return self.llc_latency;
+        }
+        self.profile.base_latency + 2 // L1-D hit
     }
 
     /// Accepts up to `count` fetched instructions at cycle `now`, limited by
     /// free ROB space. Returns how many were accepted.
     pub fn push_instructions(&mut self, count: u64, now: u64) -> u64 {
         let accepted = count.min(self.free_slots() as u64);
-        for _ in 0..accepted {
-            let latency = self.exec_latency();
-            self.rob.push_back(now + latency);
+        if let Some(classes) = self.latency_classes {
+            // Precomputed stream: one table-indexed load per instruction in
+            // place of the Bernoulli cascade (byte-identical values).
+            let chunk = &classes[self.class_cursor..self.class_cursor + accepted as usize];
+            self.class_cursor += accepted as usize;
+            for &class in chunk {
+                self.rob
+                    .push_back(now + self.class_latencies[class as usize]);
+            }
+        } else {
+            for _ in 0..accepted {
+                let latency = self.exec_latency();
+                self.rob.push_back(now + latency);
+            }
         }
         accepted
     }
@@ -187,7 +249,7 @@ mod tests {
     use super::*;
     use workloads::WorkloadKind;
 
-    fn backend() -> BackEnd {
+    fn backend() -> BackEnd<'static> {
         let cfg = MicroarchConfig::hpca17();
         BackEnd::new(&cfg, WorkloadKind::Nutch.profile().backend, 7)
     }
@@ -261,6 +323,74 @@ mod tests {
             assert_eq!(bulk.next_completion(), stepped.next_completion());
         }
         assert_eq!(bulk.occupancy(), 0);
+    }
+
+    #[test]
+    fn threshold_latency_draw_matches_the_chance_cascade() {
+        // The integer-threshold exec_latency must be draw-for-draw identical
+        // to the original `chance()` cascade: same latency outcomes from the
+        // same number and order of underlying `next_u64` calls, for every
+        // paper profile. Both RNGs must also end in the same stream position,
+        // which the final range_u64 comparison witnesses.
+        let cfg = MicroarchConfig::hpca17();
+        for kind in workloads::WorkloadKind::ALL {
+            let profile = kind.profile().backend;
+            let mut be = BackEnd::new(&cfg, profile, 1234);
+            let mut oracle = sim_core::rng::SimRng::seeded(1234 ^ 0xbac_bac_bac);
+            let oracle_latency = |rng: &mut sim_core::rng::SimRng| -> Latency {
+                if rng.chance(profile.load_fraction) {
+                    if rng.chance(profile.llc_miss_rate) {
+                        return cfg.memory_latency();
+                    }
+                    if rng.chance(profile.l1d_miss_rate) {
+                        return cfg.llc_round_trip();
+                    }
+                    return profile.base_latency + 2;
+                }
+                profile.base_latency
+            };
+            for i in 0..20_000 {
+                assert_eq!(
+                    be.exec_latency(),
+                    oracle_latency(&mut oracle),
+                    "draw {i} diverged for {kind:?}"
+                );
+            }
+            assert_eq!(
+                be.rng.range_u64(0, u64::MAX),
+                oracle.range_u64(0, u64::MAX),
+                "stream positions diverged for {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_class_stream_matches_online_draws() {
+        // A back end fed the precomputed class stream must accept and retire
+        // instructions exactly like one drawing the cascade online.
+        let cfg = MicroarchConfig::hpca17();
+        for kind in workloads::WorkloadKind::ALL {
+            let profile = kind.profile();
+            // Slack beyond the 50K pushed below: the stream must simply be
+            // at least as long as the number of accepted instructions.
+            let classes = profile.backend.latency_classes(profile.seed, 50_100);
+            let mut streamed = BackEnd::new(&cfg, profile.backend, profile.seed);
+            streamed.use_latency_classes(&classes);
+            let mut online = BackEnd::new(&cfg, profile.backend, profile.seed);
+            let mut now = 0;
+            let mut pushed = 0u64;
+            while pushed < 50_000 {
+                let a = streamed.push_instructions(7, now);
+                let b = online.push_instructions(7, now);
+                assert_eq!(a, b);
+                pushed += a;
+                now += 2;
+                streamed.retire(now);
+                online.retire(now);
+                assert_eq!(streamed.next_completion(), online.next_completion());
+                assert_eq!(streamed.retired(), online.retired(), "{kind:?} at {now}");
+            }
+        }
     }
 
     #[test]

@@ -102,6 +102,32 @@ pub trait ControlFlowMechanism {
     fn name(&self) -> &'static str;
 
     /// Called once per new FTQ entry (the prefetch engine's scan, §IV-A).
+    ///
+    /// # Timestamp-invariance contract
+    ///
+    /// Implementations must be **timestamp-invariant**: their behaviour may
+    /// not depend on `ctx.now` in any way that is observable in simulation
+    /// statistics. Concretely, `on_ftq_push` may inspect the entry and
+    /// *record* work — enqueue prefetch candidates for a later
+    /// [`tick`](Self::tick), update timestamp-free internal tables — but it
+    /// must not read `ctx.now` and must not invoke time-stamped operations
+    /// on the shared front-end state (no [`MechContext::prefetch_line`] /
+    /// hierarchy probes, whose fill completion times are functions of
+    /// `now`). Deferring issue to `tick` is not a modelling restriction:
+    /// probes issue at full rate starting the same cycle as the push,
+    /// because the simulator ticks the mechanism after the BPU every cycle.
+    ///
+    /// The event-horizon engine relies on this contract to batch the
+    /// BPU-only trickle cycles of an L1-I fill stall: within one stall
+    /// window, every `on_ftq_push` observes the window's *first* cycle as
+    /// `ctx.now` while pushes logically occupy consecutive cycles. A
+    /// timestamp-dependent implementation would tie report bytes to the
+    /// engine's batching decisions and break the bit-identical-statistics
+    /// guarantee. The contract is enforced by a property test
+    /// (`ftq_push_timestamp_invariance` in
+    /// `crates/boomerang/tests/engine_differential.rs`) that jitters the
+    /// timestamp seen by every mechanism variant's `on_ftq_push` and
+    /// asserts final statistics are unchanged.
     fn on_ftq_push(&mut self, _entry: &FtqEntry, _ctx: &mut MechContext<'_>) {}
 
     /// Called for every cache line the fetch engine demand-fetches, before

@@ -96,13 +96,16 @@ pub struct Simulator<'a> {
     predictor: Box<dyn DirectionPredictor>,
     ras: ReturnAddressStack,
     ftq: Ftq,
-    backend: BackEnd,
+    backend: BackEnd<'a>,
 
     now: u64,
     stats: SimStats,
     /// Cycles actually executed by [`step`](Self::step) (diagnostic: the
     /// event-horizon engine's win is `stats.cycles - stepped_cycles`).
     stepped_cycles: u64,
+    /// Cycles covered by batched fill-stall windows (diagnostic; see
+    /// [`trickle_fill_stall`](Self::trickle_fill_stall)).
+    trickled_cycles: u64,
     bpu_index: usize,
     committed_blocks: usize,
     bpu_busy_until: u64,
@@ -158,6 +161,7 @@ impl<'a> Simulator<'a> {
             now: 0,
             stats: SimStats::default(),
             stepped_cycles: 0,
+            trickled_cycles: 0,
             bpu_index: 0,
             committed_blocks: 0,
             bpu_busy_until: 0,
@@ -173,6 +177,16 @@ impl<'a> Simulator<'a> {
     /// The mechanism's display name.
     pub fn mechanism_name(&self) -> &'static str {
         self.mechanism.name()
+    }
+
+    /// Installs a precomputed back-end latency-class stream (see
+    /// [`workloads::BackendProfile::latency_classes`]) generated from this
+    /// simulator's workload profile and seed. Purely an optimisation: the
+    /// stream holds exactly the values the back end would draw online, so
+    /// statistics are byte-identical with or without it. Call before
+    /// running.
+    pub fn use_backend_latency_classes(&mut self, classes: &'a [u8]) {
+        self.backend.use_latency_classes(classes);
     }
 
     /// Runs the whole trace and returns the collected statistics.
@@ -215,6 +229,12 @@ impl<'a> Simulator<'a> {
                 // Dead cycles never commit a block, so a bulk advance can
                 // never cross the warmup boundary.
                 self.advance_idle(horizon.min(max_cycles));
+            } else if let Some(stall_end) = self.fill_stall_window() {
+                // BPU-only cycles of an L1-I/LLC fill stall: batched, with
+                // the per-cycle stall accounting done in closed form. Like
+                // bulk-advanced windows, these cycles never commit a block,
+                // so the batch can never cross the warmup boundary.
+                self.trickle_fill_stall(stall_end.min(max_cycles));
             } else {
                 self.step();
                 if !warmup_done && self.committed_blocks >= warmup_blocks {
@@ -225,6 +245,97 @@ impl<'a> Simulator<'a> {
         }
         self.finalize_stats();
         self.stats
+    }
+
+    /// If the current (non-idle) cycle sits inside an L1-I fill-stall window
+    /// that [`trickle_fill_stall`](Self::trickle_fill_stall) can batch —
+    /// fetch stalled on a fill, no wrong-path episode in flight — returns
+    /// the window's end (the fill's completion cycle).
+    fn fill_stall_window(&self) -> Option<u64> {
+        match &self.fetch {
+            Some(f) if self.now < f.busy_until && self.wrong_path.is_none() => Some(f.busy_until),
+            _ => None,
+        }
+    }
+
+    /// Runs the cycles `[now, end)` of a fill-stall window as one batch.
+    ///
+    /// While the fetch engine waits on an L1-I fill, the only units doing
+    /// real work are the BPU (one FTQ push per cycle while it is awake) and
+    /// the mechanism's tick (pending prefetch probes); the reference stepper
+    /// burns a full engine dispatch on each of those cycles anyway. This
+    /// batch replaces that with:
+    ///
+    /// * **closed-form accounting** of the per-cycle state the window is
+    ///   provably committed to: `fetch_stall_cycles`/`miss_breakdown` (the
+    ///   stalled fetch's charge category cannot change mid-fill),
+    ///   `stats.cycles`, and in-order retirement via
+    ///   [`BackEnd::retire_span`] (the ROB is untouched by BPU and tick);
+    /// * a **tight loop** over just the BPU-production and tick cycles,
+    ///   jumping over cycles where the BPU sleeps on its busy/stall timers
+    ///   and no tick is due — with no per-cycle `idle_horizon` dispatch, no
+    ///   wrong-path/fetch re-checks, and no stat-counter branching.
+    ///
+    /// Timestamps stay exact wherever they are observable: BTB-miss probes
+    /// and BPU timers use each production's true cycle, and ticks issue
+    /// their probes at their true cycles. `on_ftq_push` alone observes the
+    /// window's first cycle for the whole batch, which the
+    /// [`ControlFlowMechanism::on_ftq_push`] timestamp-invariance contract
+    /// (property-tested for every mechanism) makes unobservable.
+    ///
+    /// The preconditions are [`fill_stall_window`](Self::fill_stall_window)'s:
+    /// a fetch stalled until at least `end` and no pending wrong path. Under
+    /// them, no block can commit, the FTQ cannot drain, and no squash can
+    /// resolve anywhere in the window, so the per-cycle loop below is
+    /// observationally identical to `end - now` reference steps.
+    fn trickle_fill_stall(&mut self, end: u64) {
+        let start = self.now;
+        debug_assert!(end > start && self.wrong_path.is_none());
+        {
+            let f = self
+                .fetch
+                .as_ref()
+                .expect("a fill-stall batch requires a stalled fetch");
+            debug_assert!(end <= f.busy_until);
+            let span = end - start;
+            Self::charge_fetch_stall(&mut self.stats, f, span);
+            self.stats.cycles += span;
+        }
+        self.backend.retire_span(start, end);
+
+        let mut t = start;
+        while t < end {
+            // Next cycle at which the BPU can produce, and next due tick.
+            let bpu_at = if self.bpu_waiting_for_squash
+                || self.ftq.is_full()
+                || self.bpu_index >= self.trace.len()
+            {
+                u64::MAX
+            } else {
+                self.bpu_busy_until.max(self.bpu_stalled_until).max(t)
+            };
+            let tick_at = match self.mechanism.next_tick_event() {
+                Some(at) => at.max(t),
+                None => u64::MAX,
+            };
+            let next = bpu_at.min(tick_at);
+            if next >= end {
+                break; // only retirement happens in the remaining cycles
+            }
+            t = next;
+            if bpu_at == t {
+                self.bpu_produce(t, start);
+            }
+            // The reference steps the mechanism *after* the BPU each cycle,
+            // so work queued by this cycle's push is eligible this cycle —
+            // re-check the tick event after producing.
+            if self.mechanism.next_tick_event().is_some_and(|at| at <= t) {
+                self.mechanism_tick_at(t);
+            }
+            t += 1;
+        }
+        self.trickled_cycles += end - start;
+        self.now = end;
     }
 
     /// Runs with an explicit engine choice (the benchmark harness times both
@@ -334,6 +445,20 @@ impl<'a> Simulator<'a> {
         (horizon > self.now).then_some(horizon)
     }
 
+    /// Charges `span` fetch-stall cycles for the in-flight fetch `f`: the
+    /// single definition of the stall-charge rule (the `Reached` category of
+    /// the block's first instruction, `Sequential` past it) shared by the
+    /// per-cycle stepper, the idle bulk-advance and the batched trickle.
+    fn charge_fetch_stall(stats: &mut SimStats, f: &FetchState, span: u64) {
+        let category = if f.pos == 0 {
+            f.entry.reached
+        } else {
+            Reached::Sequential
+        };
+        stats.fetch_stall_cycles += span;
+        stats.miss_breakdown.add(category, span);
+    }
+
     /// Bulk-advances `now` to `horizon` across a window of dead cycles,
     /// applying exactly the state changes the per-cycle loop would have:
     /// stall counters in closed form and in-order retirement.
@@ -343,13 +468,7 @@ impl<'a> Simulator<'a> {
         match &self.fetch {
             Some(f) if self.now < f.busy_until => {
                 debug_assert!(horizon <= f.busy_until);
-                self.stats.fetch_stall_cycles += span;
-                let category = if f.pos == 0 {
-                    f.entry.reached
-                } else {
-                    Reached::Sequential
-                };
-                self.stats.miss_breakdown.add(category, span);
+                Self::charge_fetch_stall(&mut self.stats, f, span);
             }
             Some(_) => {
                 // Dead with a ready fetch only ever means a full ROB.
@@ -373,7 +492,7 @@ impl<'a> Simulator<'a> {
         self.handle_wrong_path();
         self.backend.retire(self.now);
         self.bpu_cycle();
-        self.mechanism_tick();
+        self.mechanism_tick_at(self.now);
         self.fetch_cycle();
         self.now += 1;
         self.stats.cycles += 1;
@@ -385,6 +504,12 @@ impl<'a> Simulator<'a> {
     /// number of dead cycles the engine jumped over.
     pub fn stepped_cycles(&self) -> u64 {
         self.stepped_cycles
+    }
+
+    /// Cycles covered by batched fill-stall trickle windows (diagnostic
+    /// counterpart of [`stepped_cycles`](Self::stepped_cycles)).
+    pub fn trickled_cycles(&self) -> u64 {
+        self.trickled_cycles
     }
 
     /// Statistics collected so far (finalised copies are returned by `run`).
@@ -432,14 +557,14 @@ impl<'a> Simulator<'a> {
         f(mechanism, &mut ctx)
     }
 
-    fn mechanism_tick(&mut self) {
+    fn mechanism_tick_at(&mut self, now: u64) {
         Self::with_ctx(
             &self.config,
             self.layout,
             &mut self.hierarchy,
             &mut self.btb,
             &mut self.btb_prefetch_buffer,
-            self.now,
+            now,
             self.mechanism.as_mut(),
             |m, ctx| m.tick(ctx),
         );
@@ -497,7 +622,24 @@ impl<'a> Simulator<'a> {
         {
             return;
         }
+        self.bpu_produce(self.now, self.now);
+    }
 
+    /// The BPU's production step, with the guards of [`bpu_cycle`] already
+    /// established by the caller: predict one basic block and push it into
+    /// the FTQ.
+    ///
+    /// `now` is the cycle the step executes at; `push_now` is the timestamp
+    /// the mechanism's `on_ftq_push` hook observes. The two only differ
+    /// inside [`trickle_fill_stall`](Self::trickle_fill_stall), which anchors
+    /// `push_now` at the stall window's first cycle for the whole batch — a
+    /// coarsening the [`ControlFlowMechanism::on_ftq_push`]
+    /// timestamp-invariance contract makes unobservable. Everything
+    /// timestamp-*dependent* (the BTB-miss probe, the BPU's busy/stall
+    /// timers) uses the exact `now`.
+    ///
+    /// [`bpu_cycle`]: Self::bpu_cycle
+    fn bpu_produce(&mut self, now: u64, push_now: u64) {
         let block = &self.trace[self.bpu_index];
         let start = block.start();
         let terminator = block
@@ -531,7 +673,7 @@ impl<'a> Simulator<'a> {
                     &mut self.hierarchy,
                     &mut self.btb,
                     &mut self.btb_prefetch_buffer,
-                    self.now,
+                    now,
                     self.mechanism.as_mut(),
                     |m, ctx| m.on_btb_miss(start, ctx),
                 );
@@ -539,13 +681,13 @@ impl<'a> Simulator<'a> {
                     BtbMissAction::StallUntil { ready_at } => {
                         // Boomerang: halt FTQ filling until the prefill lands,
                         // then retry the same block (which will now hit).
-                        self.bpu_stalled_until = ready_at.max(self.now + 1);
+                        self.bpu_stalled_until = ready_at.max(now + 1);
                         return;
                     }
                     BtbMissAction::ContinueSequential => {
                         // FDIP: the BPU walks sequentially one instruction per
                         // cycle until the next BTB hit; charge that time.
-                        self.bpu_busy_until = self.now + block.instructions();
+                        self.bpu_busy_until = now + block.instructions();
                         let cause = block.outcome.taken.then_some(SquashCause::BtbMiss);
                         (cause, true)
                     }
@@ -568,7 +710,7 @@ impl<'a> Simulator<'a> {
             &mut self.hierarchy,
             &mut self.btb,
             &mut self.btb_prefetch_buffer,
-            self.now,
+            push_now,
             self.mechanism.as_mut(),
             |m, ctx| m.on_ftq_push(&entry, ctx),
         );
@@ -628,7 +770,9 @@ impl<'a> Simulator<'a> {
 
     /// One fetch-engine cycle.
     fn fetch_cycle(&mut self) {
-        // Acquire a block to fetch if idle.
+        // Acquire a block to fetch if idle. The in-flight state is mutated
+        // in place: moving the ~80-byte `FetchState` out of and back into
+        // the `Option` every cycle was measurable on the hot path.
         if self.fetch.is_none() {
             match self.ftq.pop() {
                 Some(entry) => {
@@ -650,25 +794,17 @@ impl<'a> Simulator<'a> {
             }
         }
 
-        let mut fetch = self.fetch.take().expect("fetch state was just ensured");
+        let fetch = self.fetch.as_mut().expect("fetch state was just ensured");
 
         // Stalled on an L1-I fill?
         if self.now < fetch.busy_until {
-            self.stats.fetch_stall_cycles += 1;
-            let category = if fetch.pos == 0 {
-                fetch.entry.reached
-            } else {
-                Reached::Sequential
-            };
-            self.stats.miss_breakdown.add(category, 1);
-            self.fetch = Some(fetch);
+            Self::charge_fetch_stall(&mut self.stats, fetch, 1);
             return;
         }
 
         // Back-pressure from the ROB.
         if self.backend.is_full() {
             self.stats.rob_full_cycles += 1;
-            self.fetch = Some(fetch);
             return;
         }
 
@@ -698,7 +834,7 @@ impl<'a> Simulator<'a> {
                 self.last_fetched_line = Some(line);
                 if missed {
                     fetch.busy_until = self.now + outcome.latency;
-                    break;
+                    return;
                 }
             }
             // Burst every instruction the current line can still supply:
@@ -712,15 +848,14 @@ impl<'a> Simulator<'a> {
             fetch.pos += accepted;
             budget -= accepted;
             if accepted < chunk {
-                break;
+                return;
             }
         }
 
         if fetch.pos >= fetch.entry.instructions {
-            self.commit_block(fetch.entry);
+            let entry = fetch.entry;
             self.fetch = None;
-        } else {
-            self.fetch = Some(fetch);
+            self.commit_block(entry);
         }
     }
 

@@ -57,7 +57,10 @@ impl ControlFlowMechanism for Fdip {
 
     fn on_ftq_push(&mut self, entry: &FtqEntry, ctx: &mut MechContext<'_>) {
         // The prefetch engine works at cache-block granularity: one probe per
-        // distinct line the basic block spans (§IV-A).
+        // distinct line the basic block spans (§IV-A). Timestamp-invariant
+        // per the `on_ftq_push` contract: the scan only *enqueues* lines —
+        // `ctx.now` is never read, and the probes issue from `tick` at their
+        // own cycles.
         let geometry = ctx.layout.geometry();
         for line in geometry.lines_spanned(entry.start, entry.instructions) {
             if self.pending.back() != Some(&line) {

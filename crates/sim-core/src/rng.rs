@@ -7,7 +7,7 @@
 //! harness and the integration tests reproducible.
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 /// A small, fast, deterministic RNG wrapper.
 ///
@@ -66,6 +66,29 @@ impl SimRng {
     pub fn chance(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
         self.inner.gen::<f64>() < p
+    }
+
+    /// The raw 53-bit numerator behind one uniform `[0, 1)` sample: the same
+    /// single `next_u64` draw [`chance`](Self::chance)/[`unit`](Self::unit)
+    /// consume, without the float conversion. Comparing it against a
+    /// [`chance_threshold`](Self::chance_threshold) reproduces `chance(p)`
+    /// exactly — same stream position, same outcome — in one integer compare,
+    /// which is what the back-end latency model's hot path uses.
+    #[inline]
+    pub fn unit_bits(&mut self) -> u64 {
+        self.inner.next_u64() >> 11
+    }
+
+    /// Precomputes the integer threshold `t` such that
+    /// `unit_bits() < t  ⇔  chance(p)` for every possible draw.
+    ///
+    /// `chance(p)` tests `(x >> 11) · 2⁻⁵³ < clamp(p)`; scaling by `2⁵³` is
+    /// exact for any `f64`, and comparing the 53-bit integer left side
+    /// against `⌈p · 2⁵³⌉` is equivalent for both integer and non-integer
+    /// right sides.
+    #[inline]
+    pub fn chance_threshold(p: f64) -> u64 {
+        (p.clamp(0.0, 1.0) * (1u64 << 53) as f64).ceil() as u64
     }
 
     /// Uniform `f64` in `[0, 1)`.

@@ -19,7 +19,6 @@
 
 use crate::profile::WorkloadProfile;
 use sim_core::rng::SimRng;
-use sim_core::FxHashMap;
 use sim_core::{
     Addr, BasicBlock, BranchInfo, BranchKind, CacheLine, LineGeometry, MAX_BASIC_BLOCK_INSTRUCTIONS,
 };
@@ -214,8 +213,18 @@ pub struct CodeLayout {
     geometry: LineGeometry,
     blocks: Vec<StaticBlock>,
     functions: Vec<Function>,
-    by_start: FxHashMap<Addr, BlockId>,
-    branches_by_line: FxHashMap<CacheLine, Vec<BlockId>>,
+    /// The branch-per-line index in CSR form. Blocks are laid out
+    /// contiguously, so branch PCs are strictly increasing with the block id
+    /// and every cache line's branches form one contiguous id range:
+    /// line `first_line + l` holds the blocks
+    /// `line_branch_ids[line_branch_offsets[l] .. line_branch_offsets[l+1]]`,
+    /// where `line_branch_ids` is simply the identity (kept materialised so
+    /// [`CodeLayout::branches_in_line`] can hand out slices). Replaces a
+    /// per-line hash map of `Vec`s: no hashing on the predecode hot path and
+    /// no per-line allocations at generation time.
+    first_line: CacheLine,
+    line_branch_offsets: Box<[u32]>,
+    line_branch_ids: Box<[BlockId]>,
     service_roots: Vec<FunctionId>,
     dispatcher: FunctionId,
     code_end: Addr,
@@ -304,7 +313,13 @@ impl CodeLayout {
 
     /// The block that starts exactly at `addr`, if any.
     pub fn block_at(&self, addr: Addr) -> Option<BlockId> {
-        self.by_start.get(&addr).copied()
+        // Blocks are sorted by start address, so a binary search replaces
+        // the start-address hash map the layout used to build.
+        let idx = self.blocks.partition_point(|b| b.block.start < addr);
+        self.blocks
+            .get(idx)
+            .filter(|b| b.block.start == addr)
+            .map(|b| b.id)
     }
 
     /// The block containing `addr`, if `addr` lies inside the text segment.
@@ -323,23 +338,47 @@ impl CodeLayout {
     /// The first block whose terminating branch lies at or after `addr`.
     ///
     /// This is what a hardware predecoder effectively computes when it scans
-    /// forward from a fetch address looking for the next branch.
+    /// forward from a fetch address looking for the next branch. Branch PCs
+    /// are strictly increasing with the block id, so the line index answers
+    /// this in O(1): scan the (few) branches of `addr`'s own cache line,
+    /// then fall through to the first branch of any later line — no binary
+    /// search over the block array (Boomerang pays this on every BTB-miss
+    /// probe).
     pub fn next_branch_at_or_after(&self, addr: Addr) -> Option<BlockId> {
         if addr >= self.code_end {
             return None;
         }
-        let idx = self.blocks.partition_point(|b| b.branch_pc() < addr);
-        self.blocks.get(idx).map(|b| b.id)
+        if addr < CODE_BASE {
+            return self.blocks.first().map(|b| b.id);
+        }
+        let line = self.geometry.line_of(addr);
+        for &id in self.branches_in_line(line) {
+            if self.block(id).branch_pc() >= addr {
+                return Some(id);
+            }
+        }
+        // No branch at or after `addr` in its own line: the next branch is
+        // the first one of any later line, which is exactly the id the CSR
+        // offset one past this line points at.
+        let l = (line.0 - self.first_line.0) as usize;
+        let next = self.line_branch_offsets[l + 1] as usize;
+        self.line_branch_ids.get(next).copied()
     }
 
     /// Blocks whose terminating branch instruction lies in `line`, in address
     /// order. Used by the predecoder to extract branches from a fetched cache
     /// block (Boomerang and Confluence BTB prefill).
     pub fn branches_in_line(&self, line: CacheLine) -> &[BlockId] {
-        self.branches_by_line
-            .get(&line)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        let Some(l) = line.0.checked_sub(self.first_line.0) else {
+            return &[];
+        };
+        let l = l as usize;
+        if l + 1 >= self.line_branch_offsets.len() {
+            return &[];
+        }
+        let lo = self.line_branch_offsets[l] as usize;
+        let hi = self.line_branch_offsets[l + 1] as usize;
+        &self.line_branch_ids[lo..hi]
     }
 
     /// The fall-through successor of `id`: the next block in layout order
@@ -428,29 +467,49 @@ impl Builder {
             .map(|f| f.id)
             .collect();
 
-        let blocks = self.assign_targets(&planned, &functions, &roles, &service_roots, &utilities);
+        // Pass 2a (sequential): every RNG draw, in the exact order the
+        // previous single-pass implementation made them, deciding each
+        // block's control flow. Keeping the draw order byte-for-byte is what
+        // keeps generated layouts identical for a fixed seed.
+        let flows = self.draw_flows(&planned, &functions, &roles, &service_roots, &utilities);
+
+        // Pass 2b (sharded): assembling the `StaticBlock`s from (plan, flow)
+        // is a pure per-block function, so independent runs of whole
+        // functions build in parallel on the work-stealing pool.
+        let blocks = Self::assemble_blocks(&planned, &functions, flows);
+
         let code_end = blocks
             .last()
             .map(|b| b.block.fall_through())
             .unwrap_or(CODE_BASE);
 
-        let mut by_start = FxHashMap::default();
-        let mut branches_by_line: FxHashMap<CacheLine, Vec<BlockId>> = FxHashMap::default();
+        // Branch-per-line index in CSR form (see the field docs): branch PCs
+        // are strictly increasing, so one counting pass suffices.
+        let first_line = self.geometry.line_of(CODE_BASE);
+        let last_line = if code_end > CODE_BASE {
+            self.geometry.line_of(Addr::new(code_end.raw() - 1))
+        } else {
+            first_line
+        };
+        let num_lines = (last_line.0 - first_line.0 + 1) as usize;
+        let mut line_branch_offsets = vec![0u32; num_lines + 1];
         for b in &blocks {
-            by_start.insert(b.block.start, b.id);
-            branches_by_line
-                .entry(self.geometry.line_of(b.branch_pc()))
-                .or_default()
-                .push(b.id);
+            let l = (self.geometry.line_of(b.branch_pc()).0 - first_line.0) as usize;
+            line_branch_offsets[l + 1] += 1;
         }
+        for l in 0..num_lines {
+            line_branch_offsets[l + 1] += line_branch_offsets[l];
+        }
+        let line_branch_ids: Box<[BlockId]> = (0..blocks.len() as u32).map(BlockId).collect();
 
         CodeLayout {
             profile: self.profile,
             geometry: self.geometry,
             blocks,
             functions,
-            by_start,
-            branches_by_line,
+            first_line,
+            line_branch_offsets: line_branch_offsets.into_boxed_slice(),
+            line_branch_ids,
             service_roots,
             dispatcher: FunctionId(0),
             code_end,
@@ -474,10 +533,19 @@ impl Builder {
         let num_roots = self.profile.service_roots.max(1);
         let per_subtree_instructions = (service_instructions / num_roots as u64).max(256);
 
-        let mut planned: Vec<PlannedBlock> = Vec::new();
-        let mut functions: Vec<Function> = Vec::new();
-        let mut roles: Vec<Role> = Vec::new();
-        let mut service_roots: Vec<FunctionId> = Vec::new();
+        // Pre-size from the profile's means (with ~15% headroom): a
+        // multi-megabyte layout plans hundreds of thousands of blocks, and
+        // growth reallocations were a visible slice of generation time.
+        let est_blocks = (target_instructions as f64
+            / self.profile.mean_block_instructions.max(1.0)
+            * 1.15) as usize
+            + 64;
+        let est_functions =
+            (est_blocks as f64 / self.profile.mean_function_blocks.max(2.0) * 1.3) as usize + 16;
+        let mut planned: Vec<PlannedBlock> = Vec::with_capacity(est_blocks);
+        let mut functions: Vec<Function> = Vec::with_capacity(est_functions);
+        let mut roles: Vec<Role> = Vec::with_capacity(est_functions);
+        let mut service_roots: Vec<FunctionId> = Vec::with_capacity(num_roots);
         let mut cursor = CODE_BASE;
         let mut total_instructions: u64 = 0;
 
@@ -647,23 +715,25 @@ impl Builder {
         }
     }
 
-    /// Second pass: assign targets and behaviours now that every block and
-    /// function exists.
-    fn assign_targets(
+    /// Second pass, draw stage: assign targets and behaviours now that every
+    /// block and function exists. This stage makes every RNG draw of the
+    /// second pass, in layout order, and nothing else — the draw sequence is
+    /// the contract that keeps generation byte-identical for a fixed seed,
+    /// while the draw-free assembly of the `StaticBlock`s shards across the
+    /// pool in [`assemble_blocks`](Self::assemble_blocks).
+    fn draw_flows(
         &mut self,
         planned: &[PlannedBlock],
         functions: &[Function],
         roles: &[Role],
         service_roots: &[FunctionId],
         utilities: &[FunctionId],
-    ) -> Vec<StaticBlock> {
-        let mut blocks = Vec::with_capacity(planned.len());
+    ) -> Vec<ControlFlow> {
+        let mut flows = Vec::with_capacity(planned.len());
         let mut dispatcher_call_index = 0usize;
         for (idx, plan) in planned.iter().enumerate() {
-            let id = BlockId(idx as u32);
             let func = &functions[plan.function.0 as usize];
             let role = roles[plan.function.0 as usize];
-            let branch_pc = plan.start.add_instructions(plan.instructions - 1);
 
             let flow = match plan.kind {
                 BranchKind::Return => ControlFlow::Return,
@@ -731,30 +801,111 @@ impl Builder {
                     ControlFlow::Conditional { taken, behavior }
                 }
             };
+            flows.push(flow);
+        }
+        flows
+    }
 
-            let kind = flow.kind();
-            let target_addr = match &flow {
-                ControlFlow::Conditional { taken, .. } => Some(planned[taken.0 as usize].start),
-                ControlFlow::Jump { target } => Some(planned[target.0 as usize].start),
-                ControlFlow::Call { callee } => {
-                    let entry = functions[callee.0 as usize].entry;
-                    Some(planned[entry.0 as usize].start)
-                }
-                _ => None,
-            };
-            let terminator = match target_addr {
-                Some(t) => BranchInfo::direct(branch_pc, kind, t),
-                None => BranchInfo::indirect(branch_pc, kind),
-            };
+    /// Second pass, assembly stage: build each [`StaticBlock`] from its plan
+    /// and drawn control flow. Pure per-block work — no RNG — so whole
+    /// functions assemble independently, sharded through [`sim_core::pool`]
+    /// on function-aligned chunks (inline on a single worker).
+    fn assemble_blocks(
+        planned: &[PlannedBlock],
+        functions: &[Function],
+        flows: Vec<ControlFlow>,
+    ) -> Vec<StaticBlock> {
+        /// Shard granularity in blocks: large enough to amortise pool
+        /// dispatch, small enough to spread a multi-megabyte layout over
+        /// every core.
+        const CHUNK_BLOCKS: usize = 8192;
+        let workers = sim_core::pool::default_workers();
+        if workers <= 1 || planned.len() <= CHUNK_BLOCKS {
+            return planned
+                .iter()
+                .enumerate()
+                .zip(flows)
+                .map(|((idx, plan), flow)| Self::assemble_one(planned, functions, idx, plan, flow))
+                .collect();
+        }
 
-            blocks.push(StaticBlock {
-                id,
-                function: plan.function,
-                block: BasicBlock::new(plan.start, plan.instructions, terminator),
-                flow,
-            });
+        // Chunk boundaries aligned to function starts, so each task
+        // assembles a run of whole functions.
+        let mut bounds = vec![0usize];
+        for f in functions {
+            let end = (f.first_block + f.num_blocks) as usize;
+            if end - bounds.last().expect("bounds is never empty") >= CHUNK_BLOCKS {
+                bounds.push(end);
+            }
+        }
+        if *bounds.last().expect("bounds is never empty") != planned.len() {
+            bounds.push(planned.len());
+        }
+
+        // Hand each task ownership of its chunk's flows (no clones): split
+        // the flow vector at the chunk bounds, back to front, and let each
+        // pool task take its chunk out of a cell.
+        type FlowChunk = std::sync::Mutex<Option<(usize, Vec<ControlFlow>)>>;
+        let mut rest = flows;
+        let mut chunks: Vec<FlowChunk> = Vec::with_capacity(bounds.len() - 1);
+        for w in bounds.windows(2).rev() {
+            let tail = rest.split_off(w[0]);
+            chunks.push(std::sync::Mutex::new(Some((w[0], tail))));
+        }
+        chunks.reverse();
+
+        let shards = sim_core::pool::run_indexed(workers, &chunks, |_, cell| {
+            let (base, chunk_flows) = cell
+                .lock()
+                .expect("a sibling assembly task panicked")
+                .take()
+                .expect("each chunk is assembled exactly once");
+            chunk_flows
+                .into_iter()
+                .enumerate()
+                .map(|(i, flow)| {
+                    let idx = base + i;
+                    Self::assemble_one(planned, functions, idx, &planned[idx], flow)
+                })
+                .collect::<Vec<StaticBlock>>()
+        });
+        let mut blocks = Vec::with_capacity(planned.len());
+        for shard in shards {
+            blocks.extend(shard);
         }
         blocks
+    }
+
+    /// Assembles one block: resolve the terminator's target address and wrap
+    /// plan + flow into the final [`StaticBlock`].
+    fn assemble_one(
+        planned: &[PlannedBlock],
+        functions: &[Function],
+        idx: usize,
+        plan: &PlannedBlock,
+        flow: ControlFlow,
+    ) -> StaticBlock {
+        let branch_pc = plan.start.add_instructions(plan.instructions - 1);
+        let kind = flow.kind();
+        let target_addr = match &flow {
+            ControlFlow::Conditional { taken, .. } => Some(planned[taken.0 as usize].start),
+            ControlFlow::Jump { target } => Some(planned[target.0 as usize].start),
+            ControlFlow::Call { callee } => {
+                let entry = functions[callee.0 as usize].entry;
+                Some(planned[entry.0 as usize].start)
+            }
+            _ => None,
+        };
+        let terminator = match target_addr {
+            Some(t) => BranchInfo::direct(branch_pc, kind, t),
+            None => BranchInfo::indirect(branch_pc, kind),
+        };
+        StaticBlock {
+            id: BlockId(idx as u32),
+            function: plan.function,
+            block: BasicBlock::new(plan.start, plan.instructions, terminator),
+            flow,
+        }
     }
 
     /// Picks a callee for a call site in `caller`.

@@ -42,7 +42,7 @@ pub use layout::{
     StaticBlock, CODE_BASE,
 };
 pub use profile::{
-    BackendProfile, ConditionalBehaviorMix, ProfileError, TerminatorMix, WorkloadKind,
-    WorkloadProfile, MIN_FOOTPRINT_BYTES,
+    latency_class, BackendProfile, ConditionalBehaviorMix, ProfileError, TerminatorMix,
+    WorkloadKind, WorkloadProfile, LATENCY_SEED_SALT, MIN_FOOTPRINT_BYTES,
 };
 pub use trace::{Trace, TraceGenerator};

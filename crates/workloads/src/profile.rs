@@ -16,6 +16,7 @@
 //! dynamic instruction stream.
 
 use serde::{Deserialize, Serialize};
+use sim_core::rng::SimRng;
 use std::fmt;
 
 /// Relative frequencies of the different terminator kinds of a basic block.
@@ -149,7 +150,62 @@ pub struct BackendProfile {
     pub base_latency: u64,
 }
 
+/// Salt XORed into the workload seed to derive the back-end latency RNG
+/// stream (kept stable so committed reports never shift).
+pub const LATENCY_SEED_SALT: u64 = 0xbac_bac_bac;
+
+/// Per-instruction latency classes drawn by [`BackendProfile::latency_classes`].
+/// The numeric values index the back end's class→latency table.
+pub mod latency_class {
+    /// Non-load instruction: base latency.
+    pub const BASE: u8 = 0;
+    /// Load missing the LLC: memory latency.
+    pub const MEMORY: u8 = 1;
+    /// Load missing the L1-D, hitting the LLC.
+    pub const LLC: u8 = 2;
+    /// Load hitting the L1-D: base latency + 2.
+    pub const L1D_HIT: u8 = 3;
+}
+
 impl BackendProfile {
+    /// Precomputes the per-instruction latency-**class** stream for a
+    /// workload seed.
+    ///
+    /// The back end draws one Bernoulli cascade per instruction it accepts,
+    /// and the accepted-instruction sequence is the same for every
+    /// mechanism, configuration and engine that runs the same workload — the
+    /// draw values depend only on the RNG state, never on simulation timing.
+    /// The whole stream is therefore a pure function of `(profile, seed)`
+    /// and can be generated once per workload and shared by every simulator
+    /// run over it, instead of re-drawn instruction-by-instruction inside
+    /// each run's hot loop. Classes rather than latencies are stored so the
+    /// stream stays independent of the microarchitectural configuration
+    /// (LLC/memory latencies map in at simulation time).
+    ///
+    /// Draw-for-draw identical to the back end's online cascade: same
+    /// number and order of underlying `next_u64` calls, so a simulator fed
+    /// this stream produces byte-identical statistics to one drawing live.
+    pub fn latency_classes(&self, workload_seed: u64, count: usize) -> Vec<u8> {
+        use crate::profile::latency_class as class;
+        let mut rng = SimRng::seeded(workload_seed ^ LATENCY_SEED_SALT);
+        let load_t = SimRng::chance_threshold(self.load_fraction);
+        let llc_t = SimRng::chance_threshold(self.llc_miss_rate);
+        let l1d_t = SimRng::chance_threshold(self.l1d_miss_rate);
+        (0..count)
+            .map(|_| {
+                if rng.unit_bits() >= load_t {
+                    class::BASE
+                } else if rng.unit_bits() < llc_t {
+                    class::MEMORY
+                } else if rng.unit_bits() < l1d_t {
+                    class::LLC
+                } else {
+                    class::L1D_HIT
+                }
+            })
+            .collect()
+    }
+
     /// Validates the back-end parameters.
     pub fn is_valid(&self) -> bool {
         self.validate().is_ok()

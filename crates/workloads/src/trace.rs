@@ -14,13 +14,6 @@
 use crate::layout::{BlockId, BranchBehavior, CodeLayout, ControlFlow};
 use sim_core::rng::SimRng;
 use sim_core::{BranchOutcome, DynamicBlock};
-use std::collections::HashMap;
-
-/// Per-static-branch dynamic state (loop counters, pattern positions).
-#[derive(Clone, Copy, Debug, Default)]
-struct BranchState {
-    executions: u32,
-}
 
 /// Streaming generator of the dynamic basic-block trace.
 ///
@@ -45,7 +38,10 @@ pub struct TraceGenerator<'a> {
     rng: SimRng,
     current: BlockId,
     call_stack: Vec<BlockId>,
-    branch_state: HashMap<BlockId, BranchState>,
+    /// Per-static-block execution counts (loop positions, pattern phases),
+    /// indexed by [`BlockId`]: a flat array instead of a hash map, since the
+    /// lookup runs once per dynamic conditional branch.
+    branch_executions: Box<[u32]>,
     instructions: u64,
     blocks_emitted: u64,
     elided_calls: u64,
@@ -98,7 +94,7 @@ impl<'a> TraceGenerator<'a> {
             rng: SimRng::seeded(seed),
             current: layout.entry_block(),
             call_stack: Vec::with_capacity(layout.profile().max_call_depth + 1),
-            branch_state: HashMap::new(),
+            branch_executions: vec![0; layout.blocks().len()].into_boxed_slice(),
             instructions: 0,
             blocks_emitted: 0,
             elided_calls: 0,
@@ -150,9 +146,9 @@ impl<'a> TraceGenerator<'a> {
     }
 
     fn conditional_outcome(&mut self, id: BlockId, behavior: BranchBehavior) -> bool {
-        let state = self.branch_state.entry(id).or_default();
-        let n = state.executions;
-        state.executions = state.executions.wrapping_add(1);
+        let state = &mut self.branch_executions[id.0 as usize];
+        let n = *state;
+        *state = state.wrapping_add(1);
         match behavior {
             BranchBehavior::Biased { p_taken } | BranchBehavior::DataDependent { p_taken } => {
                 self.rng.chance(p_taken)
