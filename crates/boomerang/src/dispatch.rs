@@ -1,0 +1,166 @@
+//! Static dispatch over the evaluation's mechanism set.
+//!
+//! [`AnyMechanism`] is the closed enum of every concrete
+//! [`ControlFlowMechanism`] the campaign engine can run. The front-end
+//! simulator is generic over its mechanism type
+//! (`Simulator<'a, M: ControlFlowMechanism>`); instantiating it with
+//! `AnyMechanism` instead of `Box<dyn ControlFlowMechanism>` turns every
+//! hook call on the hot path — `tick` and `next_tick_event` every engine
+//! iteration, `on_ftq_push`/`on_demand_fetch`/`on_commit` several times per
+//! block — into one perfectly predicted match (the variant is constant for
+//! a whole run) followed by a direct, inlinable call. The many empty hooks
+//! then cost nothing, where the trait-object path paid an indirect call and
+//! a `MechContext` it could not see through.
+//!
+//! The boxed trait-object path stays fully supported (it is the simulator's
+//! default type parameter); this enum is an optimisation for the closed set
+//! the experiment harness sweeps.
+
+use crate::mechanism::Boomerang;
+use frontend::{
+    BtbMissAction, ControlFlowMechanism, FtqEntry, MechContext, NoPrefetch, SquashCause,
+};
+use prefetchers::{Confluence, Dip, Fdip, NextLine, Pif, Shift};
+use sim_core::{Addr, CacheLine, DynamicBlock};
+
+/// One concrete mechanism of the evaluation, dispatched statically.
+#[derive(Clone, Debug)]
+pub enum AnyMechanism {
+    /// No prefetching, no BTB prefill.
+    Baseline(NoPrefetch),
+    /// Next-2-line prefetcher.
+    NextLine(NextLine),
+    /// Discontinuity prefetcher + next-2-line.
+    Dip(Dip),
+    /// Fetch-directed instruction prefetching.
+    Fdip(Fdip),
+    /// Proactive instruction fetch.
+    Pif(Pif),
+    /// Shared history instruction fetch.
+    Shift(Shift),
+    /// Confluence (SHIFT + BTB prefill).
+    Confluence(Confluence),
+    /// Boomerang (any throttle policy).
+    Boomerang(Boomerang),
+}
+
+/// Delegates one method body to the active variant.
+macro_rules! dispatch {
+    ($self:expr, $inner:ident => $body:expr) => {
+        match $self {
+            AnyMechanism::Baseline($inner) => $body,
+            AnyMechanism::NextLine($inner) => $body,
+            AnyMechanism::Dip($inner) => $body,
+            AnyMechanism::Fdip($inner) => $body,
+            AnyMechanism::Pif($inner) => $body,
+            AnyMechanism::Shift($inner) => $body,
+            AnyMechanism::Confluence($inner) => $body,
+            AnyMechanism::Boomerang($inner) => $body,
+        }
+    };
+}
+
+impl ControlFlowMechanism for AnyMechanism {
+    fn name(&self) -> &'static str {
+        dispatch!(self, m => m.name())
+    }
+
+    #[inline]
+    fn on_ftq_push(&mut self, entry: &FtqEntry, ctx: &mut MechContext<'_>) {
+        dispatch!(self, m => m.on_ftq_push(entry, ctx))
+    }
+
+    #[inline]
+    fn on_demand_fetch(
+        &mut self,
+        line: CacheLine,
+        previous_line: Option<CacheLine>,
+        missed: bool,
+        ctx: &mut MechContext<'_>,
+    ) {
+        dispatch!(self, m => m.on_demand_fetch(line, previous_line, missed, ctx))
+    }
+
+    #[inline]
+    fn on_commit(&mut self, block: &DynamicBlock, ctx: &mut MechContext<'_>) {
+        dispatch!(self, m => m.on_commit(block, ctx))
+    }
+
+    #[inline]
+    fn on_btb_miss(&mut self, fetch_addr: Addr, ctx: &mut MechContext<'_>) -> BtbMissAction {
+        dispatch!(self, m => m.on_btb_miss(fetch_addr, ctx))
+    }
+
+    #[inline]
+    fn tick(&mut self, ctx: &mut MechContext<'_>) {
+        dispatch!(self, m => m.tick(ctx))
+    }
+
+    #[inline]
+    fn next_tick_event(&self) -> Option<u64> {
+        dispatch!(self, m => m.next_tick_event())
+    }
+
+    #[inline]
+    fn on_squash(&mut self, cause: SquashCause, ctx: &mut MechContext<'_>) {
+        dispatch!(self, m => m.on_squash(cause, ctx))
+    }
+
+    fn storage_overhead_bits(&self) -> u64 {
+        dispatch!(self, m => m.storage_overhead_bits())
+    }
+
+    #[inline]
+    fn is_fetch_directed(&self) -> bool {
+        dispatch!(self, m => m.is_fetch_directed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mechanism, ThrottlePolicy};
+    use frontend::{SimStats, Simulator};
+    use sim_core::MicroarchConfig;
+    use workloads::{CodeLayout, Trace, WorkloadProfile};
+
+    /// The statically dispatched wrapper must be observationally identical
+    /// to the boxed trait object it wraps, for every mechanism variant.
+    #[test]
+    fn any_mechanism_matches_boxed_dispatch() {
+        let layout = CodeLayout::generate(&WorkloadProfile::tiny(2024));
+        let trace = Trace::generate_blocks(&layout, 4_000);
+        let config = MicroarchConfig::hpca17().with_btb_entries(512);
+        for mechanism in [
+            Mechanism::Baseline,
+            Mechanism::NextLine,
+            Mechanism::Dip,
+            Mechanism::Fdip,
+            Mechanism::Pif,
+            Mechanism::Shift,
+            Mechanism::Confluence,
+            Mechanism::Boomerang(ThrottlePolicy::PAPER_DEFAULT),
+            Mechanism::Boomerang(ThrottlePolicy::None),
+        ] {
+            let boxed: SimStats =
+                Simulator::new(config.clone(), &layout, trace.blocks(), mechanism.build())
+                    .run_with_warmup(500);
+            let static_dispatch: SimStats = Simulator::new(
+                config.clone(),
+                &layout,
+                trace.blocks(),
+                Box::new(mechanism.build_any()),
+            )
+            .run_with_warmup(500);
+            assert_eq!(
+                boxed, static_dispatch,
+                "dispatch diverged for {mechanism:?}"
+            );
+            let any = mechanism.build_any();
+            let boxed = mechanism.build();
+            assert_eq!(any.name(), boxed.name());
+            assert_eq!(any.is_fetch_directed(), boxed.is_fetch_directed());
+            assert_eq!(any.storage_overhead_bits(), boxed.storage_overhead_bits());
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! microarchitectural configuration — and runs the front-end simulator over
 //! them, optionally in parallel across the six workloads.
 
+use crate::dispatch::AnyMechanism;
 use crate::mechanism::{Boomerang, ThrottlePolicy};
 use branch_pred::PredictorKind;
 use frontend::{ControlFlowMechanism, SimEngine, SimStats, Simulator};
@@ -56,7 +57,7 @@ impl Mechanism {
         Mechanism::Boomerang(ThrottlePolicy::PAPER_DEFAULT),
     ];
 
-    /// Builds the mechanism instance.
+    /// Builds the mechanism instance as a boxed trait object.
     pub fn build(self) -> Box<dyn ControlFlowMechanism> {
         match self {
             Mechanism::Baseline => MechanismKind::Baseline.build(),
@@ -67,6 +68,25 @@ impl Mechanism {
             Mechanism::Shift => MechanismKind::Shift.build(),
             Mechanism::Confluence => MechanismKind::Confluence.build(),
             Mechanism::Boomerang(policy) => Box::new(Boomerang::with_throttle(policy)),
+        }
+    }
+
+    /// Builds the mechanism instance as the statically dispatched
+    /// [`AnyMechanism`] — what the experiment and campaign hot paths run,
+    /// so the simulator's per-block hook calls compile to direct calls (see
+    /// [`crate::dispatch`]).
+    pub fn build_any(self) -> AnyMechanism {
+        match self {
+            Mechanism::Baseline => AnyMechanism::Baseline(frontend::NoPrefetch::new()),
+            Mechanism::NextLine => AnyMechanism::NextLine(prefetchers::NextLine::new(2)),
+            Mechanism::Dip => AnyMechanism::Dip(prefetchers::Dip::new(8 * 1024, 2)),
+            Mechanism::Fdip => AnyMechanism::Fdip(prefetchers::Fdip::new()),
+            Mechanism::Pif => AnyMechanism::Pif(prefetchers::Pif::new()),
+            Mechanism::Shift => AnyMechanism::Shift(prefetchers::Shift::new()),
+            Mechanism::Confluence => AnyMechanism::Confluence(prefetchers::Confluence::new()),
+            Mechanism::Boomerang(policy) => {
+                AnyMechanism::Boomerang(Boomerang::with_throttle(policy))
+            }
         }
     }
 
@@ -207,11 +227,14 @@ impl WorkloadData {
         predictor: PredictorKind,
         engine: SimEngine,
     ) -> SimStats {
+        // Statically dispatched mechanism: the simulator's hot-path hook
+        // calls compile to direct calls instead of vtable indirections (see
+        // `crate::dispatch`); statistics are identical either way.
         let mut sim = Simulator::with_predictor(
             config.clone(),
             &self.layout,
             self.trace.blocks(),
-            mechanism.build(),
+            Box::new(mechanism.build_any()),
             predictor,
         );
         sim.use_backend_latency_classes(&self.latency_classes);

@@ -48,10 +48,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod dispatch;
 pub mod experiment;
 pub mod mechanism;
 pub mod storage;
 
+pub use dispatch::AnyMechanism;
 pub use experiment::{run_matrix, CellResult, Mechanism, RunLength, WorkloadData};
 pub use mechanism::{Boomerang, ThrottlePolicy};
 

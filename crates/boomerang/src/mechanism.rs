@@ -132,6 +132,12 @@ impl Default for Boomerang {
     }
 }
 
+// Line-transition contract audit (covers both throttle extremes, which only
+// change how many lines `on_btb_miss` prefetches): instruction prefetching
+// delegates to FDIP (FTQ-push-scanned, tick-issued, exact
+// `next_tick_event`), and BTB prefill acts solely inside the `on_btb_miss`
+// event, walking whole cache blocks. Nothing observes intra-line fetch
+// progress, so streaming windows may batch around Boomerang's events.
 impl ControlFlowMechanism for Boomerang {
     fn name(&self) -> &'static str {
         "Boomerang"

@@ -147,6 +147,61 @@ fn batched_trickle_matches_reference_over_randomized_profiles() {
     }
 }
 
+/// Configurations chosen to maximise block-granular *streaming* coverage —
+/// the exact windows `Simulator::stream_fast_forward` batches through
+/// `BackEnd::stream_window`. Stall-light: a small footprint keeps the code
+/// L1-I-resident after warmup, so the fetch engine spends its time
+/// streaming hit lines instead of waiting on fills. Streaming-heavy: long
+/// basic blocks maximise the instructions between control-flow events, and
+/// a high fetch width drains them in wide per-cycle chunks. The ROB axis
+/// sweeps from deep (pressure-free windows end at line/block boundaries)
+/// down to shallow, with slow data-stall profiles, so windows also end —
+/// and jump — on full-ROB back-pressure spans. Pins the streaming
+/// fast-forward bit-identical to `run_with_warmup_reference` for all nine
+/// mechanism variants (the line-transition event contract audit's
+/// enforcement arm).
+#[test]
+fn streaming_fast_forward_matches_reference_over_randomized_profiles() {
+    let mut rng = SimRng::seeded(0x00b1_0c60_fa57);
+    for round in 0..5 {
+        let mut profile = WorkloadProfile::tiny(rng.range_u64(0, 1 << 20));
+        // L1-I-resident (stall-light) code with long straight-line blocks.
+        profile.footprint_bytes = 16 * 1024 + 16 * 1024 * rng.range_u64(0, 2);
+        profile.mean_block_instructions = 8.0 + 6.0 * rng.unit();
+        profile.mean_function_blocks = 10.0 + 6.0 * rng.unit();
+        // Back-end pressure sweep: from frequent long data stalls (shallow
+        // windows ending on a full ROB) to nearly stall-free streaming.
+        profile.backend.load_fraction = 0.1 + 0.3 * rng.unit();
+        profile.backend.llc_miss_rate = 0.02 * rng.unit();
+        profile.backend.l1d_miss_rate = 0.3 * rng.unit();
+        let mut config = MicroarchConfig::hpca17();
+        // Wide fetch + a ROB from paper-default down to shallow.
+        config.fetch_width = 3 + rng.range_u64(0, 6);
+        config.rob_entries = [16, 32, 64, 128][rng.index(4)];
+        config.validate().expect("sweep must stay valid");
+        let blocks = 2_000 + rng.index(2_000);
+        let warmup = rng.index(600);
+        assert_engines_agree(&profile, &config, blocks, warmup, PredictorKind::Tage);
+        // Sanity: the window detector must actually fire on these profiles,
+        // otherwise this test silently stops covering the streaming path.
+        let layout = CodeLayout::generate(&profile);
+        let trace = Trace::generate_blocks(&layout, blocks);
+        let mut sim = Simulator::new(
+            config.clone(),
+            &layout,
+            trace.blocks(),
+            Mechanism::Baseline.build(),
+        );
+        let stats = sim.run_with_warmup(0);
+        assert!(
+            sim.bulk_fetched_cycles() > stats.cycles / 10,
+            "round {round}: streaming windows covered only {} of {} cycles",
+            sim.bulk_fetched_cycles(),
+            stats.cycles
+        );
+    }
+}
+
 /// Property test of the `ControlFlowMechanism::on_ftq_push`
 /// timestamp-invariance contract: a wrapper perturbs the `ctx.now` every
 /// mechanism variant observes in `on_ftq_push`, and the final statistics

@@ -118,7 +118,15 @@ pub struct BenchEntry {
 
 impl BenchEntry {
     /// Simulation-phase speedup of the event-horizon engine over the
-    /// per-cycle reference (best-over-best), if the reference was timed.
+    /// per-cycle reference, if the reference was timed.
+    ///
+    /// Computed **best-vs-best**: the reference's minimum `simulation_ms`
+    /// sample divided by the event-horizon's minimum sample. Minima, not
+    /// means or same-iteration pairs, because on a shared box each engine's
+    /// best sample is the least-perturbed measurement of its true cost —
+    /// pairing iteration `i` against iteration `i` would fold one engine's
+    /// scheduling noise into the other's number. Pinned by
+    /// `speedup_vs_reference_is_best_over_best`.
     pub fn speedup_vs_reference(&self) -> Option<f64> {
         let reference = self.reference.as_ref()?;
         Some(reference.best_simulation_ms() / self.event_horizon.best_simulation_ms())
@@ -479,6 +487,41 @@ mod tests {
             ..BenchOptions::default()
         })
         .expect("bench must run")
+    }
+
+    #[test]
+    fn speedup_vs_reference_is_best_over_best() {
+        // The headline engine comparison divides minima, not means and not
+        // same-index sample pairs.
+        let entry = BenchEntry {
+            preset: "p".into(),
+            smoke: true,
+            workers: 1,
+            campaign_jobs: 1,
+            cycles_total: 1,
+            instructions_total: 1,
+            report_digest: "fnv1a64:0".into(),
+            generation_ms: 5.0,
+            event_horizon: EngineTiming {
+                engine: "event-horizon",
+                simulation_ms: vec![10.0, 8.0, 12.0],
+            },
+            reference: Some(EngineTiming {
+                engine: "per-cycle-reference",
+                simulation_ms: vec![30.0, 24.0, 40.0],
+            }),
+        };
+        // 24.0 / 8.0; a first-sample or mean pairing would give 3.0 only by
+        // accident of these numbers — check the minima are what is used.
+        assert_eq!(entry.speedup_vs_reference(), Some(3.0));
+        assert_eq!(entry.event_horizon.best_simulation_ms(), 8.0);
+        // And best_ms is cold generation + the event-horizon's best sample.
+        assert_eq!(entry.best_ms(), 13.0);
+        let without_reference = BenchEntry {
+            reference: None,
+            ..entry
+        };
+        assert_eq!(without_reference.speedup_vs_reference(), None);
     }
 
     #[test]

@@ -129,6 +129,7 @@ fn bench_command(args: &[String]) -> Result<(), String> {
             "--full" => options.full_only = true,
             "--iterations" => {
                 let n = it.next().ok_or("--iterations needs a count")?;
+                // Zero is rejected by `run_bench`, which owns the check.
                 options.iterations = n
                     .parse::<usize>()
                     .map_err(|_| format!("bad --iterations value `{n}`"))?;

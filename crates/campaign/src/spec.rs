@@ -29,7 +29,9 @@
 //! The workload axis is not limited to the six paper presets: `[[workload]]`
 //! tables define *custom* workloads that start from a `base` preset and
 //! override [`WorkloadProfile`] fields, with list values sweeping the field
-//! cartesianly into a family of profiles:
+//! cartesianly into a family of profiles — in the
+//! `[workload.terminators]`/`[workload.conditionals]`/`[workload.backend]`
+//! sub-tables just like at the top level:
 //!
 //! ```toml
 //! [[workload]]
@@ -39,11 +41,11 @@
 //! service_roots = [32, 96]
 //!
 //! [workload.backend]
-//! l1d_miss_rate = 0.06
+//! l1d_miss_rate = [0.02, 0.08]
 //! ```
 //!
-//! expands into six workload points (`nutch-fp-262144-32`, ...), each a full
-//! profile validated field-by-field at parse time.
+//! expands into twelve workload points (`nutch-fp-262144-32-0.02`, ...),
+//! each a full profile validated field-by-field at parse time.
 
 use crate::toml::{self, Document, Table, TomlError, Value};
 use boomerang::{Mechanism, RunLength, ThrottlePolicy};
@@ -673,6 +675,14 @@ fn parse_config_point(table: &Table) -> Result<ConfigPoint, SpecError> {
 /// key, so `label = "fp"` with `footprint_bytes = [262144, 1048576]` and
 /// `service_roots = [32, 96]` yields `fp-262144-32`, `fp-262144-96`,
 /// `fp-1048576-32`, `fp-1048576-96`.
+///
+/// The `[workload.terminators]` / `[workload.conditionals]` /
+/// `[workload.backend]` sub-table fields sweep the same way (their axes are
+/// named by dotted path, e.g. `backend.l1d_miss_rate = [0.02, 0.08]`), and
+/// combine cartesianly with any top-level lists — sub-table axes vary
+/// fastest, matching document order. Parse-time validation errors name the
+/// sub-table field (`workload `x`: `backend.l1d_miss_rate` must be a
+/// number`).
 fn parse_workload_points(table: &Table) -> Result<Vec<WorkloadPoint>, SpecError> {
     let label = req_str(table, "label")?;
     if label.is_empty() {
@@ -743,21 +753,7 @@ fn parse_workload_points(table: &Table) -> Result<Vec<WorkloadPoint>, SpecError>
                 )))
             }
         };
-        match value {
-            Value::Array(items) => {
-                if items.is_empty() {
-                    return Err(context(format!("override list `{key}` must not be empty")));
-                }
-                reject_duplicates(items, key, label_fragment).map_err(|e| match e {
-                    SpecError::Invalid(msg) => context(msg),
-                    other => other,
-                })?;
-                sweeps.push((canonical.to_string(), items.clone()));
-            }
-            scalar => {
-                apply_workload_override(&mut profile, canonical, scalar).map_err(context)?;
-            }
-        }
+        apply_or_sweep(&mut profile, &mut sweeps, key, canonical, value).map_err(context)?;
     }
     for (name, sub) in &table.subtables {
         if !matches!(name.as_str(), "terminators" | "conditionals" | "backend") {
@@ -766,13 +762,10 @@ fn parse_workload_points(table: &Table) -> Result<Vec<WorkloadPoint>, SpecError>
             )));
         }
         for (key, value) in &sub.entries {
-            if value.as_array().is_some() {
-                return Err(context(format!(
-                    "`{name}.{key}`: override lists are only supported on top-level workload keys"
-                )));
-            }
-            apply_workload_override(&mut profile, &format!("{name}.{key}"), value)
-                .map_err(context)?;
+            // Sub-table fields sweep exactly like top-level keys; the axis
+            // is named by its dotted path (e.g. `backend.l1d_miss_rate`).
+            let dotted = format!("{name}.{key}");
+            apply_or_sweep(&mut profile, &mut sweeps, &dotted, &dotted, value).map_err(context)?;
         }
     }
 
@@ -813,6 +806,37 @@ fn parse_workload_points(table: &Table) -> Result<Vec<WorkloadPoint>, SpecError>
         points = expanded;
     }
     Ok(points)
+}
+
+/// Interprets one `[[workload]]` override value — shared by the top-level
+/// key loop and the sub-table loops so the list-vs-scalar rules cannot
+/// drift: a *list* registers a sweep axis (non-empty, duplicate-free), a
+/// scalar applies to the profile immediately. `shown` is the key as the
+/// spec author wrote it (used in error messages), `canonical` the
+/// normalised field/axis name (they differ only for the deprecated
+/// top-level `hot_function_fraction` alias). Errors are plain messages; the
+/// caller adds the workload-label context.
+fn apply_or_sweep(
+    profile: &mut WorkloadProfile,
+    sweeps: &mut Vec<(String, Vec<Value>)>,
+    shown: &str,
+    canonical: &str,
+    value: &Value,
+) -> Result<(), String> {
+    match value {
+        Value::Array(items) => {
+            if items.is_empty() {
+                return Err(format!("override list `{shown}` must not be empty"));
+            }
+            reject_duplicates(items, shown, label_fragment).map_err(|e| match e {
+                SpecError::Invalid(msg) => msg,
+                other => other.to_string(),
+            })?;
+            sweeps.push((canonical.to_string(), items.clone()));
+            Ok(())
+        }
+        scalar => apply_workload_override(profile, canonical, scalar),
+    }
 }
 
 /// Top-level `[[workload]]` keys that override a scalar profile field (the
@@ -1344,6 +1368,80 @@ bias_mean = 0.9
         assert!(!text.contains("workloads ="), "{text}");
     }
 
+    const SUBTABLE_SWEEP_SPEC: &str = r#"
+name = "mix-sweep"
+mechanisms = ["fdip"]
+
+[run]
+trace_blocks = 2000
+warmup_blocks = 400
+
+[[workload]]
+label = "mix"
+base = "nutch"
+footprint_bytes = [262144, 1048576]
+
+[workload.terminators]
+indirect_jump = [0.01, 0.05]
+
+[workload.backend]
+l1d_miss_rate = [0.02, 0.08]
+load_fraction = 0.22
+"#;
+
+    #[test]
+    fn subtable_fields_sweep_cartesianly() {
+        let spec = CampaignSpec::from_toml_str(SUBTABLE_SWEEP_SPEC).unwrap();
+        // 2 footprints x 2 indirect-jump weights x 2 l1d miss rates.
+        assert_eq!(spec.workloads.len(), 8);
+        let labels: Vec<&str> = spec.workloads.iter().map(|w| w.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "mix-262144-0.01-0.02",
+                "mix-262144-0.01-0.08",
+                "mix-262144-0.05-0.02",
+                "mix-262144-0.05-0.08",
+                "mix-1048576-0.01-0.02",
+                "mix-1048576-0.01-0.08",
+                "mix-1048576-0.05-0.02",
+                "mix-1048576-0.05-0.08",
+            ]
+        );
+        // Swept and scalar sub-table overrides land on the right fields.
+        let first = &spec.workloads[0].profile;
+        let last = &spec.workloads[7].profile;
+        assert_eq!(first.terminators.indirect_jump, 0.01);
+        assert_eq!(last.terminators.indirect_jump, 0.05);
+        assert_eq!(first.backend.l1d_miss_rate, 0.02);
+        assert_eq!(last.backend.l1d_miss_rate, 0.08);
+        for point in &spec.workloads {
+            assert_eq!(point.profile.backend.load_fraction, 0.22);
+        }
+    }
+
+    #[test]
+    fn subtable_sweeps_round_trip() {
+        let spec = CampaignSpec::from_toml_str(SUBTABLE_SWEEP_SPEC).unwrap();
+        let text = spec.to_toml_string();
+        let again = CampaignSpec::from_toml_str(&text).unwrap();
+        assert_eq!(spec, again);
+        assert_eq!(text, again.to_toml_string());
+    }
+
+    #[test]
+    fn invalid_swept_subtable_values_are_field_level_errors() {
+        // A list element that produces an invalid profile fails validation
+        // with the sub-table field named, at parse time.
+        let e = CampaignSpec::from_toml_str(
+            "name = \"x\"\nmechanisms = [\"fdip\"]\n\n[[workload]]\nlabel = \"bad\"\nbase = \"nutch\"\n\n[workload.backend]\nload_fraction = [0.2, 1.4]\n",
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(e.contains("workload `bad"), "{e}");
+        assert!(e.contains("load_fraction"), "{e}");
+    }
+
     #[test]
     fn named_and_custom_workloads_mix() {
         let spec = CampaignSpec::from_toml_str(
@@ -1396,11 +1494,25 @@ bias_mean = 0.9
             "{base}\n[[workload]]\nlabel = \"a\"\nbase = \"nutch\"\n\n[workload.frontend]\nx = 1\n"
         ))
         .is_err());
-        // Lists inside sub-tables are not supported.
+        // Empty override list inside a sub-table, named by dotted path.
+        let e = CampaignSpec::from_toml_str(&format!(
+            "{base}\n[[workload]]\nlabel = \"a\"\nbase = \"nutch\"\n\n[workload.backend]\nload_fraction = []\n"
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(e.contains("backend.load_fraction"), "{e}");
+        // Duplicate values within a sub-table override list.
         assert!(CampaignSpec::from_toml_str(&format!(
-            "{base}\n[[workload]]\nlabel = \"a\"\nbase = \"nutch\"\n\n[workload.backend]\nload_fraction = [0.1, 0.2]\n"
+            "{base}\n[[workload]]\nlabel = \"a\"\nbase = \"nutch\"\n\n[workload.backend]\nload_fraction = [0.1, 0.1]\n"
         ))
         .is_err());
+        // Mistyped sub-table list elements are field-level errors.
+        let e = CampaignSpec::from_toml_str(&format!(
+            "{base}\n[[workload]]\nlabel = \"a\"\nbase = \"nutch\"\n\n[workload.terminators]\ncall = [0.05, \"often\"]\n"
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(e.contains("terminators.call"), "{e}");
         // Empty override list.
         assert!(CampaignSpec::from_toml_str(&format!(
             "{base}\n[[workload]]\nlabel = \"a\"\nbase = \"nutch\"\nfootprint_bytes = []\n"

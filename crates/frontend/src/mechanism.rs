@@ -97,6 +97,47 @@ impl MechContext<'_> {
 ///
 /// All hooks have default no-op implementations, so the no-prefetch baseline
 /// is simply [`NoPrefetch`].
+///
+/// # The line-transition event contract
+///
+/// The hook set below is the mechanism's *complete* event vocabulary, and it
+/// is deliberately block/line-granular: a mechanism observes the front end
+/// at FTQ pushes, demand-fetched **cache-line transitions**
+/// ([`on_demand_fetch`](Self::on_demand_fetch)), block commits, BTB misses,
+/// squashes and its own due ticks ([`next_tick_event`](Self::next_tick_event))
+/// — never per fetched instruction and never per cycle of uniform
+/// straight-line streaming. This mirrors the paper's thesis that control
+/// flow *events* (discontinuities, misses, fills) are where delivery
+/// machinery acts, while the bytes between them stream untouched.
+///
+/// The event-horizon engine leans on this contract: when the fetch engine
+/// is draining instructions out of an already-accessed L1-hit line with no
+/// other unit active, the simulator solves the whole window — instruction
+/// delivery, ROB occupancy/retire flow and stall accounting — in closed
+/// form (`BackEnd::stream_window`) *without consulting the mechanism*, and
+/// re-enters exact per-event execution at the next line transition or block
+/// commit. Concretely the engine guarantees, and a conforming mechanism may
+/// assume:
+///
+/// * every hook fires at its exact cycle, with `ctx.now` exact — the one
+///   documented exception being `on_ftq_push`'s batching-window timestamp
+///   coarsening (see its timestamp-invariance contract below);
+/// * consecutive instructions delivered from within one cache line generate
+///   **no** events between that line's `on_demand_fetch` and the block's
+///   `on_commit` (or the next line's `on_demand_fetch`);
+/// * `tick` runs at every cycle the mechanism declared live through
+///   [`next_tick_event`](Self::next_tick_event), including inside batched
+///   windows, which end no later than the next due tick.
+///
+/// A mechanism therefore must not try to infer per-cycle fetch progress
+/// between events (there is no hook through which it could), and must keep
+/// [`next_tick_event`](Self::next_tick_event) conservative — those are the
+/// only two obligations; every mechanism in the evaluation (audited:
+/// baseline, next-line, DIP, FDIP, PIF, SHIFT, Confluence, and Boomerang
+/// under both throttle extremes) already satisfies them structurally, which
+/// the engine-differential suite pins down with streaming-heavy randomized
+/// workloads (`streaming_fast_forward_matches_reference_over_randomized_profiles`
+/// in `crates/boomerang/tests/engine_differential.rs`).
 pub trait ControlFlowMechanism {
     /// Mechanism name as used in the paper's figures.
     fn name(&self) -> &'static str;
@@ -133,6 +174,13 @@ pub trait ControlFlowMechanism {
     /// Called for every cache line the fetch engine demand-fetches, before
     /// the access outcome is known. `missed` reports whether the access
     /// stalled (used by miss-triggered prefetchers such as DIP).
+    ///
+    /// This is the *line-transition event* of the trait-level contract: it
+    /// fires exactly once per line the fetch engine crosses into (at the
+    /// exact crossing cycle), and it is the only notification straight-line
+    /// streaming generates between a block's start and its commit. The
+    /// instructions delivered from within the line are invisible to the
+    /// mechanism — by design, and the batched streaming window relies on it.
     fn on_demand_fetch(
         &mut self,
         _line: CacheLine,
@@ -195,6 +243,10 @@ pub trait ControlFlowMechanism {
 
 /// The no-prefetch baseline: a conventional front end with no instruction
 /// prefetcher and no BTB prefill.
+///
+/// Line-transition contract audit: every hook is the default no-op and
+/// `next_tick_event` is `None`, so the baseline trivially satisfies the
+/// contract.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NoPrefetch;
 

@@ -84,11 +84,19 @@ struct FetchState {
 }
 
 /// The front-end simulator.
-pub struct Simulator<'a> {
+///
+/// Generic over the mechanism's concrete type `M`, defaulting to the boxed
+/// trait object (`Simulator<'a>` keeps meaning what it always did). Hot
+/// paths call the mechanism's hooks roughly ten times per simulated block,
+/// so the campaign engine instantiates the simulator with a concrete
+/// enum-dispatch mechanism type instead: the hooks then compile to direct
+/// (inlinable) calls guarded by one predictable match, and the many empty
+/// hooks cost nothing.
+pub struct Simulator<'a, M: ControlFlowMechanism + ?Sized = dyn ControlFlowMechanism> {
     config: MicroarchConfig,
     layout: &'a CodeLayout,
     trace: &'a [DynamicBlock],
-    mechanism: Box<dyn ControlFlowMechanism>,
+    mechanism: Box<M>,
 
     hierarchy: InstructionHierarchy,
     btb: BasicBlockBtb,
@@ -106,6 +114,9 @@ pub struct Simulator<'a> {
     /// Cycles covered by batched fill-stall windows (diagnostic; see
     /// [`trickle_fill_stall`](Self::trickle_fill_stall)).
     trickled_cycles: u64,
+    /// Cycles covered by block-granular streaming fast-forward windows
+    /// (diagnostic; see [`stream_fast_forward`](Self::stream_fast_forward)).
+    bulk_fetched_cycles: u64,
     bpu_index: usize,
     committed_blocks: usize,
     bpu_busy_until: u64,
@@ -117,14 +128,14 @@ pub struct Simulator<'a> {
     last_fetched_line: Option<CacheLine>,
 }
 
-impl<'a> Simulator<'a> {
+impl<'a, M: ControlFlowMechanism + ?Sized> Simulator<'a, M> {
     /// Creates a simulator for `trace` (generated from `layout`) running the
     /// given mechanism with the TAGE predictor of Table I.
     pub fn new(
         config: MicroarchConfig,
         layout: &'a CodeLayout,
         trace: &'a [DynamicBlock],
-        mechanism: Box<dyn ControlFlowMechanism>,
+        mechanism: Box<M>,
     ) -> Self {
         Self::with_predictor(config, layout, trace, mechanism, PredictorKind::Tage)
     }
@@ -135,7 +146,7 @@ impl<'a> Simulator<'a> {
         config: MicroarchConfig,
         layout: &'a CodeLayout,
         trace: &'a [DynamicBlock],
-        mechanism: Box<dyn ControlFlowMechanism>,
+        mechanism: Box<M>,
         predictor: PredictorKind,
     ) -> Self {
         config.validate().expect("invalid configuration");
@@ -162,6 +173,7 @@ impl<'a> Simulator<'a> {
             stats: SimStats::default(),
             stepped_cycles: 0,
             trickled_cycles: 0,
+            bulk_fetched_cycles: 0,
             bpu_index: 0,
             committed_blocks: 0,
             bpu_busy_until: 0,
@@ -215,7 +227,14 @@ impl<'a> Simulator<'a> {
     /// busy/stall timers, the ROB head completing, a pending mechanism
     /// prefetch becoming ready — and bulk-advances over the dead cycles in
     /// between, incrementing the per-cycle stall counters in closed form.
-    /// The resulting [`SimStats`] are bit-identical to
+    /// Two batched window kinds extend the same idea to cycles that are not
+    /// dead but whose per-cycle behaviour is provably uniform: L1-I
+    /// fill-stall windows ([`trickle_fill_stall`](Self::trickle_fill_stall))
+    /// and block-granular streaming windows
+    /// ([`stream_fast_forward`](Self::stream_fast_forward)), which solve the
+    /// fetch/retire recurrence between two control-flow event points in one
+    /// [`BackEnd::stream_window`] call. The resulting [`SimStats`] are
+    /// bit-identical to
     /// [`run_with_warmup_reference`](Self::run_with_warmup_reference), which
     /// retains the per-cycle loop as the differential-testing oracle.
     ///
@@ -235,6 +254,18 @@ impl<'a> Simulator<'a> {
                 // bulk-advanced windows, these cycles never commit a block,
                 // so the batch can never cross the warmup boundary.
                 self.trickle_fill_stall(stall_end.min(max_cycles));
+            } else if let Some((instructions, until)) = self.streaming_window() {
+                // Straight-line streaming out of an already-accessed L1-hit
+                // line with every other unit silent: the whole drain window
+                // is solved in one closed-form `BackEnd::stream_window`
+                // call, and the line transition or block commit that ends
+                // it runs at its exact cycle. Can commit (one block, in its
+                // final cycle), so the warmup boundary is re-checked.
+                self.stream_fast_forward(instructions, until.min(max_cycles));
+                if !warmup_done && self.committed_blocks >= warmup_blocks {
+                    self.reset_stats();
+                    warmup_done = true;
+                }
             } else {
                 self.step();
                 if !warmup_done && self.committed_blocks >= warmup_blocks {
@@ -306,13 +337,9 @@ impl<'a> Simulator<'a> {
         let mut t = start;
         while t < end {
             // Next cycle at which the BPU can produce, and next due tick.
-            let bpu_at = if self.bpu_waiting_for_squash
-                || self.ftq.is_full()
-                || self.bpu_index >= self.trace.len()
-            {
-                u64::MAX
-            } else {
-                self.bpu_busy_until.max(self.bpu_stalled_until).max(t)
+            let bpu_at = match self.bpu_ready_at() {
+                None => u64::MAX,
+                Some(wake) => wake.max(t),
             };
             let tick_at = match self.mechanism.next_tick_event() {
                 Some(at) => at.max(t),
@@ -336,6 +363,114 @@ impl<'a> Simulator<'a> {
         }
         self.trickled_cycles += end - start;
         self.now = end;
+    }
+
+    /// If the current cycle opens a *streaming window* —
+    /// [`stream_fast_forward`](Self::stream_fast_forward)'s preconditions —
+    /// returns `(instructions, until)`: the number of instructions the fetch
+    /// engine can deliver before the next line transition or block commit,
+    /// and the (exclusive) cycle cap before which every other unit is
+    /// provably silent.
+    ///
+    /// The preconditions, and why each cycle of the window is equivalent to
+    /// a reference step:
+    ///
+    /// * **No wrong-path episode** — `handle_wrong_path` is a no-op, no
+    ///   squash can fire, and no wrong-path prefetches issue. A commit at
+    ///   the window's final cycle may *start* an episode, which the engine
+    ///   then handles from the next cycle, exactly like the stepper.
+    /// * **Fetch is mid-line**: a live fetch, not stalled, whose current
+    ///   instruction sits in the line it already accessed
+    ///   (`accessed_line`). Until the block's last instruction or the line
+    ///   boundary — whichever is closer, and that is the returned
+    ///   instruction count — `fetch_cycle` touches no hierarchy state and
+    ///   no mechanism hook: it only moves instructions into the ROB at
+    ///   `min(fetch_width, free_slots)` per cycle (the line-transition
+    ///   event contract, see [`ControlFlowMechanism`]).
+    /// * **The BPU cannot produce anywhere in the window.** Parked states
+    ///   (waiting for a squash, FTQ full, trace exhausted) are static here:
+    ///   a squash needs a wrong path, and the FTQ cannot drain because the
+    ///   fetch engine only pops when idle, which it is not until the block
+    ///   commits — at which point the window has already ended. Timer-parked
+    ///   BPUs (busy/stalled-until) wake at an exact cycle, which caps the
+    ///   window instead.
+    /// * **No mechanism tick is due before the cap**: `next_tick_event`
+    ///   bounds the window exactly as it bounds
+    ///   [`idle_horizon`](Self::idle_horizon); no hook runs inside the
+    ///   window that could schedule earlier work (the first hook to run is
+    ///   the boundary cycle's own `on_demand_fetch`/`on_commit`, after
+    ///   every tick position the window covered).
+    ///
+    /// The ROB is deliberately unconstrained: `BackEnd::stream_window`
+    /// reproduces full-ROB back-pressure cycles (and their `rob_full`
+    /// accounting) in closed form.
+    fn streaming_window(&self) -> Option<(u64, u64)> {
+        if self.wrong_path.is_some() {
+            return None;
+        }
+        let f = self.fetch.as_ref()?;
+        if self.now < f.busy_until || f.pos >= f.entry.instructions {
+            return None;
+        }
+        let geometry = self.layout.geometry();
+        let pc = f.entry.start.add_instructions(f.pos);
+        if f.accessed_line != Some(geometry.line_of(pc)) {
+            // The cycle opens with a demand access (a line-transition event
+            // cycle): step it exactly.
+            return None;
+        }
+        let instructions =
+            (f.entry.instructions - f.pos).min(geometry.instructions_left_in_line(pc));
+
+        let mut until = match self.bpu_ready_at() {
+            None => u64::MAX,                              // parked for the whole window
+            Some(wake) if wake <= self.now => return None, // the BPU produces this cycle
+            Some(wake) => wake,
+        };
+        match self.mechanism.next_tick_event() {
+            Some(t) if t <= self.now => return None, // a tick is due this cycle
+            Some(t) => until = until.min(t),
+            None => {}
+        }
+        debug_assert!(until > self.now);
+        Some((instructions, until))
+    }
+
+    /// Fast-forwards a streaming window (see
+    /// [`streaming_window`](Self::streaming_window)): the per-cycle
+    /// retire/deliver recurrence is solved by one closed-form
+    /// [`BackEnd::stream_window`] call, with `stats.cycles` and
+    /// `rob_full_cycles` incremented in bulk. The window's event point stays
+    /// exact: when the last instruction before the line/block boundary is
+    /// accepted at cycle `T < until`, the rest of cycle `T` — the next
+    /// line's demand access (and `on_demand_fetch`), or the block commit
+    /// (predictor update, BTB fill, `on_commit`, squash start) — runs via
+    /// [`fetch_inner`](Self::fetch_inner) with the fetch budget the final
+    /// push left over, exactly as the reference stepper's intra-cycle fetch
+    /// loop would. If the cap is reached first, the window ends with the
+    /// fetch mid-line and the engine resumes at `until`.
+    fn stream_fast_forward(&mut self, instructions: u64, until: u64) {
+        let from = self.now;
+        let out = self
+            .backend
+            .stream_window(instructions, self.config.fetch_width, from, until);
+        self.fetch
+            .as_mut()
+            .expect("a streaming window requires an in-flight fetch")
+            .pos += out.accepted;
+        self.stats.rob_full_cycles += out.rob_full_cycles;
+        if out.finished {
+            let boundary = out.end_cycle;
+            self.now = boundary;
+            self.stats.cycles += boundary - from + 1;
+            self.bulk_fetched_cycles += boundary - from + 1;
+            self.fetch_inner(out.leftover_budget);
+            self.now = boundary + 1;
+        } else {
+            self.stats.cycles += until - from;
+            self.bulk_fetched_cycles += until - from;
+            self.now = until;
+        }
     }
 
     /// Runs with an explicit engine choice (the benchmark harness times both
@@ -406,19 +541,17 @@ impl<'a> Simulator<'a> {
         }
 
         // BPU: parked states (waiting for a squash, FTQ full, trace
-        // exhausted) only end through events accounted elsewhere or through
-        // fetch activity, which is never skipped; timer states end at the
-        // later of the two busy/stall timers.
-        let bpu_parked = self.bpu_waiting_for_squash
-            || self.wrong_path.is_some()
-            || self.ftq.is_full()
-            || self.bpu_index >= self.trace.len();
-        if !bpu_parked {
-            let wake = self.bpu_busy_until.max(self.bpu_stalled_until);
-            if wake <= self.now {
-                return None;
+        // exhausted — plus an in-flight wrong path, accounted below) only
+        // end through events accounted elsewhere or through fetch activity,
+        // which is never skipped; timer states end at the later of the two
+        // busy/stall timers.
+        if self.wrong_path.is_none() {
+            if let Some(wake) = self.bpu_ready_at() {
+                if wake <= self.now {
+                    return None;
+                }
+                horizon = horizon.min(wake);
             }
-            horizon = horizon.min(wake);
         }
 
         // Wrong-path episode: the squash fires at `resolve_at`; until then,
@@ -443,6 +576,28 @@ impl<'a> Simulator<'a> {
         }
 
         (horizon > self.now).then_some(horizon)
+    }
+
+    /// The earliest cycle at which the BPU could produce, *ignoring any
+    /// in-flight wrong path* (callers account for that separately, because
+    /// only a squash — an event the engines never skip — ends it):
+    ///
+    /// * `None` — parked in a state only an external event can end: waiting
+    ///   for a squash, FTQ full, or trace exhausted. None of these can
+    ///   change while the fetch engine is busy with one block, which is
+    ///   what lets the batched windows treat `None` as "silent throughout".
+    /// * `Some(wake)` — free to produce from `wake` (the later of the
+    ///   busy/stall timers; `wake <= now` means "can produce this cycle").
+    ///
+    /// This is the single definition of the BPU-readiness predicate shared
+    /// by the per-cycle stepper ([`bpu_cycle`](Self::bpu_cycle)), the idle
+    /// horizon, the batched fill-stall trickle and the streaming-window
+    /// detector — it is correctness-critical that all four agree.
+    fn bpu_ready_at(&self) -> Option<u64> {
+        if self.bpu_waiting_for_squash || self.ftq.is_full() || self.bpu_index >= self.trace.len() {
+            return None;
+        }
+        Some(self.bpu_busy_until.max(self.bpu_stalled_until))
     }
 
     /// Charges `span` fetch-stall cycles for the in-flight fetch `f`: the
@@ -512,6 +667,15 @@ impl<'a> Simulator<'a> {
         self.trickled_cycles
     }
 
+    /// Cycles covered by block-granular streaming fast-forward windows
+    /// (diagnostic counterpart of [`stepped_cycles`](Self::stepped_cycles)
+    /// and [`trickled_cycles`](Self::trickled_cycles)): the cycles on which
+    /// the fetch/retire recurrence was solved in closed form by
+    /// [`BackEnd::stream_window`] instead of being stepped.
+    pub fn bulk_fetched_cycles(&self) -> u64 {
+        self.bulk_fetched_cycles
+    }
+
     /// Statistics collected so far (finalised copies are returned by `run`).
     pub fn stats(&self) -> SimStats {
         self.stats
@@ -521,10 +685,14 @@ impl<'a> Simulator<'a> {
     /// IPC) restarts from zero, while `now` keeps running monotonically so
     /// in-flight fill timestamps in the memory hierarchy stay valid.
     ///
-    /// The event-horizon engine preserves these semantics for free: a reset
-    /// can only trigger when a block commits, blocks only commit in stepped
-    /// (non-skipped) cycles, and bulk-advanced windows therefore never
-    /// straddle the warmup boundary.
+    /// The event-horizon engine preserves these semantics because a reset
+    /// can only trigger when a block commits, and every window kind accounts
+    /// for commits: dead-cycle bulk advances and fill-stall trickles never
+    /// commit (so they can never straddle the warmup boundary), while a
+    /// streaming window commits at most one block, in its final cycle —
+    /// which is why the run loop re-checks the warmup boundary after
+    /// `stream_fast_forward` exactly as it does after `step`. Any new
+    /// batched-window kind that can commit must do the same.
     fn reset_stats(&mut self) {
         self.stats = SimStats::default();
     }
@@ -543,8 +711,8 @@ impl<'a> Simulator<'a> {
         btb: &mut BasicBlockBtb,
         btb_prefetch_buffer: &mut BtbPrefetchBuffer,
         now: u64,
-        mechanism: &mut dyn ControlFlowMechanism,
-        f: impl FnOnce(&mut dyn ControlFlowMechanism, &mut MechContext<'_>) -> R,
+        mechanism: &mut M,
+        f: impl FnOnce(&mut M, &mut MechContext<'_>) -> R,
     ) -> R {
         let mut ctx = MechContext {
             now,
@@ -613,13 +781,7 @@ impl<'a> Simulator<'a> {
     /// One branch-prediction-unit cycle: predict one basic block and push it
     /// into the FTQ.
     fn bpu_cycle(&mut self) {
-        if self.bpu_waiting_for_squash
-            || self.wrong_path.is_some()
-            || self.now < self.bpu_busy_until
-            || self.now < self.bpu_stalled_until
-            || self.ftq.is_full()
-            || self.bpu_index >= self.trace.len()
-        {
+        if self.wrong_path.is_some() || self.bpu_ready_at().is_none_or(|wake| self.now < wake) {
             return;
         }
         self.bpu_produce(self.now, self.now);
@@ -808,11 +970,27 @@ impl<'a> Simulator<'a> {
             return;
         }
 
-        let geometry = self.layout.geometry();
-        let mut budget = self
+        let budget = self
             .config
             .fetch_width
             .min(self.backend.free_slots() as u64);
+        self.fetch_inner(budget);
+    }
+
+    /// The fetch engine's intra-cycle loop at the current cycle: line
+    /// accesses and instruction delivery with `budget` slots, ending in a
+    /// fill stall, exhausted budget, a filled ROB, or the block's commit.
+    /// Shared by the per-cycle [`fetch_cycle`](Self::fetch_cycle) (which
+    /// computes the cycle's full budget) and by
+    /// [`stream_fast_forward`](Self::stream_fast_forward), which resumes the
+    /// boundary cycle of a streaming window with the budget its final push
+    /// left over.
+    fn fetch_inner(&mut self, mut budget: u64) {
+        let fetch = self
+            .fetch
+            .as_mut()
+            .expect("the fetch engine's inner loop requires an in-flight fetch");
+        let geometry = self.layout.geometry();
         while budget > 0 && fetch.pos < fetch.entry.instructions {
             let pc = fetch.entry.start.add_instructions(fetch.pos);
             let line = geometry.line_of(pc);
@@ -963,6 +1141,35 @@ mod tests {
                 .run_with_warmup_reference(2_000);
             assert_eq!(fast, slow);
         }
+    }
+
+    #[test]
+    fn streaming_windows_cover_a_meaningful_share_of_cycles() {
+        // Every simulated cycle is handled exactly once: stepped, batched by
+        // the fill-stall trickle, batched by the streaming fast-forward, or
+        // bulk-advanced as dead. The streaming fast-forward must actually
+        // fire on an ordinary workload (it covers the straight-line fetch
+        // cycles the other windows cannot).
+        let (layout, trace) = setup();
+        let mut sim = Simulator::new(
+            MicroarchConfig::hpca17(),
+            &layout,
+            trace.blocks(),
+            Box::new(NoPrefetch::new()),
+        );
+        let stats = sim.run_with_warmup(0);
+        let stepped = sim.stepped_cycles();
+        let trickled = sim.trickled_cycles();
+        let bulk = sim.bulk_fetched_cycles();
+        assert!(
+            stepped + trickled + bulk <= stats.cycles,
+            "window accounting exceeds total cycles"
+        );
+        assert!(
+            bulk > stats.cycles / 20,
+            "streaming windows covered only {bulk} of {} cycles",
+            stats.cycles
+        );
     }
 
     #[test]

@@ -46,6 +46,11 @@ impl Default for Fdip {
     }
 }
 
+// Line-transition contract audit: FDIP's only inputs are FTQ-push events
+// (scanned at cache-block granularity into the pending queue) and squashes;
+// probes issue from `tick` with `next_tick_event` exact (`Some(0)` iff work
+// is queued). It implements no `on_demand_fetch` and observes nothing
+// between line transitions.
 impl ControlFlowMechanism for Fdip {
     fn name(&self) -> &'static str {
         "FDIP"
