@@ -193,6 +193,27 @@ impl WorkloadData {
         }
     }
 
+    /// Reassembles a workload from a layout and trace decoded from the
+    /// artifact cache (see [`workloads::codec`]), recomputing the derived
+    /// latency classes exactly as [`WorkloadData::generate_from_profile`]
+    /// does — the classes are a cheap pure-RNG pass over the profile's
+    /// backend parameters, so they are rebuilt rather than stored.
+    ///
+    /// `length` must be the run length the trace was generated with.
+    pub fn from_parts(layout: CodeLayout, trace: Trace, length: RunLength) -> Self {
+        let profile = layout.profile();
+        let latency_classes = profile
+            .backend
+            .latency_classes(profile.seed, trace.instructions() as usize);
+        WorkloadData {
+            kind: layout.profile().kind,
+            layout,
+            trace,
+            latency_classes,
+            length,
+        }
+    }
+
     /// Generates all six paper workloads (in paper order).
     pub fn generate_all(length: RunLength) -> Vec<WorkloadData> {
         WorkloadKind::ALL

@@ -1,0 +1,386 @@
+//! Content-addressed workload artifact cache.
+//!
+//! Generating a multi-megabyte workload (layout + trace) costs ~0.2 s per
+//! (profile, seed) point — paid again by every campaign and every worker
+//! process that touches the point. The artifact cache pays it once ever: a
+//! generated [`WorkloadData`] is serialized (via [`workloads::codec`]) to a
+//! file named by a *content address* — the FNV-1a-64 hash of the resolved
+//! profile's canonical fingerprint plus the run length — so any campaign
+//! over the same workload point, in any process, loads the bytes instead of
+//! regenerating.
+//!
+//! # File format
+//!
+//! Every artifact starts with a fixed 32-byte header:
+//!
+//! | offset | size | field         | value                                   |
+//! |--------|------|---------------|-----------------------------------------|
+//! | 0      | 4    | `magic`       | `"BMWL"`                                |
+//! | 4      | 4    | `format`      | [`ARTIFACT_FORMAT`], little-endian      |
+//! | 8      | 8    | `key`         | the content address, little-endian      |
+//! | 16     | 8    | `payload_len` | payload byte count, little-endian       |
+//! | 24     | 8    | `payload_fnv` | FNV-1a-64 of the payload, little-endian |
+//!
+//! followed by `payload_len` bytes of [`workloads::codec::encode_workload`]
+//! output. Every header field is validated on load with a field-level
+//! [`ArtifactError`] (same discipline as the spec TOML parser and
+//! [`workloads::ProfileError`]); corrupt, truncated or wrong-version files
+//! are *rejected, never trusted and never panicked on* — the engine falls
+//! back to regeneration and overwrites the bad file.
+//!
+//! The key incorporates every profile field (see
+//! [`workloads::profile_fingerprint`]) and the run length, so smoke and
+//! full-length artifacts of the same point coexist, and any profile change
+//! changes the address. [`ARTIFACT_FORMAT`] must be bumped whenever the
+//! fingerprint listing, the codec, or this header changes shape.
+//!
+//! Stores are atomic (write to a process-unique temp file, then rename), so
+//! concurrent worker processes racing to fill the same cache entry are safe:
+//! both write identical bytes and the losing rename simply overwrites.
+
+use crate::bench::fnv1a64;
+use boomerang::{RunLength, WorkloadData};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use workloads::{codec, profile_fingerprint, WorkloadProfile};
+
+/// Magic bytes opening every workload artifact file.
+pub const ARTIFACT_MAGIC: [u8; 4] = *b"BMWL";
+
+/// Artifact format version this build reads and writes.
+pub const ARTIFACT_FORMAT: u32 = 1;
+
+const HEADER_LEN: usize = 32;
+
+/// A rejected artifact file: which header or payload field was bad, and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArtifactError {
+    /// Dotted path of the offending field.
+    pub field: &'static str,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl ArtifactError {
+    fn new(field: &'static str, message: impl Into<String>) -> Self {
+        ArtifactError {
+            field,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "artifact field `{}`: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// The content address of a (resolved profile, run length) point.
+///
+/// The profile must already carry its *effective* seed (after
+/// [`crate::engine::derive_seed`]); the campaign engine resolves seeds
+/// before generation, so the key sees exactly what generation sees.
+pub fn artifact_key(profile: &WorkloadProfile, run: RunLength) -> u64 {
+    let identity = format!(
+        "{} trace_blocks={} warmup_blocks={}",
+        profile_fingerprint(profile),
+        run.trace_blocks,
+        run.warmup_blocks
+    );
+    fnv1a64(identity.as_bytes())
+}
+
+/// An open artifact-cache directory.
+#[derive(Clone, Debug)]
+pub struct ArtifactCache {
+    dir: PathBuf,
+}
+
+impl ArtifactCache {
+    /// Opens (creating if necessary) the cache directory.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(ArtifactCache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file path an artifact with this content address lives at.
+    pub fn path_for(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("wl-{key:016x}.wla"))
+    }
+
+    /// Attempts to load the artifact for `(profile, run)`.
+    ///
+    /// Returns `Ok(None)` on a clean miss (no file). Returns an
+    /// [`ArtifactError`] naming the offending field if a file exists but is
+    /// corrupt, truncated, wrong-version, or describes a different workload
+    /// — callers treat that as a miss (regenerate and overwrite), surfacing
+    /// the error as a warning.
+    pub fn load(
+        &self,
+        profile: &WorkloadProfile,
+        run: RunLength,
+    ) -> Result<Option<WorkloadData>, ArtifactError> {
+        let key = artifact_key(profile, run);
+        let path = self.path_for(key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(ArtifactError::new(
+                    "file",
+                    format!("cannot read {}: {e}", path.display()),
+                ))
+            }
+        };
+        let payload = check_header(&bytes, key)?;
+        let (layout, trace) =
+            codec::decode_workload(payload).map_err(|e| ArtifactError::new(e.field, e.message))?;
+        if layout.profile() != profile {
+            return Err(ArtifactError::new(
+                "payload.profile",
+                "stored profile differs from the requested one (content-address collision \
+                 or stale fingerprint)"
+                    .to_string(),
+            ));
+        }
+        let expected_blocks = run.trace_blocks + run.warmup_blocks;
+        if trace.len() != expected_blocks {
+            return Err(ArtifactError::new(
+                "payload.trace",
+                format!(
+                    "stored trace has {} blocks, run length needs {expected_blocks}",
+                    trace.len()
+                ),
+            ));
+        }
+        Ok(Some(WorkloadData::from_parts(layout, trace, run)))
+    }
+
+    /// Stores the artifact for `(profile, run)` atomically.
+    ///
+    /// `data` must be the generation output for exactly that profile and run
+    /// length.
+    pub fn store(
+        &self,
+        profile: &WorkloadProfile,
+        run: RunLength,
+        data: &WorkloadData,
+    ) -> io::Result<()> {
+        let key = artifact_key(profile, run);
+        let mut payload = Vec::new();
+        codec::encode_workload(&data.layout, &data.trace, &mut payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let mut file = Vec::with_capacity(HEADER_LEN + payload.len());
+        file.extend_from_slice(&ARTIFACT_MAGIC);
+        file.extend_from_slice(&ARTIFACT_FORMAT.to_le_bytes());
+        file.extend_from_slice(&key.to_le_bytes());
+        file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        file.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        file.extend_from_slice(&payload);
+
+        let path = self.path_for(key);
+        let tmp = self
+            .dir
+            .join(format!("wl-{key:016x}.tmp-{}", std::process::id()));
+        fs::write(&tmp, &file)?;
+        let renamed = fs::rename(&tmp, &path);
+        if renamed.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        renamed
+    }
+}
+
+/// Validates the artifact header against the expected content address and
+/// returns the payload slice.
+fn check_header(bytes: &[u8], key: u64) -> Result<&[u8], ArtifactError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(ArtifactError::new(
+            "header",
+            format!(
+                "truncated: {} bytes, header needs {HEADER_LEN}",
+                bytes.len()
+            ),
+        ));
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+    let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
+    if bytes[..4] != ARTIFACT_MAGIC {
+        return Err(ArtifactError::new(
+            "header.magic",
+            format!("expected {ARTIFACT_MAGIC:?}, found {:?}", &bytes[..4]),
+        ));
+    }
+    let format = u32_at(4);
+    if format != ARTIFACT_FORMAT {
+        return Err(ArtifactError::new(
+            "header.format",
+            format!("file is format version {format}, this build reads {ARTIFACT_FORMAT}"),
+        ));
+    }
+    let stored_key = u64_at(8);
+    if stored_key != key {
+        return Err(ArtifactError::new(
+            "header.key",
+            format!("file claims key {stored_key:016x}, content address is {key:016x}"),
+        ));
+    }
+    let payload_len = u64_at(16);
+    let available = (bytes.len() - HEADER_LEN) as u64;
+    if payload_len != available {
+        return Err(ArtifactError::new(
+            "header.payload_len",
+            format!("header says {payload_len} payload bytes, file holds {available}"),
+        ));
+    }
+    let payload = &bytes[HEADER_LEN..];
+    let checksum = u64_at(24);
+    let actual = fnv1a64(payload);
+    if checksum != actual {
+        return Err(ArtifactError::new(
+            "header.payload_fnv",
+            format!("header checksum {checksum:016x}, payload hashes to {actual:016x}"),
+        ));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::WorkloadProfile;
+
+    fn tiny_data(seed: u64, run: RunLength) -> (WorkloadProfile, WorkloadData) {
+        let profile = WorkloadProfile::tiny(seed);
+        let data = WorkloadData::generate_from_profile(&profile, run);
+        (profile, data)
+    }
+
+    fn load_err(cache: &ArtifactCache, profile: &WorkloadProfile, run: RunLength) -> ArtifactError {
+        match cache.load(profile, run) {
+            Err(e) => e,
+            Ok(_) => panic!("expected the artifact to be rejected"),
+        }
+    }
+
+    const RUN: RunLength = RunLength {
+        trace_blocks: 800,
+        warmup_blocks: 200,
+    };
+
+    #[test]
+    fn key_separates_profiles_seeds_and_run_lengths() {
+        let a = WorkloadProfile::tiny(1);
+        let b = WorkloadProfile::tiny(2);
+        assert_ne!(artifact_key(&a, RUN), artifact_key(&b, RUN));
+        assert_ne!(
+            artifact_key(&a, RUN),
+            artifact_key(
+                &a,
+                RunLength {
+                    trace_blocks: 801,
+                    warmup_blocks: 200
+                }
+            )
+        );
+        assert_eq!(artifact_key(&a, RUN), artifact_key(&a.clone(), RUN));
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let dir =
+            std::env::temp_dir().join(format!("boomerang-artifact-rt-{}", std::process::id()));
+        let cache = ArtifactCache::open(&dir).unwrap();
+        let (profile, data) = tiny_data(5, RUN);
+        assert!(cache.load(&profile, RUN).unwrap().is_none());
+        cache.store(&profile, RUN, &data).unwrap();
+        let loaded = cache.load(&profile, RUN).unwrap().expect("hit");
+        assert_eq!(loaded.layout.blocks(), data.layout.blocks());
+        assert_eq!(loaded.trace, data.trace);
+        assert_eq!(loaded.kind, data.kind);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_truncated_and_wrong_version_files_are_rejected_with_fields() {
+        let dir =
+            std::env::temp_dir().join(format!("boomerang-artifact-bad-{}", std::process::id()));
+        let cache = ArtifactCache::open(&dir).unwrap();
+        let (profile, data) = tiny_data(9, RUN);
+        cache.store(&profile, RUN, &data).unwrap();
+        let path = cache.path_for(artifact_key(&profile, RUN));
+        let good = std::fs::read(&path).unwrap();
+
+        // Truncated mid-payload.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        let err = load_err(&cache, &profile, RUN);
+        assert_eq!(err.field, "header.payload_len");
+
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert_eq!(load_err(&cache, &profile, RUN).field, "header.magic");
+
+        // Wrong format version.
+        let mut bad = good.clone();
+        bad[4] = ARTIFACT_FORMAT as u8 + 1;
+        std::fs::write(&path, &bad).unwrap();
+        let err = load_err(&cache, &profile, RUN);
+        assert_eq!(err.field, "header.format");
+        assert!(err.to_string().contains("format version"));
+
+        // Payload bit-flip fails the checksum.
+        let mut bad = good.clone();
+        *bad.last_mut().unwrap() ^= 0x40;
+        std::fs::write(&path, &bad).unwrap();
+        assert_eq!(load_err(&cache, &profile, RUN).field, "header.payload_fnv");
+
+        // Header shorter than 32 bytes.
+        std::fs::write(&path, &good[..10]).unwrap();
+        assert_eq!(load_err(&cache, &profile, RUN).field, "header");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn smoke_and_full_artifacts_coexist() {
+        let dir =
+            std::env::temp_dir().join(format!("boomerang-artifact-two-{}", std::process::id()));
+        let cache = ArtifactCache::open(&dir).unwrap();
+        let other = RunLength {
+            trace_blocks: 400,
+            warmup_blocks: 100,
+        };
+        let (profile, data) = tiny_data(3, RUN);
+        let data_other = WorkloadData::generate_from_profile(&profile, other);
+        cache.store(&profile, RUN, &data).unwrap();
+        cache.store(&profile, other, &data_other).unwrap();
+        assert_eq!(
+            cache.load(&profile, RUN).unwrap().expect("hit").trace.len(),
+            1000
+        );
+        assert_eq!(
+            cache
+                .load(&profile, other)
+                .unwrap()
+                .expect("hit")
+                .trace
+                .len(),
+            500
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -18,7 +18,11 @@
 //!   timed separately: `generation_ms` covers one *cold* workload-generation
 //!   pass (spec expansion + layout/trace/latency-stream generation), and
 //!   each engine's `simulation_ms` samples cover the simulate + aggregate
-//!   phases over those generated workloads. The headline `best_ms` is
+//!   phases over those generated workloads. Since `bench_format` 3 a
+//!   `generation_warm_ms` sample rides along: the same generation pass
+//!   served entirely from a warm content-addressed artifact cache
+//!   ([`crate::artifact`]), committed evidence of what the cache buys.
+//!   The headline `best_ms` is
 //!   `generation_ms + min(simulation_ms)` — the cold-equivalent campaign
 //!   wall time, directly comparable to the single `wall_ms` of
 //!   `bench_format` 1 entries, per the ROADMAP note that at least one
@@ -110,6 +114,9 @@ pub struct BenchEntry {
     /// Wall time of the entry's single cold workload-generation pass, in
     /// milliseconds.
     pub generation_ms: f64,
+    /// Wall time of a workload-generation pass served entirely from a warm
+    /// content-addressed artifact cache, in milliseconds (`bench_format` 3).
+    pub generation_warm_ms: f64,
     /// Event-horizon engine timings.
     pub event_horizon: EngineTiming,
     /// Per-cycle reference engine timings (absent under `--no-reference`).
@@ -200,16 +207,42 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
                 jobs: options.jobs,
                 smoke,
                 engine: SimEngine::EventHorizon,
+                artifact_cache: None,
             };
             let gen_started = Instant::now();
             let generated = generate_workloads(&spec, &gen_opts).map_err(|e| e.to_string())?;
             let generation_ms = gen_started.elapsed().as_secs_f64() * 1e3;
+
+            // Warm-cache generation (bench_format 3): populate a scratch
+            // artifact cache untimed, then time a pass that decodes every
+            // workload from it. The cold/warm pair is the committed evidence
+            // of what the content-addressed cache buys.
+            let cache_dir =
+                std::env::temp_dir().join(format!("boomerang-bench-cache-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&cache_dir);
+            let warm_opts = EngineOptions {
+                artifact_cache: Some(cache_dir.clone()),
+                ..gen_opts.clone()
+            };
+            generate_workloads(&spec, &warm_opts).map_err(|e| e.to_string())?;
+            let warm_started = Instant::now();
+            let warm = generate_workloads(&spec, &warm_opts).map_err(|e| e.to_string())?;
+            let generation_warm_ms = warm_started.elapsed().as_secs_f64() * 1e3;
+            let _ = std::fs::remove_dir_all(&cache_dir);
+            if warm.generation().cache_hits != warm.workload_count() {
+                return Err(format!(
+                    "artifact cache missed on preset `{name}`: {} hits for {} workloads",
+                    warm.generation().cache_hits,
+                    warm.workload_count()
+                ));
+            }
 
             let run = |engine: SimEngine| -> (crate::CampaignReport, String, f64) {
                 let opts = EngineOptions {
                     jobs: options.jobs,
                     smoke,
                     engine,
+                    artifact_cache: None,
                 };
                 let started = Instant::now();
                 let report = run_generated(&spec, &opts, &generated);
@@ -268,6 +301,7 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
                 instructions_total,
                 report_digest: format!("fnv1a64:{:016x}", fnv1a64(rendered.as_bytes())),
                 generation_ms,
+                generation_warm_ms,
                 event_horizon,
                 reference: options.time_reference.then_some(reference),
             });
@@ -285,6 +319,7 @@ pub fn bench_to_json(report: &BenchReport) -> String {
             let mut timing = Json::object()
                 .field("iterations", entry.event_horizon.simulation_ms.len())
                 .field("generation_ms", round_ms(entry.generation_ms))
+                .field("generation_warm_ms", round_ms(entry.generation_warm_ms))
                 .field(
                     "engines",
                     vec![engine_json(&entry.event_horizon)]
@@ -316,7 +351,7 @@ pub fn bench_to_json(report: &BenchReport) -> String {
         .collect();
     Json::object()
         .field("bench", "boomerang-sim bench")
-        .field("bench_format", 2u64)
+        .field("bench_format", 3u64)
         .field("entries", entries)
         .pretty()
 }
@@ -344,11 +379,12 @@ pub fn bench_to_table(report: &BenchReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<20} {:>6} {:>6} {:>8} {:>12} {:>14} {:>9} {:>10} {:>12}",
+        "{:<20} {:>6} {:>6} {:>8} {:>8} {:>12} {:>14} {:>9} {:>10} {:>12}",
         "preset",
         "smoke",
         "jobs",
         "gen ms",
+        "warm ms",
         "horizon ms",
         "reference ms",
         "speedup",
@@ -358,11 +394,12 @@ pub fn bench_to_table(report: &BenchReport) -> String {
     for entry in &report.entries {
         let _ = writeln!(
             out,
-            "{:<20} {:>6} {:>6} {:>8.1} {:>12.1} {:>14} {:>9} {:>10.1} {:>12.1}",
+            "{:<20} {:>6} {:>6} {:>8.1} {:>8.1} {:>12.1} {:>14} {:>9} {:>10.1} {:>12.1}",
             entry.preset,
             entry.smoke,
             entry.campaign_jobs,
             entry.generation_ms,
+            entry.generation_warm_ms,
             entry.event_horizon.best_simulation_ms(),
             entry
                 .reference
@@ -502,6 +539,7 @@ mod tests {
             instructions_total: 1,
             report_digest: "fnv1a64:0".into(),
             generation_ms: 5.0,
+            generation_warm_ms: 1.0,
             event_horizon: EngineTiming {
                 engine: "event-horizon",
                 simulation_ms: vec![10.0, 8.0, 12.0],

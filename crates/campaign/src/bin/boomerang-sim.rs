@@ -3,11 +3,21 @@
 //! ```text
 //! boomerang-sim run <spec.toml> [--jobs N] [--smoke] [--out DIR] [--quiet]
 //! boomerang-sim run --preset <name> [...]
+//! boomerang-sim resume <spec.toml> [--out DIR] [...]
+//! boomerang-sim serve --spool DIR [--out DIR] [--workers N] [--once]
 //! boomerang-sim bench [--preset <name>]... [--smoke] [--check FILE]
 //! boomerang-sim list-presets
 //! ```
 
-use campaign::{presets, run_campaign, BenchOptions, CampaignSpec, EngineOptions};
+use boomerang::RunLength;
+use campaign::checkpoint::{spec_hash, Journal, JournalReplay};
+use campaign::serve::{serve, ServeOptions};
+use campaign::{
+    assemble_report, presets, run_generated_partial, BenchOptions, CampaignSpec, EngineOptions,
+    Job, RunPlan, StreamingSink,
+};
+use frontend::SimStats;
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -17,16 +27,42 @@ const USAGE: &str =
 USAGE:
     boomerang-sim run <spec.toml> [OPTIONS]
     boomerang-sim run --preset <name> [OPTIONS]
+    boomerang-sim resume <spec.toml | --preset <name>> [OPTIONS]
+    boomerang-sim serve --spool <DIR> [SERVE OPTIONS]
     boomerang-sim bench [BENCH OPTIONS]
     boomerang-sim list-presets
 
 OPTIONS:
-    --preset <name>   Run an embedded preset instead of a spec file
-    --jobs <N>        Worker threads (default: all cores)
-    --smoke           Replace the spec's run length with a short smoke run
-    --out <DIR>       Report directory (default: campaign-out)
-    --quiet           Suppress the progress banner and result table
-    -h, --help        Show this help
+    --preset <name>        Run an embedded preset instead of a spec file
+    --jobs <N>             Worker threads (default: all cores)
+    --smoke                Replace the spec's run length with a short smoke run
+    --out <DIR>            Campaign directory: reports, row streams and the
+                           checkpoint journal (default: campaign-out)
+    --artifact-cache <DIR> Content-addressed workload artifact cache; repeat
+                           campaigns over the same workload points skip
+                           generation entirely
+    --resume               Continue from the directory's checkpoint journal
+                           instead of refusing to touch an existing campaign
+    --force                Clear an existing campaign (even a mismatching one)
+                           and start over
+    --max-rows <N>         Checkpoint at most N new rows, then exit with a
+                           resume hint (deterministic interruption)
+    --shard <I/N>          Execute only jobs with index ≡ I (mod N) and write
+                           a per-shard journal; no reports (worker mode)
+    --quiet                Suppress the progress banner and result table
+    -h, --help             Show this help
+
+SERVE OPTIONS:
+    --spool <DIR>          Directory watched for *.toml spec submissions;
+                           processed files become *.done / *.failed
+    --out <DIR>            Root of per-submission output dirs (default:
+                           serve-out)
+    --workers <N>          Worker processes per submission (default: 2)
+    --jobs <N>             Worker threads per process (default: all cores)
+    --smoke                Run every submission at smoke length
+    --artifact-cache <DIR> Shared workload artifact cache for all workers
+    --once                 Process the submissions present now, then exit
+    --poll-ms <MS>         Spool poll interval (default: 500)
 
 BENCH OPTIONS (see README \"Performance\"):
     --preset <name>   Benchmark this preset (repeatable; default: figure9)
@@ -79,7 +115,9 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
-        Some("run") => run_command(&args[1..]),
+        Some("run") => run_command(&args[1..], false),
+        Some("resume") => run_command(&args[1..], true),
+        Some("serve") => serve_command(&args[1..]),
         Some("bench") => bench_command(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -183,13 +221,104 @@ fn bench_command(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn run_command(args: &[String]) -> Result<(), String> {
+fn serve_command(args: &[String]) -> Result<(), String> {
+    let mut options = ServeOptions {
+        binary: std::env::current_exe()
+            .map_err(|e| format!("cannot locate the simulator binary: {e}"))?,
+        out: PathBuf::from("serve-out"),
+        ..ServeOptions::default()
+    };
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spool" => {
+                let dir = it.next().ok_or("--spool needs a directory")?;
+                options.spool = PathBuf::from(dir);
+            }
+            "--out" => {
+                let dir = it.next().ok_or("--out needs a directory")?;
+                options.out = PathBuf::from(dir);
+            }
+            "--workers" => {
+                let n = it.next().ok_or("--workers needs a count")?;
+                options.workers = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("bad --workers value `{n}`"))?;
+            }
+            "--jobs" => {
+                let n = it.next().ok_or("--jobs needs a count")?;
+                options.jobs = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --jobs value `{n}`"))?;
+            }
+            "--smoke" => options.smoke = true,
+            "--artifact-cache" => {
+                let dir = it.next().ok_or("--artifact-cache needs a directory")?;
+                options.artifact_cache = Some(PathBuf::from(dir));
+            }
+            "--once" => options.once = true,
+            "--poll-ms" => {
+                let ms = it.next().ok_or("--poll-ms needs a value")?;
+                options.poll_ms = ms
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad --poll-ms value `{ms}`"))?;
+            }
+            "--quiet" => quiet = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown serve option `{other}`\n\n{USAGE}")),
+        }
+    }
+    if options.spool.as_os_str().is_empty() {
+        return Err("serve needs --spool <DIR>".into());
+    }
+    if !quiet {
+        eprintln!(
+            "serving spool {} into {} ({} worker processes{})",
+            options.spool.display(),
+            options.out.display(),
+            options.workers.max(1),
+            if options.once { ", once" } else { "" },
+        );
+    }
+    let outcomes = serve(&options, &mut |outcome| match &outcome.result {
+        Ok(dir) => {
+            if !quiet {
+                eprintln!(
+                    "serve: {} (campaign `{}`) -> {}",
+                    outcome.submission.display(),
+                    outcome.campaign,
+                    dir.display()
+                );
+            }
+        }
+        Err(reason) => eprintln!("serve: {} FAILED: {reason}", outcome.submission.display()),
+    })
+    .map_err(|e| format!("serve loop: {e}"))?;
+    let failed = outcomes.iter().filter(|o| o.result.is_err()).count();
+    if failed > 0 {
+        return Err(format!("{failed} of {} submissions failed", outcomes.len()));
+    }
+    Ok(())
+}
+
+fn run_command(args: &[String], command_resume: bool) -> Result<(), String> {
     let mut spec_path: Option<PathBuf> = None;
     let mut preset: Option<String> = None;
     let mut jobs: usize = 0;
     let mut smoke = false;
     let mut out_dir = PathBuf::from("campaign-out");
     let mut quiet = false;
+    let mut resume = command_resume;
+    let mut force = false;
+    let mut shard: Option<(usize, usize)> = None;
+    let mut max_rows: Option<usize> = None;
+    let mut artifact_cache: Option<PathBuf> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -211,6 +340,23 @@ fn run_command(args: &[String]) -> Result<(), String> {
             "--out" => {
                 let dir = it.next().ok_or("--out needs a directory")?;
                 out_dir = PathBuf::from(dir);
+            }
+            "--resume" => resume = true,
+            "--force" => force = true,
+            "--max-rows" => {
+                let n = it.next().ok_or("--max-rows needs a count")?;
+                max_rows = Some(
+                    n.parse::<usize>()
+                        .map_err(|_| format!("bad --max-rows value `{n}`"))?,
+                );
+            }
+            "--shard" => {
+                let v = it.next().ok_or("--shard needs I/N")?;
+                shard = Some(parse_shard(v)?);
+            }
+            "--artifact-cache" => {
+                let dir = it.next().ok_or("--artifact-cache needs a directory")?;
+                artifact_cache = Some(PathBuf::from(dir));
             }
             "--quiet" => quiet = true,
             "-h" | "--help" => {
@@ -244,12 +390,82 @@ fn run_command(args: &[String]) -> Result<(), String> {
         }
     };
 
-    let options = EngineOptions {
-        jobs,
-        smoke,
-        ..EngineOptions::default()
+    let run = if smoke {
+        RunLength::smoke_test()
+    } else {
+        spec.run
     };
-    let job_count = campaign::expand(&spec).len();
+    let hash = spec_hash(&spec, run, smoke);
+    let jobs_list = campaign::expand(&spec);
+    if jobs_list.is_empty() {
+        return Err("campaign expands to zero jobs".into());
+    }
+
+    // Satellite 1: an output directory already holding a campaign is never
+    // silently mixed with a different spec. `--force` starts over, `--resume`
+    // continues a matching one.
+    match JournalReplay::existing_hash(&out_dir, &spec.name) {
+        Ok(None) => {}
+        Ok(Some(existing)) if existing == hash => {
+            if !resume && !force {
+                return Err(format!(
+                    "{} already holds a checkpointed campaign `{}` for this spec; \
+                     pass --resume to continue it or --force to start over",
+                    out_dir.display(),
+                    spec.name
+                ));
+            }
+        }
+        Ok(Some(existing)) => {
+            if !force {
+                return Err(format!(
+                    "{} already holds campaign `{}` with spec hash {existing}, which does \
+                     not match this spec's {hash} (different spec, run length or smoke \
+                     setting); pass --force to clear it and start over",
+                    out_dir.display(),
+                    spec.name
+                ));
+            }
+        }
+        Err(e) => {
+            if !force {
+                return Err(format!(
+                    "cannot read the existing campaign journal ({e}); pass --force to \
+                     clear it and start over"
+                ));
+            }
+        }
+    }
+    if force {
+        Journal::remove_all(&out_dir, &spec.name)
+            .map_err(|e| format!("cannot clear {}: {e}", out_dir.display()))?;
+        resume = false;
+    }
+
+    // Replay whatever is already checkpointed (all shards' journals).
+    let done: HashMap<usize, SimStats> = if resume {
+        let replay = JournalReplay::load(&out_dir, &spec.name, &hash, &jobs_list)
+            .map_err(|e| e.to_string())?;
+        replay.rows
+    } else {
+        HashMap::new()
+    };
+
+    let plan = RunPlan {
+        shard: shard.filter(|&(_, count)| count > 1),
+        limit: max_rows,
+    };
+    let mut pending: Vec<usize> = (0..jobs_list.len())
+        .filter(|i| !done.contains_key(i))
+        .filter(|i| match plan.shard {
+            Some((index, count)) => i % count == index,
+            None => true,
+        })
+        .collect();
+    if let Some(limit) = plan.limit {
+        pending.truncate(limit);
+    }
+
     if !quiet {
         let workers = if jobs == 0 {
             sim_core::pool::default_workers()
@@ -257,31 +473,180 @@ fn run_command(args: &[String]) -> Result<(), String> {
             jobs
         };
         eprintln!(
-            "campaign `{}`: {} jobs ({} configs x {} workloads x {} seeds, {} mechanisms + baselines) on {} workers{}",
+            "campaign `{}`: {} jobs ({} configs x {} workloads x {} seeds, {} mechanisms + baselines) on {} workers{}{}",
             spec.name,
-            job_count,
+            jobs_list.len(),
             spec.configs.len(),
             spec.workloads.len(),
             spec.seeds.len(),
             spec.mechanisms.len(),
             workers,
             if smoke { " [smoke]" } else { "" },
+            match plan.shard {
+                Some((index, count)) => format!(" [shard {index}/{count}]"),
+                None => String::new(),
+            },
         );
         if let Some(labels) = custom_axis_labels(&spec) {
             eprintln!("workload axis: {labels}");
         }
+        if !done.is_empty() {
+            eprintln!(
+                "resuming: {} of {} rows replayed from the checkpoint journal",
+                done.len(),
+                jobs_list.len()
+            );
+        }
     }
 
-    let report = run_campaign(&spec, &options).map_err(|e| e.to_string())?;
-    let paths = campaign::write_reports(&report, &out_dir)
-        .map_err(|e| format!("cannot write reports to {}: {e}", out_dir.display()))?;
-    if !quiet {
-        print!("{}", campaign::to_table(&report));
-        eprintln!(
-            "\nwrote {} and {}",
-            paths.json.display(),
-            paths.csv.display()
+    let options = EngineOptions {
+        jobs,
+        smoke,
+        artifact_cache,
+        ..EngineOptions::default()
+    };
+
+    // The journal for this process: per-shard in worker mode. Reports and
+    // row streams are only written by unsharded runs (the serve collector
+    // merges worker journals itself).
+    let journal = if resume && Journal::path_for(&out_dir, &spec.name, shard).exists() {
+        Journal::append(&out_dir, &spec.name, shard)
+    } else {
+        Journal::create(&out_dir, &spec.name, &hash, jobs_list.len(), shard)
+    }
+    .map_err(|e| format!("cannot open the checkpoint journal: {e}"))?;
+    let stream = if plan.shard.is_none() {
+        let sink = StreamingSink::create(&spec, &out_dir)
+            .map_err(|e| format!("cannot open the row streams: {e}"))?;
+        // Replayed rows stream first, in canonical order (baselines lead
+        // their groups, so nothing is left buffered).
+        let mut replayed: Vec<usize> = done.keys().copied().collect();
+        replayed.sort_unstable();
+        for i in replayed {
+            sink.record(&jobs_list[i], &done[&i])
+                .map_err(|e| format!("cannot stream a replayed row: {e}"))?;
+        }
+        Some(sink)
+    } else {
+        None
+    };
+
+    // Simulate the missing rows, checkpointing and streaming each as it
+    // completes.
+    let mut stats_by_index: HashMap<usize, SimStats> = done;
+    if !pending.is_empty() {
+        let generated = campaign::generate_workloads(&spec, &options).map_err(|e| e.to_string())?;
+        let generation = generated.generation();
+        for warning in &generation.warnings {
+            eprintln!("warning: {warning}");
+        }
+        if !quiet {
+            eprintln!(
+                "workload artifacts: {} cache hits, {} generated{}",
+                generation.cache_hits,
+                generation.generated,
+                options
+                    .artifact_cache
+                    .as_deref()
+                    .map(|d| format!(" ({})", d.display()))
+                    .unwrap_or_default(),
+            );
+        }
+        let on_row = |job: &Job, stats: &SimStats| {
+            if let Err(e) = journal.record(job, stats) {
+                eprintln!("warning: checkpoint write failed: {e}");
+            }
+            if let Some(stream) = &stream {
+                if let Err(e) = stream.record(job, stats) {
+                    eprintln!("warning: row stream write failed: {e}");
+                }
+            }
+        };
+        let outcome = run_generated_partial(
+            &spec,
+            &options,
+            &generated,
+            &stats_by_index,
+            plan,
+            Some(&on_row),
         );
+        for (i, s) in outcome.stats.into_iter().enumerate() {
+            if let Some(s) = s {
+                stats_by_index.insert(i, s);
+            }
+        }
+    } else if !quiet {
+        eprintln!("workload artifacts: nothing to generate (all rows checkpointed)");
+    }
+
+    // Complete? Assemble the canonical report; identical bytes to an
+    // uninterrupted run. Otherwise say exactly how to continue.
+    if stats_by_index.len() == jobs_list.len() {
+        let stats: Vec<SimStats> = (0..jobs_list.len()).map(|i| stats_by_index[&i]).collect();
+        if plan.shard.is_some() {
+            // A worker that happens to finish the whole campaign still only
+            // owns its journal; the collector writes the reports.
+            if !quiet {
+                eprintln!("shard complete: all {} rows checkpointed", jobs_list.len());
+            }
+            return Ok(());
+        }
+        let report = assemble_report(&spec, &jobs_list, run, smoke, stats);
+        let paths = campaign::write_reports(&report, &out_dir)
+            .map_err(|e| format!("cannot write reports to {}: {e}", out_dir.display()))?;
+        if !quiet {
+            print!("{}", campaign::to_table(&report));
+            eprintln!(
+                "\nwrote {} and {}",
+                paths.json.display(),
+                paths.csv.display()
+            );
+        }
+    } else {
+        let checkpointed = stats_by_index.len();
+        if !quiet || plan.shard.is_none() {
+            eprintln!(
+                "checkpointed {checkpointed} of {} rows in {}{}",
+                jobs_list.len(),
+                out_dir.display(),
+                match plan.shard {
+                    Some((index, count)) => format!(" [shard {index}/{count}]"),
+                    None => format!(
+                        "; continue with `boomerang-sim resume {} --out {}`",
+                        spec_path
+                            .as_deref()
+                            .map(|p| p.display().to_string())
+                            .unwrap_or_else(|| format!(
+                                "--preset {}",
+                                preset.as_deref().unwrap_or(&spec.name)
+                            )),
+                        out_dir.display()
+                    ),
+                },
+            );
+        }
     }
     Ok(())
+}
+
+/// Parses `I/N` shard syntax; `0/1` (or any `i/1`) means "everything" and
+/// behaves like no shard at all.
+fn parse_shard(value: &str) -> Result<(usize, usize), String> {
+    let (index, count) = value
+        .split_once('/')
+        .ok_or_else(|| format!("bad --shard value `{value}` (expected I/N)"))?;
+    let index = index
+        .parse::<usize>()
+        .map_err(|_| format!("bad --shard index `{index}`"))?;
+    let count = count
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or_else(|| format!("bad --shard count `{count}`"))?;
+    if index >= count {
+        return Err(format!(
+            "--shard index {index} out of range for {count} shards"
+        ));
+    }
+    Ok((index, count))
 }

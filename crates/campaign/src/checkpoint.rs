@@ -1,0 +1,876 @@
+//! Row-level campaign checkpointing: an append-only JSONL journal.
+//!
+//! A campaign writes one journal line per completed job, flushed to disk the
+//! moment the row exists. If the process is killed, `resume` replays the
+//! journal(s) in the output directory, re-runs only the missing jobs, and the
+//! merged report is byte-identical to an uninterrupted run — reports are a
+//! pure function of the spec, and the journal just caches finished rows.
+//!
+//! # File format
+//!
+//! One campaign directory holds `<name>.journal.jsonl` (or, for sharded
+//! workers, `<name>.journal-<i>.jsonl` per shard). The first line is a header
+//! object pinning the format version, the campaign name, the [`spec_hash`] of
+//! the spec + run length, and the canonical job count:
+//!
+//! ```text
+//! {"journal_format":1,"campaign":"figure9","spec_hash":"fnv1a64:…","jobs":45,"shard_index":0,"shard_count":1}
+//! {"job":0,"mechanism":"baseline","seed":0,"instructions":…,…}
+//! ```
+//!
+//! Every subsequent line is one completed job: its canonical index, the
+//! mechanism token and seed (cross-checked against the expanded job list on
+//! replay — a journal can never be applied to a different spec), and the full
+//! set of [`SimStats`] counters. A truncated **final** line (the process died
+//! mid-write) is ignored on replay; corruption anywhere else is an error.
+
+use crate::bench::fnv1a64;
+use crate::expand::Job;
+use crate::json::Json;
+use crate::spec::{mechanism_token, CampaignSpec};
+use boomerang::RunLength;
+use frontend::stats::{MissBreakdown, SquashStats};
+use frontend::SimStats;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Version stamp written in every journal header. Bump on any change to the
+/// line schema; old journals are rejected (with a clear error) rather than
+/// misread.
+pub const JOURNAL_FORMAT: u64 = 1;
+
+/// A checkpoint journal could not be read or does not belong to this
+/// campaign.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointError {
+    /// The journal file involved.
+    pub path: PathBuf,
+    /// 1-based line number, or 0 for file-level problems (I/O, header).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl CheckpointError {
+    fn file(path: &Path, message: impl Into<String>) -> Self {
+        CheckpointError {
+            path: path.to_path_buf(),
+            line: 0,
+            message: message.into(),
+        }
+    }
+
+    fn at(path: &Path, line: usize, message: impl Into<String>) -> Self {
+        CheckpointError {
+            path: path.to_path_buf(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "journal {}: {}", self.path.display(), self.message)
+        } else {
+            write!(
+                f,
+                "journal {}:{}: {}",
+                self.path.display(),
+                self.line,
+                self.message
+            )
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Content hash identifying a (spec, run length, smoke) triple.
+///
+/// This is what makes journals and output directories self-describing: a
+/// journal written for one campaign can never be replayed into another, and
+/// `run --out` refuses to mix outputs from different specs (satellite 1).
+/// The hash covers the spec's canonical TOML rendering plus the *effective*
+/// run length, so `--smoke` and a full run never share a hash.
+pub fn spec_hash(spec: &CampaignSpec, run: RunLength, smoke: bool) -> String {
+    let mut text = spec.to_toml_string();
+    text.push_str(&format!(
+        "\n# effective-run trace_blocks={} warmup_blocks={} smoke={}\n",
+        run.trace_blocks, run.warmup_blocks, smoke
+    ));
+    format!("fnv1a64:{:016x}", fnv1a64(text.as_bytes()))
+}
+
+/// One journal column: its field name and the counter it reads.
+type StatField = (&'static str, fn(&SimStats) -> u64);
+
+/// The 17 stat counters, in journal column order, with their field names.
+/// Shared by the writer and the replayer so the two can never drift.
+const STAT_FIELDS: [StatField; 17] = [
+    ("instructions", |s| s.instructions),
+    ("cycles", |s| s.cycles),
+    ("fetch_stall_cycles", |s| s.fetch_stall_cycles),
+    ("squash_stall_cycles", |s| s.squash_stall_cycles),
+    ("ftq_empty_cycles", |s| s.ftq_empty_cycles),
+    ("rob_full_cycles", |s| s.rob_full_cycles),
+    ("squashes_btb_miss", |s| s.squashes.btb_miss),
+    ("squashes_misprediction", |s| s.squashes.misprediction),
+    ("btb_lookups", |s| s.btb_lookups),
+    ("btb_misses", |s| s.btb_misses),
+    ("prefetch_buffer_hits", |s| s.prefetch_buffer_hits),
+    ("prefetches_issued", |s| s.prefetches_issued),
+    ("conditional_predictions", |s| s.conditional_predictions),
+    ("conditional_mispredictions", |s| {
+        s.conditional_mispredictions
+    }),
+    ("miss_breakdown_sequential", |s| s.miss_breakdown.sequential),
+    ("miss_breakdown_conditional", |s| {
+        s.miss_breakdown.conditional
+    }),
+    ("miss_breakdown_unconditional", |s| {
+        s.miss_breakdown.unconditional
+    }),
+];
+
+fn stats_from_fields(get: impl Fn(&'static str) -> Option<u64>) -> Option<SimStats> {
+    Some(SimStats {
+        instructions: get("instructions")?,
+        cycles: get("cycles")?,
+        fetch_stall_cycles: get("fetch_stall_cycles")?,
+        miss_breakdown: MissBreakdown {
+            sequential: get("miss_breakdown_sequential")?,
+            conditional: get("miss_breakdown_conditional")?,
+            unconditional: get("miss_breakdown_unconditional")?,
+        },
+        squash_stall_cycles: get("squash_stall_cycles")?,
+        ftq_empty_cycles: get("ftq_empty_cycles")?,
+        rob_full_cycles: get("rob_full_cycles")?,
+        squashes: SquashStats {
+            btb_miss: get("squashes_btb_miss")?,
+            misprediction: get("squashes_misprediction")?,
+        },
+        btb_lookups: get("btb_lookups")?,
+        btb_misses: get("btb_misses")?,
+        prefetch_buffer_hits: get("prefetch_buffer_hits")?,
+        prefetches_issued: get("prefetches_issued")?,
+        conditional_predictions: get("conditional_predictions")?,
+        conditional_mispredictions: get("conditional_mispredictions")?,
+    })
+}
+
+/// An open, append-only checkpoint journal.
+///
+/// `record` is safe to call from the engine's worker threads (it locks an
+/// internal mutex and writes the whole line in one call), so a `&Journal`
+/// works directly as the `on_row` callback of
+/// [`crate::engine::run_generated_partial`].
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// The journal path for `campaign` in `dir`: `<name>.journal.jsonl`, or
+    /// `<name>.journal-<i>.jsonl` when this process runs shard `i` of a
+    /// multi-worker campaign.
+    pub fn path_for(dir: &Path, campaign: &str, shard: Option<(usize, usize)>) -> PathBuf {
+        match shard {
+            Some((index, count)) if count > 1 => {
+                dir.join(format!("{campaign}.journal-{index}.jsonl"))
+            }
+            _ => dir.join(format!("{campaign}.journal.jsonl")),
+        }
+    }
+
+    /// Creates (truncating) the journal for a fresh run and writes the
+    /// header line.
+    pub fn create(
+        dir: &Path,
+        campaign: &str,
+        hash: &str,
+        jobs: usize,
+        shard: Option<(usize, usize)>,
+    ) -> io::Result<Journal> {
+        std::fs::create_dir_all(dir)?;
+        let path = Journal::path_for(dir, campaign, shard);
+        let mut file = File::create(&path)?;
+        let (shard_index, shard_count) = shard.unwrap_or((0, 1));
+        let header = Json::object()
+            .field("journal_format", JOURNAL_FORMAT)
+            .field("campaign", campaign)
+            .field("spec_hash", hash)
+            .field("jobs", jobs)
+            .field("shard_index", shard_index)
+            .field("shard_count", shard_count);
+        writeln!(file, "{}", header.compact())?;
+        file.sync_data().ok();
+        Ok(Journal {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Reopens an existing journal in append mode (resume). The caller is
+    /// expected to have validated the header via [`JournalReplay::load`]
+    /// first.
+    pub fn append(
+        dir: &Path,
+        campaign: &str,
+        shard: Option<(usize, usize)>,
+    ) -> io::Result<Journal> {
+        let path = Journal::path_for(dir, campaign, shard);
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok(Journal {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Where this journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one completed job. The full line is written in a single
+    /// syscall so a kill can at worst truncate the final line — which replay
+    /// tolerates — never interleave two rows.
+    pub fn record(&self, job: &Job, stats: &SimStats) -> io::Result<()> {
+        let mut row = Json::object()
+            .field("job", job.index)
+            .field("mechanism", mechanism_token(job.mechanism))
+            .field("seed", job.seed);
+        for (name, read) in STAT_FIELDS {
+            row = row.field(name, read(stats));
+        }
+        let mut line = row.compact();
+        line.push('\n');
+        let mut file = self.file.lock().expect("journal mutex poisoned");
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+
+    /// Deletes every journal file for `campaign` in `dir` (the `--force`
+    /// path). Missing directory or files are fine.
+    pub fn remove_all(dir: &Path, campaign: &str) -> io::Result<()> {
+        for path in journal_files(dir, campaign)? {
+            std::fs::remove_file(path)?;
+        }
+        Ok(())
+    }
+}
+
+/// All journal files for `campaign` in `dir`, sorted by name for
+/// deterministic replay order. Missing directory → empty list.
+fn journal_files(dir: &Path, campaign: &str) -> io::Result<Vec<PathBuf>> {
+    let prefix = format!("{campaign}.journal");
+    let mut files = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(files),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix(&prefix) else {
+            continue;
+        };
+        // Exactly `.jsonl` or `-<digits>.jsonl` — not another campaign whose
+        // name happens to extend this one.
+        let shard_ok = rest
+            .strip_prefix('-')
+            .and_then(|r| r.strip_suffix(".jsonl"))
+            .is_some_and(|digits| !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()));
+        if rest == ".jsonl" || shard_ok {
+            files.push(entry.path());
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// The merged result of replaying every journal for a campaign.
+#[derive(Clone, Debug, Default)]
+pub struct JournalReplay {
+    /// Completed rows by canonical job index (first occurrence wins).
+    pub rows: HashMap<usize, SimStats>,
+    /// The journal files that were read, in replay order.
+    pub files: Vec<PathBuf>,
+}
+
+impl JournalReplay {
+    /// Reads the spec hash from the first journal found for `campaign` in
+    /// `dir`, or `None` if no journal exists yet. This is how `run --out`
+    /// detects that a directory already belongs to a different spec.
+    pub fn existing_hash(dir: &Path, campaign: &str) -> Result<Option<String>, CheckpointError> {
+        let files = journal_files(dir, campaign)
+            .map_err(|e| CheckpointError::file(dir, format!("scanning directory: {e}")))?;
+        let Some(path) = files.first() else {
+            return Ok(None);
+        };
+        let header = read_header(path)?;
+        Ok(Some(header.spec_hash))
+    }
+
+    /// Replays every journal for `campaign` in `dir`, validating each file's
+    /// header against `expected_hash` and each row against the canonical
+    /// `jobs` expansion. Rows for the same job in multiple shard files are
+    /// deduplicated (first file wins; the stats are identical by
+    /// construction — simulation is deterministic in the job).
+    pub fn load(
+        dir: &Path,
+        campaign: &str,
+        expected_hash: &str,
+        jobs: &[Job],
+    ) -> Result<JournalReplay, CheckpointError> {
+        let files = journal_files(dir, campaign)
+            .map_err(|e| CheckpointError::file(dir, format!("scanning directory: {e}")))?;
+        let mut replay = JournalReplay::default();
+        for path in files {
+            replay_file(&path, campaign, expected_hash, jobs, &mut replay.rows)?;
+            replay.files.push(path);
+        }
+        Ok(replay)
+    }
+
+    /// How many distinct jobs have checkpointed rows.
+    pub fn completed(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+struct Header {
+    spec_hash: String,
+    jobs: u64,
+}
+
+fn read_file(path: &Path) -> Result<String, CheckpointError> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| CheckpointError::file(path, format!("reading: {e}")))?;
+    Ok(text)
+}
+
+fn parse_header(path: &Path, campaign: &str, line: &str) -> Result<Header, CheckpointError> {
+    let fields = parse_flat_object(line)
+        .map_err(|e| CheckpointError::at(path, 1, format!("malformed header: {e}")))?;
+    let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let format = get("journal_format")
+        .and_then(Scalar::as_u64)
+        .ok_or_else(|| CheckpointError::at(path, 1, "header field `journal_format` missing"))?;
+    if format != JOURNAL_FORMAT {
+        return Err(CheckpointError::at(
+            path,
+            1,
+            format!("journal_format {format} (this build reads {JOURNAL_FORMAT})"),
+        ));
+    }
+    let name = get("campaign")
+        .and_then(Scalar::as_str)
+        .ok_or_else(|| CheckpointError::at(path, 1, "header field `campaign` missing"))?;
+    if name != campaign {
+        return Err(CheckpointError::at(
+            path,
+            1,
+            format!("belongs to campaign `{name}`, expected `{campaign}`"),
+        ));
+    }
+    let spec_hash = get("spec_hash")
+        .and_then(Scalar::as_str)
+        .ok_or_else(|| CheckpointError::at(path, 1, "header field `spec_hash` missing"))?
+        .to_string();
+    let jobs = get("jobs")
+        .and_then(Scalar::as_u64)
+        .ok_or_else(|| CheckpointError::at(path, 1, "header field `jobs` missing"))?;
+    Ok(Header { spec_hash, jobs })
+}
+
+fn read_header(path: &Path) -> Result<Header, CheckpointError> {
+    let text = read_file(path)?;
+    let first = text
+        .lines()
+        .next()
+        .ok_or_else(|| CheckpointError::file(path, "empty journal"))?;
+    let fields = parse_flat_object(first)
+        .map_err(|e| CheckpointError::at(path, 1, format!("malformed header: {e}")))?;
+    let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let spec_hash = get("spec_hash")
+        .and_then(Scalar::as_str)
+        .ok_or_else(|| CheckpointError::at(path, 1, "header field `spec_hash` missing"))?
+        .to_string();
+    let jobs = get("jobs").and_then(Scalar::as_u64).unwrap_or(0);
+    Ok(Header { spec_hash, jobs })
+}
+
+fn replay_file(
+    path: &Path,
+    campaign: &str,
+    expected_hash: &str,
+    jobs: &[Job],
+    rows: &mut HashMap<usize, SimStats>,
+) -> Result<(), CheckpointError> {
+    let text = read_file(path)?;
+    let lines: Vec<&str> = text.lines().collect();
+    let Some((&header_line, row_lines)) = lines.split_first() else {
+        return Err(CheckpointError::file(path, "empty journal"));
+    };
+    let header = parse_header(path, campaign, header_line)?;
+    if header.spec_hash != expected_hash {
+        return Err(CheckpointError::at(
+            path,
+            1,
+            format!(
+                "spec hash {} does not match this spec's {expected_hash}",
+                header.spec_hash
+            ),
+        ));
+    }
+    if header.jobs != jobs.len() as u64 {
+        return Err(CheckpointError::at(
+            path,
+            1,
+            format!(
+                "header says {} jobs, spec expands to {}",
+                header.jobs,
+                jobs.len()
+            ),
+        ));
+    }
+    for (i, line) in row_lines.iter().enumerate() {
+        let lineno = i + 2;
+        let last = i + 1 == row_lines.len();
+        let fields = match parse_flat_object(line) {
+            Ok(fields) => fields,
+            // A truncated final line is the expected signature of a killed
+            // process — drop it; the job will simply re-run.
+            Err(_) if last => break,
+            Err(e) => {
+                return Err(CheckpointError::at(
+                    path,
+                    lineno,
+                    format!("malformed row: {e}"),
+                ))
+            }
+        };
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let (Some(index), Some(mechanism), Some(seed)) = (
+            get("job").and_then(Scalar::as_u64),
+            get("mechanism").and_then(Scalar::as_str),
+            get("seed").and_then(Scalar::as_u64),
+        ) else {
+            if last {
+                break;
+            }
+            return Err(CheckpointError::at(
+                path,
+                lineno,
+                "row missing job/mechanism/seed",
+            ));
+        };
+        let index = index as usize;
+        let Some(job) = jobs.get(index) else {
+            return Err(CheckpointError::at(
+                path,
+                lineno,
+                format!("job index {index} out of range ({} jobs)", jobs.len()),
+            ));
+        };
+        let expected_mechanism = mechanism_token(job.mechanism);
+        if mechanism != expected_mechanism || seed != job.seed {
+            return Err(CheckpointError::at(
+                path,
+                lineno,
+                format!(
+                    "row ({mechanism}, seed {seed}) does not match job {index} \
+                     ({expected_mechanism}, seed {})",
+                    job.seed
+                ),
+            ));
+        }
+        let stats = match stats_from_fields(|name| get(name).and_then(Scalar::as_u64)) {
+            Some(stats) => stats,
+            None if last => break,
+            None => {
+                return Err(CheckpointError::at(path, lineno, "row missing stat fields"));
+            }
+        };
+        rows.entry(index).or_insert(stats);
+    }
+    Ok(())
+}
+
+/// A value in a flat journal line: the only shapes the format uses.
+#[derive(Clone, Debug, PartialEq)]
+enum Scalar {
+    Str(String),
+    UInt(u64),
+    Bool(bool),
+}
+
+impl Scalar {
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Scalar::UInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one journal line: a single-level JSON object whose values are
+/// strings, unsigned integers or booleans. Exactly the grammar [`Journal`]
+/// writes — anything else is corruption.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Scalar)>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.scalar()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return Err("expected `,` or `}`".into()),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing bytes after object".into());
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        if self.next() == Some(want) {
+            Ok(())
+        } else {
+            Err(format!("expected `{}`", want as char))
+        }
+    }
+
+    fn scalar(&mut self) -> Result<Scalar, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Scalar::Str(self.string()?)),
+            Some(b't') => self.literal("true").map(|()| Scalar::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| Scalar::Bool(false)),
+            Some(b'0'..=b'9') => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .ok()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .map(Scalar::UInt)
+                    .ok_or_else(|| "integer out of range".to_string())
+            }
+            _ => Err("expected string, integer or boolean".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{word}`"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next().ok_or("unterminated string")? {
+                b'"' => return Ok(out),
+                b'\\' => match self.next().ok_or("unterminated escape")? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        if self.pos + 4 > self.bytes.len() {
+                            return Err("truncated \\u escape".into());
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        self.pos += 4;
+                        out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                    }
+                    b => return Err(format!("bad escape `\\{}`", b as char)),
+                },
+                b => {
+                    // Re-sync to char boundaries for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b).ok_or("bad UTF-8")?;
+                    if start + len > self.bytes.len() {
+                        return Err("truncated UTF-8".into());
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| "bad UTF-8".to_string())?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7f => Some(1),
+        0xc0..=0xdf => Some(2),
+        0xe0..=0xef => Some(3),
+        0xf0..=0xf7 => Some(4),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("boomerang-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec::from_toml_str(
+            "name = \"jtest\"\nworkloads = [\"nutch\"]\nmechanisms = [\"fdip\"]\nseeds = [0, 1]\n",
+        )
+        .unwrap()
+    }
+
+    fn stats(n: u64) -> SimStats {
+        SimStats {
+            instructions: 1000 + n,
+            cycles: 2000 + n,
+            fetch_stall_cycles: 300 + n,
+            miss_breakdown: MissBreakdown {
+                sequential: 100,
+                conditional: 100 + n,
+                unconditional: 100,
+            },
+            squash_stall_cycles: 10,
+            ftq_empty_cycles: 11,
+            rob_full_cycles: 12,
+            squashes: SquashStats {
+                btb_miss: 5,
+                misprediction: 6 + n,
+            },
+            btb_lookups: 500,
+            btb_misses: 50,
+            prefetch_buffer_hits: 7,
+            prefetches_issued: 8,
+            conditional_predictions: 400,
+            conditional_mispredictions: 20,
+        }
+    }
+
+    #[test]
+    fn journal_roundtrips_rows_exactly() {
+        let dir = temp_dir("roundtrip");
+        let spec = spec();
+        let jobs = crate::expand::expand(&spec);
+        let hash = spec_hash(&spec, RunLength::smoke_test(), true);
+        let journal = Journal::create(&dir, &spec.name, &hash, jobs.len(), None).unwrap();
+        journal.record(&jobs[0], &stats(0)).unwrap();
+        journal.record(&jobs[2], &stats(2)).unwrap();
+        drop(journal);
+
+        let replay = JournalReplay::load(&dir, &spec.name, &hash, &jobs).unwrap();
+        assert_eq!(replay.completed(), 2);
+        assert_eq!(replay.rows[&0], stats(0));
+        assert_eq!(replay.rows[&2], stats(2));
+        assert!(!replay.rows.contains_key(&1));
+        assert_eq!(
+            JournalReplay::existing_hash(&dir, &spec.name).unwrap(),
+            Some(hash)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_final_line_is_dropped_not_fatal() {
+        let dir = temp_dir("truncated");
+        let spec = spec();
+        let jobs = crate::expand::expand(&spec);
+        let hash = spec_hash(&spec, RunLength::smoke_test(), true);
+        let journal = Journal::create(&dir, &spec.name, &hash, jobs.len(), None).unwrap();
+        journal.record(&jobs[0], &stats(0)).unwrap();
+        journal.record(&jobs[1], &stats(1)).unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+
+        // Simulate a kill mid-write: chop the file in the middle of row 2.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 40]).unwrap();
+        let replay = JournalReplay::load(&dir, &spec.name, &hash, &jobs).unwrap();
+        assert_eq!(replay.completed(), 1);
+        assert_eq!(replay.rows[&0], stats(0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatching_spec_hash_is_rejected() {
+        let dir = temp_dir("hash");
+        let spec = spec();
+        let jobs = crate::expand::expand(&spec);
+        let hash = spec_hash(&spec, RunLength::smoke_test(), true);
+        Journal::create(&dir, &spec.name, &hash, jobs.len(), None).unwrap();
+
+        let other = spec_hash(&spec, RunLength::paper_default(), false);
+        assert_ne!(hash, other);
+        let err = JournalReplay::load(&dir, &spec.name, &other, &jobs).unwrap_err();
+        assert!(err.message.contains("spec hash"), "{err}");
+        assert_eq!(err.line, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_interior_row_is_an_error() {
+        let dir = temp_dir("corrupt");
+        let spec = spec();
+        let jobs = crate::expand::expand(&spec);
+        let hash = spec_hash(&spec, RunLength::smoke_test(), true);
+        let journal = Journal::create(&dir, &spec.name, &hash, jobs.len(), None).unwrap();
+        journal.record(&jobs[0], &stats(0)).unwrap();
+        journal.record(&jobs[1], &stats(1)).unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+
+        // Splice a garbage line between the two valid rows so it is interior.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.insert(2, "{\"job\": not json");
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        let err = JournalReplay::load(&dir, &spec.name, &hash, &jobs).unwrap_err();
+        assert!(err.message.contains("malformed row"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rows_from_a_different_expansion_are_rejected() {
+        let dir = temp_dir("expansion");
+        let spec = spec();
+        let jobs = crate::expand::expand(&spec);
+        let hash = spec_hash(&spec, RunLength::smoke_test(), true);
+        let journal = Journal::create(&dir, &spec.name, &hash, jobs.len(), None).unwrap();
+        // Write a row whose seed contradicts the canonical job at index 0.
+        let mut fake = jobs[0];
+        fake.seed = 99;
+        journal.record(&fake, &stats(0)).unwrap();
+        journal.record(&jobs[1], &stats(1)).unwrap();
+        drop(journal);
+
+        let err = JournalReplay::load(&dir, &spec.name, &hash, &jobs).unwrap_err();
+        assert!(err.message.contains("does not match job"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_journals_merge() {
+        let dir = temp_dir("shards");
+        let spec = spec();
+        let jobs = crate::expand::expand(&spec);
+        let hash = spec_hash(&spec, RunLength::smoke_test(), true);
+        for shard in 0..2usize {
+            let journal =
+                Journal::create(&dir, &spec.name, &hash, jobs.len(), Some((shard, 2))).unwrap();
+            for job in jobs.iter().filter(|j| j.index % 2 == shard) {
+                journal.record(job, &stats(job.index as u64)).unwrap();
+            }
+        }
+        let replay = JournalReplay::load(&dir, &spec.name, &hash, &jobs).unwrap();
+        assert_eq!(replay.completed(), jobs.len());
+        assert_eq!(replay.files.len(), 2);
+        for job in &jobs {
+            assert_eq!(replay.rows[&job.index], stats(job.index as u64));
+        }
+        Journal::remove_all(&dir, &spec.name).unwrap();
+        assert_eq!(
+            JournalReplay::existing_hash(&dir, &spec.name).unwrap(),
+            None
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flat_parser_handles_escapes_and_rejects_junk() {
+        let fields =
+            parse_flat_object("{\"a\":\"x\\\"y\\u00e9\",\"b\":7,\"c\":true,\"d\":false}").unwrap();
+        assert_eq!(fields[0].1, Scalar::Str("x\"y\u{e9}".into()));
+        assert_eq!(fields[1].1, Scalar::UInt(7));
+        assert_eq!(fields[2].1, Scalar::Bool(true));
+        assert_eq!(fields[3].1, Scalar::Bool(false));
+        assert!(parse_flat_object("{\"a\":1} extra").is_err());
+        assert!(parse_flat_object("{\"a\":}").is_err());
+        assert!(parse_flat_object("{\"a\":-1}").is_err());
+        assert!(parse_flat_object("[1]").is_err());
+        assert!(parse_flat_object("{\"a\":1").is_err());
+    }
+}

@@ -15,6 +15,7 @@
 //!    baseline in canonical job order, so the report is a pure function of
 //!    the spec: `--jobs 1` and `--jobs 64` produce byte-identical output.
 
+use crate::artifact::{artifact_key, ArtifactCache};
 use crate::expand::{expand, Job};
 use crate::spec::{CampaignSpec, SpecError};
 use boomerang::{Mechanism, RunLength, WorkloadData};
@@ -23,7 +24,7 @@ use sim_core::pool;
 use std::collections::HashMap;
 
 /// Execution options orthogonal to the spec.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct EngineOptions {
     /// Worker threads; 0 means [`pool::default_workers`].
     pub jobs: usize,
@@ -34,6 +35,10 @@ pub struct EngineOptions {
     /// bit-identical reports; the per-cycle reference exists for the bench
     /// harness and for differential testing.
     pub engine: frontend::SimEngine,
+    /// Directory of the content-addressed workload artifact cache (see
+    /// [`crate::artifact`]). `None` generates everything in-process, every
+    /// time.
+    pub artifact_cache: Option<std::path::PathBuf>,
 }
 
 /// Derives the effective workload-profile seed for a seed offset.
@@ -96,6 +101,20 @@ pub struct CampaignReport {
     pub rows: Vec<RowResult>,
 }
 
+/// How a generation phase obtained its workloads: generated in-process or
+/// loaded from the artifact cache, plus any warnings about rejected cache
+/// files.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GenerationSummary {
+    /// Workload points generated in-process.
+    pub generated: usize,
+    /// Workload points loaded from the artifact cache.
+    pub cache_hits: usize,
+    /// Human-readable warnings (corrupt artifacts rejected and regenerated,
+    /// failed stores). Never fatal.
+    pub warnings: Vec<String>,
+}
+
 /// The output of the campaign's generation phase: the expanded job list plus
 /// every distinct (workload axis point, seed) generated once. Reusable
 /// across multiple [`run_generated`] calls, so the bench harness can time
@@ -107,6 +126,7 @@ pub struct GeneratedWorkloads {
     data: Vec<WorkloadData>,
     run: RunLength,
     smoke: bool,
+    summary: GenerationSummary,
 }
 
 impl GeneratedWorkloads {
@@ -118,6 +138,22 @@ impl GeneratedWorkloads {
     /// Number of distinct generated (workload, seed) points.
     pub fn workload_count(&self) -> usize {
         self.data.len()
+    }
+
+    /// The expanded jobs, in canonical order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// The run length the workloads were generated for.
+    pub fn effective_run(&self) -> RunLength {
+        self.run
+    }
+
+    /// How the generation phase obtained its workloads (cache hits vs.
+    /// in-process generation).
+    pub fn generation(&self) -> &GenerationSummary {
+        &self.summary
     }
 }
 
@@ -154,17 +190,56 @@ pub fn generate_workloads(
     let mut keys: Vec<(usize, u64)> = jobs.iter().map(|j| (j.workload, j.seed)).collect();
     keys.sort_unstable();
     keys.dedup();
-    let data = pool::run_indexed(workers, &keys, |_, &(workload, seed)| {
+    let cache = match &options.artifact_cache {
+        Some(dir) => Some(ArtifactCache::open(dir).map_err(|e| {
+            SpecError::Invalid(format!("cannot open artifact cache {}: {e}", dir.display()))
+        })?),
+        None => None,
+    };
+    let results = pool::run_indexed(workers, &keys, |_, &(workload, seed)| {
         let profile = &spec.workloads[workload].profile;
         let effective = derive_seed(profile.seed, seed);
-        WorkloadData::generate_from_profile(&profile.clone().with_seed(effective), run)
+        let profile = profile.clone().with_seed(effective);
+        let Some(cache) = &cache else {
+            let data = WorkloadData::generate_from_profile(&profile, run);
+            return (data, false, Vec::new());
+        };
+        let mut warnings = Vec::new();
+        match cache.load(&profile, run) {
+            Ok(Some(data)) => return (data, true, warnings),
+            Ok(None) => {}
+            Err(e) => warnings.push(format!(
+                "rejected {}: {e}; regenerating",
+                cache.path_for(artifact_key(&profile, run)).display()
+            )),
+        }
+        let data = WorkloadData::generate_from_profile(&profile, run);
+        if let Err(e) = cache.store(&profile, run, &data) {
+            warnings.push(format!(
+                "cannot store {}: {e}",
+                cache.path_for(artifact_key(&profile, run)).display()
+            ));
+        }
+        (data, false, warnings)
     });
+    let mut data = Vec::with_capacity(results.len());
+    let mut summary = GenerationSummary::default();
+    for (d, hit, warnings) in results {
+        if hit {
+            summary.cache_hits += 1;
+        } else {
+            summary.generated += 1;
+        }
+        summary.warnings.extend(warnings);
+        data.push(d);
+    }
     Ok(GeneratedWorkloads {
         jobs,
         keys,
         data,
         run,
         smoke: options.smoke,
+        summary,
     })
 }
 
@@ -195,13 +270,87 @@ pub fn run_generated(
     options: &EngineOptions,
     generated: &GeneratedWorkloads,
 ) -> CampaignReport {
+    let outcome = run_generated_partial(
+        spec,
+        options,
+        generated,
+        &HashMap::new(),
+        RunPlan::default(),
+        None,
+    );
+    let stats: Vec<SimStats> = outcome
+        .stats
+        .into_iter()
+        .map(|s| s.expect("an unrestricted plan executes every job"))
+        .collect();
+    assemble_report(spec, &generated.jobs, generated.run, generated.smoke, stats)
+}
+
+/// Which subset of the expanded jobs one execution pass covers.
+///
+/// The default plan covers everything. Sharding restricts the pass to the
+/// job indices `i` with `i % count == index` over the canonical expansion —
+/// the `serve` worker protocol — and `limit` caps how many *missing* jobs
+/// the pass executes, which is how a resumable interruption is produced
+/// deterministically (in tests and in CI).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunPlan {
+    /// `(index, count)`: only execute jobs whose canonical index is
+    /// congruent to `index` modulo `count`.
+    pub shard: Option<(usize, usize)>,
+    /// Execute at most this many missing jobs, in canonical order.
+    pub limit: Option<usize>,
+}
+
+/// The per-job statistics known after a (possibly partial) execution pass:
+/// one slot per job in canonical order, `None` where the plan did not cover
+/// the job and no prior result was supplied.
+pub struct RunOutcome {
+    /// Per-job statistics, indexed by canonical job index.
+    pub stats: Vec<Option<SimStats>>,
+    /// Jobs actually executed by this pass (excludes replayed results).
+    pub executed: usize,
+}
+
+impl RunOutcome {
+    /// Number of jobs with known statistics.
+    pub fn completed(&self) -> usize {
+        self.stats.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// `true` when every job has statistics and a report can be assembled.
+    pub fn is_complete(&self) -> bool {
+        self.stats.iter().all(Option::is_some)
+    }
+}
+
+/// The per-row completion hook of [`run_generated_partial`]: invoked from
+/// the pool workers as each job finishes, in completion order.
+pub type RowObserver<'a> = dyn Fn(&Job, &SimStats) + Sync + 'a;
+
+/// The campaign's simulation phase over a subset of the jobs.
+///
+/// `done` supplies results replayed from a checkpoint journal (keyed by
+/// canonical job index); those jobs are not re-executed. `on_row` — if given
+/// — is invoked from the pool workers as each job completes, in completion
+/// order; this is the hook the streaming sinks and the checkpoint journal
+/// hang off. Per-job statistics are deterministic, so the final merged
+/// report is byte-identical no matter how the work was split across passes,
+/// shards or worker counts.
+pub fn run_generated_partial(
+    spec: &CampaignSpec,
+    options: &EngineOptions,
+    generated: &GeneratedWorkloads,
+    done: &HashMap<usize, SimStats>,
+    plan: RunPlan,
+    on_row: Option<&RowObserver<'_>>,
+) -> RunOutcome {
     let workers = if options.jobs == 0 {
         pool::default_workers()
     } else {
         options.jobs
     };
     let jobs = &generated.jobs;
-    let run = generated.run;
     let data_by_key: HashMap<(usize, u64), &WorkloadData> = generated
         .keys
         .iter()
@@ -209,19 +358,70 @@ pub fn run_generated(
         .zip(generated.data.iter())
         .collect();
 
-    // Phase 2: run every job on the work-stealing pool.
+    let mut pending: Vec<usize> = (0..jobs.len())
+        .filter(|i| !done.contains_key(i))
+        .filter(|i| match plan.shard {
+            Some((index, count)) => i % count.max(1) == index,
+            None => true,
+        })
+        .collect();
+    if let Some(limit) = plan.limit {
+        pending.truncate(limit);
+    }
+
     let configs: Vec<_> = spec.configs.iter().map(|c| c.build()).collect();
-    let stats: Vec<SimStats> = pool::run_indexed(workers, jobs, |_, job| {
+    let executed: Vec<SimStats> = pool::run_indexed(workers, &pending, |_, &i| {
+        let job = &jobs[i];
         let data = data_by_key[&(job.workload, job.seed)];
-        data.run_with_predictor_engine(
+        let stats = data.run_with_predictor_engine(
             job.mechanism,
             &configs[job.config],
             spec.predictor,
             options.engine,
-        )
+        );
+        if let Some(on_row) = on_row {
+            on_row(job, &stats);
+        }
+        stats
     });
 
-    // Phase 3: join each row with its group baseline, in job order.
+    let mut stats: Vec<Option<SimStats>> = vec![None; jobs.len()];
+    for (&i, s) in done {
+        stats[i] = Some(*s);
+    }
+    for (&i, s) in pending.iter().zip(&executed) {
+        stats[i] = Some(*s);
+    }
+    RunOutcome {
+        stats,
+        executed: pending.len(),
+    }
+}
+
+/// The campaign's aggregation phase: joins each job's statistics with its
+/// group's no-prefetch baseline, in canonical job order, producing the
+/// report. A pure function of `(spec, jobs, stats)` — which is what makes
+/// checkpoint-resumed, sharded and streamed campaigns byte-identical to
+/// one-shot runs. It deliberately does *not* need the generated workloads:
+/// a merge over fully-checkpointed journals (the `serve` collector path)
+/// can assemble the report without generating anything.
+///
+/// # Panics
+///
+/// Panics if `stats` does not hold one entry per expanded job (callers
+/// check [`RunOutcome::is_complete`] first).
+pub fn assemble_report(
+    spec: &CampaignSpec,
+    jobs: &[Job],
+    run: RunLength,
+    smoke: bool,
+    stats: Vec<SimStats>,
+) -> CampaignReport {
+    assert_eq!(
+        stats.len(),
+        jobs.len(),
+        "assemble_report needs statistics for every job"
+    );
     let mut baselines: HashMap<(usize, usize, u64), SimStats> = HashMap::new();
     for (job, s) in jobs.iter().zip(&stats) {
         if job.mechanism == Mechanism::Baseline {
@@ -248,7 +448,7 @@ pub fn run_generated(
     CampaignReport {
         spec: spec.clone(),
         effective_run: run,
-        smoke: generated.smoke,
+        smoke,
         rows,
     }
 }

@@ -54,6 +54,57 @@ impl Json {
         out
     }
 
+    /// Serialises on a single line with no whitespace — the form used for
+    /// JSONL streams (journals, row streams) where one record is one line.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                    if f.fract() == 0.0 && f.abs() < 1e15 {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_string(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -218,6 +269,21 @@ mod tests {
                 .pretty()
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn compact_is_single_line() {
+        let doc = Json::object()
+            .field("job", 3u64)
+            .field("ok", true)
+            .field("name", "a\"b")
+            .field("xs", vec![Json::UInt(1), Json::UInt(2)]);
+        assert_eq!(
+            doc.compact(),
+            "{\"job\":3,\"ok\":true,\"name\":\"a\\\"b\",\"xs\":[1,2]}"
+        );
+        assert_eq!(Json::object().compact(), "{}");
+        assert_eq!(Json::Array(vec![]).compact(), "[]");
     }
 
     #[test]

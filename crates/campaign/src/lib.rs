@@ -43,26 +43,32 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod artifact;
 pub mod bench;
+pub mod checkpoint;
 pub mod engine;
 pub mod expand;
 pub mod json;
 pub mod presets;
+pub mod serve;
 pub mod sink;
 pub mod spec;
 pub mod toml;
 
+pub use artifact::{artifact_key, ArtifactCache, ArtifactError, ARTIFACT_FORMAT, ARTIFACT_MAGIC};
 pub use bench::{
     bench_to_json, bench_to_table, check_against, fnv1a64, run_bench, BenchEntry, BenchOptions,
     BenchReport,
 };
+pub use checkpoint::{spec_hash, CheckpointError, Journal, JournalReplay, JOURNAL_FORMAT};
 pub use engine::{
-    derive_seed, generate_workloads, run_campaign, run_generated, CampaignReport, EngineOptions,
-    GeneratedWorkloads, RowResult,
+    assemble_report, derive_seed, generate_workloads, run_campaign, run_generated,
+    run_generated_partial, CampaignReport, EngineOptions, GeneratedWorkloads, GenerationSummary,
+    RowResult, RunOutcome, RunPlan,
 };
 pub use expand::{expand, Job};
 pub use presets::{Preset, PRESETS};
-pub use sink::{to_csv, to_json, to_table, write_reports, ReportPaths};
+pub use sink::{to_csv, to_json, to_table, write_reports, ReportPaths, StreamingSink};
 pub use spec::{
     mechanism_token, parse_mechanism, parse_predictor, parse_workload, CampaignSpec,
     ConfigOverride, ConfigPoint, NocSel, SpecError, WorkloadPoint, MAX_WORKLOAD_POINTS,

@@ -1,0 +1,320 @@
+//! `boomerang-sim serve`: a spool-directory campaign service.
+//!
+//! The service watches a spool directory for campaign spec submissions
+//! (`*.toml` files). Each submission is dispatched across `workers` child
+//! processes of the simulator binary itself, sharded over the canonical job
+//! expansion (`run --shard i/N`); every worker checkpoints its rows to its
+//! own journal in the submission's output directory, so a crashed or killed
+//! worker loses nothing but its in-flight job. When all workers exit, the
+//! collector replays the journals — *without* regenerating any workloads —
+//! assembles the canonical report, and writes the same `<name>.json` /
+//! `<name>.csv` bytes a one-shot `run` would have produced.
+//!
+//! Processed submissions are renamed `<file>.done` (or `<file>.failed`, with
+//! the reason in `<file>.error`), so the spool is also the service's queue
+//! state: resubmitting is just dropping the file in again.
+
+use crate::checkpoint::{spec_hash, JournalReplay};
+use crate::engine::assemble_report;
+use crate::expand::expand;
+use crate::sink::write_reports;
+use crate::spec::CampaignSpec;
+use boomerang::RunLength;
+use frontend::SimStats;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+/// How the service runs.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// The simulator binary to spawn workers from (normally
+    /// `std::env::current_exe()`; tests point it at the built binary).
+    pub binary: PathBuf,
+    /// Directory watched for `*.toml` spec submissions.
+    pub spool: PathBuf,
+    /// Root of the per-submission output directories.
+    pub out: PathBuf,
+    /// Worker *processes* per submission.
+    pub workers: usize,
+    /// Worker *threads* per process (`--jobs`; 0 = auto).
+    pub jobs: usize,
+    /// Run every submission at smoke length.
+    pub smoke: bool,
+    /// Shared content-addressed workload artifact cache for the workers.
+    pub artifact_cache: Option<PathBuf>,
+    /// Process the submissions present now, then exit (instead of polling).
+    pub once: bool,
+    /// Poll interval between spool scans in milliseconds.
+    pub poll_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            binary: PathBuf::new(),
+            spool: PathBuf::new(),
+            out: PathBuf::new(),
+            workers: 2,
+            jobs: 0,
+            smoke: false,
+            artifact_cache: None,
+            once: false,
+            poll_ms: 500,
+        }
+    }
+}
+
+/// What happened to one submission.
+#[derive(Clone, Debug)]
+pub struct ServeOutcome {
+    /// The submission file (its original spool path).
+    pub submission: PathBuf,
+    /// The campaign name, when the spec parsed far enough to have one.
+    pub campaign: String,
+    /// The output directory on success, the reason on failure.
+    pub result: Result<PathBuf, String>,
+}
+
+/// Runs the service loop. In `--once` mode processes the submissions present
+/// and returns their outcomes; otherwise polls forever (outcomes are
+/// reported through `report` as they happen in both modes).
+pub fn serve(
+    options: &ServeOptions,
+    report: &mut dyn FnMut(&ServeOutcome),
+) -> io::Result<Vec<ServeOutcome>> {
+    std::fs::create_dir_all(&options.spool)?;
+    std::fs::create_dir_all(&options.out)?;
+    let mut outcomes = Vec::new();
+    loop {
+        for submission in scan_spool(&options.spool)? {
+            let outcome = process_submission(&submission, options);
+            finalize_submission(&submission, &outcome);
+            report(&outcome);
+            outcomes.push(outcome);
+        }
+        if options.once {
+            return Ok(outcomes);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(options.poll_ms.max(10)));
+    }
+}
+
+/// The `*.toml` submissions currently in the spool, in name order.
+fn scan_spool(spool: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(spool)? {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "toml") && path.is_file() {
+            files.push(path);
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Marks a submission processed: `<file>.done` on success, `<file>.failed`
+/// plus a `<file>.error` note on failure.
+fn finalize_submission(submission: &Path, outcome: &ServeOutcome) {
+    let suffix = if outcome.result.is_ok() {
+        "done"
+    } else {
+        "failed"
+    };
+    let mut renamed = submission.as_os_str().to_owned();
+    renamed.push(format!(".{suffix}"));
+    if let Err(e) = std::fs::rename(submission, &renamed) {
+        eprintln!(
+            "serve: cannot rename {} to .{suffix}: {e}",
+            submission.display()
+        );
+    }
+    if let Err(reason) = &outcome.result {
+        let mut note = submission.as_os_str().to_owned();
+        note.push(".error");
+        let _ = std::fs::write(note, format!("{reason}\n"));
+    }
+}
+
+fn process_submission(submission: &Path, options: &ServeOptions) -> ServeOutcome {
+    let mut outcome = ServeOutcome {
+        submission: submission.to_path_buf(),
+        campaign: String::new(),
+        result: Err(String::new()),
+    };
+    let text = match std::fs::read_to_string(submission) {
+        Ok(text) => text,
+        Err(e) => {
+            outcome.result = Err(format!("cannot read submission: {e}"));
+            return outcome;
+        }
+    };
+    let spec = match CampaignSpec::from_toml_str(&text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            outcome.result = Err(format!("invalid spec: {e}"));
+            return outcome;
+        }
+    };
+    outcome.campaign = spec.name.clone();
+
+    let stem = submission
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("submission");
+    let dir = options.out.join(stem);
+    let run = if options.smoke {
+        RunLength::smoke_test()
+    } else {
+        spec.run
+    };
+    let hash = spec_hash(&spec, run, options.smoke);
+
+    // A previous half-processed submission with the same spec resumes; a
+    // different spec under the same stem is refused, not clobbered.
+    match JournalReplay::existing_hash(&dir, &spec.name) {
+        Ok(Some(existing)) if existing != hash => {
+            outcome.result = Err(format!(
+                "output directory {} already holds campaign `{}` with spec hash {existing}, \
+                 which does not match this submission's {hash}",
+                dir.display(),
+                spec.name
+            ));
+            return outcome;
+        }
+        Ok(_) => {}
+        Err(e) => {
+            outcome.result = Err(format!("cannot inspect output directory: {e}"));
+            return outcome;
+        }
+    }
+
+    let workers = options.workers.max(1);
+    outcome.result = dispatch_and_merge(submission, &spec, &dir, run, &hash, workers, options)
+        .map(|()| dir.clone());
+    outcome
+}
+
+/// Spawns the sharded workers, waits for them, then merges their journals
+/// into the canonical report.
+fn dispatch_and_merge(
+    submission: &Path,
+    spec: &CampaignSpec,
+    dir: &Path,
+    run: RunLength,
+    hash: &str,
+    workers: usize,
+    options: &ServeOptions,
+) -> Result<(), String> {
+    let mut children = Vec::new();
+    for shard in 0..workers {
+        let mut cmd = Command::new(&options.binary);
+        cmd.arg("run")
+            .arg(submission)
+            .arg("--out")
+            .arg(dir)
+            .arg("--shard")
+            .arg(format!("{shard}/{workers}"))
+            .arg("--resume")
+            .arg("--quiet")
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit());
+        if options.jobs > 0 {
+            cmd.arg("--jobs").arg(options.jobs.to_string());
+        }
+        if options.smoke {
+            cmd.arg("--smoke");
+        }
+        if let Some(cache) = &options.artifact_cache {
+            cmd.arg("--artifact-cache").arg(cache);
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                for mut child in children {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                return Err(format!("cannot spawn worker shard {shard}: {e}"));
+            }
+        }
+    }
+    let mut failures = Vec::new();
+    for (shard, mut child) in children.into_iter().enumerate() {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => failures.push(format!("worker shard {shard} exited with {status}")),
+            Err(e) => failures.push(format!("cannot wait for worker shard {shard}: {e}")),
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+
+    let jobs = expand(spec);
+    let replay = JournalReplay::load(dir, &spec.name, hash, &jobs).map_err(|e| e.to_string())?;
+    if replay.completed() != jobs.len() {
+        return Err(format!(
+            "workers exited cleanly but only {} of {} jobs are checkpointed",
+            replay.completed(),
+            jobs.len()
+        ));
+    }
+    let stats: Vec<SimStats> = (0..jobs.len()).map(|i| replay.rows[&i]).collect();
+    let report = assemble_report(spec, &jobs, run, options.smoke, stats);
+    write_reports(&report, dir).map_err(|e| format!("cannot write reports: {e}"))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("boomerang-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn spool_scan_sees_only_toml_in_name_order() {
+        let dir = temp_dir("scan");
+        std::fs::write(dir.join("b.toml"), "x").unwrap();
+        std::fs::write(dir.join("a.toml"), "x").unwrap();
+        std::fs::write(dir.join("c.toml.done"), "x").unwrap();
+        std::fs::write(dir.join("notes.txt"), "x").unwrap();
+        let found = scan_spool(&dir).unwrap();
+        let names: Vec<_> = found
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, ["a.toml", "b.toml"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unreadable_submission_fails_and_is_marked() {
+        let dir = temp_dir("badspec");
+        let spool = dir.join("spool");
+        std::fs::create_dir_all(&spool).unwrap();
+        std::fs::write(spool.join("bad.toml"), "not a spec at all = [").unwrap();
+        let options = ServeOptions {
+            binary: PathBuf::from("/nonexistent"),
+            spool: spool.clone(),
+            out: dir.join("out"),
+            once: true,
+            ..ServeOptions::default()
+        };
+        let outcomes = serve(&options, &mut |_| {}).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].result.is_err());
+        assert!(spool.join("bad.toml.failed").exists());
+        let note = std::fs::read_to_string(spool.join("bad.toml.error")).unwrap();
+        assert!(note.contains("invalid spec"), "{note}");
+        assert!(!spool.join("bad.toml").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

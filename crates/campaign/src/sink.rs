@@ -1,15 +1,25 @@
-//! Report rendering: JSON, CSV, and a human-readable table.
+//! Report rendering: JSON, CSV, a human-readable table — and streaming
+//! row sinks that flush each result the moment its job completes.
 //!
-//! All three renderers are pure functions of the [`CampaignReport`] row list,
+//! The batch renderers are pure functions of the [`CampaignReport`] row list,
 //! which the engine emits in canonical job order — so for a given spec the
-//! bytes written here are identical no matter how the sweep was sharded.
+//! bytes written here are identical no matter how the sweep was sharded. The
+//! [`StreamingSink`] complements them: it writes the *same row schema* in
+//! completion order while the campaign is still running, so long sweeps are
+//! observable (and greppable) before the canonical report exists.
 
 use crate::engine::{CampaignReport, RowResult};
+use crate::expand::Job;
 use crate::json::Json;
-use crate::spec::mechanism_token;
+use crate::spec::{mechanism_token, CampaignSpec};
+use boomerang::Mechanism;
+use frontend::SimStats;
+use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::io;
+use std::fs::File;
+use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// Renders the full JSON report.
 pub fn to_json(report: &CampaignReport) -> String {
@@ -74,35 +84,42 @@ fn row_json(row: &RowResult) -> Json {
         )
 }
 
-/// Renders the CSV report (header + one line per row, RFC-4180 quoting for
-/// the label fields).
+/// The CSV column header, shared by [`to_csv`] and the streaming CSV so the
+/// two can never drift.
+const CSV_HEADER: &str = "config,workload,mechanism,seed,baseline_ref,speedup,stall_coverage,ipc,\
+                          instructions,cycles,fetch_stall_cycles,btb_miss_rate,\
+                          mispredict_per_ki,btb_miss_per_ki";
+
+/// One CSV line (no trailing newline) for a row, RFC-4180 quoting for the
+/// label fields.
+fn csv_row(row: &RowResult) -> String {
+    let s = &row.stats;
+    let rates = s.squashes_per_kilo();
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        csv_field(&row.config_label),
+        csv_field(&row.workload_label),
+        csv_field(&mechanism_token(row.job.mechanism)),
+        row.job.seed,
+        row.job.implicit_baseline,
+        row.speedup(),
+        row.coverage(),
+        s.ipc(),
+        s.instructions,
+        s.cycles,
+        s.fetch_stall_cycles,
+        s.btb_miss_rate(),
+        rates.misprediction,
+        rates.btb_miss,
+    )
+}
+
+/// Renders the CSV report (header + one line per row).
 pub fn to_csv(report: &CampaignReport) -> String {
-    let mut out = String::from(
-        "config,workload,mechanism,seed,baseline_ref,speedup,stall_coverage,ipc,\
-         instructions,cycles,fetch_stall_cycles,btb_miss_rate,\
-         mispredict_per_ki,btb_miss_per_ki\n",
-    );
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
     for row in &report.rows {
-        let s = &row.stats;
-        let rates = s.squashes_per_kilo();
-        let _ = writeln!(
-            out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-            csv_field(&row.config_label),
-            csv_field(&row.workload_label),
-            csv_field(&mechanism_token(row.job.mechanism)),
-            row.job.seed,
-            row.job.implicit_baseline,
-            row.speedup(),
-            row.coverage(),
-            s.ipc(),
-            s.instructions,
-            s.cycles,
-            s.fetch_stall_cycles,
-            s.btb_miss_rate(),
-            rates.misprediction,
-            rates.btb_miss,
-        );
+        let _ = writeln!(out, "{}", csv_row(row));
     }
     out
 }
@@ -211,6 +228,116 @@ pub fn to_table(report: &CampaignReport) -> String {
     out
 }
 
+/// Streams report rows to `<name>.rows.jsonl` and `<name>.rows.csv` as jobs
+/// complete, in completion order.
+///
+/// The streamed rows use exactly the same schema as the final report (the
+/// JSONL lines are compact renderings of the JSON report's `results`
+/// entries; the CSV shares [`to_csv`]'s header), but the *order* is whatever
+/// the thread pool produced — the canonical, byte-stable report is still
+/// written at the end of the run and is the artifact of record.
+///
+/// Speedup and coverage need the group's baseline run, which may complete
+/// after other rows of its group: such rows are buffered and flushed the
+/// moment the baseline lands. Canonical job order puts every baseline before
+/// its group, so replaying checkpointed rows through [`StreamingSink::record`]
+/// in index order (what `resume` does) never leaves anything buffered.
+///
+/// `record` locks an internal mutex, so a `&StreamingSink` can be used
+/// directly from the engine's `on_row` worker-thread callback.
+#[derive(Debug)]
+pub struct StreamingSink {
+    paths: ReportPaths,
+    state: Mutex<StreamState>,
+}
+
+#[derive(Debug)]
+struct StreamState {
+    spec: CampaignSpec,
+    jsonl: File,
+    csv: File,
+    baselines: HashMap<(usize, usize, u64), SimStats>,
+    pending: HashMap<(usize, usize, u64), Vec<(Job, SimStats)>>,
+}
+
+impl StreamingSink {
+    /// Creates (truncating) the two stream files under `dir` and writes the
+    /// CSV header.
+    pub fn create(spec: &CampaignSpec, dir: &Path) -> io::Result<StreamingSink> {
+        std::fs::create_dir_all(dir)?;
+        let paths = ReportPaths {
+            json: dir.join(format!("{}.rows.jsonl", spec.name)),
+            csv: dir.join(format!("{}.rows.csv", spec.name)),
+        };
+        let jsonl = File::create(&paths.json)?;
+        let mut csv = File::create(&paths.csv)?;
+        writeln!(csv, "{CSV_HEADER}")?;
+        Ok(StreamingSink {
+            paths,
+            state: Mutex::new(StreamState {
+                spec: spec.clone(),
+                jsonl,
+                csv,
+                baselines: HashMap::new(),
+                pending: HashMap::new(),
+            }),
+        })
+    }
+
+    /// The stream file paths (`json` is the JSONL stream).
+    pub fn paths(&self) -> &ReportPaths {
+        &self.paths
+    }
+
+    /// Records one completed job. Baseline rows flush immediately (and
+    /// release any rows of their group that were waiting); other rows flush
+    /// immediately if their baseline is known, otherwise they wait for it.
+    pub fn record(&self, job: &Job, stats: &SimStats) -> io::Result<()> {
+        let mut state = self.state.lock().expect("stream sink mutex poisoned");
+        let group = (job.config, job.workload, job.seed);
+        if job.mechanism == Mechanism::Baseline {
+            state.baselines.insert(group, *stats);
+            state.emit(*job, *stats, *stats)?;
+            for (waiting_job, waiting_stats) in state.pending.remove(&group).unwrap_or_default() {
+                state.emit(waiting_job, waiting_stats, *stats)?;
+            }
+        } else if let Some(&baseline) = state.baselines.get(&group) {
+            state.emit(*job, *stats, baseline)?;
+        } else {
+            state.pending.entry(group).or_default().push((*job, *stats));
+        }
+        Ok(())
+    }
+
+    /// Number of rows still waiting for their group baseline. Non-zero only
+    /// when the run was cut short (e.g. `--max-rows`) before a group's
+    /// baseline completed — those rows are in the journal and will stream on
+    /// resume.
+    pub fn pending(&self) -> usize {
+        let state = self.state.lock().expect("stream sink mutex poisoned");
+        state.pending.values().map(Vec::len).sum()
+    }
+}
+
+impl StreamState {
+    fn emit(&mut self, job: Job, stats: SimStats, baseline: SimStats) -> io::Result<()> {
+        let row = RowResult {
+            job,
+            config_label: self.spec.configs[job.config].label.clone(),
+            workload_label: self.spec.workloads[job.workload].label.clone(),
+            stats,
+            baseline,
+        };
+        let mut line = row_json(&row).compact();
+        line.push('\n');
+        self.jsonl.write_all(line.as_bytes())?;
+        let mut csv_line = csv_row(&row);
+        csv_line.push('\n');
+        self.csv.write_all(csv_line.as_bytes())?;
+        Ok(())
+    }
+}
+
 /// The files a campaign run writes.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReportPaths {
@@ -296,6 +423,43 @@ mod tests {
         );
         // Three mechanism columns + the workload row label.
         assert_eq!(header.split_whitespace().count(), 4, "{header}");
+    }
+
+    #[test]
+    fn streaming_sink_matches_batch_rows_even_out_of_order() {
+        let report = tiny_report();
+        let dir = std::env::temp_dir().join(format!("boomerang-stream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sink = StreamingSink::create(&report.spec, &dir).unwrap();
+        // Feed rows in reverse completion order: mechanism rows arrive before
+        // their baseline and must be buffered, then flushed.
+        for row in report.rows.iter().rev() {
+            sink.record(&row.job, &row.stats).unwrap();
+        }
+        assert_eq!(sink.pending(), 0);
+        let paths = sink.paths().clone();
+        drop(sink);
+
+        let jsonl = std::fs::read_to_string(&paths.json).unwrap();
+        let mut streamed: Vec<&str> = jsonl.lines().collect();
+        let mut expected: Vec<String> = report.rows.iter().map(|r| row_json(r).compact()).collect();
+        streamed.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(streamed, expected);
+
+        let csv_stream = std::fs::read_to_string(&paths.csv).unwrap();
+        let batch = to_csv(&report);
+        assert_eq!(
+            csv_stream.lines().next(),
+            batch.lines().next(),
+            "same header"
+        );
+        let mut streamed: Vec<&str> = csv_stream.lines().skip(1).collect();
+        let mut expected: Vec<&str> = batch.lines().skip(1).collect();
+        streamed.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(streamed, expected);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -23,6 +23,7 @@ fn smoke_report(jobs: usize, engine: SimEngine) -> String {
             jobs,
             smoke: true,
             engine,
+            ..EngineOptions::default()
         },
     )
     .expect("smoke campaign runs");

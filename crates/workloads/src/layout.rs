@@ -409,6 +409,157 @@ impl CodeLayout {
     }
 }
 
+/// Builds the branch-per-line index in CSR form (see the field docs on
+/// [`CodeLayout`]): branch PCs are strictly increasing with the block id, so
+/// one counting pass suffices. Shared by generation and by the artifact
+/// decode path, which rebuilds the index instead of storing it.
+fn build_line_index(
+    geometry: LineGeometry,
+    blocks: &[StaticBlock],
+    code_end: Addr,
+) -> (CacheLine, Box<[u32]>, Box<[BlockId]>) {
+    let first_line = geometry.line_of(CODE_BASE);
+    let last_line = if code_end > CODE_BASE {
+        geometry.line_of(Addr::new(code_end.raw() - 1))
+    } else {
+        first_line
+    };
+    let num_lines = (last_line.0 - first_line.0 + 1) as usize;
+    let mut line_branch_offsets = vec![0u32; num_lines + 1];
+    for b in blocks {
+        let l = (geometry.line_of(b.branch_pc()).0 - first_line.0) as usize;
+        line_branch_offsets[l + 1] += 1;
+    }
+    for l in 0..num_lines {
+        line_branch_offsets[l + 1] += line_branch_offsets[l];
+    }
+    let line_branch_ids: Box<[BlockId]> = (0..blocks.len() as u32).map(BlockId).collect();
+    (
+        first_line,
+        line_branch_offsets.into_boxed_slice(),
+        line_branch_ids,
+    )
+}
+
+impl CodeLayout {
+    /// Reassembles a layout from decoded parts (the artifact-cache decode
+    /// path; see [`crate::codec`]): one `(instructions, flow)` pair per
+    /// block in layout order, plus the function table, service roots and
+    /// dispatcher. Every derived structure — block addresses, terminators,
+    /// the branch-per-line index, `code_end` — is rebuilt from the layout
+    /// invariants rather than stored.
+    ///
+    /// Returns a field-level error instead of panicking on inputs that
+    /// violate those invariants (the decode path feeds this untrusted bytes).
+    pub(crate) fn from_parts(
+        profile: WorkloadProfile,
+        geometry: LineGeometry,
+        raw: Vec<(u64, ControlFlow)>,
+        functions: Vec<Function>,
+        service_roots: Vec<FunctionId>,
+        dispatcher: FunctionId,
+    ) -> Result<Self, crate::codec::CodecError> {
+        use crate::codec::CodecError;
+        let err = |field, message: String| Err(CodecError { field, message });
+        if let Err(e) = profile.validate() {
+            return err("profile", e.to_string());
+        }
+        if raw.is_empty() {
+            return err("layout.blocks.len", "layout has no blocks".to_string());
+        }
+        let covered: u64 = functions.iter().map(|f| u64::from(f.num_blocks)).sum();
+        if covered != raw.len() as u64 {
+            return err(
+                "layout.functions",
+                format!(
+                    "functions cover {covered} blocks but {} are stored",
+                    raw.len()
+                ),
+            );
+        }
+
+        // Block addresses follow from contiguity; owners from the function
+        // table's contiguous ranges.
+        let mut starts = Vec::with_capacity(raw.len());
+        let mut cursor = CODE_BASE;
+        for (instructions, _) in &raw {
+            starts.push(cursor);
+            cursor = cursor.add_instructions(*instructions);
+        }
+        let code_end = cursor;
+        let mut owners: Vec<FunctionId> = Vec::with_capacity(raw.len());
+        for f in &functions {
+            owners.extend(std::iter::repeat_n(f.id, f.num_blocks as usize));
+        }
+
+        // Conditional and call blocks need a fall-through successor inside
+        // the same function; the trace generator relies on it.
+        for (idx, (_, flow)) in raw.iter().enumerate() {
+            if matches!(
+                flow,
+                ControlFlow::Conditional { .. }
+                    | ControlFlow::Call { .. }
+                    | ControlFlow::IndirectCall { .. }
+            ) {
+                let func = &functions[owners[idx].0 as usize];
+                if idx as u32 == func.first_block + func.num_blocks - 1 {
+                    return err(
+                        "block.flow",
+                        format!(
+                            "block {idx} of kind {} is the last block of its function \
+                             but needs a fall-through successor",
+                            flow.kind()
+                        ),
+                    );
+                }
+            }
+        }
+
+        let blocks: Vec<StaticBlock> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(idx, (instructions, flow))| {
+                let start = starts[idx];
+                let branch_pc = start.add_instructions(instructions - 1);
+                let kind = flow.kind();
+                let target_addr = match &flow {
+                    ControlFlow::Conditional { taken, .. } => Some(starts[taken.0 as usize]),
+                    ControlFlow::Jump { target } => Some(starts[target.0 as usize]),
+                    ControlFlow::Call { callee } => {
+                        Some(starts[functions[callee.0 as usize].entry.0 as usize])
+                    }
+                    _ => None,
+                };
+                let terminator = match target_addr {
+                    Some(t) => BranchInfo::direct(branch_pc, kind, t),
+                    None => BranchInfo::indirect(branch_pc, kind),
+                };
+                StaticBlock {
+                    id: BlockId(idx as u32),
+                    function: owners[idx],
+                    block: BasicBlock::new(start, instructions, terminator),
+                    flow,
+                }
+            })
+            .collect();
+
+        let (first_line, line_branch_offsets, line_branch_ids) =
+            build_line_index(geometry, &blocks, code_end);
+        Ok(CodeLayout {
+            profile,
+            geometry,
+            blocks,
+            functions,
+            first_line,
+            line_branch_offsets,
+            line_branch_ids,
+            service_roots,
+            dispatcher,
+            code_end,
+        })
+    }
+}
+
 /// Internal layout builder.
 struct Builder {
     profile: WorkloadProfile,
@@ -483,24 +634,8 @@ impl Builder {
             .map(|b| b.block.fall_through())
             .unwrap_or(CODE_BASE);
 
-        // Branch-per-line index in CSR form (see the field docs): branch PCs
-        // are strictly increasing, so one counting pass suffices.
-        let first_line = self.geometry.line_of(CODE_BASE);
-        let last_line = if code_end > CODE_BASE {
-            self.geometry.line_of(Addr::new(code_end.raw() - 1))
-        } else {
-            first_line
-        };
-        let num_lines = (last_line.0 - first_line.0 + 1) as usize;
-        let mut line_branch_offsets = vec![0u32; num_lines + 1];
-        for b in &blocks {
-            let l = (self.geometry.line_of(b.branch_pc()).0 - first_line.0) as usize;
-            line_branch_offsets[l + 1] += 1;
-        }
-        for l in 0..num_lines {
-            line_branch_offsets[l + 1] += line_branch_offsets[l];
-        }
-        let line_branch_ids: Box<[BlockId]> = (0..blocks.len() as u32).map(BlockId).collect();
+        let (first_line, line_branch_offsets, line_branch_ids) =
+            build_line_index(self.geometry, &blocks, code_end);
 
         CodeLayout {
             profile: self.profile,
@@ -508,7 +643,7 @@ impl Builder {
             blocks,
             functions,
             first_line,
-            line_branch_offsets: line_branch_offsets.into_boxed_slice(),
+            line_branch_offsets,
             line_branch_ids,
             service_roots,
             dispatcher: FunctionId(0),

@@ -33,10 +33,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod analysis;
+pub mod codec;
 pub mod layout;
 pub mod profile;
 pub mod trace;
 
+pub use codec::{profile_fingerprint, ByteReader, CodecError};
 pub use layout::{
     BlockId, BranchBehavior, CodeLayout, ControlFlow, Function, FunctionId, LayoutSummary,
     StaticBlock, CODE_BASE,

@@ -330,6 +330,17 @@ impl Trace {
         }
     }
 
+    /// Reassembles a trace from externally stored dynamic blocks (the
+    /// artifact-cache decode path; see [`crate::codec`]). The instruction
+    /// count is recomputed from the blocks.
+    pub fn from_blocks(blocks: Vec<DynamicBlock>) -> Self {
+        let instructions = blocks.iter().map(|b| b.instructions()).sum();
+        Trace {
+            blocks,
+            instructions,
+        }
+    }
+
     /// The dynamic blocks in execution order.
     pub fn blocks(&self) -> &[DynamicBlock] {
         &self.blocks
