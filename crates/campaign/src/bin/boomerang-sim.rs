@@ -11,15 +11,23 @@
 
 use boomerang::RunLength;
 use campaign::checkpoint::{spec_hash, Journal, JournalReplay};
-use campaign::serve::{serve, ServeOptions};
+use campaign::serve::{serve, ServeOptions, SubmissionStatus};
+use campaign::supervise::install_interrupt_handler;
 use campaign::{
-    assemble_report, presets, run_generated_partial, BenchOptions, CampaignSpec, EngineOptions,
-    Job, RunPlan, StreamingSink,
+    assemble_report, fault, presets, run_generated_partial, BenchOptions, CampaignSpec,
+    EngineOptions, Job, RunPlan, StreamingSink,
 };
 use frontend::SimStats;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Exit code of a serve run that finished with at least one partial
+/// (degraded) submission and no failures. Documented in the README's
+/// failure model; distinct from 1 (failure) so operators can tell "usable
+/// but damaged" from "unusable".
+const PARTIAL_EXIT_CODE: u8 = 4;
 
 const USAGE: &str =
     "boomerang-sim — declarative experiment campaigns for the Boomerang reproduction
@@ -49,12 +57,15 @@ OPTIONS:
                            resume hint (deterministic interruption)
     --shard <I/N>          Execute only jobs with index ≡ I (mod N) and write
                            a per-shard journal; no reports (worker mode)
+    --fault-inject <PLAN>  Arm deterministic fault points (testing; see the
+                           README's failure model for the plan syntax)
     --quiet                Suppress the progress banner and result table
     -h, --help             Show this help
 
 SERVE OPTIONS:
     --spool <DIR>          Directory watched for *.toml spec submissions;
-                           processed files become *.done / *.failed
+                           processed files become *.done / *.partial /
+                           *.failed
     --out <DIR>            Root of per-submission output dirs (default:
                            serve-out)
     --workers <N>          Worker processes per submission (default: 2)
@@ -63,6 +74,26 @@ SERVE OPTIONS:
     --artifact-cache <DIR> Shared workload artifact cache for all workers
     --once                 Process the submissions present now, then exit
     --poll-ms <MS>         Spool poll interval (default: 500)
+    --max-retries <N>      Restarts per crashed/hung worker shard
+                           (default: 2)
+    --worker-timeout-secs <S>
+                           Kill a worker with no journal progress for S
+                           seconds; counts as a retry (default: 300)
+    --backoff-ms <MS>      Base restart backoff, doubling per retry
+                           (default: 250)
+    --allow-partial        When a shard exhausts its retries, write a
+                           degraded report (missing rows marked) instead of
+                           failing; exit code 4 marks a partial run
+    --settle-ms <MS>       Skip submissions modified within the last MS
+                           (still being written; default: 0 = off)
+    --max-scans <N>        Stop after N spool scans (testing; default:
+                           0 = unlimited)
+    --fault-inject <PLAN>  Arm deterministic fault points in the service and
+                           its workers (testing)
+
+EXIT CODES:
+    0  success        1  failure (bad args, failed submission, I/O error)
+    4  serve completed with at least one partial submission and no failures
 
 BENCH OPTIONS (see README \"Performance\"):
     --preset <name>   Benchmark this preset (repeatable; default: figure9)
@@ -81,7 +112,7 @@ BENCH OPTIONS (see README \"Performance\"):
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
@@ -89,11 +120,11 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
         None | Some("-h") | Some("--help") => {
             print!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some("list-presets") => {
             println!(
@@ -113,7 +144,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     println!("{:<20} {:>5} {:>10}  workload axis: {labels}", "", "", "");
                 }
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some("run") => run_command(&args[1..], false),
         Some("resume") => run_command(&args[1..], true),
@@ -136,7 +167,7 @@ fn custom_axis_labels(spec: &CampaignSpec) -> Option<String> {
     })
 }
 
-fn bench_command(args: &[String]) -> Result<(), String> {
+fn bench_command(args: &[String]) -> Result<ExitCode, String> {
     let mut options = BenchOptions {
         presets: Vec::new(),
         ..BenchOptions::default()
@@ -184,7 +215,7 @@ fn bench_command(args: &[String]) -> Result<(), String> {
             "--quiet" => quiet = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
-                return Ok(());
+                return Ok(ExitCode::SUCCESS);
             }
             other => {
                 return Err(format!("unknown bench option `{other}`\n\n{USAGE}"));
@@ -218,10 +249,10 @@ fn bench_command(args: &[String]) -> Result<(), String> {
             );
         }
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn serve_command(args: &[String]) -> Result<(), String> {
+fn serve_command(args: &[String]) -> Result<ExitCode, String> {
     let mut options = ServeOptions {
         binary: std::env::current_exe()
             .map_err(|e| format!("cannot locate the simulator binary: {e}"))?,
@@ -229,6 +260,7 @@ fn serve_command(args: &[String]) -> Result<(), String> {
         ..ServeOptions::default()
     };
     let mut quiet = false;
+    let mut fault_plan: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -266,10 +298,49 @@ fn serve_command(args: &[String]) -> Result<(), String> {
                     .parse::<u64>()
                     .map_err(|_| format!("bad --poll-ms value `{ms}`"))?;
             }
+            "--max-retries" => {
+                let n = it.next().ok_or("--max-retries needs a count")?;
+                options.supervise.max_retries = n
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad --max-retries value `{n}`"))?;
+            }
+            "--worker-timeout-secs" => {
+                let s = it.next().ok_or("--worker-timeout-secs needs a value")?;
+                let secs = s
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|&s| s > 0.0)
+                    .ok_or_else(|| format!("bad --worker-timeout-secs value `{s}`"))?;
+                options.supervise.worker_timeout = Duration::from_secs_f64(secs);
+            }
+            "--backoff-ms" => {
+                let ms = it.next().ok_or("--backoff-ms needs a value")?;
+                options.supervise.backoff_base = Duration::from_millis(
+                    ms.parse::<u64>()
+                        .map_err(|_| format!("bad --backoff-ms value `{ms}`"))?,
+                );
+            }
+            "--allow-partial" => options.allow_partial = true,
+            "--settle-ms" => {
+                let ms = it.next().ok_or("--settle-ms needs a value")?;
+                options.settle_ms = ms
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad --settle-ms value `{ms}`"))?;
+            }
+            "--max-scans" => {
+                let n = it.next().ok_or("--max-scans needs a count")?;
+                options.max_scans = n
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad --max-scans value `{n}`"))?;
+            }
+            "--fault-inject" => {
+                let plan = it.next().ok_or("--fault-inject needs a plan")?;
+                fault_plan = Some(plan.clone());
+            }
             "--quiet" => quiet = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
-                return Ok(());
+                return Ok(ExitCode::SUCCESS);
             }
             other => return Err(format!("unknown serve option `{other}`\n\n{USAGE}")),
         }
@@ -277,6 +348,15 @@ fn serve_command(args: &[String]) -> Result<(), String> {
     if options.spool.as_os_str().is_empty() {
         return Err("serve needs --spool <DIR>".into());
     }
+    if let Some(plan) = &fault_plan {
+        fault::install(Some(plan))?;
+        // The workers inherit the plan through the environment; the
+        // supervisor stamps each spawn's life number next to it.
+        std::env::set_var(fault::FAULT_ENV, plan);
+    } else {
+        fault::install(None)?;
+    }
+    install_interrupt_handler();
     if !quiet {
         eprintln!(
             "serving spool {} into {} ({} worker processes{})",
@@ -287,7 +367,7 @@ fn serve_command(args: &[String]) -> Result<(), String> {
         );
     }
     let outcomes = serve(&options, &mut |outcome| match &outcome.result {
-        Ok(dir) => {
+        Ok(SubmissionStatus::Done(dir)) => {
             if !quiet {
                 eprintln!(
                     "serve: {} (campaign `{}`) -> {}",
@@ -297,6 +377,12 @@ fn serve_command(args: &[String]) -> Result<(), String> {
                 );
             }
         }
+        Ok(SubmissionStatus::Partial { dir, missing }) => eprintln!(
+            "serve: {} (campaign `{}`) -> {} PARTIAL ({missing} rows missing)",
+            outcome.submission.display(),
+            outcome.campaign,
+            dir.display()
+        ),
         Err(reason) => eprintln!("serve: {} FAILED: {reason}", outcome.submission.display()),
     })
     .map_err(|e| format!("serve loop: {e}"))?;
@@ -304,10 +390,21 @@ fn serve_command(args: &[String]) -> Result<(), String> {
     if failed > 0 {
         return Err(format!("{failed} of {} submissions failed", outcomes.len()));
     }
-    Ok(())
+    let partial = outcomes
+        .iter()
+        .filter(|o| matches!(o.result, Ok(SubmissionStatus::Partial { .. })))
+        .count();
+    if partial > 0 {
+        eprintln!(
+            "serve: {partial} of {} submissions completed partially",
+            outcomes.len()
+        );
+        return Ok(ExitCode::from(PARTIAL_EXIT_CODE));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
-fn run_command(args: &[String], command_resume: bool) -> Result<(), String> {
+fn run_command(args: &[String], command_resume: bool) -> Result<ExitCode, String> {
     let mut spec_path: Option<PathBuf> = None;
     let mut preset: Option<String> = None;
     let mut jobs: usize = 0;
@@ -319,6 +416,7 @@ fn run_command(args: &[String], command_resume: bool) -> Result<(), String> {
     let mut shard: Option<(usize, usize)> = None;
     let mut max_rows: Option<usize> = None;
     let mut artifact_cache: Option<PathBuf> = None;
+    let mut fault_plan: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -358,10 +456,14 @@ fn run_command(args: &[String], command_resume: bool) -> Result<(), String> {
                 let dir = it.next().ok_or("--artifact-cache needs a directory")?;
                 artifact_cache = Some(PathBuf::from(dir));
             }
+            "--fault-inject" => {
+                let plan = it.next().ok_or("--fault-inject needs a plan")?;
+                fault_plan = Some(plan.clone());
+            }
             "--quiet" => quiet = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
-                return Ok(());
+                return Ok(ExitCode::SUCCESS);
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`\n\n{USAGE}"));
@@ -389,6 +491,12 @@ fn run_command(args: &[String], command_resume: bool) -> Result<(), String> {
             CampaignSpec::from_toml_str(&text).map_err(|e| format!("{}: {e}", path.display()))?
         }
     };
+
+    // Arm the fault plan (explicit flag or inherited environment) before any
+    // fault point can run, and register which shard this process executes so
+    // `shard=` filters can address it.
+    fault::install(fault_plan.as_deref())?;
+    fault::set_worker_shard(shard.map(|(index, _)| index).unwrap_or(0));
 
     let run = if smoke {
         RunLength::smoke_test()
@@ -589,7 +697,7 @@ fn run_command(args: &[String], command_resume: bool) -> Result<(), String> {
             if !quiet {
                 eprintln!("shard complete: all {} rows checkpointed", jobs_list.len());
             }
-            return Ok(());
+            return Ok(ExitCode::SUCCESS);
         }
         let report = assemble_report(&spec, &jobs_list, run, smoke, stats);
         let paths = campaign::write_reports(&report, &out_dir)
@@ -626,7 +734,7 @@ fn run_command(args: &[String], command_resume: bool) -> Result<(), String> {
             );
         }
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Parses `I/N` shard syntax; `0/1` (or any `i/1`) means "everything" and

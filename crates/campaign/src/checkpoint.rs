@@ -26,6 +26,7 @@
 
 use crate::bench::fnv1a64;
 use crate::expand::Job;
+use crate::fault;
 use crate::json::Json;
 use crate::spec::{mechanism_token, CampaignSpec};
 use boomerang::RunLength;
@@ -191,6 +192,11 @@ impl Journal {
 
     /// Creates (truncating) the journal for a fresh run and writes the
     /// header line.
+    ///
+    /// The header is written to a `.tmp-<pid>` sibling and renamed into
+    /// place, so a concurrently starting sibling shard (whose spec-mismatch
+    /// check scans *every* journal in the directory) can never observe a
+    /// created-but-headerless journal file.
     pub fn create(
         dir: &Path,
         campaign: &str,
@@ -200,7 +206,7 @@ impl Journal {
     ) -> io::Result<Journal> {
         std::fs::create_dir_all(dir)?;
         let path = Journal::path_for(dir, campaign, shard);
-        let mut file = File::create(&path)?;
+        let tmp = path.with_extension(format!("jsonl.tmp-{}", std::process::id()));
         let (shard_index, shard_count) = shard.unwrap_or((0, 1));
         let header = Json::object()
             .field("journal_format", JOURNAL_FORMAT)
@@ -209,8 +215,12 @@ impl Journal {
             .field("jobs", jobs)
             .field("shard_index", shard_index)
             .field("shard_count", shard_count);
+        let mut file = File::create(&tmp)?;
         writeln!(file, "{}", header.compact())?;
         file.sync_data().ok();
+        drop(file);
+        std::fs::rename(&tmp, &path)?;
+        let file = OpenOptions::new().append(true).open(&path)?;
         Ok(Journal {
             path,
             file: Mutex::new(file),
@@ -220,13 +230,27 @@ impl Journal {
     /// Reopens an existing journal in append mode (resume). The caller is
     /// expected to have validated the header via [`JournalReplay::load`]
     /// first.
+    ///
+    /// A process killed mid-`record` leaves an unterminated final line, which
+    /// replay tolerates — but appending *after* it would weld the new row
+    /// onto the torn prefix, turning tolerated tail damage into fatal
+    /// interior corruption. So the reopen first truncates the file back to
+    /// the end of its last complete (newline-terminated) line.
     pub fn append(
         dir: &Path,
         campaign: &str,
         shard: Option<(usize, usize)>,
     ) -> io::Result<Journal> {
         let path = Journal::path_for(dir, campaign, shard);
+        let bytes = std::fs::read(&path)?;
+        let keep = match bytes.iter().rposition(|&b| b == b'\n') {
+            Some(last_newline) => last_newline + 1,
+            None => 0,
+        };
         let file = OpenOptions::new().append(true).open(&path)?;
+        if keep < bytes.len() {
+            file.set_len(keep as u64)?;
+        }
         Ok(Journal {
             path,
             file: Mutex::new(file),
@@ -241,6 +265,11 @@ impl Journal {
     /// Appends one completed job. The full line is written in a single
     /// syscall so a kill can at worst truncate the final line — which replay
     /// tolerates — never interleave two rows.
+    ///
+    /// This is also the worker row loop's fault point: an armed
+    /// [`crate::fault`] plan can tear the line mid-write, exit after the
+    /// durable write, or hang here — the three crash signatures the
+    /// supervisor must survive.
     pub fn record(&self, job: &Job, stats: &SimStats) -> io::Result<()> {
         let mut row = Json::object()
             .field("job", job.index)
@@ -251,9 +280,26 @@ impl Journal {
         }
         let mut line = row.compact();
         line.push('\n');
+        let faults = fault::on_row_append();
         let mut file = self.file.lock().expect("journal mutex poisoned");
+        if faults.torn_tail {
+            // The mid-`write` kill signature: a prefix of the line, no
+            // newline, then death.
+            let torn = &line.as_bytes()[..line.len() / 2];
+            file.write_all(torn)?;
+            file.flush()?;
+            fault::exit_now();
+        }
         file.write_all(line.as_bytes())?;
-        file.flush()
+        file.flush()?;
+        drop(file);
+        if faults.exit {
+            fault::exit_now();
+        }
+        if faults.hang {
+            fault::hang_now();
+        }
+        Ok(())
     }
 
     /// Deletes every journal file for `campaign` in `dir` (the `--force`
@@ -264,6 +310,20 @@ impl Journal {
         }
         Ok(())
     }
+}
+
+/// A cheap, monotonic progress probe for hang detection: the total byte size
+/// of every journal file for `campaign` in `dir`. Journals are append-only
+/// while a worker runs, so a growing number means rows are landing and a
+/// static one means the fleet is stalled. Unreadable files count as zero —
+/// the supervisor polls this between `try_wait`s and must never error out.
+pub fn journal_progress(dir: &Path, campaign: &str) -> u64 {
+    journal_files(dir, campaign)
+        .unwrap_or_default()
+        .iter()
+        .filter_map(|path| std::fs::metadata(path).ok())
+        .map(|meta| meta.len())
+        .sum()
 }
 
 /// All journal files for `campaign` in `dir`, sorted by name for
@@ -771,6 +831,48 @@ mod tests {
         let replay = JournalReplay::load(&dir, &spec.name, &hash, &jobs).unwrap();
         assert_eq!(replay.completed(), 1);
         assert_eq!(replay.rows[&0], stats(0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_after_torn_tail_truncates_not_welds() {
+        let dir = temp_dir("tornappend");
+        let spec = spec();
+        let jobs = crate::expand::expand(&spec);
+        let hash = spec_hash(&spec, RunLength::smoke_test(), true);
+        let journal = Journal::create(&dir, &spec.name, &hash, jobs.len(), None).unwrap();
+        journal.record(&jobs[0], &stats(0)).unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+
+        // Kill mid-write of row 2: an unterminated prefix at the tail.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"job\":1,\"mechanism\":\"fd");
+        std::fs::write(&path, &text).unwrap();
+
+        // Resume must drop the torn prefix, not weld the new row onto it
+        // (which would be fatal interior corruption on the next replay).
+        let journal = Journal::append(&dir, &spec.name, None).unwrap();
+        journal.record(&jobs[1], &stats(1)).unwrap();
+        drop(journal);
+        let replay = JournalReplay::load(&dir, &spec.name, &hash, &jobs).unwrap();
+        assert_eq!(replay.completed(), 2);
+        assert_eq!(replay.rows[&1], stats(1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn progress_probe_grows_with_rows_and_tolerates_absence() {
+        let dir = temp_dir("progress");
+        let spec = spec();
+        assert_eq!(journal_progress(&dir, &spec.name), 0);
+        let jobs = crate::expand::expand(&spec);
+        let hash = spec_hash(&spec, RunLength::smoke_test(), true);
+        let journal = Journal::create(&dir, &spec.name, &hash, jobs.len(), None).unwrap();
+        let after_header = journal_progress(&dir, &spec.name);
+        assert!(after_header > 0);
+        journal.record(&jobs[0], &stats(0)).unwrap();
+        assert!(journal_progress(&dir, &spec.name) > after_header);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -453,6 +453,139 @@ pub fn assemble_report(
     }
 }
 
+/// One row of a degraded report: present with its baseline, present without
+/// it, or lost with its shard.
+#[derive(Clone, Debug)]
+pub enum PartialRow {
+    /// The job and its group baseline both checkpointed — a full row.
+    Present(RowResult),
+    /// The job checkpointed but its group's baseline row did not, so the
+    /// derived metrics (speedup, coverage) cannot be computed.
+    NoBaseline {
+        /// The job this row reports.
+        job: Job,
+        /// Label of the job's config point.
+        config_label: String,
+        /// Label of the job's workload-axis point.
+        workload_label: String,
+        /// The job's own statistics (absolute counters are still valid).
+        stats: SimStats,
+    },
+    /// The job never checkpointed (its shard exhausted its retries).
+    Missing {
+        /// The job this row stands in for.
+        job: Job,
+        /// Label of the job's config point.
+        config_label: String,
+        /// Label of the job's workload-axis point.
+        workload_label: String,
+    },
+}
+
+impl PartialRow {
+    /// The row's status token as rendered in the JSON/CSV `status` column.
+    pub fn status(&self) -> &'static str {
+        match self {
+            PartialRow::Present(_) => "ok",
+            PartialRow::NoBaseline { .. } => "no-baseline",
+            PartialRow::Missing { .. } => "missing",
+        }
+    }
+}
+
+/// A campaign report assembled from incomplete statistics — the graceful-
+/// degradation output of `--allow-partial`. Every canonical job appears
+/// exactly once, explicitly marked, so a reader can see precisely which
+/// cells are trustworthy and which died with their shard.
+#[derive(Clone, Debug)]
+pub struct PartialReport {
+    /// The spec that produced the report.
+    pub spec: CampaignSpec,
+    /// The run length actually simulated.
+    pub effective_run: RunLength,
+    /// Whether the run was a smoke run.
+    pub smoke: bool,
+    /// One row per job, in canonical job order.
+    pub rows: Vec<PartialRow>,
+    /// Why the report is partial (one note per supervision failure).
+    pub degraded: Vec<String>,
+}
+
+impl PartialReport {
+    /// Number of jobs with no checkpointed statistics.
+    pub fn missing(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r, PartialRow::Missing { .. }))
+            .count()
+    }
+}
+
+/// The graceful-degradation counterpart of [`assemble_report`]: accepts a
+/// statistics slot per job with holes (`None`) where a shard died, and
+/// classifies every row instead of panicking. Present rows join their group
+/// baseline exactly as the full path does — a partial report's `ok` rows
+/// carry the same numbers the complete report would.
+pub fn assemble_partial_report(
+    spec: &CampaignSpec,
+    jobs: &[Job],
+    run: RunLength,
+    smoke: bool,
+    stats: &[Option<SimStats>],
+    degraded: Vec<String>,
+) -> PartialReport {
+    assert_eq!(
+        stats.len(),
+        jobs.len(),
+        "assemble_partial_report needs a statistics slot for every job"
+    );
+    let mut baselines: HashMap<(usize, usize, u64), SimStats> = HashMap::new();
+    for (job, s) in jobs.iter().zip(stats) {
+        if job.mechanism == Mechanism::Baseline {
+            if let Some(s) = s {
+                baselines.insert((job.config, job.workload, job.seed), *s);
+            }
+        }
+    }
+    let rows = jobs
+        .iter()
+        .zip(stats)
+        .map(|(job, s)| {
+            let config_label = spec.configs[job.config].label.clone();
+            let workload_label = spec.workloads[job.workload].label.clone();
+            match s {
+                None => PartialRow::Missing {
+                    job: *job,
+                    config_label,
+                    workload_label,
+                },
+                Some(s) => match baselines.get(&(job.config, job.workload, job.seed)) {
+                    Some(&baseline) => PartialRow::Present(RowResult {
+                        job: *job,
+                        config_label,
+                        workload_label,
+                        stats: *s,
+                        baseline,
+                    }),
+                    None => PartialRow::NoBaseline {
+                        job: *job,
+                        config_label,
+                        workload_label,
+                        stats: *s,
+                    },
+                },
+            }
+        })
+        .collect();
+    PartialReport {
+        spec: spec.clone(),
+        effective_run: run,
+        smoke,
+        rows,
+        degraded,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -490,6 +623,39 @@ mod tests {
             assert!(row.stats.instructions > 0);
             assert_eq!(row.baseline, base.stats);
         }
+    }
+
+    #[test]
+    fn partial_assembly_classifies_every_hole() {
+        let spec = CampaignSpec::from_toml_str(
+            "name = \"t\"\nworkloads = [\"nutch\", \"zeus\"]\nmechanisms = [\"fdip\"]\n\n[run]\ntrace_blocks = 2000\nwarmup_blocks = 400\n",
+        )
+        .unwrap();
+        let report = run_campaign(&spec, &EngineOptions::default()).unwrap();
+        // 4 jobs: (nutch, zeus) x (baseline, fdip). Drop zeus's baseline
+        // (index 2) and nutch's fdip (index 1).
+        let mut stats: Vec<Option<SimStats>> = report.rows.iter().map(|r| Some(r.stats)).collect();
+        stats[1] = None;
+        stats[2] = None;
+        let jobs: Vec<Job> = report.rows.iter().map(|r| r.job).collect();
+        let partial = assemble_partial_report(
+            &spec,
+            &jobs,
+            report.effective_run,
+            report.smoke,
+            &stats,
+            vec!["shard 1 failed".into()],
+        );
+        let statuses: Vec<&str> = partial.rows.iter().map(PartialRow::status).collect();
+        assert_eq!(statuses, ["ok", "missing", "missing", "no-baseline"]);
+        assert_eq!(partial.missing(), 2);
+        // The surviving full row carries the same numbers as the complete
+        // report's.
+        let PartialRow::Present(row) = &partial.rows[0] else {
+            panic!("row 0 should be present");
+        };
+        assert_eq!(row.stats, report.rows[0].stats);
+        assert_eq!(row.baseline, report.rows[0].baseline);
     }
 
     #[test]

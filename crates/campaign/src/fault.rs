@@ -1,0 +1,478 @@
+//! Deterministic fault injection for the campaign service.
+//!
+//! FIPAC-style fault injection treats faults as a first-class adversary; this
+//! module treats them as a first-class *test harness* for the service that
+//! runs the campaigns. A **fault plan** — parsed from the [`FAULT_ENV`]
+//! environment variable or the `--fault-inject` CLI flag — arms named fault
+//! points compiled into the worker row loop, the checkpoint-journal append,
+//! the artifact store, the report write and the spool scan. With no plan the
+//! points are inert (one relaxed atomic load), so the exact crash paths the
+//! supervisor must survive can be exercised deterministically in CI without
+//! a separate chaos build.
+//!
+//! # Plan syntax
+//!
+//! A plan is a comma-separated list of faults, each a kind plus optional
+//! `key=value` filters separated by `:`
+//!
+//! ```text
+//! worker-exit:shard=1:after-rows=3
+//! worker-hang:shard=0:after-rows=5
+//! journal-torn-tail:shard=0:after-rows=2
+//! artifact-corrupt:nth=2
+//! report-torn
+//! spool-scan-error:nth=1,worker-exit:shard=1:after-rows=3:lives=2
+//! ```
+//!
+//! | kind                | fires at                            | effect |
+//! |---------------------|-------------------------------------|--------|
+//! | `worker-exit`       | the `after-rows`-th checkpointed row | `exit(113)` after the row is durably journaled |
+//! | `worker-hang`       | the `after-rows`-th checkpointed row | sleeps forever (journal progress stalls) |
+//! | `journal-torn-tail` | the `after-rows`-th journal append  | writes a prefix of the row line, then `exit(113)` |
+//! | `artifact-corrupt`  | the `nth` artifact store            | flips a payload byte after checksumming (load rejects) |
+//! | `report-torn`       | the `nth` report-file write         | writes half the bytes, then `exit(113)` |
+//! | `spool-scan-error`  | the `nth` spool scan                | the scan returns an injected I/O error |
+//!
+//! Filters: `shard=N` restricts a row fault to the worker process running
+//! that shard of the canonical expansion (default: any); `after-rows=N`
+//! fires when this process's checkpointed-row count reaches exactly `N`
+//! (default 1); `nth=N` fires on the `N`-th event of a counter fault
+//! (default 1); `lives=K` (or `lives=all`) arms the fault only while the
+//! worker's supervised life number — [`FAULT_LIFE_ENV`], set by the
+//! supervisor on every (re)spawn, default 1 — is at most `K` (default 1).
+//! The life filter is what makes crash-recovery tests deterministic: a
+//! restarted worker inherits the same plan but runs at life 2, so a
+//! `lives=1` fault fires once and the retry recovers, while `lives=all`
+//! models a persistent failure that exhausts the retry budget.
+//!
+//! Row counts are per process life: `after-rows` compares against rows
+//! *checkpointed by this process*, not rows replayed from the journal, so a
+//! resumed worker's counter starts at zero again — which is exactly what a
+//! `lives` bound needs to reason about.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable holding the fault plan. Worker processes inherit it
+/// from the `serve` supervisor, so one plan arms the whole process tree.
+pub const FAULT_ENV: &str = "BOOMERANG_FAULT";
+
+/// Environment variable carrying a worker's supervised life number
+/// (1-based). The supervisor sets it on every spawn; unset means life 1.
+pub const FAULT_LIFE_ENV: &str = "BOOMERANG_FAULT_LIFE";
+
+/// Exit code of every injected crash (`worker-exit`, `journal-torn-tail`,
+/// `report-torn`). Distinct from real failure codes so supervisor logs can
+/// label injected deaths.
+pub const FAULT_EXIT_CODE: i32 = 113;
+
+/// The named fault points a plan can arm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Exit the process right after a row is durably checkpointed.
+    WorkerExit,
+    /// Stop making progress forever after a checkpointed row (the journal
+    /// stops growing, which is what hang detection watches).
+    WorkerHang,
+    /// Write only a prefix of a journal row line, then exit — the
+    /// mid-`write` kill signature.
+    JournalTornTail,
+    /// Corrupt one byte of an artifact payload after its checksum was
+    /// computed, so a later load fails verification.
+    ArtifactCorrupt,
+    /// Exit midway through writing a report file (before the atomic
+    /// rename).
+    ReportTorn,
+    /// Make one spool scan return an I/O error.
+    SpoolScanError,
+}
+
+impl FaultKind {
+    fn name(self) -> &'static str {
+        match self {
+            FaultKind::WorkerExit => "worker-exit",
+            FaultKind::WorkerHang => "worker-hang",
+            FaultKind::JournalTornTail => "journal-torn-tail",
+            FaultKind::ArtifactCorrupt => "artifact-corrupt",
+            FaultKind::ReportTorn => "report-torn",
+            FaultKind::SpoolScanError => "spool-scan-error",
+        }
+    }
+
+    /// Row faults count checkpointed rows and accept the `shard`/`after-rows`
+    /// filters; counter faults count their own events and accept `nth`.
+    fn is_row_fault(self) -> bool {
+        matches!(
+            self,
+            FaultKind::WorkerExit | FaultKind::WorkerHang | FaultKind::JournalTornTail
+        )
+    }
+}
+
+/// One armed fault: a kind plus its firing filters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Which fault point this arms.
+    pub kind: FaultKind,
+    /// Row faults only: fire only in the worker running this shard of the
+    /// canonical expansion (`None` = any shard).
+    pub shard: Option<usize>,
+    /// Row faults: fire when the process's checkpointed-row count reaches
+    /// exactly this (1-based).
+    pub after_rows: u64,
+    /// Counter faults: fire on this event ordinal (1-based).
+    pub nth: u64,
+    /// Fire only while the worker's life number is at most this.
+    pub lives: u64,
+}
+
+impl FaultSpec {
+    fn new(kind: FaultKind) -> FaultSpec {
+        FaultSpec {
+            kind,
+            shard: None,
+            after_rows: 1,
+            nth: 1,
+            lives: 1,
+        }
+    }
+}
+
+/// A parsed fault plan: the list of armed faults, in plan order. The first
+/// matching fault acts on any given event.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The armed faults.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// Parses the `--fault-inject` / [`FAULT_ENV`] syntax. An empty string
+    /// is the empty (inert) plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending entry on unknown kinds,
+    /// unknown or misapplied filter keys, and unparseable values.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut faults = Vec::new();
+        for entry in text.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let mut parts = entry.split(':');
+            let kind_name = parts.next().expect("split yields at least one part");
+            let kind = match kind_name {
+                "worker-exit" => FaultKind::WorkerExit,
+                "worker-hang" => FaultKind::WorkerHang,
+                "journal-torn-tail" => FaultKind::JournalTornTail,
+                "artifact-corrupt" => FaultKind::ArtifactCorrupt,
+                "report-torn" => FaultKind::ReportTorn,
+                "spool-scan-error" => FaultKind::SpoolScanError,
+                other => {
+                    return Err(format!(
+                        "fault plan entry `{entry}`: unknown fault kind `{other}`"
+                    ))
+                }
+            };
+            let mut spec = FaultSpec::new(kind);
+            for filter in parts {
+                let (key, value) = filter.split_once('=').ok_or_else(|| {
+                    format!("fault plan entry `{entry}`: filter `{filter}` is not key=value")
+                })?;
+                let number = |value: &str| {
+                    value.parse::<u64>().map_err(|_| {
+                        format!("fault plan entry `{entry}`: bad `{key}` value `{value}`")
+                    })
+                };
+                match key {
+                    "shard" if kind.is_row_fault() => {
+                        spec.shard = Some(number(value)? as usize);
+                    }
+                    "after-rows" if kind.is_row_fault() => {
+                        let n = number(value)?;
+                        if n == 0 {
+                            return Err(format!(
+                                "fault plan entry `{entry}`: `after-rows` must be at least 1"
+                            ));
+                        }
+                        spec.after_rows = n;
+                    }
+                    "nth" if !kind.is_row_fault() => {
+                        let n = number(value)?;
+                        if n == 0 {
+                            return Err(format!(
+                                "fault plan entry `{entry}`: `nth` must be at least 1"
+                            ));
+                        }
+                        spec.nth = n;
+                    }
+                    "lives" => {
+                        spec.lives = if value == "all" {
+                            u64::MAX
+                        } else {
+                            let n = number(value)?;
+                            if n == 0 {
+                                return Err(format!(
+                                    "fault plan entry `{entry}`: `lives` must be at least 1 \
+                                     (or `all`)"
+                                ));
+                            }
+                            n
+                        };
+                    }
+                    _ => {
+                        return Err(format!(
+                            "fault plan entry `{entry}`: filter `{key}` does not apply to \
+                             `{}`",
+                            kind.name()
+                        ))
+                    }
+                }
+            }
+            faults.push(spec);
+        }
+        Ok(FaultPlan { faults })
+    }
+
+    /// `true` when no fault is armed.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// The process-wide fault runtime: the plan plus the event counters the
+/// filters compare against.
+struct FaultState {
+    plan: FaultPlan,
+    /// This process's supervised life number (1-based).
+    life: u64,
+    /// The shard of the canonical expansion this process executes
+    /// ([`set_worker_shard`]); `u64::MAX` until registered.
+    shard: AtomicU64,
+    rows: AtomicU64,
+    artifact_stores: AtomicU64,
+    report_writes: AtomicU64,
+    spool_scans: AtomicU64,
+}
+
+static STATE: OnceLock<Result<FaultState, String>> = OnceLock::new();
+
+fn build_state(plan_text: Option<&str>) -> Result<FaultState, String> {
+    let text = match plan_text {
+        Some(text) => text.to_string(),
+        None => std::env::var(FAULT_ENV).unwrap_or_default(),
+    };
+    let plan = FaultPlan::parse(&text)?;
+    let life = match std::env::var(FAULT_LIFE_ENV) {
+        Ok(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("bad {FAULT_LIFE_ENV} value `{v}`"))?
+            .max(1),
+        Err(_) => 1,
+    };
+    Ok(FaultState {
+        plan,
+        life,
+        shard: AtomicU64::new(u64::MAX),
+        rows: AtomicU64::new(0),
+        artifact_stores: AtomicU64::new(0),
+        report_writes: AtomicU64::new(0),
+        spool_scans: AtomicU64::new(0),
+    })
+}
+
+/// Installs the process's fault plan from an explicit `--fault-inject`
+/// string, or — when `None` — from [`FAULT_ENV`]. Idempotent for the same
+/// plan; call before any fault point runs (the points self-initialise from
+/// the environment otherwise).
+///
+/// # Errors
+///
+/// Returns the parse error of a malformed plan, or a conflict message if a
+/// different plan was already installed in this process.
+pub fn install(plan_text: Option<&str>) -> Result<(), String> {
+    let state = STATE.get_or_init(|| build_state(plan_text));
+    match state {
+        Err(e) => Err(e.clone()),
+        Ok(installed) => {
+            if let Some(text) = plan_text {
+                let wanted = FaultPlan::parse(text)?;
+                if installed.plan != wanted {
+                    return Err(
+                        "a different fault plan is already active in this process".to_string()
+                    );
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// The live state, or `None` when the plan is empty (the fast path).
+fn active() -> Option<&'static FaultState> {
+    let state = STATE.get_or_init(|| build_state(None));
+    match state {
+        Ok(state) if !state.plan.is_empty() => Some(state),
+        Ok(_) => None,
+        // `install` surfaces parse errors cleanly at startup; a fault point
+        // reached with a plan that never parsed must not run unprotected.
+        Err(e) => panic!("{FAULT_ENV} did not parse: {e}"),
+    }
+}
+
+/// Registers which shard of the canonical expansion this process executes
+/// (the `--shard I/N` index; unsharded runs register 0), so `shard=` filters
+/// can address one worker of a supervised fleet.
+pub fn set_worker_shard(shard: usize) {
+    if let Some(state) = active() {
+        state.shard.store(shard as u64, Ordering::Relaxed);
+    }
+}
+
+/// The row faults due at one checkpointed row, in effect order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RowFaults {
+    /// Write a torn row line and exit instead of the full line.
+    pub torn_tail: bool,
+    /// Exit (with [`FAULT_EXIT_CODE`]) after the row is durably written.
+    pub exit: bool,
+    /// Stop making progress forever after the row is written.
+    pub hang: bool,
+}
+
+impl RowFaults {
+    /// `true` when no row fault fires.
+    pub fn is_inert(&self) -> bool {
+        *self == RowFaults::default()
+    }
+}
+
+/// Journal-append fault point: advances the checkpointed-row counter and
+/// reports which row faults fire at this row. Called by
+/// [`crate::checkpoint::Journal::record`] once per appended row.
+pub fn on_row_append() -> RowFaults {
+    let Some(state) = active() else {
+        return RowFaults::default();
+    };
+    let row = state.rows.fetch_add(1, Ordering::Relaxed) + 1;
+    let shard = state.shard.load(Ordering::Relaxed);
+    let mut faults = RowFaults::default();
+    for spec in &state.plan.faults {
+        if !spec.kind.is_row_fault()
+            || state.life > spec.lives
+            || row != spec.after_rows
+            || spec.shard.is_some_and(|s| s as u64 != shard)
+        {
+            continue;
+        }
+        match spec.kind {
+            FaultKind::JournalTornTail => faults.torn_tail = true,
+            FaultKind::WorkerExit => faults.exit = true,
+            FaultKind::WorkerHang => faults.hang = true,
+            _ => unreachable!("row faults only"),
+        }
+    }
+    faults
+}
+
+fn counter_fault(kind: FaultKind, counter: &AtomicU64) -> bool {
+    let Some(state) = active() else {
+        return false;
+    };
+    let event = counter.fetch_add(1, Ordering::Relaxed) + 1;
+    state
+        .plan
+        .faults
+        .iter()
+        .any(|spec| spec.kind == kind && state.life <= spec.lives && event == spec.nth)
+}
+
+/// Artifact-store fault point: `true` when this store (process-wide ordinal)
+/// must corrupt one payload byte after checksumming.
+pub fn corrupt_this_artifact_store() -> bool {
+    let Some(state) = active() else {
+        return false;
+    };
+    counter_fault(FaultKind::ArtifactCorrupt, &state.artifact_stores)
+}
+
+/// Report-write fault point: `true` when this report-file write must stop
+/// halfway and exit.
+pub fn tear_this_report_write() -> bool {
+    let Some(state) = active() else {
+        return false;
+    };
+    counter_fault(FaultKind::ReportTorn, &state.report_writes)
+}
+
+/// Spool-scan fault point: `true` when this scan must fail with an injected
+/// I/O error.
+pub fn fail_this_spool_scan() -> bool {
+    let Some(state) = active() else {
+        return false;
+    };
+    counter_fault(FaultKind::SpoolScanError, &state.spool_scans)
+}
+
+/// Terminates the process with [`FAULT_EXIT_CODE`] — the injected-crash
+/// exit. Callers flush what a real kill would have left on disk first.
+pub fn exit_now() -> ! {
+    std::process::exit(FAULT_EXIT_CODE)
+}
+
+/// Never returns: the injected-hang behaviour (the process stays alive but
+/// its journal stops growing, which is the signature hang detection reads).
+pub fn hang_now() -> ! {
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_parses_to_inert() {
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn full_plan_round_trips_fields() {
+        let plan = FaultPlan::parse(
+            "worker-exit:shard=1:after-rows=3:lives=2, journal-torn-tail, \
+             artifact-corrupt:nth=2, worker-hang:shard=0:after-rows=5:lives=all",
+        )
+        .unwrap();
+        assert_eq!(plan.faults.len(), 4);
+        assert_eq!(plan.faults[0].kind, FaultKind::WorkerExit);
+        assert_eq!(plan.faults[0].shard, Some(1));
+        assert_eq!(plan.faults[0].after_rows, 3);
+        assert_eq!(plan.faults[0].lives, 2);
+        assert_eq!(plan.faults[1].kind, FaultKind::JournalTornTail);
+        assert_eq!(plan.faults[1].after_rows, 1);
+        assert_eq!(plan.faults[2].kind, FaultKind::ArtifactCorrupt);
+        assert_eq!(plan.faults[2].nth, 2);
+        assert_eq!(plan.faults[3].lives, u64::MAX);
+    }
+
+    #[test]
+    fn bad_plans_are_named_errors() {
+        let unknown = FaultPlan::parse("meteor-strike").unwrap_err();
+        assert!(unknown.contains("unknown fault kind"), "{unknown}");
+        let misapplied = FaultPlan::parse("artifact-corrupt:shard=1").unwrap_err();
+        assert!(misapplied.contains("does not apply"), "{misapplied}");
+        let misapplied = FaultPlan::parse("worker-exit:nth=1").unwrap_err();
+        assert!(misapplied.contains("does not apply"), "{misapplied}");
+        let bad_value = FaultPlan::parse("worker-exit:after-rows=soon").unwrap_err();
+        assert!(bad_value.contains("bad `after-rows`"), "{bad_value}");
+        let zero = FaultPlan::parse("worker-exit:after-rows=0").unwrap_err();
+        assert!(zero.contains("at least 1"), "{zero}");
+        let no_eq = FaultPlan::parse("worker-exit:after-rows").unwrap_err();
+        assert!(no_eq.contains("not key=value"), "{no_eq}");
+    }
+
+    // Behavioural coverage of the fault points lives in the chaos suite
+    // (`tests/chaos.rs`), which arms plans in *spawned* binary processes —
+    // the runtime state is process-global, so in-process tests stick to the
+    // pure parser.
+}

@@ -48,11 +48,13 @@ pub mod bench;
 pub mod checkpoint;
 pub mod engine;
 pub mod expand;
+pub mod fault;
 pub mod json;
 pub mod presets;
 pub mod serve;
 pub mod sink;
 pub mod spec;
+pub mod supervise;
 pub mod toml;
 
 pub use artifact::{artifact_key, ArtifactCache, ArtifactError, ARTIFACT_FORMAT, ARTIFACT_MAGIC};
@@ -60,16 +62,23 @@ pub use bench::{
     bench_to_json, bench_to_table, check_against, fnv1a64, run_bench, BenchEntry, BenchOptions,
     BenchReport,
 };
-pub use checkpoint::{spec_hash, CheckpointError, Journal, JournalReplay, JOURNAL_FORMAT};
+pub use checkpoint::{
+    journal_progress, spec_hash, CheckpointError, Journal, JournalReplay, JOURNAL_FORMAT,
+};
 pub use engine::{
-    assemble_report, derive_seed, generate_workloads, run_campaign, run_generated,
-    run_generated_partial, CampaignReport, EngineOptions, GeneratedWorkloads, GenerationSummary,
-    RowResult, RunOutcome, RunPlan,
+    assemble_partial_report, assemble_report, derive_seed, generate_workloads, run_campaign,
+    run_generated, run_generated_partial, CampaignReport, EngineOptions, GeneratedWorkloads,
+    GenerationSummary, PartialReport, PartialRow, RowResult, RunOutcome, RunPlan,
 };
 pub use expand::{expand, Job};
+pub use fault::{FaultKind, FaultPlan, FaultSpec, FAULT_ENV, FAULT_EXIT_CODE, FAULT_LIFE_ENV};
 pub use presets::{Preset, PRESETS};
-pub use sink::{to_csv, to_json, to_table, write_reports, ReportPaths, StreamingSink};
+pub use sink::{
+    to_csv, to_csv_partial, to_json, to_json_partial, to_table, write_partial_reports,
+    write_reports, ReportPaths, StreamingSink,
+};
 pub use spec::{
     mechanism_token, parse_mechanism, parse_predictor, parse_workload, CampaignSpec,
     ConfigOverride, ConfigPoint, NocSel, SpecError, WorkloadPoint, MAX_WORKLOAD_POINTS,
 };
+pub use supervise::{supervise, ShardOutcome, ShardReport, SuperviseOptions, SupervisedRun};

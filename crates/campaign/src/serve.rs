@@ -5,25 +5,46 @@
 //! processes of the simulator binary itself, sharded over the canonical job
 //! expansion (`run --shard i/N`); every worker checkpoints its rows to its
 //! own journal in the submission's output directory, so a crashed or killed
-//! worker loses nothing but its in-flight job. When all workers exit, the
-//! collector replays the journals — *without* regenerating any workloads —
-//! assembles the canonical report, and writes the same `<name>.json` /
-//! `<name>.csv` bytes a one-shot `run` would have produced.
+//! worker loses nothing but its in-flight job. The workers run under the
+//! [`crate::supervise`] poll loop: a crashed shard is restarted with
+//! exponential backoff up to the retry budget, a shard whose journal stops
+//! growing is killed as hung (the kill consumes a retry), and a Ctrl-C on
+//! the service kills every child — no orphans. When the fleet completes,
+//! the collector replays the journals — *without* regenerating any
+//! workloads — assembles the canonical report, and writes the same
+//! `<name>.json` / `<name>.csv` bytes a one-shot `run` would have produced.
 //!
-//! Processed submissions are renamed `<file>.done` (or `<file>.failed`, with
-//! the reason in `<file>.error`), so the spool is also the service's queue
-//! state: resubmitting is just dropping the file in again.
+//! If a shard exhausts its retries, the default is to fail the submission;
+//! with [`ServeOptions::allow_partial`] the collector instead assembles a
+//! degraded report from whatever rows are checkpointed, with the missing
+//! rows explicitly marked (see [`crate::engine::PartialReport`]), and marks
+//! the submission `.partial`.
+//!
+//! Processed submissions are renamed `<file>.done` (or `<file>.partial`, or
+//! `<file>.failed` with the reason in `<file>.error`), so the spool is also
+//! the service's queue state: resubmitting is just dropping the file in
+//! again — stale markers from an earlier attempt are cleared first. A lock
+//! file (`.boomerang-serve.lock`, holding the owner's pid) keeps two serve
+//! processes from double-processing one spool; a lock whose owner is dead
+//! is reclaimed.
 
-use crate::checkpoint::{spec_hash, JournalReplay};
-use crate::engine::assemble_report;
+use crate::checkpoint::{spec_hash, Journal, JournalReplay};
+use crate::engine::{assemble_partial_report, assemble_report};
 use crate::expand::expand;
-use crate::sink::write_reports;
+use crate::fault;
+use crate::sink::{write_partial_reports, write_reports};
 use crate::spec::CampaignSpec;
+use crate::supervise::{self, supervise, SuperviseOptions};
 use boomerang::RunLength;
 use frontend::SimStats;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
+use std::time::Duration;
+
+/// Name of the spool lock file (satellite: two serve processes must not
+/// double-process one spool).
+pub const SPOOL_LOCK_NAME: &str = ".boomerang-serve.lock";
 
 /// How the service runs.
 #[derive(Clone, Debug)]
@@ -47,6 +68,17 @@ pub struct ServeOptions {
     pub once: bool,
     /// Poll interval between spool scans in milliseconds.
     pub poll_ms: u64,
+    /// Worker retry/backoff/timeout policy.
+    pub supervise: SuperviseOptions,
+    /// When a shard exhausts its retries, assemble a degraded report from
+    /// the checkpointed rows instead of failing the submission.
+    pub allow_partial: bool,
+    /// Skip submissions modified within the last this-many milliseconds
+    /// (still being written). 0 disables the settle window.
+    pub settle_ms: u64,
+    /// Stop after this many spool scans (0 = unlimited). A testing handle:
+    /// lets a polling serve loop terminate deterministically.
+    pub max_scans: u64,
 }
 
 impl Default for ServeOptions {
@@ -61,8 +93,27 @@ impl Default for ServeOptions {
             artifact_cache: None,
             once: false,
             poll_ms: 500,
+            supervise: SuperviseOptions::default(),
+            allow_partial: false,
+            settle_ms: 0,
+            max_scans: 0,
         }
     }
+}
+
+/// How a submission ended well.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmissionStatus {
+    /// The canonical report was written to this directory.
+    Done(PathBuf),
+    /// Retries were exhausted but `allow_partial` assembled a degraded
+    /// report: `missing` jobs have no checkpointed rows.
+    Partial {
+        /// The output directory holding the degraded report.
+        dir: PathBuf,
+        /// Number of jobs with no statistics.
+        missing: usize,
+    },
 }
 
 /// What happened to one submission.
@@ -72,54 +123,174 @@ pub struct ServeOutcome {
     pub submission: PathBuf,
     /// The campaign name, when the spec parsed far enough to have one.
     pub campaign: String,
-    /// The output directory on success, the reason on failure.
-    pub result: Result<PathBuf, String>,
+    /// The terminal status on success, the reason on failure.
+    pub result: Result<SubmissionStatus, String>,
+}
+
+/// Holds the spool lock for the lifetime of the serve loop; dropping it
+/// releases the lock file.
+#[derive(Debug)]
+struct SpoolLock {
+    path: PathBuf,
+}
+
+impl SpoolLock {
+    /// Acquires the lock, reclaiming it from a dead owner. Refuses (with an
+    /// [`io::ErrorKind::WouldBlock`]-flavored error) while a live process
+    /// holds it.
+    fn acquire(spool: &Path) -> io::Result<SpoolLock> {
+        let path = spool.join(SPOOL_LOCK_NAME);
+        for _ in 0..2 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    use std::io::Write as _;
+                    let _ = write!(file, "{}", std::process::id());
+                    return Ok(SpoolLock { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let owner = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    if let Some(pid) = owner {
+                        if pid_is_live(pid) {
+                            return Err(io::Error::new(
+                                io::ErrorKind::WouldBlock,
+                                format!(
+                                    "spool {} is already served by process {pid} \
+                                     (lock file {})",
+                                    spool.display(),
+                                    path.display()
+                                ),
+                            ));
+                        }
+                    }
+                    // Dead or unreadable owner: reclaim and retry the
+                    // create_new (another process may be racing us for it —
+                    // exactly one create_new wins).
+                    let _ = std::fs::remove_file(&path);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            format!("cannot acquire spool lock {}", path.display()),
+        ))
+    }
+}
+
+impl Drop for SpoolLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Whether a pid refers to a live process. On Linux this reads `/proc`;
+/// elsewhere the check is conservative (assume live), so stale locks need a
+/// manual remove but live ones are never stolen.
+fn pid_is_live(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
 }
 
 /// Runs the service loop. In `--once` mode processes the submissions present
-/// and returns their outcomes; otherwise polls forever (outcomes are
-/// reported through `report` as they happen in both modes).
+/// and returns their outcomes; otherwise polls until interrupted or the scan
+/// budget (`max_scans`) runs out (outcomes are reported through `report` as
+/// they happen in both modes).
+///
+/// A failed spool scan (transient I/O error, injected or real) is logged and
+/// the loop keeps polling — it no longer kills the service.
 pub fn serve(
     options: &ServeOptions,
     report: &mut dyn FnMut(&ServeOutcome),
 ) -> io::Result<Vec<ServeOutcome>> {
     std::fs::create_dir_all(&options.spool)?;
     std::fs::create_dir_all(&options.out)?;
+    let _lock = SpoolLock::acquire(&options.spool)?;
     let mut outcomes = Vec::new();
+    let mut scans: u64 = 0;
     loop {
-        for submission in scan_spool(&options.spool)? {
+        let submissions = match scan_spool(&options.spool, options.settle_ms) {
+            Ok(submissions) => submissions,
+            Err(e) => {
+                eprintln!("serve: spool scan failed ({e}); retrying");
+                Vec::new()
+            }
+        };
+        scans += 1;
+        for submission in submissions {
             let outcome = process_submission(&submission, options);
             finalize_submission(&submission, &outcome);
             report(&outcome);
             outcomes.push(outcome);
+            if supervise::interrupted() {
+                break;
+            }
         }
-        if options.once {
+        if options.once
+            || supervise::interrupted()
+            || (options.max_scans > 0 && scans >= options.max_scans)
+        {
             return Ok(outcomes);
         }
         std::thread::sleep(std::time::Duration::from_millis(options.poll_ms.max(10)));
     }
 }
 
-/// The `*.toml` submissions currently in the spool, in name order.
-fn scan_spool(spool: &Path) -> io::Result<Vec<PathBuf>> {
+/// The `*.toml` submissions currently in the spool, in name order. Files
+/// modified within the settle window are skipped — they are still being
+/// written; a later scan picks them up once their mtime is stable.
+fn scan_spool(spool: &Path, settle_ms: u64) -> io::Result<Vec<PathBuf>> {
+    if fault::fail_this_spool_scan() {
+        return Err(io::Error::other("injected spool scan fault"));
+    }
     let mut files = Vec::new();
     for entry in std::fs::read_dir(spool)? {
         let path = entry?.path();
-        if path.extension().is_some_and(|e| e == "toml") && path.is_file() {
-            files.push(path);
+        if path.extension().is_none_or(|e| e != "toml") || !path.is_file() {
+            continue;
         }
+        if settle_ms > 0 {
+            let settled = std::fs::metadata(&path)
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|mtime| mtime.elapsed().ok())
+                .is_some_and(|age| age >= Duration::from_millis(settle_ms));
+            if !settled {
+                continue;
+            }
+        }
+        files.push(path);
     }
     files.sort();
     Ok(files)
 }
 
-/// Marks a submission processed: `<file>.done` on success, `<file>.failed`
-/// plus a `<file>.error` note on failure.
+/// The marker suffixes [`finalize_submission`] manages.
+const MARKER_SUFFIXES: [&str; 4] = ["done", "partial", "failed", "error"];
+
+/// Marks a submission processed: `<file>.done` on success, `<file>.partial`
+/// for a degraded report, `<file>.failed` plus a `<file>.error` note on
+/// failure. Idempotent across resubmissions: stale markers from a previous
+/// attempt are cleared first, so a resubmitted spec can never sit beside a
+/// leftover `.failed`/`.error` that contradicts its fresh outcome.
 fn finalize_submission(submission: &Path, outcome: &ServeOutcome) {
-    let suffix = if outcome.result.is_ok() {
-        "done"
-    } else {
-        "failed"
+    for suffix in MARKER_SUFFIXES {
+        let mut stale = submission.as_os_str().to_owned();
+        stale.push(format!(".{suffix}"));
+        let _ = std::fs::remove_file(&stale);
+    }
+    let suffix = match &outcome.result {
+        Ok(SubmissionStatus::Done(_)) => "done",
+        Ok(SubmissionStatus::Partial { .. }) => "partial",
+        Err(_) => "failed",
     };
     let mut renamed = submission.as_os_str().to_owned();
     renamed.push(format!(".{suffix}"));
@@ -190,13 +361,13 @@ fn process_submission(submission: &Path, options: &ServeOptions) -> ServeOutcome
     }
 
     let workers = options.workers.max(1);
-    outcome.result = dispatch_and_merge(submission, &spec, &dir, run, &hash, workers, options)
-        .map(|()| dir.clone());
+    outcome.result = dispatch_and_merge(submission, &spec, &dir, run, &hash, workers, options);
     outcome
 }
 
-/// Spawns the sharded workers, waits for them, then merges their journals
-/// into the canonical report.
+/// Runs the sharded workers under supervision, then merges their journals
+/// into the canonical report — or, when retries are exhausted and partial
+/// output is allowed, into a degraded report over the checkpointed rows.
 fn dispatch_and_merge(
     submission: &Path,
     spec: &CampaignSpec,
@@ -205,9 +376,8 @@ fn dispatch_and_merge(
     hash: &str,
     workers: usize,
     options: &ServeOptions,
-) -> Result<(), String> {
-    let mut children = Vec::new();
-    for shard in 0..workers {
+) -> Result<SubmissionStatus, String> {
+    let mut make_command = |shard: usize| {
         let mut cmd = Command::new(&options.binary);
         cmd.arg("run")
             .arg(submission)
@@ -229,42 +399,73 @@ fn dispatch_and_merge(
         if let Some(cache) = &options.artifact_cache {
             cmd.arg("--artifact-cache").arg(cache);
         }
-        match cmd.spawn() {
-            Ok(child) => children.push(child),
-            Err(e) => {
-                for mut child in children {
-                    let _ = child.kill();
-                    let _ = child.wait();
-                }
-                return Err(format!("cannot spawn worker shard {shard}: {e}"));
-            }
+        cmd
+    };
+    // The per-shard progress probe: the shard's journal grows (monotonically,
+    // append-only) with every checkpointed row. The supervisor re-reads the
+    // baseline at each spawn, so a resume that truncates a torn tail cannot
+    // masquerade as progress.
+    let shard_arg = |shard: usize| {
+        if workers > 1 {
+            Some((shard, workers))
+        } else {
+            None
         }
-    }
-    let mut failures = Vec::new();
-    for (shard, mut child) in children.into_iter().enumerate() {
-        match child.wait() {
-            Ok(status) if status.success() => {}
-            Ok(status) => failures.push(format!("worker shard {shard} exited with {status}")),
-            Err(e) => failures.push(format!("cannot wait for worker shard {shard}: {e}")),
-        }
-    }
-    if !failures.is_empty() {
-        return Err(failures.join("; "));
+    };
+    let mut progress = |shard: usize| {
+        std::fs::metadata(Journal::path_for(dir, &spec.name, shard_arg(shard)))
+            .map(|m| m.len())
+            .unwrap_or(0)
+    };
+    let supervised = supervise(
+        workers,
+        &mut make_command,
+        &mut progress,
+        &options.supervise,
+        &mut |line| eprintln!("serve: {line}"),
+    );
+
+    if supervised.interrupted() {
+        return Err("interrupted before the submission finished".to_string());
     }
 
     let jobs = expand(spec);
-    let replay = JournalReplay::load(dir, &spec.name, hash, &jobs).map_err(|e| e.to_string())?;
-    if replay.completed() != jobs.len() {
-        return Err(format!(
-            "workers exited cleanly but only {} of {} jobs are checkpointed",
-            replay.completed(),
-            jobs.len()
-        ));
+    if supervised.all_complete() {
+        let replay =
+            JournalReplay::load(dir, &spec.name, hash, &jobs).map_err(|e| e.to_string())?;
+        if replay.completed() != jobs.len() {
+            return Err(format!(
+                "workers exited cleanly but only {} of {} jobs are checkpointed",
+                replay.completed(),
+                jobs.len()
+            ));
+        }
+        let stats: Vec<SimStats> = (0..jobs.len()).map(|i| replay.rows[&i]).collect();
+        let report = assemble_report(spec, &jobs, run, options.smoke, stats);
+        write_reports(&report, dir).map_err(|e| format!("cannot write reports: {e}"))?;
+        return Ok(SubmissionStatus::Done(dir.to_path_buf()));
     }
-    let stats: Vec<SimStats> = (0..jobs.len()).map(|i| replay.rows[&i]).collect();
-    let report = assemble_report(spec, &jobs, run, options.smoke, stats);
-    write_reports(&report, dir).map_err(|e| format!("cannot write reports: {e}"))?;
-    Ok(())
+
+    let failures = supervised.failures();
+    if !options.allow_partial {
+        return Err(failures.join("; "));
+    }
+
+    // Graceful degradation: whatever rows the dead shards checkpointed are
+    // real (the journal only holds finished jobs), so report them and mark
+    // the holes instead of discarding everything.
+    let replay = JournalReplay::load(dir, &spec.name, hash, &jobs).map_err(|e| e.to_string())?;
+    let stats: Vec<Option<SimStats>> = (0..jobs.len())
+        .map(|i| replay.rows.get(&i).copied())
+        .collect();
+    let partial = assemble_partial_report(spec, &jobs, run, options.smoke, &stats, failures);
+    let missing = partial.missing();
+    write_partial_reports(&partial, dir)
+        .map_err(|e| format!("cannot write partial reports: {e}"))?;
+    Ok(SubmissionStatus::Partial {
+        dir: dir.to_path_buf(),
+        missing,
+    })
 }
 
 #[cfg(test)]
@@ -286,12 +487,22 @@ mod tests {
         std::fs::write(dir.join("a.toml"), "x").unwrap();
         std::fs::write(dir.join("c.toml.done"), "x").unwrap();
         std::fs::write(dir.join("notes.txt"), "x").unwrap();
-        let found = scan_spool(&dir).unwrap();
+        let found = scan_spool(&dir, 0).unwrap();
         let names: Vec<_> = found
             .iter()
             .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
             .collect();
         assert_eq!(names, ["a.toml", "b.toml"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn settle_window_defers_fresh_files() {
+        let dir = temp_dir("settle");
+        std::fs::write(dir.join("fresh.toml"), "x").unwrap();
+        // A wide window hides the just-written file; no window shows it.
+        assert!(scan_spool(&dir, 60_000).unwrap().is_empty());
+        assert_eq!(scan_spool(&dir, 0).unwrap().len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -315,6 +526,53 @@ mod tests {
         let note = std::fs::read_to_string(spool.join("bad.toml.error")).unwrap();
         assert!(note.contains("invalid spec"), "{note}");
         assert!(!spool.join("bad.toml").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resubmission_clears_stale_markers() {
+        let dir = temp_dir("stale");
+        let spool = dir.join("spool");
+        std::fs::create_dir_all(&spool).unwrap();
+        // Leftovers from an imaginary earlier failed attempt.
+        std::fs::write(spool.join("job.toml.failed"), "old run").unwrap();
+        std::fs::write(spool.join("job.toml.error"), "old reason").unwrap();
+        std::fs::write(spool.join("job.toml.done"), "even older").unwrap();
+        std::fs::write(spool.join("job.toml"), "still not a spec = [").unwrap();
+        let options = ServeOptions {
+            binary: PathBuf::from("/nonexistent"),
+            spool: spool.clone(),
+            out: dir.join("out"),
+            once: true,
+            ..ServeOptions::default()
+        };
+        let outcomes = serve(&options, &mut |_| {}).unwrap();
+        assert!(outcomes[0].result.is_err());
+        // Exactly one marker family survives: this run's.
+        assert!(spool.join("job.toml.failed").exists());
+        let note = std::fs::read_to_string(spool.join("job.toml.error")).unwrap();
+        assert!(note.contains("invalid spec"), "stale note kept: {note}");
+        assert!(!spool.join("job.toml.done").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spool_lock_blocks_live_owner_and_reclaims_dead_one() {
+        let dir = temp_dir("lock");
+        // Held by this (live) process: a second acquire must refuse.
+        let lock = SpoolLock::acquire(&dir).unwrap();
+        let err = SpoolLock::acquire(&dir).unwrap_err();
+        assert!(err.to_string().contains("already served"), "{err}");
+        drop(lock);
+        assert!(!dir.join(SPOOL_LOCK_NAME).exists(), "lock not released");
+
+        // A lock whose owner is long dead is reclaimed. Pid 0 is never a
+        // schedulable process on Linux (and /proc/0 does not exist).
+        std::fs::write(dir.join(SPOOL_LOCK_NAME), "0").unwrap();
+        let lock = SpoolLock::acquire(&dir).unwrap();
+        let owner = std::fs::read_to_string(dir.join(SPOOL_LOCK_NAME)).unwrap();
+        assert_eq!(owner, std::process::id().to_string());
+        drop(lock);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

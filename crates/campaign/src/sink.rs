@@ -8,8 +8,9 @@
 //! completion order while the campaign is still running, so long sweeps are
 //! observable (and greppable) before the canonical report exists.
 
-use crate::engine::{CampaignReport, RowResult};
+use crate::engine::{CampaignReport, PartialReport, PartialRow, RowResult};
 use crate::expand::Job;
+use crate::fault;
 use crate::json::Json;
 use crate::spec::{mechanism_token, CampaignSpec};
 use boomerang::Mechanism;
@@ -347,7 +348,33 @@ pub struct ReportPaths {
     pub csv: PathBuf,
 }
 
+/// Writes `bytes` to `path` atomically: a `.tmp-<pid>` sibling first, then a
+/// rename. A kill mid-write leaves at worst a stale temp file — readers of
+/// `path` only ever see complete old bytes or complete new bytes, never a
+/// torn report.
+///
+/// This is also the report-write fault point: an armed `report-torn` plan
+/// (see [`crate::fault`]) stops the temp write halfway and exits, which is
+/// exactly the crash the rename discipline must make invisible.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp-{}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    let mut file = File::create(&tmp)?;
+    if fault::tear_this_report_write() {
+        file.write_all(&bytes[..bytes.len() / 2])?;
+        let _ = file.flush();
+        fault::exit_now();
+    }
+    file.write_all(bytes)?;
+    file.sync_data().ok();
+    drop(file);
+    std::fs::rename(&tmp, path)
+}
+
 /// Writes `<name>.json` and `<name>.csv` under `dir` (created if needed).
+/// Each file is written atomically (temp + rename), so a crash mid-write
+/// never leaves a torn report behind.
 ///
 /// # Errors
 ///
@@ -356,8 +383,165 @@ pub fn write_reports(report: &CampaignReport, dir: &Path) -> io::Result<ReportPa
     std::fs::create_dir_all(dir)?;
     let json = dir.join(format!("{}.json", report.spec.name));
     let csv = dir.join(format!("{}.csv", report.spec.name));
-    std::fs::write(&json, to_json(report))?;
-    std::fs::write(&csv, to_csv(report))?;
+    write_atomic(&json, to_json(report).as_bytes())?;
+    write_atomic(&csv, to_csv(report).as_bytes())?;
+    Ok(ReportPaths { json, csv })
+}
+
+/// Renders the JSON form of a degraded report. The shape follows [`to_json`]
+/// with three additions: a top-level `"partial": true` + `"missing_rows"` +
+/// `"degraded"` preamble, a `"status"` on every row (`ok` / `no-baseline` /
+/// `missing`), and `null` for every metric a hole makes uncomputable —
+/// explicit damage, never silently absent rows.
+pub fn to_json_partial(report: &PartialReport) -> String {
+    let rows: Vec<Json> = report.rows.iter().map(partial_row_json).collect();
+    Json::object()
+        .field("campaign", report.spec.name.as_str())
+        .field("description", report.spec.description.as_str())
+        .field(
+            "run",
+            Json::object()
+                .field("trace_blocks", report.effective_run.trace_blocks)
+                .field("warmup_blocks", report.effective_run.warmup_blocks)
+                .field("smoke", report.smoke),
+        )
+        .field("partial", true)
+        .field("missing_rows", report.missing())
+        .field(
+            "degraded",
+            report
+                .degraded
+                .iter()
+                .map(|note| Json::from(note.as_str()))
+                .collect::<Vec<Json>>(),
+        )
+        .field("jobs", report.rows.len())
+        .field("results", rows)
+        .pretty()
+}
+
+fn partial_row_json(row: &PartialRow) -> Json {
+    match row {
+        PartialRow::Present(full) => row_json(full).field("status", row.status()),
+        PartialRow::NoBaseline {
+            job,
+            config_label,
+            workload_label,
+            stats: s,
+        } => {
+            let squash_rates = s.squashes_per_kilo();
+            Json::object()
+                .field("config", config_label.as_str())
+                .field("workload", workload_label.as_str())
+                .field("mechanism", mechanism_token(job.mechanism))
+                .field("seed", job.seed)
+                .field("baseline_ref", job.implicit_baseline)
+                .field("speedup", Json::Null)
+                .field("stall_coverage", Json::Null)
+                .field("ipc", s.ipc())
+                .field("btb_miss_rate", s.btb_miss_rate())
+                .field("squashes_per_ki", squash_rates.total())
+                .field(
+                    "stats",
+                    Json::object()
+                        .field("instructions", s.instructions)
+                        .field("cycles", s.cycles)
+                        .field("fetch_stall_cycles", s.fetch_stall_cycles),
+                )
+                .field("baseline_cycles", Json::Null)
+                .field("baseline_fetch_stall_cycles", Json::Null)
+                .field("status", row.status())
+        }
+        PartialRow::Missing {
+            job,
+            config_label,
+            workload_label,
+        } => Json::object()
+            .field("config", config_label.as_str())
+            .field("workload", workload_label.as_str())
+            .field("mechanism", mechanism_token(job.mechanism))
+            .field("seed", job.seed)
+            .field("baseline_ref", job.implicit_baseline)
+            .field("status", row.status()),
+    }
+}
+
+/// The CSV header of a degraded report: the canonical columns plus a
+/// trailing `status`.
+const CSV_PARTIAL_SUFFIX: &str = ",status";
+
+/// Renders the CSV form of a degraded report: [`to_csv`]'s columns plus a
+/// `status` column. `ok` rows carry the exact values the complete report
+/// would; `no-baseline` rows blank the two baseline-derived columns;
+/// `missing` rows keep their five identity columns and blank the rest.
+pub fn to_csv_partial(report: &PartialReport) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push_str(CSV_PARTIAL_SUFFIX);
+    out.push('\n');
+    for row in &report.rows {
+        match row {
+            PartialRow::Present(full) => {
+                let _ = writeln!(out, "{},{}", csv_row(full), row.status());
+            }
+            PartialRow::NoBaseline {
+                job,
+                config_label,
+                workload_label,
+                stats: s,
+            } => {
+                let rates = s.squashes_per_kilo();
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},,,{},{},{},{},{},{},{},{}",
+                    csv_field(config_label),
+                    csv_field(workload_label),
+                    csv_field(&mechanism_token(job.mechanism)),
+                    job.seed,
+                    job.implicit_baseline,
+                    s.ipc(),
+                    s.instructions,
+                    s.cycles,
+                    s.fetch_stall_cycles,
+                    s.btb_miss_rate(),
+                    rates.misprediction,
+                    rates.btb_miss,
+                    row.status(),
+                );
+            }
+            PartialRow::Missing {
+                job,
+                config_label,
+                workload_label,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},,,,,,,,,,{}",
+                    csv_field(config_label),
+                    csv_field(workload_label),
+                    csv_field(&mechanism_token(job.mechanism)),
+                    job.seed,
+                    job.implicit_baseline,
+                    row.status(),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Writes the degraded `<name>.json` / `<name>.csv` under `dir`, atomically,
+/// under the same names the complete report would use — downstream tooling
+/// reads one location and checks the `partial` flag.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_partial_reports(report: &PartialReport, dir: &Path) -> io::Result<ReportPaths> {
+    std::fs::create_dir_all(dir)?;
+    let json = dir.join(format!("{}.json", report.spec.name));
+    let csv = dir.join(format!("{}.csv", report.spec.name));
+    write_atomic(&json, to_json_partial(report).as_bytes())?;
+    write_atomic(&csv, to_csv_partial(report).as_bytes())?;
     Ok(ReportPaths { json, csv })
 }
 
@@ -403,6 +587,65 @@ mod tests {
         assert_eq!(csv_field("plain"), "plain");
         assert_eq!(csv_field("a,b"), "\"a,b\"");
         assert_eq!(csv_field("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn partial_renderers_mark_damage_explicitly() {
+        use crate::engine::assemble_partial_report;
+        let report = tiny_report();
+        let jobs: Vec<Job> = report.rows.iter().map(|r| r.job).collect();
+        // Drop the baseline row: its own row goes missing and the fdip row
+        // loses its derived metrics.
+        let stats: Vec<Option<SimStats>> = report
+            .rows
+            .iter()
+            .map(|r| (!r.job.implicit_baseline).then_some(r.stats))
+            .collect();
+        let partial = assemble_partial_report(
+            &report.spec,
+            &jobs,
+            report.effective_run,
+            report.smoke,
+            &stats,
+            vec!["worker shard 0 failed after 3 attempt(s)".into()],
+        );
+        assert_eq!(partial.missing(), 1);
+
+        let json = to_json_partial(&partial);
+        assert!(json.contains("\"partial\": true"), "{json}");
+        assert!(json.contains("\"missing_rows\": 1"), "{json}");
+        assert!(json.contains("\"status\": \"missing\""), "{json}");
+        assert!(json.contains("\"status\": \"no-baseline\""), "{json}");
+        assert!(json.contains("\"speedup\": null"), "{json}");
+        assert!(json.contains("worker shard 0 failed"), "{json}");
+
+        let csv = to_csv_partial(&partial);
+        let header_cols = csv.lines().next().unwrap().split(',').count();
+        assert!(csv.lines().next().unwrap().ends_with(",status"));
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), header_cols, "ragged row: {line}");
+        }
+        assert!(csv.lines().any(|l| l.ends_with(",missing")), "{csv}");
+        assert!(csv.lines().any(|l| l.ends_with(",no-baseline")), "{csv}");
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_behind() {
+        let report = tiny_report();
+        let dir = std::env::temp_dir().join(format!("boomerang-atomicw-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = write_reports(&report, &dir).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&paths.json).unwrap(),
+            to_json(&report)
+        );
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,455 @@
+//! Chaos suite: deterministic fault injection driving the supervised
+//! campaign service through its crash paths.
+//!
+//! Every test arms a `--fault-inject` plan in *spawned* `boomerang-sim`
+//! processes (the fault runtime is process-global, so in-process arming
+//! would leak between tests) and then asserts the service-level contract:
+//!
+//! - crashes, torn journal tails and hangs are retried and the recovered
+//!   submission renders **byte-identical** reports to an undisturbed run,
+//! - exhausted retries fail loudly (`.failed` + `.error`) or — under
+//!   `--allow-partial` — degrade to an explicit partial report (exit 4,
+//!   `.partial`, holes marked per row),
+//! - torn report writes never publish a half-written file,
+//! - damaged artifact-cache entries are rejected, warned about and
+//!   regenerated, never trusted,
+//! - a failing spool scan skips one scan, not the serve loop.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_boomerang-sim");
+
+/// Exit codes under test (see `EXIT CODES` in the binary's usage text).
+const PARTIAL_EXIT: i32 = 4;
+const FAULT_EXIT: i32 = campaign::FAULT_EXIT_CODE;
+
+const MINI_SPEC: &str = "name = \"chaos-mini\"
+workloads = [\"nutch\", \"zeus\"]
+mechanisms = [\"fdip\", \"boomerang\"]
+seeds = [0, 1]
+
+[run]
+trace_blocks = 2000
+warmup_blocks = 400
+";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("boomerang-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_bin(args: &[&str]) -> Output {
+    Command::new(BIN).args(args).output().unwrap()
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+/// An undisturbed one-shot run of [`MINI_SPEC`]; returns the canonical
+/// (JSON, CSV) report bytes every recovery test must reproduce exactly.
+fn clean_reference(tag: &str) -> (Vec<u8>, Vec<u8>) {
+    let dir = temp_dir(&format!("{tag}-ref"));
+    let spec = dir.join("mini.toml");
+    std::fs::write(&spec, MINI_SPEC).unwrap();
+    let output = run_bin(&[
+        "run",
+        spec.to_str().unwrap(),
+        "--jobs",
+        "2",
+        "--quiet",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    let json = std::fs::read(dir.join("chaos-mini.json")).unwrap();
+    let csv = std::fs::read(dir.join("chaos-mini.csv")).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+    (json, csv)
+}
+
+/// Serves a single [`MINI_SPEC`] submission once with the given extra flags
+/// and returns (process output, spool dir, out dir).
+fn serve_mini(tag: &str, extra: &[&str]) -> (Output, PathBuf, PathBuf) {
+    let spool = temp_dir(&format!("{tag}-spool"));
+    let out = temp_dir(&format!("{tag}-out"));
+    std::fs::write(spool.join("mini.toml"), MINI_SPEC).unwrap();
+    let mut args = vec![
+        "serve",
+        "--once",
+        "--workers",
+        "2",
+        "--quiet",
+        "--backoff-ms",
+        "10",
+        "--spool",
+        spool.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ];
+    args.extend_from_slice(extra);
+    let output = Command::new(BIN).args(&args).output().unwrap();
+    (output, spool, out)
+}
+
+fn assert_matches_reference(tag: &str, out: &Path) {
+    let (ref_json, ref_csv) = clean_reference(tag);
+    assert_eq!(
+        std::fs::read(out.join("mini").join("chaos-mini.json")).unwrap(),
+        ref_json,
+        "recovered JSON drifted from the undisturbed run"
+    );
+    assert_eq!(
+        std::fs::read(out.join("mini").join("chaos-mini.csv")).unwrap(),
+        ref_csv,
+        "recovered CSV drifted from the undisturbed run"
+    );
+}
+
+#[test]
+fn crashed_worker_is_restarted_and_bytes_match_a_clean_run() {
+    let (output, spool, out) = serve_mini(
+        "exit",
+        &["--fault-inject", "worker-exit:shard=0:after-rows=2"],
+    );
+    let stderr = stderr_of(&output);
+    assert!(output.status.success(), "{stderr}");
+    assert!(spool.join("mini.toml.done").exists(), "{stderr}");
+    assert!(
+        stderr.contains(&format!("exit status: {FAULT_EXIT}")) && stderr.contains("retrying"),
+        "supervisor must log the injected crash and the retry: {stderr}"
+    );
+    assert_matches_reference("exit", &out);
+    for dir in [spool, out] {
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}
+
+#[test]
+fn torn_journal_tail_is_truncated_on_resume_and_bytes_match() {
+    let (output, spool, out) = serve_mini(
+        "torn",
+        &["--fault-inject", "journal-torn-tail:shard=1:after-rows=2"],
+    );
+    let stderr = stderr_of(&output);
+    assert!(output.status.success(), "{stderr}");
+    assert!(spool.join("mini.toml.done").exists(), "{stderr}");
+    assert!(stderr.contains("retrying"), "{stderr}");
+    assert_matches_reference("torn", &out);
+    for dir in [spool, out] {
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}
+
+#[test]
+fn hung_worker_is_killed_retried_and_bytes_match() {
+    let (output, spool, out) = serve_mini(
+        "hang",
+        &[
+            "--fault-inject",
+            "worker-hang:shard=0:after-rows=1",
+            "--worker-timeout-secs",
+            "3",
+        ],
+    );
+    let stderr = stderr_of(&output);
+    assert!(output.status.success(), "{stderr}");
+    assert!(spool.join("mini.toml.done").exists(), "{stderr}");
+    assert!(
+        stderr.contains("hung"),
+        "supervisor must label the stalled shard as hung: {stderr}"
+    );
+    assert_matches_reference("hang", &out);
+    for dir in [spool, out] {
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}
+
+#[test]
+fn exhausted_retries_fail_the_submission_loudly() {
+    let (output, spool, _out) = serve_mini(
+        "exhaust",
+        &[
+            "--fault-inject",
+            "worker-exit:shard=0:after-rows=1:lives=all",
+            "--max-retries",
+            "1",
+        ],
+    );
+    let stderr = stderr_of(&output);
+    assert_eq!(output.status.code(), Some(1), "{stderr}");
+    assert!(spool.join("mini.toml.failed").exists(), "{stderr}");
+    let note = std::fs::read_to_string(spool.join("mini.toml.error")).unwrap();
+    assert!(
+        note.contains("shard 0") && note.contains("attempt"),
+        "the .error note must name the dead shard and the attempts: {note}"
+    );
+    std::fs::remove_dir_all(spool).unwrap();
+}
+
+#[test]
+fn allow_partial_degrades_to_an_explicit_holes_marked_report() {
+    // Persistent crash on shard 0 after every first row, sequential worker
+    // (--jobs 1) for a deterministic row order: 3 lives (--max-retries 2)
+    // checkpoint exactly 3 of shard 0's 6 rows before the budget runs out.
+    let (output, spool, out) = serve_mini(
+        "partial",
+        &[
+            "--fault-inject",
+            "worker-exit:shard=0:after-rows=1:lives=all",
+            "--max-retries",
+            "2",
+            "--jobs",
+            "1",
+            "--allow-partial",
+        ],
+    );
+    let stderr = stderr_of(&output);
+    assert_eq!(output.status.code(), Some(PARTIAL_EXIT), "{stderr}");
+    assert!(spool.join("mini.toml.partial").exists(), "{stderr}");
+    assert!(stderr.contains("PARTIAL"), "{stderr}");
+
+    let json = std::fs::read_to_string(out.join("mini").join("chaos-mini.json")).unwrap();
+    assert!(json.contains("\"partial\""), "{json}");
+    assert!(json.contains("\"missing\""), "{json}");
+    assert!(
+        json.contains("worker shard 0 failed"),
+        "the degradation cause must be recorded in the report: {json}"
+    );
+
+    let csv = std::fs::read_to_string(out.join("mini").join("chaos-mini.csv")).unwrap();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 13, "header + 12 rows, holes included:\n{csv}");
+    let commas = lines[0].matches(',').count();
+    for line in &lines {
+        assert_eq!(
+            line.matches(',').count(),
+            commas,
+            "ragged partial CSV row: {line}"
+        );
+    }
+    let missing = lines.iter().filter(|l| l.ends_with(",missing")).count();
+    assert_eq!(missing, 3, "3 lives checkpoint 3 of 6 shard-0 rows:\n{csv}");
+
+    for dir in [spool, out] {
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}
+
+#[test]
+fn torn_report_write_publishes_nothing_and_resume_completes() {
+    let dir = temp_dir("report-torn");
+    let spec = dir.join("mini.toml");
+    std::fs::write(&spec, MINI_SPEC).unwrap();
+    let args = |fault: bool| {
+        let mut v = vec![
+            "run".to_string(),
+            spec.to_str().unwrap().to_string(),
+            "--jobs".to_string(),
+            "2".to_string(),
+            "--quiet".to_string(),
+            "--out".to_string(),
+            dir.to_str().unwrap().to_string(),
+        ];
+        if fault {
+            v.extend(["--fault-inject".to_string(), "report-torn".to_string()]);
+        } else {
+            v.push("--resume".to_string());
+        }
+        v
+    };
+
+    let output = Command::new(BIN).args(args(true)).output().unwrap();
+    assert_eq!(
+        output.status.code(),
+        Some(FAULT_EXIT),
+        "{}",
+        stderr_of(&output)
+    );
+    assert!(
+        !dir.join("chaos-mini.json").exists(),
+        "a report file must never exist half-written"
+    );
+
+    let output = Command::new(BIN).args(args(false)).output().unwrap();
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    let (ref_json, _) = clean_reference("report-torn");
+    assert_eq!(
+        std::fs::read(dir.join("chaos-mini.json")).unwrap(),
+        ref_json
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Runs [`MINI_SPEC`] with `--artifact-cache cache` into `out`, with
+/// optional extra flags; returns the process output.
+fn run_cached(spec: &Path, cache: &Path, out: &Path, extra: &[&str]) -> Output {
+    let mut args = vec![
+        "run",
+        spec.to_str().unwrap(),
+        "--jobs",
+        "2",
+        "--artifact-cache",
+        cache.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ];
+    args.extend_from_slice(extra);
+    Command::new(BIN).args(&args).output().unwrap()
+}
+
+#[test]
+fn corrupted_artifact_store_is_rejected_and_regenerated_next_run() {
+    let base = temp_dir("art-corrupt");
+    let spec = base.join("mini.toml");
+    std::fs::write(&spec, MINI_SPEC).unwrap();
+    let cache = base.join("cache");
+    std::fs::create_dir_all(&cache).unwrap();
+
+    // First run stores all 4 artifacts, one with an injected flipped payload
+    // byte (after checksumming, so only a later load can notice).
+    let output = run_cached(
+        &spec,
+        &cache,
+        &base.join("a"),
+        &["--fault-inject", "artifact-corrupt:nth=1"],
+    );
+    assert!(output.status.success(), "{}", stderr_of(&output));
+
+    // Second process must reject exactly that artifact, warn, regenerate —
+    // and still render the same bytes.
+    let output = run_cached(&spec, &cache, &base.join("b"), &[]);
+    let stderr = stderr_of(&output);
+    assert!(output.status.success(), "{stderr}");
+    assert!(
+        stderr.contains("rejected") && stderr.contains("regenerating"),
+        "cache damage must be warned about, not trusted or fatal: {stderr}"
+    );
+    assert!(stderr.contains("3 cache hits, 1 generated"), "{stderr}");
+    assert_eq!(
+        std::fs::read(base.join("a").join("chaos-mini.json")).unwrap(),
+        std::fs::read(base.join("b").join("chaos-mini.json")).unwrap(),
+        "a regenerated artifact must reproduce identical reports"
+    );
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn truncated_cache_file_warns_and_regenerates() {
+    let base = temp_dir("art-trunc");
+    let spec = base.join("mini.toml");
+    std::fs::write(&spec, MINI_SPEC).unwrap();
+    let cache = base.join("cache");
+    std::fs::create_dir_all(&cache).unwrap();
+
+    let output = run_cached(&spec, &cache, &base.join("a"), &[]);
+    assert!(output.status.success(), "{}", stderr_of(&output));
+
+    // Truncate one stored artifact below its header, mid-header another.
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&cache)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "wla"))
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 4);
+    std::fs::write(&files[0], b"wl").unwrap();
+    let bytes = std::fs::read(&files[1]).unwrap();
+    std::fs::write(&files[1], &bytes[..bytes.len() / 2]).unwrap();
+
+    let output = run_cached(&spec, &cache, &base.join("b"), &[]);
+    let stderr = stderr_of(&output);
+    assert!(output.status.success(), "{stderr}");
+    assert!(
+        stderr.contains("rejected") && stderr.contains("regenerating"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("2 cache hits, 2 generated"), "{stderr}");
+    assert_eq!(
+        std::fs::read(base.join("a").join("chaos-mini.json")).unwrap(),
+        std::fs::read(base.join("b").join("chaos-mini.json")).unwrap()
+    );
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn concurrent_cache_writers_leave_a_fully_loadable_cache() {
+    let base = temp_dir("art-race");
+    let spec = base.join("mini.toml");
+    std::fs::write(&spec, MINI_SPEC).unwrap();
+    let cache = base.join("cache");
+    std::fs::create_dir_all(&cache).unwrap();
+
+    // Two cold runs race to populate the same cache (tmp + rename stores).
+    let spawn = |out: &Path| {
+        Command::new(BIN)
+            .args([
+                "run",
+                spec.to_str().unwrap(),
+                "--jobs",
+                "2",
+                "--quiet",
+                "--artifact-cache",
+            ])
+            .arg(&cache)
+            .arg("--out")
+            .arg(out)
+            .spawn()
+            .unwrap()
+    };
+    let mut a = spawn(&base.join("a"));
+    let mut b = spawn(&base.join("b"));
+    assert!(a.wait().unwrap().success());
+    assert!(b.wait().unwrap().success());
+
+    // A third run must be served entirely from the survivors.
+    let output = run_cached(&spec, &cache, &base.join("c"), &[]);
+    let stderr = stderr_of(&output);
+    assert!(output.status.success(), "{stderr}");
+    assert!(stderr.contains("4 cache hits, 0 generated"), "{stderr}");
+    assert_eq!(
+        std::fs::read(base.join("a").join("chaos-mini.json")).unwrap(),
+        std::fs::read(base.join("c").join("chaos-mini.json")).unwrap()
+    );
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn failed_spool_scan_skips_one_scan_not_the_serve_loop() {
+    let spool = temp_dir("scanfail-spool");
+    let out = temp_dir("scanfail-out");
+    std::fs::write(spool.join("mini.toml"), MINI_SPEC).unwrap();
+
+    // Scan 1 fails by injection; scan 2 finds and processes the submission;
+    // scan 3 (the --max-scans bound) finds an empty spool and exits cleanly.
+    let output = run_bin(&[
+        "serve",
+        "--workers",
+        "2",
+        "--quiet",
+        "--max-scans",
+        "3",
+        "--poll-ms",
+        "50",
+        "--fault-inject",
+        "spool-scan-error:nth=1",
+        "--spool",
+        spool.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    let stderr = stderr_of(&output);
+    assert!(output.status.success(), "{stderr}");
+    assert!(
+        stderr.contains("spool scan failed"),
+        "the skipped scan must be logged: {stderr}"
+    );
+    assert!(spool.join("mini.toml.done").exists(), "{stderr}");
+    assert!(out.join("mini").join("chaos-mini.json").exists());
+    for dir in [spool, out] {
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}
