@@ -1,0 +1,168 @@
+//! Differential tests for the lane-batched multi-row engine.
+//!
+//! Lane batching (`WorkloadData::run_group_with_predictor_engine` over
+//! `frontend::LaneSimulator`) is a *schedule*, not an engine: N complete
+//! per-row simulators round-robin over one shared immutable trace. Pausing a
+//! lane at a block target must not change any state transition, so per-lane
+//! statistics must be **bit-identical** to simulating each row alone —
+//! whatever the lane cap, the chunk size, or the mix of configs in the
+//! group. These tests drive the lane path against per-row runs over
+//! randomized tiny profiles for all nine mechanism variants and lane counts
+//! {1, 2, 6}, and assert exact equality.
+
+use boomerang::{Mechanism, RunLength, ThrottlePolicy, WorkloadData};
+use branch_pred::PredictorKind;
+use frontend::SimEngine;
+use sim_core::rng::SimRng;
+use sim_core::{MicroarchConfig, NocModel};
+use workloads::WorkloadProfile;
+
+/// Every mechanism the campaign engine can run, including both Boomerang
+/// throttle extremes.
+fn all_mechanisms() -> Vec<Mechanism> {
+    vec![
+        Mechanism::Baseline,
+        Mechanism::NextLine,
+        Mechanism::Dip,
+        Mechanism::Fdip,
+        Mechanism::Pif,
+        Mechanism::Shift,
+        Mechanism::Confluence,
+        Mechanism::Boomerang(ThrottlePolicy::PAPER_DEFAULT),
+        Mechanism::Boomerang(ThrottlePolicy::None),
+    ]
+}
+
+/// Runs the nine-mechanism group over `data` lane-batched at every lane cap
+/// in {1, 2, 6} (plus 0 = whole group) and asserts each row's statistics
+/// equal its standalone run.
+fn assert_lanes_match_rows(data: &WorkloadData, configs: &[MicroarchConfig]) {
+    let mechanisms = all_mechanisms();
+    let rows: Vec<(Mechanism, &MicroarchConfig)> = mechanisms
+        .iter()
+        .enumerate()
+        .map(|(at, &mechanism)| (mechanism, &configs[at % configs.len()]))
+        .collect();
+    let expected: Vec<_> = rows
+        .iter()
+        .map(|&(mechanism, config)| {
+            data.run_with_predictor_engine(
+                mechanism,
+                config,
+                PredictorKind::Tage,
+                SimEngine::EventHorizon,
+            )
+        })
+        .collect();
+    for lanes in [0usize, 1, 2, 6] {
+        let batched = data.run_group_with_predictor_engine(
+            &rows,
+            PredictorKind::Tage,
+            SimEngine::EventHorizon,
+            lanes,
+        );
+        assert_eq!(batched.len(), expected.len());
+        for (at, (got, want)) in batched.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                got, want,
+                "lane-batched run diverged from single-row: lanes {lanes}, \
+                 row {at} ({:?})",
+                rows[at].0,
+            );
+        }
+    }
+}
+
+#[test]
+fn lane_batching_matches_single_row_on_the_paper_configuration() {
+    let data = WorkloadData::generate_from_profile(
+        &WorkloadProfile::tiny(53),
+        RunLength {
+            trace_blocks: 3_000,
+            warmup_blocks: 500,
+        },
+    );
+    assert_lanes_match_rows(&data, &[MicroarchConfig::hpca17()]);
+}
+
+#[test]
+fn lane_batching_matches_single_row_across_mixed_configs() {
+    // A lane-batched group may span configs (the campaign groups rows by
+    // (workload, seed) across the config axis): lanes with different BTB
+    // sizes and NoC latencies diverge maximally in timing while sharing the
+    // trace cursor.
+    let data = WorkloadData::generate_from_profile(
+        &WorkloadProfile::tiny(7).with_footprint_bytes(128 * 1024),
+        RunLength {
+            trace_blocks: 3_000,
+            warmup_blocks: 400,
+        },
+    );
+    let configs = [
+        MicroarchConfig::hpca17(),
+        MicroarchConfig::hpca17()
+            .with_btb_entries(256)
+            .with_noc(NocModel::Fixed(70)),
+        MicroarchConfig::hpca17().with_btb_entries(8192),
+    ];
+    assert_lanes_match_rows(&data, &configs);
+}
+
+#[test]
+fn lane_batching_matches_single_row_over_randomized_profiles() {
+    // Fuzz over randomized tiny profiles: footprint, service roots, call
+    // depth, seed, warmup and config all vary, deterministically derived
+    // from a fixed RNG seed.
+    let mut rng = SimRng::seeded(0x1a9e_ba7c);
+    for _ in 0..3 {
+        let mut profile = WorkloadProfile::tiny(rng.range_u64(0, 1 << 20));
+        profile.footprint_bytes = 32 * 1024 + 16 * 1024 * rng.range_u64(0, 8);
+        profile.service_roots = 4 + rng.index(24);
+        profile.max_call_depth = 4 + rng.index(12);
+        let config = MicroarchConfig::hpca17()
+            .with_btb_entries(256 << rng.range_u64(0, 4))
+            .with_noc(NocModel::Fixed(5 + rng.range_u64(0, 60)));
+        let data = WorkloadData::generate_from_profile(
+            &profile,
+            RunLength {
+                trace_blocks: 1_200 + rng.index(1_200),
+                warmup_blocks: rng.index(600),
+            },
+        );
+        assert_lanes_match_rows(&data, &[config]);
+    }
+}
+
+#[test]
+fn reference_engine_groups_fall_back_to_per_row() {
+    // The per-cycle reference has no resumable split; a group run on it must
+    // still produce correct per-row results (via the per-row fallback).
+    let data = WorkloadData::generate_from_profile(
+        &WorkloadProfile::tiny(11),
+        RunLength {
+            trace_blocks: 1_200,
+            warmup_blocks: 200,
+        },
+    );
+    let config = MicroarchConfig::hpca17();
+    let rows = [
+        (Mechanism::Baseline, &config),
+        (Mechanism::Fdip, &config),
+        (Mechanism::Boomerang(ThrottlePolicy::PAPER_DEFAULT), &config),
+    ];
+    let batched = data.run_group_with_predictor_engine(
+        &rows,
+        PredictorKind::Tage,
+        SimEngine::PerCycleReference,
+        0,
+    );
+    for (at, &(mechanism, config)) in rows.iter().enumerate() {
+        let alone = data.run_with_predictor_engine(
+            mechanism,
+            config,
+            PredictorKind::Tage,
+            SimEngine::PerCycleReference,
+        );
+        assert_eq!(batched[at], alone, "row {at} diverged on the reference");
+    }
+}

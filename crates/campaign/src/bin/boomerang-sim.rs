@@ -57,6 +57,15 @@ OPTIONS:
                            resume hint (deterministic interruption)
     --shard <I/N>          Execute only jobs with index ≡ I (mod N) and write
                            a per-shard journal; no reports (worker mode)
+    --lanes <N>            Lane cap for lane-batched group simulation: 0 runs
+                           each whole (workload, seed) group as one lane slab
+                           (default), 1 disables lane batching (per-row), N>1
+                           splits groups into slabs of at most N lanes.
+                           Purely a schedule — reports are byte-identical for
+                           every setting. Interplay with --jobs: the pool
+                           shards whole groups across workers, lanes fill
+                           within a group; resume holes and --shard splits
+                           fall back to per-row execution
     --fault-inject <PLAN>  Arm deterministic fault points (testing; see the
                            README's failure model for the plan syntax)
     --quiet                Suppress the progress banner and result table
@@ -102,6 +111,8 @@ BENCH OPTIONS (see README \"Performance\"):
     --full            Benchmark only full-length entries
     --iterations <K>  Timed iterations per engine (default: 3)
     --no-reference    Skip timing the per-cycle reference engine
+    --lanes <N>       Lane cap for the campaign runs and the per-group lane
+                      A/B (default: 0 = whole groups)
     --out <FILE>      Bench report path (default: bench-out/bench.json; pass
                       BENCH_PR<n>.json explicitly to (re)write a committed
                       trajectory baseline)
@@ -127,21 +138,31 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         Some("list-presets") => {
+            // `groups` is what lane-batching amortises: each (workload, seed)
+            // group shares one generated trace, and its `rows/grp` rows run
+            // as lanes of one slab.
             println!(
-                "{:<20} {:>5} {:>10}  description",
-                "preset", "jobs", "workloads"
+                "{:<20} {:>5} {:>10} {:>7} {:>9}  description",
+                "preset", "jobs", "workloads", "groups", "rows/grp"
             );
             for preset in presets::PRESETS {
                 let spec = preset.spec();
+                let jobs = campaign::expand(&spec).len();
+                let groups = spec.workloads.len() * spec.seeds.len();
                 println!(
-                    "{:<20} {:>5} {:>10}  {}",
+                    "{:<20} {:>5} {:>10} {:>7} {:>9}  {}",
                     preset.name,
-                    campaign::expand(&spec).len(),
+                    jobs,
                     spec.workloads.len(),
+                    groups,
+                    jobs / groups.max(1),
                     preset.description
                 );
                 if let Some(labels) = custom_axis_labels(&spec) {
-                    println!("{:<20} {:>5} {:>10}  workload axis: {labels}", "", "", "");
+                    println!(
+                        "{:<20} {:>5} {:>10} {:>7} {:>9}  workload axis: {labels}",
+                        "", "", "", "", ""
+                    );
                 }
             }
             Ok(ExitCode::SUCCESS)
@@ -204,6 +225,12 @@ fn bench_command(args: &[String]) -> Result<ExitCode, String> {
                     .map_err(|_| format!("bad --iterations value `{n}`"))?;
             }
             "--no-reference" => options.time_reference = false,
+            "--lanes" => {
+                let n = it.next().ok_or("--lanes needs a count")?;
+                options.lanes = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --lanes value `{n}`"))?;
+            }
             "--out" => {
                 let path = it.next().ok_or("--out needs a file path")?;
                 out = PathBuf::from(path);
@@ -417,6 +444,7 @@ fn run_command(args: &[String], command_resume: bool) -> Result<ExitCode, String
     let mut max_rows: Option<usize> = None;
     let mut artifact_cache: Option<PathBuf> = None;
     let mut fault_plan: Option<String> = None;
+    let mut lanes: usize = 0;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -455,6 +483,12 @@ fn run_command(args: &[String], command_resume: bool) -> Result<ExitCode, String
             "--artifact-cache" => {
                 let dir = it.next().ok_or("--artifact-cache needs a directory")?;
                 artifact_cache = Some(PathBuf::from(dir));
+            }
+            "--lanes" => {
+                let n = it.next().ok_or("--lanes needs a count")?;
+                lanes = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --lanes value `{n}`"))?;
             }
             "--fault-inject" => {
                 let plan = it.next().ok_or("--fault-inject needs a plan")?;
@@ -595,6 +629,22 @@ fn run_command(args: &[String], command_resume: bool) -> Result<ExitCode, String
                 None => String::new(),
             },
         );
+        // Group structure: what lane-batching amortises. Every (workload,
+        // seed) group shares one generated trace; its rows run as lanes.
+        let groups = spec.workloads.len() * spec.seeds.len();
+        eprintln!(
+            "lane groups: {groups} x {} rows{}",
+            jobs_list.len() / groups.max(1),
+            if plan.shard.is_some() {
+                " (sharded: per-row fallback)".to_string()
+            } else {
+                match lanes {
+                    0 => " (lane-batched, whole groups)".to_string(),
+                    1 => " (lane batching disabled)".to_string(),
+                    n => format!(" (lane-batched, slabs of {n})"),
+                }
+            },
+        );
         if let Some(labels) = custom_axis_labels(&spec) {
             eprintln!("workload axis: {labels}");
         }
@@ -611,6 +661,7 @@ fn run_command(args: &[String], command_resume: bool) -> Result<ExitCode, String
         jobs,
         smoke,
         artifact_cache,
+        lanes,
         ..EngineOptions::default()
     };
 

@@ -1,0 +1,128 @@
+//! Lane-batched scheduling fallback tests.
+//!
+//! The campaign engine runs whole (workload, seed) groups as lane-batched
+//! units only when every row of the group is pending in the pass; resume
+//! holes (rows already journaled), `--shard` splits and row limits must fall
+//! back to per-row execution — and however a campaign is cut up, the merged
+//! report must stay byte-identical to an uninterrupted one-shot run.
+
+use campaign::{
+    assemble_report, generate_workloads, presets, run_generated_partial, to_json, EngineOptions,
+    RunPlan,
+};
+use frontend::SimStats;
+use std::collections::HashMap;
+
+fn options(jobs: usize) -> EngineOptions {
+    EngineOptions {
+        jobs,
+        smoke: true,
+        ..EngineOptions::default()
+    }
+}
+
+#[test]
+fn interrupted_group_resumes_per_row_to_identical_bytes() {
+    let spec = presets::find("figure9").expect("figure9 preset exists");
+    let opts = options(2);
+    let generated = generate_workloads(&spec, &opts).expect("generation succeeds");
+
+    // One-shot run: every 7-row (workload, seed) group lane-batches whole.
+    let oneshot = run_generated_partial(
+        &spec,
+        &opts,
+        &generated,
+        &HashMap::new(),
+        RunPlan::default(),
+        None,
+    );
+    assert!(oneshot.is_complete());
+
+    // Interrupted run: a 5-row limit cuts the first group mid-way, so the
+    // first pass runs its rows per-row (the group is not fully pending).
+    let first = run_generated_partial(
+        &spec,
+        &opts,
+        &generated,
+        &HashMap::new(),
+        RunPlan {
+            limit: Some(5),
+            ..RunPlan::default()
+        },
+        None,
+    );
+    assert_eq!(first.executed, 5);
+
+    // Resume: the journaled rows become `done` holes, so the first group
+    // must fall back to per-row execution while untouched groups still
+    // lane-batch whole.
+    let done: HashMap<usize, SimStats> = first
+        .stats
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.map(|s| (i, s)))
+        .collect();
+    assert_eq!(done.len(), 5);
+    let resumed = run_generated_partial(&spec, &opts, &generated, &done, RunPlan::default(), None);
+    assert!(resumed.is_complete());
+
+    let report = |stats: Vec<Option<SimStats>>| {
+        let stats: Vec<SimStats> = stats.into_iter().map(Option::unwrap).collect();
+        to_json(&assemble_report(
+            &spec,
+            generated.jobs(),
+            generated.effective_run(),
+            true,
+            stats,
+        ))
+    };
+    assert_eq!(
+        report(resumed.stats),
+        report(oneshot.stats),
+        "interrupt/resume with a partially-journaled group must render \
+         byte-identical reports"
+    );
+}
+
+#[test]
+fn sharded_passes_fall_back_per_row_to_identical_bytes() {
+    let spec = presets::find("figure9").expect("figure9 preset exists");
+    let opts = options(2);
+    let generated = generate_workloads(&spec, &opts).expect("generation succeeds");
+
+    let oneshot = run_generated_partial(
+        &spec,
+        &opts,
+        &generated,
+        &HashMap::new(),
+        RunPlan::default(),
+        None,
+    );
+
+    // The canonical round-robin scatters every group across shards, so the
+    // sharded passes never lane-batch; their merge must still be identical.
+    let mut merged: Vec<Option<SimStats>> = vec![None; generated.job_count()];
+    for shard in 0..3 {
+        let pass = run_generated_partial(
+            &spec,
+            &opts,
+            &generated,
+            &HashMap::new(),
+            RunPlan {
+                shard: Some((shard, 3)),
+                ..RunPlan::default()
+            },
+            None,
+        );
+        for (slot, s) in merged.iter_mut().zip(pass.stats) {
+            if let Some(s) = s {
+                assert!(slot.is_none(), "shards must not overlap");
+                *slot = Some(s);
+            }
+        }
+    }
+    assert_eq!(
+        merged, oneshot.stats,
+        "sharded per-row passes must merge to the lane-batched one-shot stats"
+    );
+}

@@ -1,0 +1,171 @@
+//! Lane-batched multi-row simulation: one trace replay drives many rows.
+//!
+//! Every campaign group simulates the *same* generated trace once per
+//! (mechanism, config) row; the decoded trace stream, line predecode and
+//! per-workload latency-class stream are identical across rows — only the
+//! per-row timing state (fetch/FTQ/ROB, BPU, BTB, L1-I/LLC hierarchy,
+//! prefetch buffers, mechanism) differs. [`LaneSimulator`] packs one
+//! complete row state per lane in a flat [`LaneSlab`] and advances the lanes
+//! in chunked round-robin over shared block-count targets, so the
+//! memory-bound trace + latency-stream footprint (the residual campaign cost
+//! identified when the serial-optimisation road closed) is walked through
+//! the cache hierarchy once per chunk for the whole group instead of once
+//! per row.
+//!
+//! # Byte parity
+//!
+//! Lane batching is a *schedule*, not an engine: each lane is a full
+//! [`Simulator`] driven through the resumable split
+//! ([`Simulator::begin_run`] / [`Simulator::advance_to_block`] /
+//! [`Simulator::finish_run`]), and pausing a lane at a block target is
+//! transition-invariant — every engine iteration is self-contained and
+//! commits at most one block. Any interleaving of lanes therefore produces
+//! statistics bit-identical to running each row alone; the differential
+//! suite in `boomerang/tests/lane_differential.rs` enforces this across all
+//! nine mechanism variants.
+//!
+//! # Shared-trace-cursor invariant
+//!
+//! Lanes may never write the decoded stream. This is enforced by
+//! construction — every lane borrows the trace as `&[DynamicBlock]` — and
+//! re-asserted at slab build time: all lanes must reference the *same*
+//! trace slice (identical pointer and length), so a group can never be
+//! assembled from rows of different workloads.
+
+use crate::mechanism::ControlFlowMechanism;
+use crate::simulator::Simulator;
+use crate::stats::SimStats;
+use sim_core::LaneSlab;
+
+/// Default round-robin chunk, in committed trace blocks per lane turn.
+///
+/// Large enough that per-lane bookkeeping is noise, small enough that the
+/// chunk's slice of the shared trace and latency-class stream stays resident
+/// while every lane of the group replays it.
+pub const DEFAULT_CHUNK_BLOCKS: usize = 4096;
+
+/// A multi-lane engine: N complete per-row simulators advanced in chunked
+/// round-robin over one shared immutable trace.
+///
+/// Lanes diverge in timing and advance independently — each keeps its own
+/// event horizon and streaming windows — but all consume the shared trace
+/// cursor, so group simulation pays the trace-footprint memory traffic once
+/// per chunk rather than once per row.
+pub struct LaneSimulator<'a, M: ControlFlowMechanism + ?Sized = dyn ControlFlowMechanism> {
+    lanes: LaneSlab<Simulator<'a, M>>,
+    done: Box<[bool]>,
+    chunk_blocks: usize,
+}
+
+impl<'a, M: ControlFlowMechanism + ?Sized> LaneSimulator<'a, M> {
+    /// Packs already-constructed row simulators into a lane slab.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is empty or if the lanes do not all share the same
+    /// decoded trace slice (the shared-trace-cursor invariant).
+    pub fn new(lanes: Vec<Simulator<'a, M>>) -> Self {
+        assert!(
+            !lanes.is_empty(),
+            "lane-batched run needs at least one lane"
+        );
+        let trace = lanes[0].trace_stream();
+        for lane in &lanes[1..] {
+            let other = lane.trace_stream();
+            assert!(
+                std::ptr::eq(trace.as_ptr(), other.as_ptr()) && trace.len() == other.len(),
+                "all lanes of a group must share one decoded trace stream"
+            );
+        }
+        let done = vec![false; lanes.len()].into_boxed_slice();
+        Self {
+            lanes: LaneSlab::from_vec(lanes),
+            done,
+            chunk_blocks: DEFAULT_CHUNK_BLOCKS,
+        }
+    }
+
+    /// Overrides the round-robin chunk size (committed blocks per lane
+    /// turn). Chunking affects only the schedule, never the statistics.
+    pub fn with_chunk_blocks(mut self, blocks: usize) -> Self {
+        self.chunk_blocks = blocks.max(1);
+        self
+    }
+
+    /// Number of lanes in the slab.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Runs every lane to completion and returns per-lane statistics in lane
+    /// order, bit-identical to running each lane's simulator alone with
+    /// [`Simulator::run_with_warmup`].
+    pub fn run(&mut self, warmup_blocks: usize) -> Vec<SimStats> {
+        let total = self.lanes[0].trace_blocks();
+        let mut remaining = self.lanes.len();
+        for lane in self.lanes.iter_mut() {
+            lane.begin_run(warmup_blocks);
+        }
+        let mut target = 0usize;
+        while remaining > 0 {
+            target = if target >= total {
+                // Tail: a lane past the trace end can only be waiting on its
+                // cycle safety bound; drive it unbounded.
+                usize::MAX
+            } else {
+                target.saturating_add(self.chunk_blocks)
+            };
+            for lane in 0..self.lanes.len() {
+                if !self.done[lane] && self.lanes[lane].advance_to_block(target) {
+                    self.done[lane] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+        self.lanes.iter_mut().map(Simulator::finish_run).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::NoPrefetch;
+    use sim_core::MicroarchConfig;
+    use workloads::{CodeLayout, Trace, WorkloadProfile};
+
+    fn build_sim<'a>(layout: &'a CodeLayout, trace: &'a Trace) -> Simulator<'a, NoPrefetch> {
+        Simulator::new(
+            MicroarchConfig::hpca17(),
+            layout,
+            trace.blocks(),
+            Box::new(NoPrefetch::new()),
+        )
+    }
+
+    #[test]
+    fn lanes_match_single_row_for_any_chunking() {
+        let layout = CodeLayout::generate(&WorkloadProfile::tiny(7));
+        let trace = Trace::generate_blocks(&layout, 4_000);
+        let expected = build_sim(&layout, &trace).run_with_warmup(500);
+
+        for chunk in [1, 37, 4096, usize::MAX] {
+            let sims = vec![build_sim(&layout, &trace), build_sim(&layout, &trace)];
+            let stats = LaneSimulator::new(sims).with_chunk_blocks(chunk).run(500);
+            assert_eq!(stats.len(), 2);
+            assert_eq!(stats[0], expected, "chunk {chunk} lane 0 diverged");
+            assert_eq!(stats[1], expected, "chunk {chunk} lane 1 diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share one decoded trace stream")]
+    fn rejects_lanes_with_different_traces() {
+        let layout = CodeLayout::generate(&WorkloadProfile::tiny(7));
+        let trace_a = Trace::generate_blocks(&layout, 1_000);
+        let trace_b = Trace::generate_blocks(&layout, 1_000);
+        let _ = LaneSimulator::new(vec![
+            build_sim(&layout, &trace_a),
+            build_sim(&layout, &trace_b),
+        ]);
+    }
+}

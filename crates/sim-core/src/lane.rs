@@ -1,0 +1,149 @@
+//! Flat lane slabs for multi-lane simulation.
+//!
+//! A [`LaneSlab`] is a fixed-size, preallocated slab of per-lane state in the
+//! bounded/flat-storage style of Boon's stack-only runtime (SNIPPETS.md
+//! snippet 2): every lane's state lives in one contiguous allocation sized
+//! once at construction, lanes are addressed by index, and nothing is
+//! allocated (or freed) on the hot path afterwards. The lane-batched engine
+//! (`frontend::LaneSimulator`) packs one complete per-row timing state —
+//! fetch/FTQ/ROB, BPU, BTB, cache hierarchy, prefetch buffers, mechanism —
+//! per lane while every lane reads the *same* immutable decoded trace
+//! stream.
+//!
+//! The slab deliberately does not implement `push`/`remove`: the lane
+//! population of a group is decided before simulation starts and never
+//! changes while lanes are running.
+
+use std::ops::{Index, IndexMut};
+
+/// A fixed-size slab of per-lane state, allocated once up front.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::lane::LaneSlab;
+///
+/// let mut slab: LaneSlab<u64> = LaneSlab::from_fn(3, |lane| lane as u64 * 10);
+/// assert_eq!(slab.len(), 3);
+/// slab[1] += 5;
+/// assert_eq!(slab[1], 15);
+/// assert_eq!(slab.iter().copied().collect::<Vec<_>>(), vec![0, 15, 20]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LaneSlab<T> {
+    lanes: Box<[T]>,
+}
+
+impl<T> LaneSlab<T> {
+    /// Builds a slab of `lanes` entries, constructing each lane's state with
+    /// `init(lane_index)`. All allocation happens here, before any lane runs.
+    pub fn from_fn(lanes: usize, init: impl FnMut(usize) -> T) -> Self {
+        Self {
+            lanes: (0..lanes).map(init).collect(),
+        }
+    }
+
+    /// Adopts an already-constructed lane population (e.g. simulators built
+    /// from a campaign group's rows) into a flat slab.
+    pub fn from_vec(lanes: Vec<T>) -> Self {
+        Self {
+            lanes: lanes.into_boxed_slice(),
+        }
+    }
+
+    /// Number of lanes in the slab.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the slab holds no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Shared iterator over lane states in lane order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.lanes.iter()
+    }
+
+    /// Mutable iterator over lane states in lane order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.lanes.iter_mut()
+    }
+
+    /// Consumes the slab, returning lane states in lane order.
+    pub fn into_vec(self) -> Vec<T> {
+        self.lanes.into_vec()
+    }
+}
+
+impl<T> Index<usize> for LaneSlab<T> {
+    type Output = T;
+
+    fn index(&self, lane: usize) -> &T {
+        &self.lanes[lane]
+    }
+}
+
+impl<T> IndexMut<usize> for LaneSlab<T> {
+    fn index_mut(&mut self, lane: usize) -> &mut T {
+        &mut self.lanes[lane]
+    }
+}
+
+impl<T> IntoIterator for LaneSlab<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lanes.into_vec().into_iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a LaneSlab<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lanes.iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a mut LaneSlab<T> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lanes.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_constructs_in_lane_order() {
+        let slab = LaneSlab::from_fn(4, |lane| lane * 2);
+        assert_eq!(slab.len(), 4);
+        assert!(!slab.is_empty());
+        assert_eq!(slab.iter().copied().collect::<Vec<_>>(), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn from_vec_preserves_order_and_mutation_is_per_lane() {
+        let mut slab = LaneSlab::from_vec(vec![1u32, 2, 3]);
+        slab[2] = 30;
+        for lane in slab.iter_mut() {
+            *lane += 1;
+        }
+        assert_eq!(slab.into_vec(), vec![2, 3, 31]);
+    }
+
+    #[test]
+    fn empty_slab() {
+        let slab: LaneSlab<u8> = LaneSlab::from_fn(0, |_| 0);
+        assert!(slab.is_empty());
+        assert_eq!(slab.len(), 0);
+    }
+}
