@@ -5,6 +5,8 @@
 //! boomerang-sim run --preset <name> [...]
 //! boomerang-sim resume <spec.toml> [--out DIR] [...]
 //! boomerang-sim serve --spool DIR [--out DIR] [--workers N] [--once]
+//! boomerang-sim serve --spool DIR --listen ADDR [--workers N] [...]
+//! boomerang-sim worker --connect ADDR [--worker-index N] [...]
 //! boomerang-sim bench [--preset <name>]... [--smoke] [--check FILE]
 //! boomerang-sim list-presets
 //! ```
@@ -14,8 +16,8 @@ use campaign::checkpoint::{spec_hash, Journal, JournalReplay};
 use campaign::serve::{serve, ServeOptions, SubmissionStatus};
 use campaign::supervise::install_interrupt_handler;
 use campaign::{
-    assemble_report, fault, presets, run_generated_partial, BenchOptions, CampaignSpec,
-    EngineOptions, Job, RunPlan, StreamingSink,
+    assemble_report, fault, presets, run_generated_partial, run_worker, BenchOptions, CampaignSpec,
+    EngineOptions, FaultPlan, Job, RunPlan, StreamingSink, WorkerOptions,
 };
 use frontend::SimStats;
 use std::collections::HashMap;
@@ -37,6 +39,7 @@ USAGE:
     boomerang-sim run --preset <name> [OPTIONS]
     boomerang-sim resume <spec.toml | --preset <name>> [OPTIONS]
     boomerang-sim serve --spool <DIR> [SERVE OPTIONS]
+    boomerang-sim worker --connect <ADDR> [WORKER OPTIONS]
     boomerang-sim bench [BENCH OPTIONS]
     boomerang-sim list-presets
 
@@ -99,10 +102,43 @@ SERVE OPTIONS:
                            0 = unlimited)
     --fault-inject <PLAN>  Arm deterministic fault points in the service and
                            its workers (testing)
+    --listen <ADDR>        Run the TCP work queue on ADDR (e.g. 127.0.0.1:0)
+                           and lease jobs to `worker --connect` clients;
+                           --workers N spawns N local clients over loopback
+                           (0 = remote workers only)
+    --listen-addr-file <FILE>
+                           Write the bound listen address to FILE once
+                           listening (for `--listen 127.0.0.1:0`)
+    --lease-timeout-secs <S>
+                           Revoke a lease with no heartbeat or row progress
+                           for S seconds; the job is requeued with
+                           exponential backoff on re-lease (default: 60)
+    --steal-lock-after-secs <S>
+                           Steal the spool lock when its mtime is older than
+                           S seconds, even if the owner looks alive (escape
+                           hatch for platforms without procfs liveness; a
+                           live serve refreshes the lock every scan)
+
+WORKER OPTIONS:
+    --connect <ADDR>       Broker address (host:port) to lease jobs from
+    --worker-index <N>     This worker's index, addressable by `shard=`
+                           fault filters (default: 0)
+    --heartbeat-ms <MS>    Lease heartbeat interval (default: 2000)
+    --reconnect-ms <MS>    Base reconnect backoff after losing the broker,
+                           doubling per consecutive failure (default: 250)
+    --reconnect-cap-ms <MS>
+                           Reconnect backoff ceiling (default: 10000)
+    --reconnect-tries <N>  Consecutive failed reconnects before giving up
+                           (default: 6)
+    --artifact-cache <DIR> Content-addressed workload artifact cache
+    --fault-inject <PLAN>  Arm deterministic fault points (testing)
+    --quiet                Suppress per-row progress logs
 
 EXIT CODES:
     0  success        1  failure (bad args, failed submission, I/O error)
     4  serve completed with at least one partial submission and no failures
+    (a worker exits 0 on a clean broker-driven shutdown, 1 on a terminal
+    error: spec hash skew or an exhausted reconnect budget)
 
 BENCH OPTIONS (see README \"Performance\"):
     --preset <name>   Benchmark this preset (repeatable; default: figure9)
@@ -170,6 +206,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("run") => run_command(&args[1..], false),
         Some("resume") => run_command(&args[1..], true),
         Some("serve") => serve_command(&args[1..]),
+        Some("worker") => worker_command(&args[1..]),
         Some("bench") => bench_command(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -301,11 +338,11 @@ fn serve_command(args: &[String]) -> Result<ExitCode, String> {
             }
             "--workers" => {
                 let n = it.next().ok_or("--workers needs a count")?;
+                // 0 is legal only with --listen (remote workers do all the
+                // work); validated once the flags are all in.
                 options.workers = n
                     .parse::<usize>()
-                    .ok()
-                    .filter(|&n| n > 0)
-                    .ok_or_else(|| format!("bad --workers value `{n}`"))?;
+                    .map_err(|_| format!("bad --workers value `{n}`"))?;
             }
             "--jobs" => {
                 let n = it.next().ok_or("--jobs needs a count")?;
@@ -364,6 +401,32 @@ fn serve_command(args: &[String]) -> Result<ExitCode, String> {
                 let plan = it.next().ok_or("--fault-inject needs a plan")?;
                 fault_plan = Some(plan.clone());
             }
+            "--listen" => {
+                let addr = it.next().ok_or("--listen needs an address")?;
+                options.listen = Some(addr.clone());
+            }
+            "--listen-addr-file" => {
+                let path = it.next().ok_or("--listen-addr-file needs a file path")?;
+                options.listen_addr_file = Some(PathBuf::from(path));
+            }
+            "--lease-timeout-secs" => {
+                let s = it.next().ok_or("--lease-timeout-secs needs a value")?;
+                let secs = s
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|&s| s > 0.0)
+                    .ok_or_else(|| format!("bad --lease-timeout-secs value `{s}`"))?;
+                options.lease_timeout = Duration::from_secs_f64(secs);
+            }
+            "--steal-lock-after-secs" => {
+                let s = it.next().ok_or("--steal-lock-after-secs needs a value")?;
+                let secs = s
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|&s| s > 0.0)
+                    .ok_or_else(|| format!("bad --steal-lock-after-secs value `{s}`"))?;
+                options.steal_lock_after = Some(Duration::from_secs_f64(secs));
+            }
             "--quiet" => quiet = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -375,21 +438,37 @@ fn serve_command(args: &[String]) -> Result<ExitCode, String> {
     if options.spool.as_os_str().is_empty() {
         return Err("serve needs --spool <DIR>".into());
     }
+    if options.workers == 0 && options.listen.is_none() {
+        return Err("--workers 0 needs --listen (no local fleet and no work queue)".into());
+    }
     if let Some(plan) = &fault_plan {
         fault::install(Some(plan))?;
-        // The workers inherit the plan through the environment; the
-        // supervisor stamps each spawn's life number next to it.
-        std::env::set_var(fault::FAULT_ENV, plan);
+        // The workers inherit the plan through the environment — in its
+        // canonical `Display` form, round-tripped through `parse`, so the
+        // forwarded value is normalized (defaults dropped, one spelling) no
+        // matter how the flag was written. The supervisor stamps each
+        // spawn's life number next to it.
+        std::env::set_var(fault::FAULT_ENV, FaultPlan::parse(plan)?.to_string());
     } else {
         fault::install(None)?;
     }
     install_interrupt_handler();
     if !quiet {
+        let local_workers = if options.listen.is_some() {
+            options.workers
+        } else {
+            options.workers.max(1)
+        };
         eprintln!(
-            "serving spool {} into {} ({} worker processes{})",
+            "serving spool {} into {} ({} worker processes{}{})",
             options.spool.display(),
             options.out.display(),
-            options.workers.max(1),
+            local_workers,
+            if options.listen.is_some() {
+                ", work queue"
+            } else {
+                ""
+            },
             if options.once { ", once" } else { "" },
         );
     }
@@ -427,6 +506,88 @@ fn serve_command(args: &[String]) -> Result<ExitCode, String> {
             outcomes.len()
         );
         return Ok(ExitCode::from(PARTIAL_EXIT_CODE));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn worker_command(args: &[String]) -> Result<ExitCode, String> {
+    let mut options = WorkerOptions::default();
+    let mut fault_plan: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => {
+                let addr = it.next().ok_or("--connect needs an address")?;
+                options.connect = addr.clone();
+            }
+            "--worker-index" => {
+                let n = it.next().ok_or("--worker-index needs a value")?;
+                options.worker_index = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --worker-index value `{n}`"))?;
+            }
+            "--heartbeat-ms" => {
+                let ms = it.next().ok_or("--heartbeat-ms needs a value")?;
+                let ms = ms
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&ms| ms > 0)
+                    .ok_or_else(|| format!("bad --heartbeat-ms value `{ms}`"))?;
+                options.heartbeat = Duration::from_millis(ms);
+            }
+            "--reconnect-ms" => {
+                let ms = it.next().ok_or("--reconnect-ms needs a value")?;
+                options.reconnect_base = Duration::from_millis(
+                    ms.parse::<u64>()
+                        .map_err(|_| format!("bad --reconnect-ms value `{ms}`"))?,
+                );
+            }
+            "--reconnect-cap-ms" => {
+                let ms = it.next().ok_or("--reconnect-cap-ms needs a value")?;
+                options.reconnect_cap = Duration::from_millis(
+                    ms.parse::<u64>()
+                        .map_err(|_| format!("bad --reconnect-cap-ms value `{ms}`"))?,
+                );
+            }
+            "--reconnect-tries" => {
+                let n = it.next().ok_or("--reconnect-tries needs a count")?;
+                options.reconnect_tries = n
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad --reconnect-tries value `{n}`"))?;
+            }
+            "--artifact-cache" => {
+                let dir = it.next().ok_or("--artifact-cache needs a directory")?;
+                options.artifact_cache = Some(PathBuf::from(dir));
+            }
+            "--fault-inject" => {
+                let plan = it.next().ok_or("--fault-inject needs a plan")?;
+                fault_plan = Some(plan.clone());
+            }
+            "--quiet" => options.quiet = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown worker option `{other}`\n\n{USAGE}")),
+        }
+    }
+    if options.connect.is_empty() {
+        return Err("worker needs --connect <ADDR>".into());
+    }
+    // Explicit flag or the plan a spawning serve forwarded through the
+    // environment; `run_worker` registers the worker index as this
+    // process's shard for `shard=` filters.
+    fault::install(fault_plan.as_deref())?;
+    let summary = run_worker(&options).map_err(|e| format!("worker: {e}"))?;
+    if !options.quiet {
+        eprintln!(
+            "worker {}: {} rows over {} leases, {} reconnects; {}",
+            options.worker_index,
+            summary.rows,
+            summary.leases,
+            summary.reconnects,
+            summary.shutdown_reason
+        );
     }
     Ok(ExitCode::SUCCESS)
 }

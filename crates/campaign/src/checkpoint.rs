@@ -139,6 +139,34 @@ const STAT_FIELDS: [StatField; 17] = [
     }),
 ];
 
+/// Number of stat counters a journal row (and a `RowDone` protocol frame)
+/// carries — the arity both ends of the wire check against.
+pub(crate) const STAT_FIELD_COUNT: usize = STAT_FIELDS.len();
+
+/// Flattens stats into the canonical journal column order, for transport in
+/// a `RowDone` frame.
+pub(crate) fn stats_to_array(stats: &SimStats) -> [u64; STAT_FIELD_COUNT] {
+    let mut values = [0u64; STAT_FIELD_COUNT];
+    for (slot, (_, read)) in values.iter_mut().zip(STAT_FIELDS.iter()) {
+        *slot = read(stats);
+    }
+    values
+}
+
+/// Rebuilds stats from the canonical journal column order — the inverse of
+/// [`stats_to_array`]. Returns `None` on arity mismatch.
+pub(crate) fn stats_from_array(values: &[u64]) -> Option<SimStats> {
+    if values.len() != STAT_FIELD_COUNT {
+        return None;
+    }
+    stats_from_fields(|name| {
+        STAT_FIELDS
+            .iter()
+            .position(|(field, _)| *field == name)
+            .map(|i| values[i])
+    })
+}
+
 fn stats_from_fields(get: impl Fn(&'static str) -> Option<u64>) -> Option<SimStats> {
     Some(SimStats {
         instructions: get("instructions")?,
@@ -874,6 +902,49 @@ mod tests {
         journal.record(&jobs[0], &stats(0)).unwrap();
         assert!(journal_progress(&dir, &spec.name) > after_header);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn progress_probe_shrinks_when_resume_drops_a_torn_tail() {
+        // A worker killed mid-write leaves a torn prefix; the restarted
+        // worker's `Journal::append` truncates it away, so the probe value
+        // goes *down* between two supervisor polls. The supervisor must not
+        // read that shrink as progress (see `supervise`), and the probe
+        // itself must faithfully report the smaller size.
+        let dir = temp_dir("shrink");
+        let spec = spec();
+        let jobs = crate::expand::expand(&spec);
+        let hash = spec_hash(&spec, RunLength::smoke_test(), true);
+        let journal = Journal::create(&dir, &spec.name, &hash, jobs.len(), None).unwrap();
+        journal.record(&jobs[0], &stats(0)).unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+        let clean = journal_progress(&dir, &spec.name);
+
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"job\":1,\"mechanism\":\"fd");
+        std::fs::write(&path, &text).unwrap();
+        let torn = journal_progress(&dir, &spec.name);
+        assert!(torn > clean);
+
+        let journal = Journal::append(&dir, &spec.name, None).unwrap();
+        let truncated = journal_progress(&dir, &spec.name);
+        assert_eq!(truncated, clean, "append must drop exactly the torn tail");
+        assert!(truncated < torn, "the probe must report the shrink");
+        drop(journal);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_array_round_trips_in_column_order() {
+        let original = stats(7);
+        let values = stats_to_array(&original);
+        assert_eq!(values.len(), STAT_FIELD_COUNT);
+        assert_eq!(stats_from_array(&values), Some(original));
+        assert_eq!(stats_from_array(&values[..STAT_FIELD_COUNT - 1]), None);
+        // The array shares column order with the journal writer.
+        assert_eq!(values[0], original.instructions);
+        assert_eq!(values[1], original.cycles);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! artifact-corrupt:nth=2
 //! report-torn
 //! spool-scan-error:nth=1,worker-exit:shard=1:after-rows=3:lives=2
+//! conn-drop:shard=0:after-rows=2,heartbeat-stall:shard=1:after-rows=3
 //! ```
 //!
 //! | kind                | fires at                            | effect |
@@ -29,27 +30,40 @@
 //! | `worker-exit`       | the `after-rows`-th checkpointed row | `exit(113)` after the row is durably journaled |
 //! | `worker-hang`       | the `after-rows`-th checkpointed row | sleeps forever (journal progress stalls) |
 //! | `journal-torn-tail` | the `after-rows`-th journal append  | writes a prefix of the row line, then `exit(113)` |
+//! | `conn-drop`         | the `after-rows`-th completed row   | a TCP worker drops its broker socket before the ack, then reconnects |
+//! | `heartbeat-stall`   | the `after-rows`-th *granted lease* | a TCP worker stops heartbeating and stalls forever (the broker revokes and reassigns) |
+//! | `row-duplicate`     | the `after-rows`-th completed row   | a TCP worker transmits the row's `RowDone` frame twice (the broker must dedup) |
 //! | `artifact-corrupt`  | the `nth` artifact store            | flips a payload byte after checksumming (load rejects) |
 //! | `report-torn`       | the `nth` report-file write         | writes half the bytes, then `exit(113)` |
 //! | `spool-scan-error`  | the `nth` spool scan                | the scan returns an injected I/O error |
+//! | `frame-torn`        | the `nth` protocol frame sent       | writes half the frame bytes, then fails the send (either end of the socket) |
 //!
 //! Filters: `shard=N` restricts a row fault to the worker process running
-//! that shard of the canonical expansion (default: any); `after-rows=N`
-//! fires when this process's checkpointed-row count reaches exactly `N`
-//! (default 1); `nth=N` fires on the `N`-th event of a counter fault
-//! (default 1); `lives=K` (or `lives=all`) arms the fault only while the
-//! worker's supervised life number — [`FAULT_LIFE_ENV`], set by the
-//! supervisor on every (re)spawn, default 1 — is at most `K` (default 1).
-//! The life filter is what makes crash-recovery tests deterministic: a
-//! restarted worker inherits the same plan but runs at life 2, so a
-//! `lives=1` fault fires once and the retry recovers, while `lives=all`
-//! models a persistent failure that exhausts the retry budget.
+//! that shard of the canonical expansion — for TCP workers, the
+//! `--worker-index` the process registered (default: any); `after-rows=N`
+//! fires when this process's checkpointed/completed-row count reaches
+//! exactly `N` (default 1; for `heartbeat-stall` it counts granted leases —
+//! the stall happens before any row runs); `nth=N` fires on the `N`-th
+//! event of a counter fault (default 1); `lives=K` (or `lives=all`) arms
+//! the fault only while the worker's supervised life number —
+//! [`FAULT_LIFE_ENV`], set by the supervisor on every (re)spawn, default 1
+//! — is at most `K` (default 1). The life filter is what makes
+//! crash-recovery tests deterministic: a restarted worker inherits the same
+//! plan but runs at life 2, so a `lives=1` fault fires once and the retry
+//! recovers, while `lives=all` models a persistent failure that exhausts
+//! the retry budget.
 //!
 //! Row counts are per process life: `after-rows` compares against rows
 //! *checkpointed by this process*, not rows replayed from the journal, so a
 //! resumed worker's counter starts at zero again — which is exactly what a
 //! `lives` bound needs to reason about.
+//!
+//! [`FaultPlan`] implements `Display` with a canonical rendering (default
+//! filters omitted) that round-trips through [`FaultPlan::parse`]; `serve`
+//! forwards exactly that canonical form to its workers through
+//! [`FAULT_ENV`].
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
@@ -85,6 +99,18 @@ pub enum FaultKind {
     ReportTorn,
     /// Make one spool scan return an I/O error.
     SpoolScanError,
+    /// A TCP worker abruptly drops its broker connection right after sending
+    /// a row (before reading the ack), then reconnects with backoff.
+    ConnDrop,
+    /// A TCP worker accepts a lease, then stops heartbeating and stalls
+    /// forever — the revocation/reassignment signature.
+    HeartbeatStall,
+    /// A TCP worker transmits one row's `RowDone` frame twice; the broker's
+    /// journal dedup must absorb the retransmission.
+    RowDuplicate,
+    /// Write only half of one protocol frame, then fail the send — the torn
+    /// TCP write signature, armed on either end of the socket.
+    FrameTorn,
 }
 
 impl FaultKind {
@@ -96,6 +122,10 @@ impl FaultKind {
             FaultKind::ArtifactCorrupt => "artifact-corrupt",
             FaultKind::ReportTorn => "report-torn",
             FaultKind::SpoolScanError => "spool-scan-error",
+            FaultKind::ConnDrop => "conn-drop",
+            FaultKind::HeartbeatStall => "heartbeat-stall",
+            FaultKind::RowDuplicate => "row-duplicate",
+            FaultKind::FrameTorn => "frame-torn",
         }
     }
 
@@ -104,8 +134,19 @@ impl FaultKind {
     fn is_row_fault(self) -> bool {
         matches!(
             self,
-            FaultKind::WorkerExit | FaultKind::WorkerHang | FaultKind::JournalTornTail
+            FaultKind::WorkerExit
+                | FaultKind::WorkerHang
+                | FaultKind::JournalTornTail
+                | FaultKind::ConnDrop
+                | FaultKind::HeartbeatStall
+                | FaultKind::RowDuplicate
         )
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -138,6 +179,29 @@ impl FaultSpec {
     }
 }
 
+impl fmt::Display for FaultSpec {
+    /// Canonical plan syntax: the kind, then only the non-default filters.
+    /// Round-trips through [`FaultPlan::parse`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)?;
+        if let Some(shard) = self.shard {
+            write!(f, ":shard={shard}")?;
+        }
+        if self.after_rows != 1 {
+            write!(f, ":after-rows={}", self.after_rows)?;
+        }
+        if self.nth != 1 {
+            write!(f, ":nth={}", self.nth)?;
+        }
+        if self.lives == u64::MAX {
+            write!(f, ":lives=all")?;
+        } else if self.lives != 1 {
+            write!(f, ":lives={}", self.lives)?;
+        }
+        Ok(())
+    }
+}
+
 /// A parsed fault plan: the list of armed faults, in plan order. The first
 /// matching fault acts on any given event.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -166,6 +230,10 @@ impl FaultPlan {
                 "artifact-corrupt" => FaultKind::ArtifactCorrupt,
                 "report-torn" => FaultKind::ReportTorn,
                 "spool-scan-error" => FaultKind::SpoolScanError,
+                "conn-drop" => FaultKind::ConnDrop,
+                "heartbeat-stall" => FaultKind::HeartbeatStall,
+                "row-duplicate" => FaultKind::RowDuplicate,
+                "frame-torn" => FaultKind::FrameTorn,
                 other => {
                     return Err(format!(
                         "fault plan entry `{entry}`: unknown fault kind `{other}`"
@@ -173,10 +241,17 @@ impl FaultPlan {
                 }
             };
             let mut spec = FaultSpec::new(kind);
+            let mut seen: Vec<&str> = Vec::new();
             for filter in parts {
                 let (key, value) = filter.split_once('=').ok_or_else(|| {
                     format!("fault plan entry `{entry}`: filter `{filter}` is not key=value")
                 })?;
+                if seen.contains(&key) {
+                    return Err(format!(
+                        "fault plan entry `{entry}`: duplicate `{key}` filter"
+                    ));
+                }
+                seen.push(key);
                 let number = |value: &str| {
                     value.parse::<u64>().map_err(|_| {
                         format!("fault plan entry `{entry}`: bad `{key}` value `{value}`")
@@ -238,6 +313,20 @@ impl FaultPlan {
     }
 }
 
+impl fmt::Display for FaultPlan {
+    /// Canonical plan syntax (entries joined with `,`, default filters
+    /// omitted); `FaultPlan::parse(&plan.to_string())` yields `plan` back.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, spec) in self.faults.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{spec}")?;
+        }
+        Ok(())
+    }
+}
+
 /// The process-wide fault runtime: the plan plus the event counters the
 /// filters compare against.
 struct FaultState {
@@ -251,6 +340,10 @@ struct FaultState {
     artifact_stores: AtomicU64,
     report_writes: AtomicU64,
     spool_scans: AtomicU64,
+    /// Leases granted to this process (a TCP worker), for `heartbeat-stall`.
+    leases: AtomicU64,
+    /// Protocol frames sent by this process, for `frame-torn`.
+    frames: AtomicU64,
 }
 
 static STATE: OnceLock<Result<FaultState, String>> = OnceLock::new();
@@ -276,6 +369,8 @@ fn build_state(plan_text: Option<&str>) -> Result<FaultState, String> {
         artifact_stores: AtomicU64::new(0),
         report_writes: AtomicU64::new(0),
         spool_scans: AtomicU64::new(0),
+        leases: AtomicU64::new(0),
+        frames: AtomicU64::new(0),
     })
 }
 
@@ -336,6 +431,11 @@ pub struct RowFaults {
     pub exit: bool,
     /// Stop making progress forever after the row is written.
     pub hang: bool,
+    /// TCP workers: drop the broker socket right after sending this row,
+    /// before reading the ack, then reconnect.
+    pub conn_drop: bool,
+    /// TCP workers: transmit this row's `RowDone` frame twice.
+    pub duplicate: bool,
 }
 
 impl RowFaults {
@@ -345,18 +445,16 @@ impl RowFaults {
     }
 }
 
-/// Journal-append fault point: advances the checkpointed-row counter and
-/// reports which row faults fire at this row. Called by
-/// [`crate::checkpoint::Journal::record`] once per appended row.
-pub fn on_row_append() -> RowFaults {
-    let Some(state) = active() else {
-        return RowFaults::default();
-    };
+/// Advances the completed-row counter and collects the row faults firing at
+/// this row (`heartbeat-stall` excluded — it counts granted leases, not
+/// rows, and is read by [`stall_this_lease`]).
+fn row_faults(state: &FaultState) -> RowFaults {
     let row = state.rows.fetch_add(1, Ordering::Relaxed) + 1;
     let shard = state.shard.load(Ordering::Relaxed);
     let mut faults = RowFaults::default();
     for spec in &state.plan.faults {
         if !spec.kind.is_row_fault()
+            || spec.kind == FaultKind::HeartbeatStall
             || state.life > spec.lives
             || row != spec.after_rows
             || spec.shard.is_some_and(|s| s as u64 != shard)
@@ -367,10 +465,68 @@ pub fn on_row_append() -> RowFaults {
             FaultKind::JournalTornTail => faults.torn_tail = true,
             FaultKind::WorkerExit => faults.exit = true,
             FaultKind::WorkerHang => faults.hang = true,
+            FaultKind::ConnDrop => faults.conn_drop = true,
+            FaultKind::RowDuplicate => faults.duplicate = true,
             _ => unreachable!("row faults only"),
         }
     }
     faults
+}
+
+/// Journal-append fault point: advances the checkpointed-row counter and
+/// reports which row faults fire at this row. Called by
+/// [`crate::checkpoint::Journal::record`] once per appended row.
+pub fn on_row_append() -> RowFaults {
+    let Some(state) = active() else {
+        return RowFaults::default();
+    };
+    row_faults(state)
+}
+
+/// TCP-worker row fault point: advances the completed-row counter and
+/// reports which row faults fire at this row. Called by
+/// [`crate::worker`] once per row it is about to transmit — the worker-side
+/// analogue of [`on_row_append`] (a TCP worker appends no journal of its
+/// own; the broker journals on its behalf).
+pub fn on_worker_row() -> RowFaults {
+    let Some(state) = active() else {
+        return RowFaults::default();
+    };
+    row_faults(state)
+}
+
+/// Lease-grant fault point: advances the granted-lease counter and reports
+/// whether a `heartbeat-stall` fault fires on this lease — the worker must
+/// stop heartbeating and stall forever, leaving the lease to expire.
+pub fn stall_this_lease() -> bool {
+    let Some(state) = active() else {
+        return false;
+    };
+    if !state
+        .plan
+        .faults
+        .iter()
+        .any(|spec| spec.kind == FaultKind::HeartbeatStall)
+    {
+        return false;
+    }
+    let lease = state.leases.fetch_add(1, Ordering::Relaxed) + 1;
+    let shard = state.shard.load(Ordering::Relaxed);
+    state.plan.faults.iter().any(|spec| {
+        spec.kind == FaultKind::HeartbeatStall
+            && state.life <= spec.lives
+            && lease == spec.after_rows
+            && spec.shard.is_none_or(|s| s as u64 == shard)
+    })
+}
+
+/// Frame-send fault point: `true` when this protocol frame (process-wide
+/// send ordinal) must be torn — half written, then the send fails.
+pub fn tear_this_frame() -> bool {
+    let Some(state) = active() else {
+        return false;
+    };
+    counter_fault(FaultKind::FrameTorn, &state.frames)
 }
 
 fn counter_fault(kind: FaultKind, counter: &AtomicU64) -> bool {
@@ -469,6 +625,67 @@ mod tests {
         assert!(zero.contains("at least 1"), "{zero}");
         let no_eq = FaultPlan::parse("worker-exit:after-rows").unwrap_err();
         assert!(no_eq.contains("not key=value"), "{no_eq}");
+    }
+
+    #[test]
+    fn network_kinds_parse_with_row_filters() {
+        let plan = FaultPlan::parse(
+            "conn-drop:shard=0:after-rows=2,heartbeat-stall:shard=1:after-rows=3,\
+             row-duplicate:lives=all,frame-torn:nth=4",
+        )
+        .unwrap();
+        assert_eq!(plan.faults.len(), 4);
+        assert_eq!(plan.faults[0].kind, FaultKind::ConnDrop);
+        assert_eq!(plan.faults[0].shard, Some(0));
+        assert_eq!(plan.faults[1].kind, FaultKind::HeartbeatStall);
+        assert_eq!(plan.faults[1].after_rows, 3);
+        assert_eq!(plan.faults[2].kind, FaultKind::RowDuplicate);
+        assert_eq!(plan.faults[2].lives, u64::MAX);
+        assert_eq!(plan.faults[3].kind, FaultKind::FrameTorn);
+        assert_eq!(plan.faults[3].nth, 4);
+        // frame-torn is a counter fault: row filters must be rejected.
+        let misapplied = FaultPlan::parse("frame-torn:after-rows=2").unwrap_err();
+        assert!(misapplied.contains("does not apply"), "{misapplied}");
+    }
+
+    #[test]
+    fn display_is_canonical_and_round_trips() {
+        let texts = [
+            "worker-exit:shard=1:after-rows=3:lives=2",
+            "journal-torn-tail",
+            "artifact-corrupt:nth=2",
+            "worker-hang:shard=0:after-rows=5:lives=all",
+            "conn-drop:shard=0:after-rows=2,heartbeat-stall:after-rows=3",
+            "row-duplicate,frame-torn:nth=7:lives=3",
+            "",
+        ];
+        for text in texts {
+            let plan = FaultPlan::parse(text).unwrap();
+            let rendered = plan.to_string();
+            assert_eq!(
+                FaultPlan::parse(&rendered).unwrap(),
+                plan,
+                "via `{rendered}`"
+            );
+        }
+        // Canonical form drops defaults and normalises whitespace.
+        let plan = FaultPlan::parse(" worker-exit:after-rows=1:lives=1 , conn-drop:nth-free=1")
+            .map(|p| p.to_string());
+        assert!(plan.is_err(), "nth-free must be rejected");
+        let plan = FaultPlan::parse(" worker-exit:after-rows=1:lives=1 , conn-drop ").unwrap();
+        assert_eq!(plan.to_string(), "worker-exit,conn-drop");
+    }
+
+    #[test]
+    fn duplicate_and_malformed_filters_are_rejected() {
+        let dup = FaultPlan::parse("worker-exit:lives=1:lives=2").unwrap_err();
+        assert!(dup.contains("duplicate `lives`"), "{dup}");
+        let dup = FaultPlan::parse("conn-drop:after-rows=2:after-rows=3").unwrap_err();
+        assert!(dup.contains("duplicate `after-rows`"), "{dup}");
+        let bad_shard = FaultPlan::parse("conn-drop:shard=first").unwrap_err();
+        assert!(bad_shard.contains("bad `shard`"), "{bad_shard}");
+        let unknown = FaultPlan::parse("packet-eater:shard=0").unwrap_err();
+        assert!(unknown.contains("unknown fault kind"), "{unknown}");
     }
 
     // Behavioural coverage of the fault points lives in the chaos suite

@@ -51,11 +51,13 @@ pub mod expand;
 pub mod fault;
 pub mod json;
 pub mod presets;
+pub mod proto;
 pub mod serve;
 pub mod sink;
 pub mod spec;
 pub mod supervise;
 pub mod toml;
+pub mod worker;
 
 pub use artifact::{artifact_key, ArtifactCache, ArtifactError, ARTIFACT_FORMAT, ARTIFACT_MAGIC};
 pub use bench::{
@@ -73,6 +75,7 @@ pub use engine::{
 pub use expand::{expand, Job};
 pub use fault::{FaultKind, FaultPlan, FaultSpec, FAULT_ENV, FAULT_EXIT_CODE, FAULT_LIFE_ENV};
 pub use presets::{Preset, PRESETS};
+pub use proto::{Message, ProtoError, MAX_PAYLOAD, PROTO_MAGIC, PROTO_VERSION};
 pub use sink::{
     to_csv, to_csv_partial, to_json, to_json_partial, to_table, write_partial_reports,
     write_reports, ReportPaths, StreamingSink,
@@ -81,4 +84,7 @@ pub use spec::{
     mechanism_token, parse_mechanism, parse_predictor, parse_workload, CampaignSpec,
     ConfigOverride, ConfigPoint, NocSel, SpecError, WorkloadPoint, MAX_WORKLOAD_POINTS,
 };
-pub use supervise::{supervise, ShardOutcome, ShardReport, SuperviseOptions, SupervisedRun};
+pub use supervise::{
+    supervise, supervise_with_stop, ShardOutcome, ShardReport, SuperviseOptions, SupervisedRun,
+};
+pub use worker::{run_worker, WorkerOptions, WorkerSummary};

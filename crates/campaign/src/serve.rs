@@ -26,21 +26,45 @@
 //! again — stale markers from an earlier attempt are cleared first. A lock
 //! file (`.boomerang-serve.lock`, holding the owner's pid) keeps two serve
 //! processes from double-processing one spool; a lock whose owner is dead
-//! is reclaimed.
+//! is reclaimed, and [`ServeOptions::steal_lock_after`] adds an
+//! mtime-staleness escape hatch for platforms without procfs liveness.
+//!
+//! # Distributed mode
+//!
+//! With [`ServeOptions::listen`] the service additionally runs a TCP work
+//! queue (a broker): each submission's job expansion is leased row-by-row
+//! to `boomerang-sim worker --connect` clients over the versioned
+//! [`crate::proto`] frame protocol. Leases are kept alive by worker
+//! heartbeats and row submissions; a lease silent past
+//! [`ServeOptions::lease_timeout`] is revoked and its job requeued with
+//! exponential backoff, so a crashed, partitioned, or hung worker only
+//! delays its in-flight row. The broker is the sole journal writer and
+//! dedups every submitted row against the journal-backed done set, which
+//! makes submission idempotent (retransmissions, revoked-then-completed
+//! leases) and lets a restarted broker resume mid-campaign from the
+//! journal. `workers > 0` still spawns a local fleet — as worker clients
+//! over loopback — so local and remote dispatch drain one queue through one
+//! code path and the merged report stays byte-identical to a one-shot
+//! `run`.
 
-use crate::checkpoint::{spec_hash, Journal, JournalReplay};
+use crate::checkpoint::{spec_hash, stats_from_array, Journal, JournalReplay};
 use crate::engine::{assemble_partial_report, assemble_report};
-use crate::expand::expand;
+use crate::expand::{expand, Job};
 use crate::fault;
+use crate::proto::{read_message, write_message, Message};
 use crate::sink::{write_partial_reports, write_reports};
-use crate::spec::CampaignSpec;
-use crate::supervise::{self, supervise, SuperviseOptions};
+use crate::spec::{mechanism_token, CampaignSpec};
+use crate::supervise::{self, supervise, supervise_with_stop, SuperviseOptions};
 use boomerang::RunLength;
 use frontend::SimStats;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Name of the spool lock file (satellite: two serve processes must not
 /// double-process one spool).
@@ -79,6 +103,22 @@ pub struct ServeOptions {
     /// Stop after this many spool scans (0 = unlimited). A testing handle:
     /// lets a polling serve loop terminate deterministically.
     pub max_scans: u64,
+    /// TCP listen address for the distributed work queue (`--listen`).
+    /// `None` keeps the process-spawn-only dispatch; `Some` runs the broker
+    /// and leases jobs to `boomerang-sim worker --connect` clients.
+    pub listen: Option<String>,
+    /// Write the broker's bound address (useful with `--listen 127.0.0.1:0`)
+    /// to this file once listening.
+    pub listen_addr_file: Option<PathBuf>,
+    /// Revoke a lease with no heartbeat or row progress for this long; the
+    /// job is requeued with exponential backoff on re-lease.
+    pub lease_timeout: Duration,
+    /// Steal the spool lock when its file's mtime is older than this, even
+    /// if the owner looks alive — the escape hatch for platforms without
+    /// procfs liveness (where a dead owner is indistinguishable from a live
+    /// one) and for wedged owners that stopped scanning. A live serve
+    /// refreshes the lock's mtime on every scan.
+    pub steal_lock_after: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -97,6 +137,10 @@ impl Default for ServeOptions {
             allow_partial: false,
             settle_ms: 0,
             max_scans: 0,
+            listen: None,
+            listen_addr_file: None,
+            lease_timeout: Duration::from_secs(60),
+            steal_lock_after: None,
         }
     }
 }
@@ -137,8 +181,12 @@ struct SpoolLock {
 impl SpoolLock {
     /// Acquires the lock, reclaiming it from a dead owner. Refuses (with an
     /// [`io::ErrorKind::WouldBlock`]-flavored error) while a live process
-    /// holds it.
-    fn acquire(spool: &Path) -> io::Result<SpoolLock> {
+    /// holds it — unless `steal_after` is set and the lock file's mtime is
+    /// at least that old. The liveness check is conservative off-procfs
+    /// ("assume live"), so without the staleness escape hatch a dead
+    /// owner's lock wedges a non-Linux spool forever; a live serve calls
+    /// [`SpoolLock::refresh`] every scan, keeping its mtime fresh.
+    fn acquire(spool: &Path, steal_after: Option<Duration>) -> io::Result<SpoolLock> {
         let path = spool.join(SPOOL_LOCK_NAME);
         for _ in 0..2 {
             match std::fs::OpenOptions::new()
@@ -157,20 +205,35 @@ impl SpoolLock {
                         .and_then(|s| s.trim().parse::<u32>().ok());
                     if let Some(pid) = owner {
                         if pid_is_live(pid) {
-                            return Err(io::Error::new(
-                                io::ErrorKind::WouldBlock,
-                                format!(
-                                    "spool {} is already served by process {pid} \
-                                     (lock file {})",
-                                    spool.display(),
-                                    path.display()
-                                ),
-                            ));
+                            let stale = steal_after.is_some_and(|threshold| {
+                                std::fs::metadata(&path)
+                                    .and_then(|m| m.modified())
+                                    .ok()
+                                    .and_then(|mtime| mtime.elapsed().ok())
+                                    .is_some_and(|age| age >= threshold)
+                            });
+                            if !stale {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::WouldBlock,
+                                    format!(
+                                        "spool {} is already served by process {pid} \
+                                         (lock file {})",
+                                        spool.display(),
+                                        path.display()
+                                    ),
+                                ));
+                            }
+                            eprintln!(
+                                "serve: stealing stale spool lock {} from process {pid} \
+                                 (mtime older than {:?})",
+                                path.display(),
+                                steal_after.expect("stale implies threshold")
+                            );
                         }
                     }
-                    // Dead or unreadable owner: reclaim and retry the
-                    // create_new (another process may be racing us for it —
-                    // exactly one create_new wins).
+                    // Dead, unreadable, or stale owner: reclaim and retry
+                    // the create_new (another process may be racing us for
+                    // it — exactly one create_new wins).
                     let _ = std::fs::remove_file(&path);
                 }
                 Err(e) => return Err(e),
@@ -180,6 +243,12 @@ impl SpoolLock {
             io::ErrorKind::WouldBlock,
             format!("cannot acquire spool lock {}", path.display()),
         ))
+    }
+
+    /// Rewrites the lock file, refreshing its mtime — the heartbeat the
+    /// `steal_after` staleness check reads. Called once per spool scan.
+    fn refresh(&self) {
+        let _ = std::fs::write(&self.path, format!("{}", std::process::id()));
     }
 }
 
@@ -213,10 +282,22 @@ pub fn serve(
 ) -> io::Result<Vec<ServeOutcome>> {
     std::fs::create_dir_all(&options.spool)?;
     std::fs::create_dir_all(&options.out)?;
-    let _lock = SpoolLock::acquire(&options.spool)?;
+    let lock = SpoolLock::acquire(&options.spool, options.steal_lock_after)?;
+    let broker = match &options.listen {
+        Some(addr) => {
+            let broker = Broker::start(addr)?;
+            eprintln!("serve: work queue listening on {}", broker.addr);
+            if let Some(path) = &options.listen_addr_file {
+                std::fs::write(path, format!("{}\n", broker.addr))?;
+            }
+            Some(broker)
+        }
+        None => None,
+    };
     let mut outcomes = Vec::new();
     let mut scans: u64 = 0;
     loop {
+        lock.refresh();
         let submissions = match scan_spool(&options.spool, options.settle_ms) {
             Ok(submissions) => submissions,
             Err(e) => {
@@ -226,7 +307,7 @@ pub fn serve(
         };
         scans += 1;
         for submission in submissions {
-            let outcome = process_submission(&submission, options);
+            let outcome = process_submission(&submission, options, broker.as_ref());
             finalize_submission(&submission, &outcome);
             report(&outcome);
             outcomes.push(outcome);
@@ -238,6 +319,9 @@ pub fn serve(
             || supervise::interrupted()
             || (options.max_scans > 0 && scans >= options.max_scans)
         {
+            if let Some(broker) = broker {
+                broker.finish();
+            }
             return Ok(outcomes);
         }
         std::thread::sleep(std::time::Duration::from_millis(options.poll_ms.max(10)));
@@ -307,7 +391,11 @@ fn finalize_submission(submission: &Path, outcome: &ServeOutcome) {
     }
 }
 
-fn process_submission(submission: &Path, options: &ServeOptions) -> ServeOutcome {
+fn process_submission(
+    submission: &Path,
+    options: &ServeOptions,
+    broker: Option<&Broker>,
+) -> ServeOutcome {
     let mut outcome = ServeOutcome {
         submission: submission.to_path_buf(),
         campaign: String::new(),
@@ -360,8 +448,15 @@ fn process_submission(submission: &Path, options: &ServeOptions) -> ServeOutcome
         }
     }
 
-    let workers = options.workers.max(1);
-    outcome.result = dispatch_and_merge(submission, &spec, &dir, run, &hash, workers, options);
+    outcome.result = match broker {
+        // Broker mode: the queue feeds local worker clients and remote TCP
+        // workers alike; `--workers 0` is legal (remote-only dispatch).
+        Some(broker) => dispatch_via_broker(&spec, &dir, run, &hash, options, broker),
+        None => {
+            let workers = options.workers.max(1);
+            dispatch_and_merge(submission, &spec, &dir, run, &hash, workers, options)
+        }
+    };
     outcome
 }
 
@@ -468,6 +563,607 @@ fn dispatch_and_merge(
     })
 }
 
+// ---- distributed work queue ---------------------------------------------
+//
+// With `--listen`, serve runs a broker: submissions install an
+// `ActiveCampaign` (job queue + journal) in shared state, and every
+// connected `boomerang-sim worker` drains it over the `crate::proto` frame
+// protocol. The broker is the *only* journal writer in this mode, which is
+// what makes row submission idempotent: every `RowDone` is deduped against
+// the done set (seeded from the journal replay on resume) under one lock
+// before it is appended, so a retransmitted frame, a revoked-then-completed
+// lease, or a worker that crashed between send and ack can never
+// double-append a row.
+
+/// One queued (not currently leased) job.
+struct QueuedJob {
+    job: usize,
+    /// Times this job's lease was revoked before.
+    attempts: u32,
+    /// Exponential-backoff gate: not leasable before this instant.
+    ready_at: Instant,
+}
+
+/// One outstanding lease.
+struct LeaseState {
+    job: usize,
+    attempts: u32,
+    /// Refreshed by heartbeats and row submission; a lease idle past the
+    /// timeout is revoked and its job requeued.
+    last_activity: Instant,
+}
+
+/// The campaign the broker is currently leasing out.
+struct ActiveCampaign {
+    spec_toml: String,
+    spec_hash: String,
+    smoke: bool,
+    jobs: Vec<Job>,
+    journal: Journal,
+    done: HashSet<usize>,
+    queue: VecDeque<QueuedJob>,
+    leases: HashMap<u64, LeaseState>,
+    next_lease: u64,
+    /// Rows journaled this dispatch — the local fleet's progress probe.
+    rows_submitted: u64,
+    /// Last lease grant, heartbeat, or row: the give-up clock.
+    last_activity: Instant,
+    lease_timeout: Duration,
+    backoff_base: Duration,
+    backoff_cap: Duration,
+}
+
+impl ActiveCampaign {
+    fn complete(&self) -> bool {
+        self.done.len() == self.jobs.len()
+    }
+
+    /// Revokes every lease idle past the timeout, requeueing the jobs with
+    /// exponential backoff.
+    fn sweep_expired(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| now.duration_since(l.last_activity) >= self.lease_timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        for lease in expired {
+            self.revoke(lease, "expired (no heartbeat or row progress)");
+        }
+    }
+
+    /// Returns one lease to the queue (lease expiry or connection loss).
+    fn revoke(&mut self, lease: u64, why: &str) {
+        let Some(state) = self.leases.remove(&lease) else {
+            return;
+        };
+        if self.done.contains(&state.job) {
+            return;
+        }
+        let attempts = state.attempts + 1;
+        let backoff = self
+            .backoff_base
+            .saturating_mul(1u32 << (attempts - 1).min(20))
+            .min(self.backoff_cap);
+        eprintln!(
+            "serve: lease {lease} for job {} {why}; requeued with {backoff:?} backoff \
+             (attempt {attempts})",
+            state.job
+        );
+        self.queue.push_back(QueuedJob {
+            job: state.job,
+            attempts,
+            ready_at: Instant::now() + backoff,
+        });
+    }
+
+    /// Leases the next ready job, skipping queue entries that completed
+    /// while waiting (a revoked lease whose original worker finished after
+    /// all).
+    fn grant(&mut self) -> Option<(u64, usize)> {
+        let now = Instant::now();
+        let mut deferred = 0;
+        while deferred < self.queue.len() {
+            let entry = self.queue.pop_front()?;
+            if self.done.contains(&entry.job) {
+                continue;
+            }
+            if entry.ready_at > now {
+                self.queue.push_back(entry);
+                deferred += 1;
+                continue;
+            }
+            let lease = self.next_lease;
+            self.next_lease += 1;
+            self.leases.insert(
+                lease,
+                LeaseState {
+                    job: entry.job,
+                    attempts: entry.attempts,
+                    last_activity: now,
+                },
+            );
+            self.last_activity = now;
+            return Some((lease, entry.job));
+        }
+        None
+    }
+
+    /// Validates, dedups, journals, and acks one submitted row. The journal
+    /// append is the broker's row fault point, so an armed plan can crash
+    /// the broker mid-campaign — the resume path then proves itself.
+    fn row_done(
+        &mut self,
+        lease: u64,
+        job: u64,
+        hash: &str,
+        mechanism: &str,
+        seed: u64,
+        stats: &[u64],
+    ) -> io::Result<Message> {
+        let reject = |reason: String| Ok(Message::Reject { reason });
+        if hash != self.spec_hash {
+            return reject(format!(
+                "row carries spec hash {hash}, the active campaign is {}",
+                self.spec_hash
+            ));
+        }
+        let index = job as usize;
+        if index >= self.jobs.len() {
+            return reject(format!(
+                "job {job} outside the {}-job expansion",
+                self.jobs.len()
+            ));
+        }
+        // The lease is resolved either way; an expired/unknown lease is
+        // fine — the work is real.
+        self.leases.remove(&lease);
+        self.last_activity = Instant::now();
+        if self.done.contains(&index) {
+            // Idempotent dedup: ack a retransmission without appending.
+            return Ok(Message::RowAck { job });
+        }
+        let expected = &self.jobs[index];
+        if mechanism_token(expected.mechanism) != mechanism || expected.seed != seed {
+            return reject(format!(
+                "job {job} cross-check failed: expected ({}, seed {}), row claims \
+                 ({mechanism}, seed {seed})",
+                mechanism_token(expected.mechanism),
+                expected.seed
+            ));
+        }
+        let Some(sim_stats) = stats_from_array(stats) else {
+            return reject(format!("job {job} carries a malformed stat array"));
+        };
+        self.journal.record(expected, &sim_stats)?;
+        self.done.insert(index);
+        self.rows_submitted += 1;
+        Ok(Message::RowAck { job })
+    }
+}
+
+/// Shared state between the serve loop and the connection handler threads.
+struct BrokerShared {
+    campaign: Mutex<Option<ActiveCampaign>>,
+    /// Set by [`Broker::finish`]: handlers answer lease requests with
+    /// `Shutdown` so workers drain and exit cleanly.
+    finishing: AtomicBool,
+    connections: AtomicUsize,
+}
+
+/// The listening work queue: an accept thread plus one handler thread per
+/// connected worker.
+struct Broker {
+    shared: Arc<BrokerShared>,
+    addr: SocketAddr,
+    accept_stop: Arc<AtomicBool>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Broker {
+    fn start(listen: &str) -> io::Result<Broker> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(BrokerShared {
+            campaign: Mutex::new(None),
+            finishing: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+        });
+        let accept_stop = Arc::new(AtomicBool::new(false));
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&accept_stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let shared = Arc::clone(&shared);
+                            shared.connections.fetch_add(1, Ordering::SeqCst);
+                            std::thread::spawn(move || {
+                                handle_connection(stream, &shared);
+                                shared.connections.fetch_sub(1, Ordering::SeqCst);
+                            });
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(25));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                    }
+                }
+            })
+        };
+        Ok(Broker {
+            shared,
+            addr,
+            accept_stop,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// Drains the queue's workers: lease requests now answer `Shutdown`,
+    /// and the broker waits briefly for connections to close before the
+    /// accept thread stops.
+    fn finish(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.finishing.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + Duration::from_secs(3);
+        while self.shared.connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        self.accept_stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Broker {
+    fn drop(&mut self) {
+        if self.accept_handle.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// One handler read attempt: a frame, nothing yet, or a dead connection.
+enum HandlerRead {
+    Msg(Message),
+    Idle,
+    Dead,
+}
+
+/// Reads one frame without blocking past the socket's read timeout, and
+/// without consuming bytes on an idle tick (the `peek` distinguishes "no
+/// data" from "mid-frame"). A protocol violation is `Dead`: the broker
+/// drops corrupt peers and lets the lease sweep reclaim their jobs.
+fn next_message(stream: &mut TcpStream) -> HandlerRead {
+    let mut probe = [0u8; 1];
+    match stream.peek(&mut probe) {
+        Ok(0) => HandlerRead::Dead,
+        Ok(_) => match read_message(stream) {
+            Ok(msg) => HandlerRead::Msg(msg),
+            Err(_) => HandlerRead::Dead,
+        },
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            HandlerRead::Idle
+        }
+        Err(_) => HandlerRead::Dead,
+    }
+}
+
+/// One worker connection's lifetime on the broker side.
+fn handle_connection(stream: TcpStream, shared: &BrokerShared) {
+    let mut stream = stream;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+
+    // Handshake: Hello within a grace window, or the connection is dropped
+    // (port scanners, garbage writers, torn handshake frames).
+    let handshake_deadline = Instant::now() + Duration::from_secs(10);
+    let worker_name = loop {
+        match next_message(&mut stream) {
+            HandlerRead::Msg(Message::Hello { worker, .. }) => break worker,
+            HandlerRead::Msg(_) | HandlerRead::Dead => return,
+            HandlerRead::Idle => {
+                if Instant::now() > handshake_deadline {
+                    return;
+                }
+            }
+        }
+    };
+    let welcome = Message::Welcome {
+        broker_pid: std::process::id() as u64,
+    };
+    if write_message(&mut stream, &welcome).is_err() {
+        return;
+    }
+
+    // Leases granted over *this* connection; requeued if it dies.
+    let mut my_leases: Vec<u64> = Vec::new();
+    loop {
+        match next_message(&mut stream) {
+            HandlerRead::Idle => continue,
+            HandlerRead::Dead => break,
+            HandlerRead::Msg(Message::LeaseRequest) => {
+                if shared.finishing.load(Ordering::SeqCst) {
+                    let _ = write_message(
+                        &mut stream,
+                        &Message::Shutdown {
+                            reason: "service shutting down".to_string(),
+                        },
+                    );
+                    break;
+                }
+                let reply = {
+                    let mut guard = shared.campaign.lock().expect("campaign mutex");
+                    match guard.as_mut() {
+                        None => Message::NoWork { retry_ms: 100 },
+                        Some(campaign) => {
+                            campaign.sweep_expired();
+                            match campaign.grant() {
+                                Some((lease, job)) => {
+                                    my_leases.push(lease);
+                                    Message::Lease {
+                                        lease,
+                                        job: job as u64,
+                                        smoke: campaign.smoke,
+                                        spec_hash: campaign.spec_hash.clone(),
+                                        spec_toml: campaign.spec_toml.clone(),
+                                    }
+                                }
+                                None => Message::NoWork { retry_ms: 100 },
+                            }
+                        }
+                    }
+                };
+                if write_message(&mut stream, &reply).is_err() {
+                    break;
+                }
+            }
+            HandlerRead::Msg(Message::Heartbeat { lease }) => {
+                let mut guard = shared.campaign.lock().expect("campaign mutex");
+                if let Some(campaign) = guard.as_mut() {
+                    if let Some(state) = campaign.leases.get_mut(&lease) {
+                        state.last_activity = Instant::now();
+                        campaign.last_activity = Instant::now();
+                    }
+                }
+            }
+            HandlerRead::Msg(Message::RowDone {
+                lease,
+                job,
+                spec_hash,
+                mechanism,
+                seed,
+                stats,
+            }) => {
+                my_leases.retain(|&l| l != lease);
+                let reply = {
+                    let mut guard = shared.campaign.lock().expect("campaign mutex");
+                    match guard.as_mut() {
+                        None => Message::Reject {
+                            reason: "no campaign is active".to_string(),
+                        },
+                        Some(campaign) => {
+                            match campaign
+                                .row_done(lease, job, &spec_hash, &mechanism, seed, &stats)
+                            {
+                                Ok(reply) => reply,
+                                Err(e) => {
+                                    eprintln!(
+                                        "serve: journal append for job {job} from \
+                                         {worker_name} failed: {e}"
+                                    );
+                                    Message::Reject {
+                                        reason: format!("journal append failed: {e}"),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                };
+                if write_message(&mut stream, &reply).is_err() {
+                    break;
+                }
+            }
+            HandlerRead::Msg(_) => break,
+        }
+    }
+
+    // Connection gone: return its outstanding leases to the queue.
+    if !my_leases.is_empty() {
+        let mut guard = shared.campaign.lock().expect("campaign mutex");
+        if let Some(campaign) = guard.as_mut() {
+            for lease in my_leases {
+                campaign.revoke(lease, &format!("lost its connection ({worker_name})"));
+            }
+        }
+    }
+}
+
+/// Dispatches one submission through the work queue: installs the campaign
+/// (resuming from its journal), optionally runs a local worker fleet
+/// connected over loopback, waits for the queue to drain, and merges the
+/// journal into the canonical report.
+fn dispatch_via_broker(
+    spec: &CampaignSpec,
+    dir: &Path,
+    run: RunLength,
+    hash: &str,
+    options: &ServeOptions,
+    broker: &Broker,
+) -> Result<SubmissionStatus, String> {
+    let jobs = expand(spec);
+    // Resume: rows already journaled (by an earlier broker life, or an
+    // earlier non-listen dispatch) are done — never re-leased.
+    let replay = JournalReplay::load(dir, &spec.name, hash, &jobs).map_err(|e| e.to_string())?;
+    let done: HashSet<usize> = replay.rows.keys().copied().collect();
+    if !done.is_empty() {
+        eprintln!(
+            "serve: resuming {}: {} of {} rows already checkpointed",
+            spec.name,
+            done.len(),
+            jobs.len()
+        );
+    }
+    let unsharded = Journal::path_for(dir, &spec.name, None);
+    let journal = if unsharded.exists() {
+        Journal::append(dir, &spec.name, None)
+    } else {
+        Journal::create(dir, &spec.name, hash, jobs.len(), None)
+    }
+    .map_err(|e| format!("cannot open journal: {e}"))?;
+
+    let queue: VecDeque<QueuedJob> = (0..jobs.len())
+        .filter(|i| !done.contains(i))
+        .map(|job| QueuedJob {
+            job,
+            attempts: 0,
+            ready_at: Instant::now(),
+        })
+        .collect();
+    {
+        let mut guard = broker.shared.campaign.lock().expect("campaign mutex");
+        *guard = Some(ActiveCampaign {
+            spec_toml: spec.to_toml_string(),
+            spec_hash: hash.to_string(),
+            smoke: options.smoke,
+            jobs: jobs.clone(),
+            journal,
+            done,
+            queue,
+            leases: HashMap::new(),
+            next_lease: 1,
+            rows_submitted: 0,
+            last_activity: Instant::now(),
+            lease_timeout: options.lease_timeout,
+            backoff_base: options.supervise.backoff_base,
+            backoff_cap: options.supervise.backoff_cap,
+        });
+    }
+    let uninstall = || {
+        let mut guard = broker.shared.campaign.lock().expect("campaign mutex");
+        *guard = None;
+    };
+
+    // Local dispatch: the same worker client, connected over loopback, so
+    // mixed local+remote fleets drain one queue through one code path. The
+    // supervisor's stop closure doubles as the lease-expiry sweep.
+    let mut fleet_failures: Vec<String> = Vec::new();
+    if options.workers > 0 {
+        let heartbeat_ms = (options.lease_timeout.as_millis() as u64 / 4).clamp(50, 5_000);
+        let addr = broker.addr.to_string();
+        let mut make_command = |index: usize| {
+            let mut cmd = Command::new(&options.binary);
+            cmd.arg("worker")
+                .arg("--connect")
+                .arg(&addr)
+                .arg("--worker-index")
+                .arg(index.to_string())
+                .arg("--heartbeat-ms")
+                .arg(heartbeat_ms.to_string())
+                .arg("--quiet")
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .stderr(Stdio::inherit());
+            if let Some(cache) = &options.artifact_cache {
+                cmd.arg("--artifact-cache").arg(cache);
+            }
+            cmd
+        };
+        let shared = Arc::clone(&broker.shared);
+        let mut progress = move |_shard: usize| {
+            let guard = shared.campaign.lock().expect("campaign mutex");
+            guard.as_ref().map(|c| c.rows_submitted).unwrap_or(0)
+        };
+        let shared = Arc::clone(&broker.shared);
+        let mut stop = move || {
+            let mut guard = shared.campaign.lock().expect("campaign mutex");
+            match guard.as_mut() {
+                Some(campaign) => {
+                    campaign.sweep_expired();
+                    campaign.complete()
+                }
+                None => true,
+            }
+        };
+        let supervised = supervise_with_stop(
+            options.workers,
+            &mut make_command,
+            &mut progress,
+            &options.supervise,
+            &mut |line| eprintln!("serve: {line}"),
+            &mut stop,
+        );
+        if supervised.interrupted() {
+            uninstall();
+            return Err("interrupted before the submission finished".to_string());
+        }
+        if !supervised.all_complete() {
+            fleet_failures = supervised.failures();
+        }
+    }
+
+    // Wait for remote workers to drain what's left. Give up after a long
+    // silence — several lease timeouts with no grant, heartbeat, or row.
+    let give_up = options
+        .lease_timeout
+        .saturating_mul(3)
+        .max(Duration::from_secs(2));
+    loop {
+        let (complete, idle_for) = {
+            let mut guard = broker.shared.campaign.lock().expect("campaign mutex");
+            let campaign = guard.as_mut().expect("campaign installed");
+            campaign.sweep_expired();
+            (campaign.complete(), campaign.last_activity.elapsed())
+        };
+        if complete {
+            break;
+        }
+        if supervise::interrupted() {
+            uninstall();
+            return Err("interrupted before the submission finished".to_string());
+        }
+        if idle_for >= give_up {
+            fleet_failures.push(format!(
+                "work queue idle for {idle_for:?} with jobs outstanding; giving up"
+            ));
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    uninstall();
+
+    // Merge — identical to the local path: replay the journals, assemble
+    // the canonical (or degraded) report.
+    let replay = JournalReplay::load(dir, &spec.name, hash, &jobs).map_err(|e| e.to_string())?;
+    if replay.completed() == jobs.len() {
+        let stats: Vec<SimStats> = (0..jobs.len()).map(|i| replay.rows[&i]).collect();
+        let report = assemble_report(spec, &jobs, run, options.smoke, stats);
+        write_reports(&report, dir).map_err(|e| format!("cannot write reports: {e}"))?;
+        return Ok(SubmissionStatus::Done(dir.to_path_buf()));
+    }
+    if !options.allow_partial {
+        return Err(fleet_failures.join("; "));
+    }
+    let stats: Vec<Option<SimStats>> = (0..jobs.len())
+        .map(|i| replay.rows.get(&i).copied())
+        .collect();
+    let partial = assemble_partial_report(spec, &jobs, run, options.smoke, &stats, fleet_failures);
+    let missing = partial.missing();
+    write_partial_reports(&partial, dir)
+        .map_err(|e| format!("cannot write partial reports: {e}"))?;
+    Ok(SubmissionStatus::Partial {
+        dir: dir.to_path_buf(),
+        missing,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -560,8 +1256,8 @@ mod tests {
     fn spool_lock_blocks_live_owner_and_reclaims_dead_one() {
         let dir = temp_dir("lock");
         // Held by this (live) process: a second acquire must refuse.
-        let lock = SpoolLock::acquire(&dir).unwrap();
-        let err = SpoolLock::acquire(&dir).unwrap_err();
+        let lock = SpoolLock::acquire(&dir, None).unwrap();
+        let err = SpoolLock::acquire(&dir, None).unwrap_err();
         assert!(err.to_string().contains("already served"), "{err}");
         drop(lock);
         assert!(!dir.join(SPOOL_LOCK_NAME).exists(), "lock not released");
@@ -569,9 +1265,43 @@ mod tests {
         // A lock whose owner is long dead is reclaimed. Pid 0 is never a
         // schedulable process on Linux (and /proc/0 does not exist).
         std::fs::write(dir.join(SPOOL_LOCK_NAME), "0").unwrap();
-        let lock = SpoolLock::acquire(&dir).unwrap();
+        let lock = SpoolLock::acquire(&dir, None).unwrap();
         let owner = std::fs::read_to_string(dir.join(SPOOL_LOCK_NAME)).unwrap();
         assert_eq!(owner, std::process::id().to_string());
+        drop(lock);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_spool_lock_is_stolen_past_the_threshold() {
+        let dir = temp_dir("lock-steal");
+        // A live owner's lock: without the escape hatch it always blocks...
+        let lock = SpoolLock::acquire(&dir, None).unwrap();
+        let err = SpoolLock::acquire(&dir, Some(Duration::from_secs(3600))).unwrap_err();
+        assert!(err.to_string().contains("already served"), "{err}");
+
+        // ...but once the lock file's mtime is older than the threshold it
+        // is stolen even though the owner pid is alive (the off-procfs
+        // "assume live" case this flag exists for).
+        std::thread::sleep(Duration::from_millis(60));
+        let stolen = SpoolLock::acquire(&dir, Some(Duration::from_millis(50))).unwrap();
+        let owner = std::fs::read_to_string(dir.join(SPOOL_LOCK_NAME)).unwrap();
+        assert_eq!(owner, std::process::id().to_string());
+        drop(stolen);
+        drop(lock);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn refreshed_spool_lock_is_not_stolen() {
+        let dir = temp_dir("lock-refresh");
+        let lock = SpoolLock::acquire(&dir, None).unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        // The serving loop refreshes the lock each scan; a refreshed lock
+        // is younger than the threshold and must survive.
+        lock.refresh();
+        let err = SpoolLock::acquire(&dir, Some(Duration::from_millis(50))).unwrap_err();
+        assert!(err.to_string().contains("already served"), "{err}");
         drop(lock);
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -248,6 +248,26 @@ pub fn supervise(
     options: &SuperviseOptions,
     log: &mut dyn FnMut(&str),
 ) -> SupervisedRun {
+    supervise_with_stop(shards, make_command, progress, options, log, &mut || false)
+}
+
+/// [`supervise`] with an external stop signal, polled once per sweep.
+///
+/// When `stop` returns `true` the remaining queue is treated as drained:
+/// running and waiting slots are killed and marked [`ShardOutcome::Completed`]
+/// (their work is done or was done by someone else — the broker uses this
+/// when TCP workers finish the queue while local shards still run). Slots
+/// already terminal keep their outcome. The `stop` closure doubles as a
+/// per-poll tick, so a caller can piggyback periodic work (the broker's
+/// lease-expiry sweep) on it.
+pub fn supervise_with_stop(
+    shards: usize,
+    make_command: &mut dyn FnMut(usize) -> Command,
+    progress: &mut dyn FnMut(usize) -> u64,
+    options: &SuperviseOptions,
+    log: &mut dyn FnMut(&str),
+    stop: &mut dyn FnMut() -> bool,
+) -> SupervisedRun {
     let mut fleet = Fleet { slots: Vec::new() };
     for shard in 0..shards {
         let mut stats = ShardStats::default();
@@ -282,9 +302,14 @@ pub fn supervise(
                         }
                         Ok(None) => {
                             let now_progress = progress(shard);
-                            if now_progress != *last_progress {
+                            if now_progress > *last_progress {
                                 *last_progress = now_progress;
                                 *last_change = Instant::now();
+                            } else if now_progress < *last_progress {
+                                // A shrink (torn-tail truncation across a
+                                // restart) re-baselines the probe but is NOT
+                                // progress: the hang clock keeps running.
+                                *last_progress = now_progress;
                             } else if last_change.elapsed() >= options.worker_timeout {
                                 stats.hangs += 1;
                                 let _ = child.kill();
@@ -312,6 +337,19 @@ pub fn supervise(
             }
         }
         if all_terminal {
+            break;
+        }
+        if stop() {
+            log("supervisor: queue drained externally, stopping local workers");
+            for (slot, _) in &mut fleet.slots {
+                if let Slot::Running { child, .. } = slot {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                if !matches!(slot, Slot::Terminal(_)) {
+                    *slot = Slot::Terminal(ShardOutcome::Completed);
+                }
+            }
             break;
         }
         if interrupted() {
@@ -552,6 +590,63 @@ mod tests {
         );
         assert!(run.all_complete(), "{:?}", run.failures());
         assert_eq!(run.shards[0].hangs, 0);
+    }
+
+    #[test]
+    fn shrinking_progress_is_not_progress() {
+        // A torn-tail truncation makes the probe go *down*; that must not
+        // reset the hang clock, or a worker that only ever truncates could
+        // dodge the detector forever by alternating probe values.
+        let options = SuperviseOptions {
+            max_retries: 0,
+            worker_timeout: Duration::from_millis(150),
+            ..fast_options()
+        };
+        let mut probe = 1000u64;
+        let start = Instant::now();
+        let run = supervise(
+            1,
+            &mut |_| sh("sleep 30".into()),
+            &mut |_| {
+                // Strictly decreasing: every poll sees a different, smaller
+                // value. Under the old `!=` rule this counted as progress.
+                probe = probe.saturating_sub(1);
+                probe
+            },
+            &options,
+            &mut |_| {},
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "shrinking probe dodged the hang detector"
+        );
+        assert_eq!(run.shards[0].hangs, 1);
+        let ShardOutcome::Exhausted { last_failure, .. } = &run.shards[0].outcome else {
+            panic!("expected Exhausted, got {:?}", run.shards[0].outcome);
+        };
+        assert!(last_failure.contains("hung"), "{last_failure}");
+    }
+
+    #[test]
+    fn external_stop_drains_the_fleet_as_completed() {
+        let options = fast_options();
+        let mut polls = 0u32;
+        let mut logs = Vec::new();
+        let start = Instant::now();
+        let run = supervise_with_stop(
+            2,
+            &mut |_| sh("sleep 30".into()),
+            &mut |_| 0,
+            &options,
+            &mut |line| logs.push(line.to_string()),
+            &mut || {
+                polls += 1;
+                polls >= 3
+            },
+        );
+        assert!(start.elapsed() < Duration::from_secs(10), "stop ignored");
+        assert!(run.all_complete(), "{:?}", run.failures());
+        assert!(logs.iter().any(|l| l.contains("drained")), "logs: {logs:?}");
     }
 
     #[test]

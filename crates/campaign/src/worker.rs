@@ -1,0 +1,481 @@
+//! The TCP campaign worker: connect to a broker, lease jobs, run rows,
+//! survive the network.
+//!
+//! `boomerang-sim worker --connect ADDR` runs [`run_worker`]: an outer
+//! reconnect loop (capped exponential backoff, so a broker restart is a
+//! pause, not a death) around a per-connection session. Each session
+//! handshakes ([`Message::Hello`] → [`Message::Welcome`]), then loops
+//! requesting leases. A leased job names the campaign by spec hash and
+//! carries the canonical TOML, so the worker needs no shared filesystem: it
+//! re-expands the spec locally, recomputes the hash (a mismatch is a
+//! terminal error — the two ends disagree about what the campaign *is*),
+//! and generates each distinct (workload, seed) point once per process,
+//! optionally through the same content-addressed artifact cache the local
+//! path uses.
+//!
+//! A heartbeat thread shares the socket (writes serialised by a mutex;
+//! heartbeats are the protocol's only fire-and-forget frame, so the session
+//! thread's request-reply reads never race a heartbeat's non-existent
+//! reply) and refreshes whichever lease the session currently holds. If the
+//! worker stalls — the injectable `heartbeat-stall` fault, or a real wedge —
+//! the heartbeats stop and the broker's lease timeout reclaims the job.
+//!
+//! Completed rows are transmitted as [`Message::RowDone`] with the stat
+//! counters in canonical journal column order; the broker journals and
+//! acks. Row submission is idempotent on the broker side, so the worker
+//! retransmits freely after a reconnect — at worst the broker replies with
+//! a dedup ack.
+
+use crate::artifact::ArtifactCache;
+use crate::checkpoint::{spec_hash, stats_to_array};
+use crate::engine::derive_seed;
+use crate::expand::{expand, Job};
+use crate::fault;
+use crate::proto::{read_message, write_message, Message};
+use crate::spec::{mechanism_token, CampaignSpec};
+use boomerang::{RunLength, WorkloadData};
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Connection and pacing policy for one worker process.
+#[derive(Clone, Debug)]
+pub struct WorkerOptions {
+    /// Broker address (`host:port`).
+    pub connect: String,
+    /// This worker's index, quoted in the handshake and registered as the
+    /// process's fault shard (so `shard=N` plans can address one worker).
+    pub worker_index: usize,
+    /// Heartbeat interval while a lease is held.
+    pub heartbeat: Duration,
+    /// Backoff before the first reconnect; doubles per consecutive failure.
+    pub reconnect_base: Duration,
+    /// Upper bound on the doubled reconnect backoff.
+    pub reconnect_cap: Duration,
+    /// Consecutive connection failures tolerated before giving up. A
+    /// successful handshake resets the count, so this bounds one outage, not
+    /// the process lifetime.
+    pub reconnect_tries: u32,
+    /// Directory of the content-addressed workload artifact cache; `None`
+    /// generates in-process.
+    pub artifact_cache: Option<PathBuf>,
+    /// Suppress per-row log lines.
+    pub quiet: bool,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            connect: String::new(),
+            worker_index: 0,
+            heartbeat: Duration::from_secs(2),
+            reconnect_base: Duration::from_millis(250),
+            reconnect_cap: Duration::from_secs(10),
+            reconnect_tries: 6,
+            artifact_cache: None,
+            quiet: false,
+        }
+    }
+}
+
+/// What one worker process accomplished.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerSummary {
+    /// Rows completed and acked.
+    pub rows: u64,
+    /// Leases accepted.
+    pub leases: u64,
+    /// Successful connections after the first (broker restarts ridden out).
+    pub reconnects: u64,
+    /// The broker's shutdown reason.
+    pub shutdown_reason: String,
+}
+
+/// Per-campaign state a worker builds once per spec hash and reuses for
+/// every lease of that campaign.
+struct CampaignState {
+    spec: CampaignSpec,
+    run: RunLength,
+    jobs: Vec<Job>,
+    configs: Vec<sim_core::MicroarchConfig>,
+    /// Generated (workload axis index, seed) points, built lazily.
+    data: HashMap<(usize, u64), WorkloadData>,
+}
+
+/// How a connection session ended.
+enum SessionEnd {
+    /// The broker said shutdown; the worker exits cleanly.
+    Shutdown(String),
+    /// The connection failed; reconnect with backoff.
+    Lost(io::Error),
+}
+
+/// Runs the worker to completion: until the broker sends
+/// [`Message::Shutdown`] (clean exit) or the reconnect budget is exhausted.
+///
+/// # Errors
+///
+/// Returns a message on terminal failures: the reconnect budget spent
+/// against an unreachable broker, a spec whose TOML does not parse, or a
+/// recomputed spec hash that contradicts the broker's (version/config skew —
+/// retrying cannot fix either end).
+pub fn run_worker(options: &WorkerOptions) -> Result<WorkerSummary, String> {
+    fault::set_worker_shard(options.worker_index);
+    let cache = match &options.artifact_cache {
+        Some(dir) => Some(
+            ArtifactCache::open(dir)
+                .map_err(|e| format!("cannot open artifact cache {}: {e}", dir.display()))?,
+        ),
+        None => None,
+    };
+    let mut summary = WorkerSummary::default();
+    let mut campaigns: HashMap<String, CampaignState> = HashMap::new();
+    let mut failures: u32 = 0;
+    let mut connected_before = false;
+    loop {
+        match TcpStream::connect(&options.connect) {
+            Ok(stream) => {
+                match session(stream, options, &cache, &mut campaigns, &mut summary) {
+                    Ok(SessionEnd::Shutdown(reason)) => {
+                        summary.shutdown_reason = reason;
+                        return Ok(summary);
+                    }
+                    Ok(SessionEnd::Lost(e)) => {
+                        // The handshake succeeded before the loss: the
+                        // outage counter restarts.
+                        if connected_before {
+                            summary.reconnects += 1;
+                        }
+                        connected_before = true;
+                        failures = 1;
+                        if !options.quiet {
+                            eprintln!(
+                                "worker {}: connection lost ({e}); reconnecting",
+                                options.worker_index
+                            );
+                        }
+                    }
+                    Err(terminal) => return Err(terminal),
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                if !options.quiet {
+                    eprintln!(
+                        "worker {}: cannot connect to {} ({e}); attempt {}/{}",
+                        options.worker_index, options.connect, failures, options.reconnect_tries
+                    );
+                }
+            }
+        }
+        if failures > options.reconnect_tries {
+            return Err(format!(
+                "broker {} unreachable after {} consecutive attempts",
+                options.connect, options.reconnect_tries
+            ));
+        }
+        let backoff = options
+            .reconnect_base
+            .saturating_mul(1u32 << failures.saturating_sub(1).min(20))
+            .min(options.reconnect_cap);
+        std::thread::sleep(backoff);
+    }
+}
+
+/// One connection's lifetime: handshake, then the lease/run/submit loop.
+/// `Ok(SessionEnd)` covers both clean shutdown and recoverable loss;
+/// `Err(String)` is terminal (spec skew — reconnecting cannot help).
+fn session(
+    stream: TcpStream,
+    options: &WorkerOptions,
+    cache: &Option<ArtifactCache>,
+    campaigns: &mut HashMap<String, CampaignState>,
+    summary: &mut WorkerSummary,
+) -> Result<SessionEnd, String> {
+    let mut reader = stream;
+    let _ = reader.set_nodelay(true);
+    let _ = reader.set_read_timeout(Some(Duration::from_secs(60)));
+    let writer = match reader.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(e) => return Ok(SessionEnd::Lost(e)),
+    };
+
+    // Handshake first, so a failed connect never spawns a heartbeat thread.
+    let hello = Message::Hello {
+        worker: format!("worker-{}", options.worker_index),
+        pid: std::process::id() as u64,
+    };
+    if let Err(e) = write_message(&mut *writer.lock().expect("writer mutex"), &hello) {
+        return Ok(SessionEnd::Lost(e));
+    }
+    match read_message(&mut reader) {
+        Ok(Message::Welcome { .. }) => {}
+        Ok(other) => {
+            return Ok(SessionEnd::Lost(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Welcome, got {other:?}"),
+            )))
+        }
+        Err(e) => return Ok(SessionEnd::Lost(e)),
+    }
+
+    // The heartbeat thread refreshes whatever lease the session currently
+    // holds (0 = none). It dies with the connection: any write error or the
+    // stop flag ends it, and `hb_stop` is always set before this function
+    // returns.
+    let current_lease = Arc::new(AtomicU64::new(0));
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    let hb_handle = {
+        let writer = Arc::clone(&writer);
+        let current_lease = Arc::clone(&current_lease);
+        let hb_stop = Arc::clone(&hb_stop);
+        let interval = options.heartbeat;
+        std::thread::spawn(move || {
+            while !hb_stop.load(Ordering::Relaxed) {
+                std::thread::sleep(interval);
+                let lease = current_lease.load(Ordering::Relaxed);
+                if lease == 0 || hb_stop.load(Ordering::Relaxed) {
+                    continue;
+                }
+                let beat = Message::Heartbeat { lease };
+                if write_message(&mut *writer.lock().expect("writer mutex"), &beat).is_err() {
+                    break;
+                }
+            }
+        })
+    };
+    let result = lease_loop(
+        &mut reader,
+        &writer,
+        &current_lease,
+        options,
+        cache,
+        campaigns,
+        summary,
+    );
+    hb_stop.store(true, Ordering::Relaxed);
+    current_lease.store(0, Ordering::Relaxed);
+    let _ = reader.shutdown(std::net::Shutdown::Both);
+    let _ = hb_handle.join();
+    result
+}
+
+/// The session's request-reply loop. Every protocol read/write error is a
+/// recoverable `SessionEnd::Lost`.
+fn lease_loop(
+    reader: &mut TcpStream,
+    writer: &Arc<Mutex<TcpStream>>,
+    current_lease: &AtomicU64,
+    options: &WorkerOptions,
+    cache: &Option<ArtifactCache>,
+    campaigns: &mut HashMap<String, CampaignState>,
+    summary: &mut WorkerSummary,
+) -> Result<SessionEnd, String> {
+    macro_rules! send {
+        ($msg:expr) => {
+            if let Err(e) = write_message(&mut *writer.lock().expect("writer mutex"), $msg) {
+                return Ok(SessionEnd::Lost(e));
+            }
+        };
+    }
+    macro_rules! recv {
+        () => {
+            match read_message(reader) {
+                Ok(msg) => msg,
+                Err(e) => return Ok(SessionEnd::Lost(e)),
+            }
+        };
+    }
+    loop {
+        send!(&Message::LeaseRequest);
+        match recv!() {
+            Message::NoWork { retry_ms } => {
+                std::thread::sleep(Duration::from_millis(retry_ms.clamp(10, 5_000)));
+            }
+            Message::Shutdown { reason } => return Ok(SessionEnd::Shutdown(reason)),
+            Message::Lease {
+                lease,
+                job,
+                smoke,
+                spec_hash: wanted_hash,
+                spec_toml,
+            } => {
+                summary.leases += 1;
+                if fault::stall_this_lease() {
+                    // The injected wedge: heartbeats stop (lease stays 0),
+                    // the process stays alive, the broker's lease timeout
+                    // must reclaim the job.
+                    if !options.quiet {
+                        eprintln!(
+                            "worker {}: injected heartbeat stall on lease {lease}",
+                            options.worker_index
+                        );
+                    }
+                    fault::hang_now();
+                }
+                current_lease.store(lease, Ordering::Relaxed);
+                let state = campaign_state(campaigns, &wanted_hash, &spec_toml, smoke)?;
+                let job_index = job as usize;
+                if job_index >= state.jobs.len() {
+                    // A broker this confused is not one to keep talking to.
+                    return Ok(SessionEnd::Lost(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "leased job {job} outside the {}-job expansion",
+                            state.jobs.len()
+                        ),
+                    )));
+                }
+                let leased = state.jobs[job_index];
+                let stats = run_row(state, &leased, cache);
+                let row_faults = fault::on_worker_row();
+                let done = Message::RowDone {
+                    lease,
+                    job,
+                    spec_hash: wanted_hash.clone(),
+                    mechanism: mechanism_token(leased.mechanism).to_string(),
+                    seed: leased.seed,
+                    stats: stats_to_array(&stats).to_vec(),
+                };
+                let transmissions = if row_faults.duplicate { 2 } else { 1 };
+                for _ in 0..transmissions {
+                    send!(&done);
+                }
+                if row_faults.conn_drop {
+                    // Drop the socket before reading the ack: the broker has
+                    // (or will have) journaled the row; the retransmission
+                    // after reconnect must dedup.
+                    current_lease.store(0, Ordering::Relaxed);
+                    return Ok(SessionEnd::Lost(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        "injected connection drop before ack",
+                    )));
+                }
+                let mut acked = false;
+                for _ in 0..transmissions {
+                    match recv!() {
+                        Message::RowAck { .. } => acked = true,
+                        Message::Reject { reason } => {
+                            if !options.quiet {
+                                eprintln!(
+                                    "worker {}: row {job} rejected: {reason}",
+                                    options.worker_index
+                                );
+                            }
+                        }
+                        other => {
+                            return Ok(SessionEnd::Lost(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("expected RowAck/Reject, got {other:?}"),
+                            )))
+                        }
+                    }
+                }
+                current_lease.store(0, Ordering::Relaxed);
+                if acked {
+                    summary.rows += 1;
+                    if !options.quiet {
+                        eprintln!(
+                            "worker {}: row {job} done ({}/{} jobs of {})",
+                            options.worker_index,
+                            summary.rows,
+                            state.jobs.len(),
+                            state.spec.name
+                        );
+                    }
+                }
+                if row_faults.exit {
+                    fault::exit_now();
+                }
+                if row_faults.hang {
+                    fault::hang_now();
+                }
+            }
+            other => {
+                return Ok(SessionEnd::Lost(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected Lease/NoWork/Shutdown, got {other:?}"),
+                )))
+            }
+        }
+    }
+}
+
+/// Fetches (or builds and caches) the per-campaign state for a spec hash.
+/// Terminal errors: unparseable TOML, or a recomputed hash that contradicts
+/// the broker's.
+fn campaign_state<'a>(
+    campaigns: &'a mut HashMap<String, CampaignState>,
+    wanted_hash: &str,
+    spec_toml: &str,
+    smoke: bool,
+) -> Result<&'a mut CampaignState, String> {
+    if !campaigns.contains_key(wanted_hash) {
+        let spec = CampaignSpec::from_toml_str(spec_toml)
+            .map_err(|e| format!("leased spec does not parse: {e}"))?;
+        let run = if smoke {
+            RunLength::smoke_test()
+        } else {
+            spec.run
+        };
+        let computed = spec_hash(&spec, run, smoke);
+        if computed != wanted_hash {
+            return Err(format!(
+                "spec hash skew: broker leased {wanted_hash}, this worker computes {computed} \
+                 — mismatched binaries?"
+            ));
+        }
+        let jobs = expand(&spec);
+        let configs = spec.configs.iter().map(|c| c.build()).collect();
+        campaigns.insert(
+            wanted_hash.to_string(),
+            CampaignState {
+                spec,
+                run,
+                jobs,
+                configs,
+                data: HashMap::new(),
+            },
+        );
+    }
+    Ok(campaigns.get_mut(wanted_hash).expect("just inserted"))
+}
+
+/// Runs one row, generating (or cache-loading) its workload point on first
+/// use — the same per-point recipe as the local engine, so the stats are
+/// bit-identical to an in-process run.
+fn run_row(
+    state: &mut CampaignState,
+    job: &Job,
+    cache: &Option<ArtifactCache>,
+) -> frontend::SimStats {
+    let key = (job.workload, job.seed);
+    if !state.data.contains_key(&key) {
+        let profile = &state.spec.workloads[job.workload].profile;
+        let effective = derive_seed(profile.seed, job.seed);
+        let profile = profile.clone().with_seed(effective);
+        let data = match cache {
+            Some(cache) => match cache.load(&profile, state.run) {
+                Ok(Some(data)) => data,
+                _ => {
+                    let data = WorkloadData::generate_from_profile(&profile, state.run);
+                    let _ = cache.store(&profile, state.run, &data);
+                    data
+                }
+            },
+            None => WorkloadData::generate_from_profile(&profile, state.run),
+        };
+        state.data.insert(key, data);
+    }
+    let data = &state.data[&key];
+    data.run_with_predictor_engine(
+        job.mechanism,
+        &state.configs[job.config],
+        state.spec.predictor,
+        frontend::SimEngine::default(),
+    )
+}

@@ -1,0 +1,377 @@
+//! Distributed-mode chaos suite: the TCP work queue under network faults.
+//!
+//! Every test drives a real `boomerang-sim serve --listen` broker and real
+//! `boomerang-sim worker --connect` processes over loopback, injects
+//! deterministic network faults (`conn-drop`, `heartbeat-stall`,
+//! `row-duplicate`, `frame-torn`, worker and broker crashes) into one end
+//! or the other, and asserts the contract that makes distribution safe to
+//! use at all: the merged report is **byte-identical** to an undisturbed
+//! single-process run, no matter how the campaign was cut up or disturbed.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_boomerang-sim");
+const FAULT_EXIT: i32 = campaign::FAULT_EXIT_CODE;
+
+const MINI_SPEC: &str = "name = \"dist-mini\"
+workloads = [\"nutch\", \"zeus\"]
+mechanisms = [\"fdip\", \"boomerang\"]
+seeds = [0, 1]
+
+[run]
+trace_blocks = 2000
+warmup_blocks = 400
+";
+
+/// Rows in [`MINI_SPEC`]'s canonical expansion (2 workloads x 2 seeds x
+/// (2 mechanisms + implicit baseline)).
+const MINI_ROWS: usize = 12;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("boomerang-dist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+/// An undisturbed one-shot run of `spec_text`; returns the canonical
+/// (JSON, CSV) report bytes every distributed run must reproduce exactly.
+fn clean_reference(tag: &str, spec_text: &str, name: &str) -> (Vec<u8>, Vec<u8>) {
+    let dir = temp_dir(&format!("{tag}-ref"));
+    let spec = dir.join("spec.toml");
+    std::fs::write(&spec, spec_text).unwrap();
+    let output = Command::new(BIN)
+        .args(["run", spec.to_str().unwrap(), "--smoke", "--quiet", "--out"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    let json = std::fs::read(dir.join(format!("{name}.json"))).unwrap();
+    let csv = std::fs::read(dir.join(format!("{name}.csv"))).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+    (json, csv)
+}
+
+/// Spawns `serve --listen 127.0.0.1:0 --once --smoke` on a one-submission
+/// spool and returns (child, spool, out, bound address).
+fn spawn_broker(tag: &str, spec_text: &str, extra: &[&str]) -> (Child, PathBuf, PathBuf, String) {
+    let spool = temp_dir(&format!("{tag}-spool"));
+    let out = temp_dir(&format!("{tag}-out"));
+    std::fs::write(spool.join("job.toml"), spec_text).unwrap();
+    let addr_file = spool.join("addr");
+    let mut args = vec![
+        "serve",
+        "--once",
+        "--smoke",
+        "--quiet",
+        "--listen",
+        "127.0.0.1:0",
+        "--lease-timeout-secs",
+        "2",
+        "--backoff-ms",
+        "10",
+        "--spool",
+        spool.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+        "--listen-addr-file",
+        addr_file.to_str().unwrap(),
+    ];
+    args.extend_from_slice(extra);
+    let child = Command::new(BIN)
+        .args(&args)
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let addr = wait_for_addr(&addr_file);
+    (child, spool, out, addr)
+}
+
+/// Polls the `--listen-addr-file` until the broker has written its bound
+/// address.
+fn wait_for_addr(addr_file: &Path) -> String {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(addr_file) {
+            let addr = text.trim().to_string();
+            if !addr.is_empty() {
+                return addr;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "broker never wrote its listen address"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Spawns a `worker --connect` with the given extra flags.
+fn spawn_worker(addr: &str, index: usize, extra: &[&str]) -> Child {
+    let index = index.to_string();
+    let mut args = vec![
+        "worker",
+        "--connect",
+        addr,
+        "--worker-index",
+        &index,
+        "--heartbeat-ms",
+        "200",
+    ];
+    args.extend_from_slice(extra);
+    Command::new(BIN)
+        .args(&args)
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap()
+}
+
+fn assert_report_matches(out: &Path, name: &str, reference: &(Vec<u8>, Vec<u8>)) {
+    assert_eq!(
+        std::fs::read(out.join("job").join(format!("{name}.json"))).unwrap(),
+        reference.0,
+        "distributed JSON drifted from the undisturbed single-process run"
+    );
+    assert_eq!(
+        std::fs::read(out.join("job").join(format!("{name}.csv"))).unwrap(),
+        reference.1,
+        "distributed CSV drifted from the undisturbed single-process run"
+    );
+}
+
+/// The acceptance test: a figure9 smoke campaign leased to three TCP
+/// workers while one drops its connection mid-row, one crashes outright,
+/// and one goes silent until its lease expires and is reassigned — and the
+/// merged report is still byte-identical to a clean one-shot run.
+#[test]
+fn figure9_smoke_under_network_chaos_matches_a_single_process_run() {
+    let spec_text = campaign::presets::find("figure9").unwrap().to_toml_string();
+    let reference = clean_reference("f9", &spec_text, "figure9");
+    let (broker, spool, out, addr) = spawn_broker("f9", &spec_text, &["--workers", "0"]);
+
+    // Worker 0 drops its connection after its 3rd row (before reading the
+    // ack) and reconnects; worker 1 crashes after 2 rows; worker 2 stops
+    // heartbeating on its 4th lease and hangs until we kill it.
+    let dropper = spawn_worker(&addr, 0, &["--fault-inject", "conn-drop:after-rows=3"]);
+    let crasher = spawn_worker(&addr, 1, &["--fault-inject", "worker-exit:after-rows=2"]);
+    let mut staller = spawn_worker(
+        &addr,
+        2,
+        &["--fault-inject", "heartbeat-stall:after-rows=4"],
+    );
+
+    let output = broker.wait_with_output().unwrap();
+    let serve_log = stderr_of(&output);
+    assert!(output.status.success(), "{serve_log}");
+    let _ = staller.kill();
+    let _ = staller.wait();
+
+    let dropper = dropper.wait_with_output().unwrap();
+    assert!(
+        dropper.status.success(),
+        "the disconnecting worker must recover and drain: {}",
+        stderr_of(&dropper)
+    );
+    let crasher = crasher.wait_with_output().unwrap();
+    assert_eq!(
+        crasher.status.code(),
+        Some(FAULT_EXIT),
+        "{}",
+        stderr_of(&crasher)
+    );
+
+    assert!(
+        serve_log.contains("expired"),
+        "the stalled worker's lease must expire and be reassigned: {serve_log}"
+    );
+    assert!(spool.join("job.toml.done").exists(), "{serve_log}");
+    assert_report_matches(&out, "figure9", &reference);
+    for dir in [spool, out] {
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}
+
+/// Mixed dispatch: a local supervised worker (which crashes once and is
+/// restarted) and a remote worker drain the same queue.
+#[test]
+fn mixed_local_and_remote_workers_merge_byte_identically() {
+    let reference = clean_reference("mixed", MINI_SPEC, "dist-mini");
+    let (broker, spool, out, addr) = spawn_broker(
+        "mixed",
+        MINI_SPEC,
+        &[
+            "--workers",
+            "1",
+            "--fault-inject",
+            "worker-exit:shard=0:after-rows=2",
+        ],
+    );
+    let remote = spawn_worker(&addr, 1, &[]);
+
+    let output = broker.wait_with_output().unwrap();
+    let serve_log = stderr_of(&output);
+    assert!(output.status.success(), "{serve_log}");
+    assert!(
+        serve_log.contains(&format!("exit status: {FAULT_EXIT}")),
+        "the local worker's injected crash must be supervised: {serve_log}"
+    );
+    let remote = remote.wait_with_output().unwrap();
+    assert!(remote.status.success(), "{}", stderr_of(&remote));
+
+    assert!(spool.join("job.toml.done").exists(), "{serve_log}");
+    assert_report_matches(&out, "dist-mini", &reference);
+    for dir in [spool, out] {
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}
+
+/// Idempotent submission: a worker that transmits one row twice must not
+/// double-append it — the journal holds exactly one line per job.
+#[test]
+fn duplicated_row_submissions_are_deduped_by_the_broker() {
+    let reference = clean_reference("dup", MINI_SPEC, "dist-mini");
+    let (broker, spool, out, addr) = spawn_broker("dup", MINI_SPEC, &["--workers", "0"]);
+    let worker = spawn_worker(&addr, 0, &["--fault-inject", "row-duplicate:after-rows=2"]);
+
+    let output = broker.wait_with_output().unwrap();
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    let worker = worker.wait_with_output().unwrap();
+    assert!(worker.status.success(), "{}", stderr_of(&worker));
+
+    let journal = std::fs::read_to_string(out.join("job").join("dist-mini.journal.jsonl")).unwrap();
+    assert_eq!(
+        journal.lines().count(),
+        1 + MINI_ROWS,
+        "header + one line per job; a duplicate row leaked into the journal:\n{journal}"
+    );
+    assert_report_matches(&out, "dist-mini", &reference);
+    for dir in [spool, out] {
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}
+
+/// Broker crash and restart: the first broker kills itself mid-campaign
+/// (fault point in its own journal append), the worker rides the outage on
+/// reconnect backoff, and a second broker on the same address resumes from
+/// the journal — byte-identical.
+#[test]
+fn broker_crash_and_restart_resumes_from_the_journal() {
+    let reference = clean_reference("restart", MINI_SPEC, "dist-mini");
+    // A fixed port the worker can find again across broker lives.
+    let port = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    let spool = temp_dir("restart-spool");
+    let out = temp_dir("restart-out");
+    std::fs::write(spool.join("job.toml"), MINI_SPEC).unwrap();
+
+    let serve_args = |fault: bool| {
+        let mut args: Vec<String> = [
+            "serve",
+            "--once",
+            "--smoke",
+            "--quiet",
+            "--workers",
+            "0",
+            "--lease-timeout-secs",
+            "2",
+            "--listen",
+            &addr,
+            "--spool",
+            spool.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]
+        .map(String::from)
+        .to_vec();
+        if fault {
+            // The broker journals every row, so `after-rows` armed here
+            // counts *broker* appends; no `shard=` filter means it is not
+            // scoped to a worker process.
+            args.extend(["--fault-inject".into(), "worker-exit:after-rows=3".into()]);
+        }
+        args
+    };
+
+    // The worker outlives both broker lives on a generous reconnect budget.
+    let worker = spawn_worker(
+        &addr,
+        0,
+        &["--reconnect-ms", "50", "--reconnect-tries", "400"],
+    );
+
+    let first = Command::new(BIN).args(serve_args(true)).output().unwrap();
+    assert_eq!(
+        first.status.code(),
+        Some(FAULT_EXIT),
+        "{}",
+        stderr_of(&first)
+    );
+    assert!(
+        spool.join("job.toml").exists(),
+        "a crashed broker must leave the submission in the spool"
+    );
+
+    let second = Command::new(BIN).args(serve_args(false)).output().unwrap();
+    let serve_log = stderr_of(&second);
+    assert!(second.status.success(), "{serve_log}");
+    assert!(
+        serve_log.contains("resuming") && serve_log.contains("3 of 12"),
+        "the second broker must resume the 3 journaled rows: {serve_log}"
+    );
+    let worker = worker.wait_with_output().unwrap();
+    assert!(
+        worker.status.success(),
+        "the worker must ride out the broker restart: {}",
+        stderr_of(&worker)
+    );
+
+    assert!(spool.join("job.toml.done").exists(), "{serve_log}");
+    assert_report_matches(&out, "dist-mini", &reference);
+    for dir in [spool, out] {
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}
+
+/// Frame-level damage: a worker whose 4th frame write is torn mid-frame
+/// reconnects and finishes, and a connection speaking garbage is dropped by
+/// the broker without disturbing the campaign.
+#[test]
+fn torn_frames_and_garbage_connections_do_not_disturb_the_campaign() {
+    let reference = clean_reference("torn", MINI_SPEC, "dist-mini");
+    let (broker, spool, out, addr) = spawn_broker("torn", MINI_SPEC, &["--workers", "0"]);
+
+    // Not-a-frame bytes: the broker must reject the header and drop us.
+    {
+        let mut garbage = std::net::TcpStream::connect(&addr).unwrap();
+        garbage.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        let _ = garbage.shutdown(std::net::Shutdown::Write);
+    }
+    // A connection that opens and immediately dies.
+    drop(std::net::TcpStream::connect(&addr).unwrap());
+
+    let worker = spawn_worker(&addr, 0, &["--fault-inject", "frame-torn:nth=4"]);
+    let output = broker.wait_with_output().unwrap();
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    let worker = worker.wait_with_output().unwrap();
+    let worker_log = stderr_of(&worker);
+    assert!(
+        worker.status.success(),
+        "the torn-frame worker must reconnect and drain: {worker_log}"
+    );
+
+    assert!(spool.join("job.toml.done").exists());
+    assert_report_matches(&out, "dist-mini", &reference);
+    for dir in [spool, out] {
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}
