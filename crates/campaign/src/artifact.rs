@@ -211,8 +211,10 @@ impl ArtifactCache {
 }
 
 /// Validates the artifact header against the expected content address and
-/// returns the payload slice.
-fn check_header(bytes: &[u8], key: u64) -> Result<&[u8], ArtifactError> {
+/// returns the payload slice. Shared with the offline auditor
+/// ([`crate::verify`]), which walks a cache directory and checks every
+/// `wl-*.wla` against the key its filename claims.
+pub(crate) fn check_header(bytes: &[u8], key: u64) -> Result<&[u8], ArtifactError> {
     if bytes.len() < HEADER_LEN {
         return Err(ArtifactError::new(
             "header",

@@ -7,6 +7,7 @@
 //! boomerang-sim serve --spool DIR [--out DIR] [--workers N] [--once]
 //! boomerang-sim serve --spool DIR --listen ADDR [--workers N] [...]
 //! boomerang-sim worker --connect ADDR [--worker-index N] [...]
+//! boomerang-sim verify DIR [--spec FILE] [--recompute N] [...]
 //! boomerang-sim bench [--preset <name>]... [--smoke] [--check FILE]
 //! boomerang-sim list-presets
 //! ```
@@ -16,8 +17,9 @@ use campaign::checkpoint::{spec_hash, Journal, JournalReplay};
 use campaign::serve::{serve, ServeOptions, SubmissionStatus};
 use campaign::supervise::install_interrupt_handler;
 use campaign::{
-    assemble_report, fault, presets, run_generated_partial, run_worker, BenchOptions, CampaignSpec,
-    EngineOptions, FaultPlan, Job, RunPlan, StreamingSink, WorkerOptions,
+    assemble_report, fault, presets, run_generated_partial, run_worker, verify_dir, BenchOptions,
+    CampaignSpec, EngineOptions, FaultPlan, Job, RunPlan, StreamingSink, VerifyOptions,
+    WorkerOptions,
 };
 use frontend::SimStats;
 use std::collections::HashMap;
@@ -31,6 +33,13 @@ use std::time::Duration;
 /// but damaged" from "unusable".
 const PARTIAL_EXIT_CODE: u8 = 4;
 
+/// Exit code of a serve run stopped by the `--max-quarantined` integrity
+/// bound: more worker sessions were quarantined for corrupt results than the
+/// operator allowed. Distinct from 1 (failure) and 4 (partial) — this one
+/// means "the fleet is corrupting results", which wants a different
+/// response (replace hardware, not retry) than an ordinary failed run.
+const QUARANTINE_EXIT_CODE: u8 = 5;
+
 const USAGE: &str =
     "boomerang-sim — declarative experiment campaigns for the Boomerang reproduction
 
@@ -40,6 +49,7 @@ USAGE:
     boomerang-sim resume <spec.toml | --preset <name>> [OPTIONS]
     boomerang-sim serve --spool <DIR> [SERVE OPTIONS]
     boomerang-sim worker --connect <ADDR> [WORKER OPTIONS]
+    boomerang-sim verify <DIR> [VERIFY OPTIONS]
     boomerang-sim bench [BENCH OPTIONS]
     boomerang-sim list-presets
 
@@ -118,6 +128,14 @@ SERVE OPTIONS:
                            S seconds, even if the owner looks alive (escape
                            hatch for platforms without procfs liveness; a
                            live serve refreshes the lock every scan)
+    --verify-fraction <F>  Re-lease a deterministic fraction F (0.0-1.0) of
+                           completed rows to a *different* worker session and
+                           compare the stats; a mismatch quarantines the
+                           producing session and requeues its unverified rows
+                           (default: 0 = off; needs --listen)
+    --max-quarantined <N>  Fail a submission (exit code 5) once more than N
+                           worker sessions have been quarantined for corrupt
+                           results (default: unbounded)
 
 WORKER OPTIONS:
     --connect <ADDR>       Broker address (host:port) to lease jobs from
@@ -134,9 +152,24 @@ WORKER OPTIONS:
     --fault-inject <PLAN>  Arm deterministic fault points (testing)
     --quiet                Suppress per-row progress logs
 
+VERIFY OPTIONS (offline audit of a campaign directory):
+    --spec <FILE>          The campaign's spec TOML; unlocks the replay
+                           checks (spec hash, completeness, report bytes,
+                           recompute) on top of the self-contained journal
+                           row-checksum scan
+    --smoke                The campaign ran at smoke length
+    --recompute <N>        Re-simulate N sampled rows from scratch and
+                           compare their stats to the journal (the sample is
+                           deterministic per spec; default: 0 = off)
+    --artifact-cache <DIR> Also audit every artifact header and payload
+                           checksum in this workload cache
+
 EXIT CODES:
-    0  success        1  failure (bad args, failed submission, I/O error)
+    0  success        1  failure (bad args, failed submission, I/O error,
+                         a verify audit that found damage)
     4  serve completed with at least one partial submission and no failures
+    5  serve stopped by --max-quarantined: the worker fleet is corrupting
+       results faster than the operator allowed
     (a worker exits 0 on a clean broker-driven shutdown, 1 on a terminal
     error: spec hash skew or an exhausted reconnect budget)
 
@@ -207,6 +240,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("resume") => run_command(&args[1..], true),
         Some("serve") => serve_command(&args[1..]),
         Some("worker") => worker_command(&args[1..]),
+        Some("verify") => verify_command(&args[1..]),
         Some("bench") => bench_command(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -427,6 +461,21 @@ fn serve_command(args: &[String]) -> Result<ExitCode, String> {
                     .ok_or_else(|| format!("bad --steal-lock-after-secs value `{s}`"))?;
                 options.steal_lock_after = Some(Duration::from_secs_f64(secs));
             }
+            "--verify-fraction" => {
+                let f = it.next().ok_or("--verify-fraction needs a value")?;
+                options.verify_fraction = f
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|&f| (0.0..=1.0).contains(&f))
+                    .ok_or_else(|| format!("bad --verify-fraction value `{f}` (want 0.0-1.0)"))?;
+            }
+            "--max-quarantined" => {
+                let n = it.next().ok_or("--max-quarantined needs a count")?;
+                options.max_quarantined = Some(
+                    n.parse::<usize>()
+                        .map_err(|_| format!("bad --max-quarantined value `{n}`"))?,
+                );
+            }
             "--quiet" => quiet = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -440,6 +489,12 @@ fn serve_command(args: &[String]) -> Result<ExitCode, String> {
     }
     if options.workers == 0 && options.listen.is_none() {
         return Err("--workers 0 needs --listen (no local fleet and no work queue)".into());
+    }
+    if options.verify_fraction > 0.0 && options.listen.is_none() {
+        return Err(
+            "--verify-fraction needs --listen (verification re-leases rows over the work queue)"
+                .into(),
+        );
     }
     if let Some(plan) = &fault_plan {
         fault::install(Some(plan))?;
@@ -492,6 +547,16 @@ fn serve_command(args: &[String]) -> Result<ExitCode, String> {
         Err(reason) => eprintln!("serve: {} FAILED: {reason}", outcome.submission.display()),
     })
     .map_err(|e| format!("serve loop: {e}"))?;
+    // The quarantine bound outranks plain failure: exit 5 tells the
+    // operator the fleet is corrupting results, which a retry won't fix.
+    let quarantined = outcomes.iter().filter(|o| o.quarantine_exceeded).count();
+    if quarantined > 0 {
+        eprintln!(
+            "serve: {quarantined} of {} submissions exceeded the quarantine bound",
+            outcomes.len()
+        );
+        return Ok(ExitCode::from(QUARANTINE_EXIT_CODE));
+    }
     let failed = outcomes.iter().filter(|o| o.result.is_err()).count();
     if failed > 0 {
         return Err(format!("{failed} of {} submissions failed", outcomes.len()));
@@ -590,6 +655,53 @@ fn worker_command(args: &[String]) -> Result<ExitCode, String> {
         );
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn verify_command(args: &[String]) -> Result<ExitCode, String> {
+    let mut options = VerifyOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spec" => {
+                let path = it.next().ok_or("--spec needs a file")?;
+                options.spec = Some(PathBuf::from(path));
+            }
+            "--smoke" => options.smoke = true,
+            "--recompute" => {
+                let n = it.next().ok_or("--recompute needs a count")?;
+                options.recompute = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --recompute value `{n}`"))?;
+            }
+            "--artifact-cache" => {
+                let dir = it.next().ok_or("--artifact-cache needs a directory")?;
+                options.artifact_cache = Some(PathBuf::from(dir));
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown verify option `{other}`\n\n{USAGE}"));
+            }
+            dir => {
+                if !options.dir.as_os_str().is_empty() {
+                    return Err(format!("verify takes one directory, got `{dir}` too"));
+                }
+                options.dir = PathBuf::from(dir);
+            }
+        }
+    }
+    if options.dir.as_os_str().is_empty() {
+        return Err(format!("verify needs a campaign directory\n\n{USAGE}"));
+    }
+    let report = verify_dir(&options);
+    println!("{}", report.render());
+    if report.passed() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
 }
 
 fn run_command(args: &[String], command_resume: bool) -> Result<ExitCode, String> {
@@ -872,9 +984,18 @@ fn run_command(args: &[String], command_resume: bool) -> Result<ExitCode, String
                     .unwrap_or_default(),
             );
         }
+        // A row the journal cannot hold is a row the campaign cannot claim:
+        // a checkpoint write failure (ENOSPC, a yanked disk) must fail the
+        // run, not degrade into a journal that silently resumes short. The
+        // observer runs on pool workers, so the first failure is captured
+        // here and surfaced once the pass drains.
+        let checkpoint_error: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
         let on_row = |job: &Job, stats: &SimStats| {
             if let Err(e) = journal.record(job, stats) {
-                eprintln!("warning: checkpoint write failed: {e}");
+                let mut slot = checkpoint_error.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(format!("checkpoint write failed: {e}"));
+                }
             }
             if let Some(stream) = &stream {
                 if let Err(e) = stream.record(job, stats) {
@@ -890,6 +1011,9 @@ fn run_command(args: &[String], command_resume: bool) -> Result<ExitCode, String
             plan,
             Some(&on_row),
         );
+        if let Some(e) = checkpoint_error.lock().unwrap().take() {
+            return Err(e);
+        }
         for (i, s) in outcome.stats.into_iter().enumerate() {
             if let Some(s) = s {
                 stats_by_index.insert(i, s);

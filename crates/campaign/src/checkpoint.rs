@@ -14,15 +14,19 @@
 //! the spec + run length, and the canonical job count:
 //!
 //! ```text
-//! {"journal_format":1,"campaign":"figure9","spec_hash":"fnv1a64:…","jobs":45,"shard_index":0,"shard_count":1}
-//! {"job":0,"mechanism":"baseline","seed":0,"instructions":…,…}
+//! {"journal_format":2,"campaign":"figure9","spec_hash":"fnv1a64:…","jobs":45,"shard_index":0,"shard_count":1}
+//! {"job":0,"mechanism":"baseline","seed":0,"row_fnv":…,"instructions":…,…}
 //! ```
 //!
 //! Every subsequent line is one completed job: its canonical index, the
 //! mechanism token and seed (cross-checked against the expanded job list on
-//! replay — a journal can never be applied to a different spec), and the full
-//! set of [`SimStats`] counters. A truncated **final** line (the process died
-//! mid-write) is ignored on replay; corruption anywhere else is an error.
+//! replay — a journal can never be applied to a different spec), a `row_fnv`
+//! checksum (FNV-1a-64 over the canonical `index|mechanism|seed|stats`
+//! encoding, re-verified on replay so at-rest bit damage can never replay
+//! silently into a report), and the full set of [`SimStats`] counters. A
+//! truncated **final** line (the process died mid-write) is ignored on
+//! replay; corruption anywhere else is an error. Format-1 journals (no
+//! `row_fnv`) still replay, with a warning that their rows are unverified.
 
 use crate::bench::fnv1a64;
 use crate::expand::Job;
@@ -40,9 +44,13 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// Version stamp written in every journal header. Bump on any change to the
-/// line schema; old journals are rejected (with a clear error) rather than
-/// misread.
-pub const JOURNAL_FORMAT: u64 = 1;
+/// line schema. Format 2 added the per-row `row_fnv` checksum; format-1
+/// journals are still replayed (their rows predate checksums) with a
+/// warning, anything else is rejected rather than misread.
+pub const JOURNAL_FORMAT: u64 = 2;
+
+/// Oldest journal format this build still replays.
+const JOURNAL_FORMAT_MIN: u64 = 1;
 
 /// A checkpoint journal could not be read or does not belong to this
 /// campaign.
@@ -167,6 +175,22 @@ pub(crate) fn stats_from_array(values: &[u64]) -> Option<SimStats> {
     })
 }
 
+/// The checksum every completed row carries, in the journal (`row_fnv`
+/// field) and on the wire (`RowDone` frame): FNV-1a-64 over the canonical
+/// `index|mechanism|seed|stat|stat|…` encoding, stats in [`STAT_FIELDS`]
+/// column order. Writer, broker, replayer and auditor all compute it from
+/// the same inputs, so a row whose bytes changed anywhere along the path —
+/// a flipped stat digit, a corrupted frame payload, at-rest bitrot — can
+/// never verify.
+pub(crate) fn row_checksum(index: usize, mechanism: &str, seed: u64, stats: &[u64]) -> u64 {
+    let mut text = format!("{index}|{mechanism}|{seed}");
+    for value in stats {
+        text.push('|');
+        text.push_str(&value.to_string());
+    }
+    fnv1a64(text.as_bytes())
+}
+
 fn stats_from_fields(get: impl Fn(&'static str) -> Option<u64>) -> Option<SimStats> {
     Some(SimStats {
         instructions: get("instructions")?,
@@ -245,7 +269,9 @@ impl Journal {
             .field("shard_count", shard_count);
         let mut file = File::create(&tmp)?;
         writeln!(file, "{}", header.compact())?;
-        file.sync_data().ok();
+        // A full disk often only surfaces at sync time; swallowing it here
+        // would rename an incomplete header into place as if it were durable.
+        file.sync_data()?;
         drop(file);
         std::fs::rename(&tmp, &path)?;
         let file = OpenOptions::new().append(true).open(&path)?;
@@ -299,27 +325,35 @@ impl Journal {
     /// durable write, or hang here — the three crash signatures the
     /// supervisor must survive.
     pub fn record(&self, job: &Job, stats: &SimStats) -> io::Result<()> {
+        let mechanism = mechanism_token(job.mechanism);
+        let values = stats_to_array(stats);
+        let checksum = row_checksum(job.index, &mechanism, job.seed, &values);
         let mut row = Json::object()
             .field("job", job.index)
-            .field("mechanism", mechanism_token(job.mechanism))
-            .field("seed", job.seed);
+            .field("mechanism", mechanism)
+            .field("seed", job.seed)
+            .field("row_fnv", checksum);
         for (name, read) in STAT_FIELDS {
             row = row.field(name, read(stats));
         }
-        let mut line = row.compact();
-        line.push('\n');
+        let mut line = row.compact().into_bytes();
+        line.push(b'\n');
         let faults = fault::on_row_append();
+        if faults.bitrot {
+            // At-rest damage: one stat digit flips *after* `row_fnv` was
+            // computed — the line still parses, but can never verify.
+            flip_last_digit(&mut line);
+        }
         let mut file = self.file.lock().expect("journal mutex poisoned");
         if faults.torn_tail {
             // The mid-`write` kill signature: a prefix of the line, no
             // newline, then death.
-            let torn = &line.as_bytes()[..line.len() / 2];
+            let torn = &line[..line.len() / 2];
             file.write_all(torn)?;
             file.flush()?;
             fault::exit_now();
         }
-        file.write_all(line.as_bytes())?;
-        file.flush()?;
+        append_durable(&mut *file, &line)?;
         drop(file);
         if faults.exit {
             fault::exit_now();
@@ -340,6 +374,24 @@ impl Journal {
     }
 }
 
+/// One durable row append: the whole line in a single write, then a flush.
+/// Both errors are surfaced — a full disk (ENOSPC) is often only reported
+/// when buffered bytes hit the device, and swallowing it would let a
+/// campaign "complete" with rows that were never written.
+fn append_durable(file: &mut dyn io::Write, line: &[u8]) -> io::Result<()> {
+    file.write_all(line)?;
+    file.flush()
+}
+
+/// Flips the last ASCII digit of `line` to a different digit — the
+/// `journal-bitrot` fault effect. The last digit of a row line is always a
+/// stat value, so the damaged line still parses but fails its `row_fnv`.
+fn flip_last_digit(line: &mut [u8]) {
+    if let Some(byte) = line.iter_mut().rev().find(|b| b.is_ascii_digit()) {
+        *byte = if *byte == b'9' { b'0' } else { *byte + 1 };
+    }
+}
+
 /// A cheap, monotonic progress probe for hang detection: the total byte size
 /// of every journal file for `campaign` in `dir`. Journals are append-only
 /// while a worker runs, so a growing number means rows are landing and a
@@ -356,7 +408,7 @@ pub fn journal_progress(dir: &Path, campaign: &str) -> u64 {
 
 /// All journal files for `campaign` in `dir`, sorted by name for
 /// deterministic replay order. Missing directory → empty list.
-fn journal_files(dir: &Path, campaign: &str) -> io::Result<Vec<PathBuf>> {
+pub(crate) fn journal_files(dir: &Path, campaign: &str) -> io::Result<Vec<PathBuf>> {
     let prefix = format!("{campaign}.journal");
     let mut files = Vec::new();
     let entries = match std::fs::read_dir(dir) {
@@ -388,7 +440,7 @@ fn journal_files(dir: &Path, campaign: &str) -> io::Result<Vec<PathBuf>> {
 /// The merged result of replaying every journal for a campaign.
 #[derive(Clone, Debug, Default)]
 pub struct JournalReplay {
-    /// Completed rows by canonical job index (first occurrence wins).
+    /// Completed rows by canonical job index (last occurrence wins).
     pub rows: HashMap<usize, SimStats>,
     /// The journal files that were read, in replay order.
     pub files: Vec<PathBuf>,
@@ -410,9 +462,11 @@ impl JournalReplay {
 
     /// Replays every journal for `campaign` in `dir`, validating each file's
     /// header against `expected_hash` and each row against the canonical
-    /// `jobs` expansion. Rows for the same job in multiple shard files are
-    /// deduplicated (first file wins; the stats are identical by
-    /// construction — simulation is deterministic in the job).
+    /// `jobs` expansion. Rows for the same job are deduplicated **last
+    /// occurrence wins**: shard files never overlap (the stats are identical
+    /// by construction when they do), and within one broker journal a later
+    /// row for the same job is a correction — the re-run that replaced a
+    /// quarantined session's suspect row.
     pub fn load(
         dir: &Path,
         campaign: &str,
@@ -436,8 +490,149 @@ impl JournalReplay {
 }
 
 struct Header {
+    format: u64,
     spec_hash: String,
     jobs: u64,
+}
+
+/// What a standalone integrity scan of one journal file found — the
+/// spec-free subset of replay used by the offline auditor
+/// ([`crate::verify`]): header shape, row shape, and every `row_fnv`.
+pub(crate) struct JournalScan {
+    /// The campaign the header claims.
+    pub campaign: String,
+    /// The spec hash the header claims.
+    pub spec_hash: String,
+    /// The header's `journal_format`.
+    pub format: u64,
+    /// The job-expansion size the header claims.
+    pub jobs: u64,
+    /// Rows whose `row_fnv` was recomputed and matched.
+    pub rows_checked: usize,
+    /// Format-1 rows carrying no checksum (parsed, not verifiable).
+    pub rows_unverified: usize,
+}
+
+/// Scans one journal file without a spec: validates the header shape and
+/// format range, parses every row, bounds-checks its job index against the
+/// header's own `jobs` claim, and recomputes every `row_fnv`. The torn-tail
+/// tolerance matches replay — a damaged *final* line is the expected
+/// crash signature, a damaged interior line is corruption.
+pub(crate) fn scan_journal(path: &Path) -> Result<JournalScan, CheckpointError> {
+    let text = read_file(path)?;
+    let mut lines = text.lines();
+    let first = lines
+        .next()
+        .ok_or_else(|| CheckpointError::file(path, "empty journal"))?;
+    let fields = parse_flat_object(first)
+        .map_err(|e| CheckpointError::at(path, 1, format!("malformed header: {e}")))?;
+    let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let format = get("journal_format")
+        .and_then(Scalar::as_u64)
+        .ok_or_else(|| CheckpointError::at(path, 1, "header field `journal_format` missing"))?;
+    if !(JOURNAL_FORMAT_MIN..=JOURNAL_FORMAT).contains(&format) {
+        return Err(CheckpointError::at(
+            path,
+            1,
+            format!(
+                "journal_format {format} (this build reads \
+                 {JOURNAL_FORMAT_MIN}..={JOURNAL_FORMAT})"
+            ),
+        ));
+    }
+    let campaign = get("campaign")
+        .and_then(Scalar::as_str)
+        .ok_or_else(|| CheckpointError::at(path, 1, "header field `campaign` missing"))?
+        .to_string();
+    let spec_hash = get("spec_hash")
+        .and_then(Scalar::as_str)
+        .ok_or_else(|| CheckpointError::at(path, 1, "header field `spec_hash` missing"))?
+        .to_string();
+    let jobs = get("jobs")
+        .and_then(Scalar::as_u64)
+        .ok_or_else(|| CheckpointError::at(path, 1, "header field `jobs` missing"))?;
+    let row_lines: Vec<&str> = lines.collect();
+    let mut scan = JournalScan {
+        campaign,
+        spec_hash,
+        format,
+        jobs,
+        rows_checked: 0,
+        rows_unverified: 0,
+    };
+    for (i, line) in row_lines.iter().enumerate() {
+        let lineno = i + 2;
+        let last = i + 1 == row_lines.len();
+        let fields = match parse_flat_object(line) {
+            Ok(fields) => fields,
+            Err(_) if last => break,
+            Err(e) => {
+                return Err(CheckpointError::at(
+                    path,
+                    lineno,
+                    format!("malformed row: {e}"),
+                ))
+            }
+        };
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let (Some(index), Some(mechanism), Some(seed)) = (
+            get("job").and_then(Scalar::as_u64),
+            get("mechanism").and_then(Scalar::as_str),
+            get("seed").and_then(Scalar::as_u64),
+        ) else {
+            if last {
+                break;
+            }
+            return Err(CheckpointError::at(
+                path,
+                lineno,
+                "row missing job/mechanism/seed",
+            ));
+        };
+        if index >= jobs {
+            return Err(CheckpointError::at(
+                path,
+                lineno,
+                format!("job index {index} out of range (header claims {jobs} jobs)"),
+            ));
+        }
+        let stats = match stats_from_fields(|name| get(name).and_then(Scalar::as_u64)) {
+            Some(stats) => stats,
+            None if last => break,
+            None => {
+                return Err(CheckpointError::at(path, lineno, "row missing stat fields"));
+            }
+        };
+        if format < 2 {
+            scan.rows_unverified += 1;
+            continue;
+        }
+        let recorded = match get("row_fnv").and_then(Scalar::as_u64) {
+            Some(v) => v,
+            None if last => break,
+            None => {
+                return Err(CheckpointError::at(
+                    path,
+                    lineno,
+                    "row field `row_fnv` missing",
+                ));
+            }
+        };
+        let computed = row_checksum(index as usize, mechanism, seed, &stats_to_array(&stats));
+        if recorded != computed {
+            return Err(CheckpointError::at(
+                path,
+                lineno,
+                format!(
+                    "row_fnv {recorded:016x} does not match the row's contents \
+                     (recomputed {computed:016x}): the row was damaged after it \
+                     was written"
+                ),
+            ));
+        }
+        scan.rows_checked += 1;
+    }
+    Ok(scan)
 }
 
 fn read_file(path: &Path) -> Result<String, CheckpointError> {
@@ -455,11 +650,14 @@ fn parse_header(path: &Path, campaign: &str, line: &str) -> Result<Header, Check
     let format = get("journal_format")
         .and_then(Scalar::as_u64)
         .ok_or_else(|| CheckpointError::at(path, 1, "header field `journal_format` missing"))?;
-    if format != JOURNAL_FORMAT {
+    if !(JOURNAL_FORMAT_MIN..=JOURNAL_FORMAT).contains(&format) {
         return Err(CheckpointError::at(
             path,
             1,
-            format!("journal_format {format} (this build reads {JOURNAL_FORMAT})"),
+            format!(
+                "journal_format {format} (this build reads \
+                 {JOURNAL_FORMAT_MIN}..={JOURNAL_FORMAT})"
+            ),
         ));
     }
     let name = get("campaign")
@@ -479,7 +677,11 @@ fn parse_header(path: &Path, campaign: &str, line: &str) -> Result<Header, Check
     let jobs = get("jobs")
         .and_then(Scalar::as_u64)
         .ok_or_else(|| CheckpointError::at(path, 1, "header field `jobs` missing"))?;
-    Ok(Header { spec_hash, jobs })
+    Ok(Header {
+        format,
+        spec_hash,
+        jobs,
+    })
 }
 
 fn read_header(path: &Path) -> Result<Header, CheckpointError> {
@@ -496,7 +698,14 @@ fn read_header(path: &Path) -> Result<Header, CheckpointError> {
         .ok_or_else(|| CheckpointError::at(path, 1, "header field `spec_hash` missing"))?
         .to_string();
     let jobs = get("jobs").and_then(Scalar::as_u64).unwrap_or(0);
-    Ok(Header { spec_hash, jobs })
+    let format = get("journal_format")
+        .and_then(Scalar::as_u64)
+        .unwrap_or(JOURNAL_FORMAT);
+    Ok(Header {
+        format,
+        spec_hash,
+        jobs,
+    })
 }
 
 fn replay_file(
@@ -532,6 +741,14 @@ fn replay_file(
                 jobs.len()
             ),
         ));
+    }
+    if header.format < 2 {
+        eprintln!(
+            "warning: journal {} is format {} (predates row checksums); \
+             replaying its rows unverified",
+            path.display(),
+            header.format
+        );
     }
     for (i, line) in row_lines.iter().enumerate() {
         let lineno = i + 2;
@@ -591,7 +808,32 @@ fn replay_file(
                 return Err(CheckpointError::at(path, lineno, "row missing stat fields"));
             }
         };
-        rows.entry(index).or_insert(stats);
+        if header.format >= 2 {
+            let recorded = match get("row_fnv").and_then(Scalar::as_u64) {
+                Some(v) => v,
+                None if last => break,
+                None => {
+                    return Err(CheckpointError::at(
+                        path,
+                        lineno,
+                        "row field `row_fnv` missing",
+                    ));
+                }
+            };
+            let computed = row_checksum(index, mechanism, seed, &stats_to_array(&stats));
+            if recorded != computed {
+                return Err(CheckpointError::at(
+                    path,
+                    lineno,
+                    format!(
+                        "row_fnv {recorded:016x} does not match the row's contents \
+                         (recomputed {computed:016x}): the row was damaged after it \
+                         was written"
+                    ),
+                ));
+            }
+        }
+        rows.insert(index, stats);
     }
     Ok(())
 }
@@ -1030,6 +1272,153 @@ mod tests {
             None
         );
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flipped_row_fails_its_checksum_on_replay() {
+        let dir = temp_dir("bitflip");
+        let spec = spec();
+        let jobs = crate::expand::expand(&spec);
+        let hash = spec_hash(&spec, RunLength::smoke_test(), true);
+        let journal = Journal::create(&dir, &spec.name, &hash, jobs.len(), None).unwrap();
+        journal.record(&jobs[0], &stats(0)).unwrap();
+        journal.record(&jobs[1], &stats(1)).unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+
+        // Flip one stat digit of row 1 (an *interior* line, so torn-tail
+        // tolerance cannot excuse it). The line still parses as JSON.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let mut row = lines[1].clone().into_bytes();
+        flip_last_digit(&mut row);
+        lines[1] = String::from_utf8(row).unwrap();
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        let err = JournalReplay::load(&dir, &spec.name, &hash, &jobs).unwrap_err();
+        assert!(err.message.contains("row_fnv"), "{err}");
+        assert_eq!(err.line, 2, "the error must name the damaged line");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tampered_row_fnv_field_is_also_rejected() {
+        let dir = temp_dir("fnvfield");
+        let spec = spec();
+        let jobs = crate::expand::expand(&spec);
+        let hash = spec_hash(&spec, RunLength::smoke_test(), true);
+        let journal = Journal::create(&dir, &spec.name, &hash, jobs.len(), None).unwrap();
+        journal.record(&jobs[0], &stats(0)).unwrap();
+        journal.record(&jobs[1], &stats(1)).unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+
+        // Damage the checksum itself instead of a stat: same rejection.
+        // The *last* digit flips — bumping the leading digit of a u64 near
+        // the top of its range would overflow the parser instead.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let start = lines[1].find("\"row_fnv\":").unwrap() + "\"row_fnv\":".len();
+        let mut row = lines[1].clone().into_bytes();
+        let end = (start..row.len())
+            .take_while(|&i| row[i].is_ascii_digit())
+            .last()
+            .unwrap();
+        row[end] = if row[end] == b'9' { b'0' } else { row[end] + 1 };
+        lines[1] = String::from_utf8(row).unwrap();
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        let err = JournalReplay::load(&dir, &spec.name, &hash, &jobs).unwrap_err();
+        assert!(err.message.contains("row_fnv"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn format_1_journals_replay_unverified() {
+        // A journal written by a pre-checksum build: format 1 header, rows
+        // without `row_fnv`. It must still replay (warning, not error).
+        let dir = temp_dir("format1");
+        let spec = spec();
+        let jobs = crate::expand::expand(&spec);
+        let hash = spec_hash(&spec, RunLength::smoke_test(), true);
+        let journal = Journal::create(&dir, &spec.name, &hash, jobs.len(), None).unwrap();
+        journal.record(&jobs[0], &stats(0)).unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let downgraded: String = text
+            .lines()
+            .map(|line| {
+                let mut line = line.replace("\"journal_format\":2", "\"journal_format\":1");
+                // Strip the checksum field the old writer never produced.
+                if let Some(start) = line.find(",\"row_fnv\":") {
+                    let value_start = start + ",\"row_fnv\":".len();
+                    let value_end = line[value_start..]
+                        .find(|c: char| !c.is_ascii_digit())
+                        .map_or(line.len(), |o| value_start + o);
+                    line.replace_range(start..value_end, "");
+                }
+                format!("{line}\n")
+            })
+            .collect();
+        std::fs::write(&path, downgraded).unwrap();
+
+        let replay = JournalReplay::load(&dir, &spec.name, &hash, &jobs).unwrap();
+        assert_eq!(replay.completed(), 1);
+        assert_eq!(replay.rows[&0], stats(0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_future_format_is_rejected() {
+        let dir = temp_dir("future");
+        let spec = spec();
+        let jobs = crate::expand::expand(&spec);
+        let hash = spec_hash(&spec, RunLength::smoke_test(), true);
+        let journal = Journal::create(&dir, &spec.name, &hash, jobs.len(), None).unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+        let text = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"journal_format\":2", "\"journal_format\":9");
+        std::fs::write(&path, text).unwrap();
+        let err = JournalReplay::load(&dir, &spec.name, &hash, &jobs).unwrap_err();
+        assert!(err.message.contains("journal_format 9"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn row_checksum_is_sensitive_to_every_input() {
+        let values = stats_to_array(&stats(3));
+        let base = row_checksum(4, "fdip", 1, &values);
+        assert_ne!(base, row_checksum(5, "fdip", 1, &values));
+        assert_ne!(base, row_checksum(4, "boomerang", 1, &values));
+        assert_ne!(base, row_checksum(4, "fdip", 2, &values));
+        let mut off = values;
+        off[STAT_FIELD_COUNT - 1] += 1;
+        assert_ne!(base, row_checksum(4, "fdip", 1, &off));
+        assert_eq!(base, row_checksum(4, "fdip", 1, &values));
+    }
+
+    /// A writer that accepts bytes but reports a full disk at flush time —
+    /// the shape ENOSPC actually takes with buffered files.
+    struct FullDisk;
+
+    impl io::Write for FullDisk {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Err(io::Error::from_raw_os_error(28)) // ENOSPC
+        }
+    }
+
+    #[test]
+    fn deferred_enospc_surfaces_instead_of_being_swallowed() {
+        let err = append_durable(&mut FullDisk, b"{\"job\":0}\n").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28), "{err}");
     }
 
     #[test]

@@ -37,6 +37,9 @@
 //! | `report-torn`       | the `nth` report-file write         | writes half the bytes, then `exit(113)` |
 //! | `spool-scan-error`  | the `nth` spool scan                | the scan returns an injected I/O error |
 //! | `frame-torn`        | the `nth` protocol frame sent       | writes half the frame bytes, then fails the send (either end of the socket) |
+//! | `row-corrupt`       | the `after-rows`-th completed row   | a TCP worker flips one stat value *after* checksumming the true row (the broker's `row_fnv` verification must quarantine it) |
+//! | `journal-bitrot`    | the `after-rows`-th journal append  | flips one byte of the row line after its checksum was computed (replay rejects the row) |
+//! | `frame-corrupt`     | the `nth` protocol frame sent       | flips one payload byte after the frame's FNV trailer was computed (`read_message` rejects the frame) |
 //!
 //! Filters: `shard=N` restricts a row fault to the worker process running
 //! that shard of the canonical expansion — for TCP workers, the
@@ -111,6 +114,18 @@ pub enum FaultKind {
     /// Write only half of one protocol frame, then fail the send — the torn
     /// TCP write signature, armed on either end of the socket.
     FrameTorn,
+    /// A TCP worker flips one stat value of a completed row *after* the
+    /// row's `row_fnv` checksum was computed over the true values — the
+    /// corrupted-result signature the broker's verification must catch
+    /// (and quarantine the session for).
+    RowCorrupt,
+    /// Flip one byte of a journal row line after its `row_fnv` was
+    /// computed — silent at-rest bitrot that replay must reject.
+    JournalBitrot,
+    /// Flip one payload byte of a protocol frame after its whole-payload
+    /// FNV trailer was computed — in-flight bit damage `read_message`
+    /// must reject instead of decoding plausibly.
+    FrameCorrupt,
 }
 
 impl FaultKind {
@@ -126,6 +141,9 @@ impl FaultKind {
             FaultKind::HeartbeatStall => "heartbeat-stall",
             FaultKind::RowDuplicate => "row-duplicate",
             FaultKind::FrameTorn => "frame-torn",
+            FaultKind::RowCorrupt => "row-corrupt",
+            FaultKind::JournalBitrot => "journal-bitrot",
+            FaultKind::FrameCorrupt => "frame-corrupt",
         }
     }
 
@@ -140,6 +158,8 @@ impl FaultKind {
                 | FaultKind::ConnDrop
                 | FaultKind::HeartbeatStall
                 | FaultKind::RowDuplicate
+                | FaultKind::RowCorrupt
+                | FaultKind::JournalBitrot
         )
     }
 }
@@ -234,6 +254,9 @@ impl FaultPlan {
                 "heartbeat-stall" => FaultKind::HeartbeatStall,
                 "row-duplicate" => FaultKind::RowDuplicate,
                 "frame-torn" => FaultKind::FrameTorn,
+                "row-corrupt" => FaultKind::RowCorrupt,
+                "journal-bitrot" => FaultKind::JournalBitrot,
+                "frame-corrupt" => FaultKind::FrameCorrupt,
                 other => {
                     return Err(format!(
                         "fault plan entry `{entry}`: unknown fault kind `{other}`"
@@ -436,6 +459,12 @@ pub struct RowFaults {
     pub conn_drop: bool,
     /// TCP workers: transmit this row's `RowDone` frame twice.
     pub duplicate: bool,
+    /// TCP workers: flip one stat value after the row checksum was computed
+    /// over the true values, so the broker's verification rejects the row.
+    pub corrupt: bool,
+    /// Journal writers: flip one byte of the row line after its checksum was
+    /// computed, so replay rejects the row.
+    pub bitrot: bool,
 }
 
 impl RowFaults {
@@ -467,6 +496,8 @@ fn row_faults(state: &FaultState) -> RowFaults {
             FaultKind::WorkerHang => faults.hang = true,
             FaultKind::ConnDrop => faults.conn_drop = true,
             FaultKind::RowDuplicate => faults.duplicate = true,
+            FaultKind::RowCorrupt => faults.corrupt = true,
+            FaultKind::JournalBitrot => faults.bitrot = true,
             _ => unreachable!("row faults only"),
         }
     }
@@ -520,13 +551,44 @@ pub fn stall_this_lease() -> bool {
     })
 }
 
-/// Frame-send fault point: `true` when this protocol frame (process-wide
-/// send ordinal) must be torn — half written, then the send fails.
-pub fn tear_this_frame() -> bool {
+/// The fault (if any) due at one sent protocol frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameFault {
+    /// Send the frame intact.
+    None,
+    /// Write half the frame bytes, then fail the send.
+    Torn,
+    /// Flip one payload byte after the frame's FNV trailer was computed.
+    Corrupt,
+}
+
+/// Frame-send fault point: advances the process-wide frame-send ordinal and
+/// reports whether this frame must be torn mid-write or bit-flipped after
+/// checksumming. One counter serves both kinds, so `frame-torn:nth=N` and
+/// `frame-corrupt:nth=M` in one plan address the same send sequence.
+pub fn on_frame_send() -> FrameFault {
     let Some(state) = active() else {
-        return false;
+        return FrameFault::None;
     };
-    counter_fault(FaultKind::FrameTorn, &state.frames)
+    if !state
+        .plan
+        .faults
+        .iter()
+        .any(|spec| matches!(spec.kind, FaultKind::FrameTorn | FaultKind::FrameCorrupt))
+    {
+        return FrameFault::None;
+    }
+    let event = state.frames.fetch_add(1, Ordering::Relaxed) + 1;
+    for spec in &state.plan.faults {
+        if state.life <= spec.lives && event == spec.nth {
+            match spec.kind {
+                FaultKind::FrameTorn => return FrameFault::Torn,
+                FaultKind::FrameCorrupt => return FrameFault::Corrupt,
+                _ => {}
+            }
+        }
+    }
+    FrameFault::None
 }
 
 fn counter_fault(kind: FaultKind, counter: &AtomicU64) -> bool {
@@ -649,6 +711,31 @@ mod tests {
     }
 
     #[test]
+    fn integrity_kinds_parse_and_classify() {
+        let plan = FaultPlan::parse(
+            "row-corrupt:shard=1:after-rows=2,journal-bitrot:after-rows=3:lives=all,\
+             frame-corrupt:nth=5",
+        )
+        .unwrap();
+        assert_eq!(plan.faults.len(), 3);
+        assert_eq!(plan.faults[0].kind, FaultKind::RowCorrupt);
+        assert_eq!(plan.faults[0].shard, Some(1));
+        assert_eq!(plan.faults[0].after_rows, 2);
+        assert_eq!(plan.faults[1].kind, FaultKind::JournalBitrot);
+        assert_eq!(plan.faults[1].lives, u64::MAX);
+        assert_eq!(plan.faults[2].kind, FaultKind::FrameCorrupt);
+        assert_eq!(plan.faults[2].nth, 5);
+        // row-corrupt/journal-bitrot are row faults; frame-corrupt counts
+        // frame sends — each rejects the other class's filters.
+        let misapplied = FaultPlan::parse("row-corrupt:nth=2").unwrap_err();
+        assert!(misapplied.contains("does not apply"), "{misapplied}");
+        let misapplied = FaultPlan::parse("frame-corrupt:after-rows=2").unwrap_err();
+        assert!(misapplied.contains("does not apply"), "{misapplied}");
+        let misapplied = FaultPlan::parse("frame-corrupt:shard=0").unwrap_err();
+        assert!(misapplied.contains("does not apply"), "{misapplied}");
+    }
+
+    #[test]
     fn display_is_canonical_and_round_trips() {
         let texts = [
             "worker-exit:shard=1:after-rows=3:lives=2",
@@ -657,6 +744,7 @@ mod tests {
             "worker-hang:shard=0:after-rows=5:lives=all",
             "conn-drop:shard=0:after-rows=2,heartbeat-stall:after-rows=3",
             "row-duplicate,frame-torn:nth=7:lives=3",
+            "row-corrupt:after-rows=2,journal-bitrot:shard=1,frame-corrupt:nth=3",
             "",
         ];
         for text in texts {

@@ -57,6 +57,7 @@ pub mod sink;
 pub mod spec;
 pub mod supervise;
 pub mod toml;
+pub mod verify;
 pub mod worker;
 
 pub use artifact::{artifact_key, ArtifactCache, ArtifactError, ARTIFACT_FORMAT, ARTIFACT_MAGIC};
@@ -87,4 +88,5 @@ pub use spec::{
 pub use supervise::{
     supervise, supervise_with_stop, ShardOutcome, ShardReport, SuperviseOptions, SupervisedRun,
 };
+pub use verify::{verify_dir, CheckResult, VerifyOptions, VerifyReport};
 pub use worker::{run_worker, WorkerOptions, WorkerSummary};

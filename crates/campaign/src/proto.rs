@@ -1,7 +1,8 @@
 //! The broker/worker wire protocol: length-prefixed, versioned binary
 //! frames over `std::net` TCP.
 //!
-//! Every frame is a fixed 20-byte header followed by a payload:
+//! Every frame is a fixed 20-byte header, a payload, and an 8-byte
+//! FNV-1a-64 trailer over the payload bytes:
 //!
 //! | offset | size | field         | value                                    |
 //! |--------|------|---------------|------------------------------------------|
@@ -10,6 +11,8 @@
 //! | 8      | 4    | `kind`        | the message discriminant                 |
 //! | 12     | 4    | `arity`       | field count of `kind`'s payload          |
 //! | 16     | 4    | `payload_len` | payload bytes following the header       |
+//! | 20     | *n*  | payload       | flat little-endian fields                |
+//! | 20+*n* | 8    | `frame_fnv`   | FNV-1a-64 of the payload bytes           |
 //!
 //! Every header field is validated on read with a field-level
 //! [`ProtoError`] naming the offending field — the same discipline as the
@@ -17,7 +20,11 @@
 //! or a corrupted stream is a named diagnosis, not a length panic. The
 //! `arity` field is the schema handshake: a peer whose `kind` grew or lost
 //! a payload field is rejected *before* payload decoding, which is how a
-//! mixed-version fleet fails loudly instead of misreading bytes.
+//! mixed-version fleet fails loudly instead of misreading bytes. The
+//! trailer is verified before any payload field is decoded: a frame whose
+//! bytes changed in flight — a flipped bit, a partial overwrite that still
+//! parses — is rejected as a whole instead of decoding plausibly into
+//! wrong field values.
 //!
 //! Payload encoding is flat little-endian: `u32`/`u64` verbatim, `bool` as
 //! one byte, strings as `u32` length + UTF-8 bytes, `u64` lists as `u32`
@@ -36,13 +43,15 @@
 //! from the worker's read perspective the socket stays strict
 //! request-reply.
 //!
-//! [`write_message`] is the `frame-torn` fault point ([`crate::fault`]): an
-//! armed plan can tear the `nth` frame sent by this process — half the
-//! bytes, then a failed send — on either end of the socket.
+//! [`write_message`] is the `frame-torn` and `frame-corrupt` fault point
+//! ([`crate::fault`]): an armed plan can tear the `nth` frame sent by this
+//! process — half the bytes, then a failed send — or flip one payload byte
+//! after the trailer was computed, on either end of the socket.
 
 use std::fmt;
 use std::io::{self, Read, Write};
 
+use crate::bench::fnv1a64;
 use crate::checkpoint::STAT_FIELD_COUNT;
 use crate::fault;
 
@@ -50,8 +59,12 @@ use crate::fault;
 pub const PROTO_MAGIC: [u8; 4] = *b"BMWQ";
 
 /// Wire-format version. Bump on any layout change; both ends reject a
-/// mismatch field-by-field before touching the payload.
-pub const PROTO_VERSION: u32 = 1;
+/// mismatch field-by-field before touching the payload. Version 2 added the
+/// whole-payload FNV trailer and the `RowDone` row checksum field.
+pub const PROTO_VERSION: u32 = 2;
+
+/// Bytes of the FNV-1a-64 trailer following every payload.
+pub const TRAILER_LEN: usize = 8;
 
 /// Upper bound on a frame payload (the spec TOML inside [`Message::Lease`]
 /// dominates); anything larger is a corrupted or hostile length prefix.
@@ -148,6 +161,12 @@ pub enum Message {
         mechanism: String,
         /// The seed of the executed job (cross-check).
         seed: u64,
+        /// The row checksum ([`crate::checkpoint`]'s canonical
+        /// `index|mechanism|seed|stats` FNV-1a-64), computed by the worker
+        /// over the stats it actually measured. The broker recomputes it
+        /// from the received fields before journaling, so a row corrupted
+        /// between simulation and journal append can never be recorded.
+        row_fnv: u64,
         /// The stat counters in canonical journal column order
         /// ([`STAT_FIELD_COUNT`] values).
         stats: Vec<u64>,
@@ -180,7 +199,7 @@ fn kind_and_arity(msg: &Message) -> (u32, u32) {
         Message::Lease { .. } => (4, 5),
         Message::NoWork { .. } => (5, 1),
         Message::Heartbeat { .. } => (6, 1),
-        Message::RowDone { .. } => (7, 6),
+        Message::RowDone { .. } => (7, 7),
         Message::RowAck { .. } => (8, 1),
         Message::Reject { .. } => (9, 1),
         Message::Shutdown { .. } => (10, 1),
@@ -211,7 +230,7 @@ fn expected_arity(kind: u32) -> u32 {
         4 => 5,
         5 => 1,
         6 => 1,
-        7 => 6,
+        7 => 7,
         8 => 1,
         9 => 1,
         10 => 1,
@@ -333,7 +352,8 @@ impl<'a> Reader<'a> {
 
 // ---- frame encode / decode ----------------------------------------------
 
-/// Serialises one message into a complete frame (header + payload).
+/// Serialises one message into a complete frame (header + payload + FNV
+/// trailer).
 pub fn encode(msg: &Message) -> Vec<u8> {
     let mut payload = Vec::new();
     match msg {
@@ -364,6 +384,7 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             spec_hash,
             mechanism,
             seed,
+            row_fnv,
             stats,
         } => {
             put_u64(&mut payload, *lease);
@@ -371,6 +392,7 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             put_str(&mut payload, spec_hash);
             put_str(&mut payload, mechanism);
             put_u64(&mut payload, *seed);
+            put_u64(&mut payload, *row_fnv);
             put_u64s(&mut payload, stats);
         }
         Message::RowAck { job } => put_u64(&mut payload, *job),
@@ -378,13 +400,14 @@ pub fn encode(msg: &Message) -> Vec<u8> {
         Message::Shutdown { reason } => put_str(&mut payload, reason),
     }
     let (kind, arity) = kind_and_arity(msg);
-    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
     frame.extend_from_slice(&PROTO_MAGIC);
     put_u32(&mut frame, PROTO_VERSION);
     put_u32(&mut frame, kind);
     put_u32(&mut frame, arity);
     put_u32(&mut frame, payload.len() as u32);
     frame.extend_from_slice(&payload);
+    put_u64(&mut frame, fnv1a64(&payload));
     frame
 }
 
@@ -472,6 +495,7 @@ pub fn decode(kind: u32, payload: &[u8]) -> Result<Message, ProtoError> {
                 spec_hash: r.string("row_done.spec_hash")?,
                 mechanism: r.string("row_done.mechanism")?,
                 seed: r.u64("row_done.seed")?,
+                row_fnv: r.u64("row_done.row_fnv")?,
                 stats: r.u64s("row_done.stats")?,
             };
             if let Message::RowDone { ref stats, .. } = msg {
@@ -502,27 +526,43 @@ pub fn decode(kind: u32, payload: &[u8]) -> Result<Message, ProtoError> {
     Ok(msg)
 }
 
-/// Writes one frame. This is the `frame-torn` fault point: an armed plan
-/// can make the `nth` frame sent by this process write only its first half
-/// and then fail — the torn-TCP-write signature. Callers treat the error
-/// like any send failure (drop the connection, reconnect).
+/// Writes one frame. This is the `frame-torn` and `frame-corrupt` fault
+/// point: an armed plan can make the `nth` frame sent by this process write
+/// only its first half and then fail — the torn-TCP-write signature — or
+/// flip one payload byte *after* the FNV trailer was computed, so the
+/// receiver's trailer check must reject the frame. Callers treat the torn
+/// error like any send failure (drop the connection, reconnect).
 pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
-    let frame = encode(msg);
-    if fault::tear_this_frame() {
-        let torn = &frame[..frame.len() / 2];
-        w.write_all(torn)?;
-        let _ = w.flush();
-        return Err(io::Error::new(
-            io::ErrorKind::ConnectionAborted,
-            "injected torn frame",
-        ));
+    let mut frame = encode(msg);
+    match fault::on_frame_send() {
+        fault::FrameFault::Torn => {
+            let torn = &frame[..frame.len() / 2];
+            w.write_all(torn)?;
+            let _ = w.flush();
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "injected torn frame",
+            ));
+        }
+        fault::FrameFault::Corrupt => {
+            // In-flight bit damage: the frame arrives whole, parses as a
+            // frame, but its payload no longer matches its trailer.
+            let at = if frame.len() > HEADER_LEN + TRAILER_LEN {
+                HEADER_LEN + (frame.len() - HEADER_LEN - TRAILER_LEN) / 2
+            } else {
+                frame.len() - 1
+            };
+            frame[at] ^= 0x01;
+        }
+        fault::FrameFault::None => {}
     }
     w.write_all(&frame)?;
     w.flush()
 }
 
 /// Reads one frame: header (validated field by field), then payload, then
-/// decode. Header/payload validation failures surface as
+/// the FNV trailer (verified before any field is decoded), then decode.
+/// Header/trailer/payload validation failures surface as
 /// `io::ErrorKind::InvalidData` wrapping the [`ProtoError`] text; transport
 /// failures (EOF, reset, timeout) pass through untouched so callers can
 /// tell a dead peer from a corrupt one.
@@ -532,6 +572,20 @@ pub fn read_message<R: Read>(r: &mut R) -> io::Result<Message> {
     let header = parse_header(&header)?;
     let mut payload = vec![0u8; header.payload_len as usize];
     r.read_exact(&mut payload)?;
+    let mut trailer = [0u8; TRAILER_LEN];
+    r.read_exact(&mut trailer)?;
+    let declared = u64::from_le_bytes(trailer);
+    let computed = fnv1a64(&payload);
+    if declared != computed {
+        return Err(ProtoError::new(
+            "frame.frame_fnv",
+            format!(
+                "payload hashes to {computed:016x}, trailer says {declared:016x} — \
+                 the frame was damaged in flight"
+            ),
+        )
+        .into());
+    }
     Ok(decode(header.kind, &payload)?)
 }
 
@@ -562,6 +616,7 @@ mod tests {
                 spec_hash: "fnv1a64:0123456789abcdef".into(),
                 mechanism: "boomerang".into(),
                 seed: 1,
+                row_fnv: 0xfeed_beef_dead_cafe,
                 stats: (0..STAT_FIELD_COUNT as u64).collect(),
             },
             Message::RowAck { job: 11 },
@@ -618,11 +673,16 @@ mod tests {
         assert!(parse_header(&header).is_ok());
     }
 
+    /// The payload bytes of an encoded frame (between header and trailer).
+    fn payload_of(frame: &[u8]) -> &[u8] {
+        &frame[HEADER_LEN..frame.len() - TRAILER_LEN]
+    }
+
     #[test]
     fn payload_underrun_and_trailing_bytes_are_named() {
         let frame = encode(&Message::Welcome { broker_pid: 1 });
         let header = parse_header(frame[..HEADER_LEN].try_into().unwrap()).unwrap();
-        let payload = &frame[HEADER_LEN..];
+        let payload = payload_of(&frame);
 
         let err = decode(header.kind, &payload[..4]).unwrap_err();
         assert_eq!(err.field, "welcome.broker_pid");
@@ -643,11 +703,12 @@ mod tests {
             spec_hash: "h".into(),
             mechanism: "fdip".into(),
             seed: 0,
+            row_fnv: 1,
             stats: vec![0; STAT_FIELD_COUNT - 1],
         };
         let frame = encode(&msg);
         let header = parse_header(frame[..HEADER_LEN].try_into().unwrap()).unwrap();
-        let err = decode(header.kind, &frame[HEADER_LEN..]).unwrap_err();
+        let err = decode(header.kind, payload_of(&frame)).unwrap_err();
         assert_eq!(err.field, "row_done.stats");
     }
 
@@ -656,11 +717,11 @@ mod tests {
         let mut frame = encode(&Message::Reject {
             reason: "ascii".into(),
         });
-        // Corrupt one string byte into an invalid UTF-8 lead byte.
-        let len = frame.len();
-        frame[len - 1] = 0xFF;
+        // Corrupt the last *payload* byte into an invalid UTF-8 lead byte.
+        let at = frame.len() - TRAILER_LEN - 1;
+        frame[at] = 0xFF;
         let header = parse_header(frame[..HEADER_LEN].try_into().unwrap()).unwrap();
-        let err = decode(header.kind, &frame[HEADER_LEN..]).unwrap_err();
+        let err = decode(header.kind, payload_of(&frame)).unwrap_err();
         assert_eq!(err.field, "reject.reason");
         assert!(err.message.contains("UTF-8"), "{err}");
 
@@ -673,8 +734,71 @@ mod tests {
         });
         frame[HEADER_LEN + 16] = 7; // the bool byte
         let header = parse_header(frame[..HEADER_LEN].try_into().unwrap()).unwrap();
-        let err = decode(header.kind, &frame[HEADER_LEN..]).unwrap_err();
+        let err = decode(header.kind, payload_of(&frame)).unwrap_err();
         assert_eq!(err.field, "lease.smoke");
+    }
+
+    #[test]
+    fn flipped_frame_bytes_fail_the_trailer_check() {
+        // A flipped payload byte: the frame still parses as a frame, but the
+        // trailer no longer matches — rejected before any field is decoded.
+        let msg = Message::RowDone {
+            lease: 3,
+            job: 5,
+            spec_hash: "fnv1a64:0123456789abcdef".into(),
+            mechanism: "fdip".into(),
+            seed: 2,
+            row_fnv: 77,
+            stats: (0..STAT_FIELD_COUNT as u64).collect(),
+        };
+        let mut frame = encode(&msg);
+        let at = HEADER_LEN + 30; // somewhere inside a stat value
+        frame[at] ^= 0x01;
+        let err = read_message(&mut &frame[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("frame.frame_fnv"), "{err}");
+
+        // A flipped trailer byte is caught the same way.
+        let mut frame = encode(&msg);
+        let last = frame.len() - 1;
+        frame[last] ^= 0x80;
+        let err = read_message(&mut &frame[..]).unwrap_err();
+        assert!(err.to_string().contains("frame.frame_fnv"), "{err}");
+
+        // And the clean frame still reads back.
+        let frame = encode(&msg);
+        assert_eq!(read_message(&mut &frame[..]).unwrap(), msg);
+    }
+
+    #[test]
+    fn handshake_version_and_arity_skew_are_named_on_read() {
+        // A peer built against protocol version 1 sends its Hello: this end
+        // must reject it naming `header.version` before touching the
+        // payload — and symmetrically for a Welcome, so both ends of the
+        // handshake fail loudly on a mixed-version fleet.
+        for msg in [
+            Message::Hello {
+                worker: "w0".into(),
+                pid: 1,
+            },
+            Message::Welcome { broker_pid: 2 },
+        ] {
+            let mut frame = encode(&msg);
+            frame[4..8].copy_from_slice(&1u32.to_le_bytes());
+            let err = read_message(&mut &frame[..]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+            assert!(err.to_string().contains("header.version"), "{err}");
+
+            // Same binary version, but the frame declares one field too
+            // many — the schema handshake names `header.arity`.
+            let mut frame = encode(&msg);
+            let arity = u32::from_le_bytes(frame[12..16].try_into().unwrap());
+            frame[12..16].copy_from_slice(&(arity + 1).to_le_bytes());
+            let err = read_message(&mut &frame[..]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+            assert!(err.to_string().contains("header.arity"), "{err}");
+            assert!(err.to_string().contains("version skew"), "{err}");
+        }
     }
 
     #[test]

@@ -46,8 +46,27 @@
 //! over loopback — so local and remote dispatch drain one queue through one
 //! code path and the merged report stays byte-identical to a one-shot
 //! `run`.
+//!
+//! # Result integrity
+//!
+//! The broker does not trust what it is handed. Every `RowDone` carries a
+//! `row_fnv` checksum over the canonical `index|mechanism|seed|stats`
+//! encoding; the broker recomputes it from the received fields before
+//! journaling, and a mismatch **quarantines** the submitting session — no
+//! further leases, the row requeued for another worker — since a payload
+//! that disagrees with its own checksum proves corruption between the
+//! worker's simulator and the broker's socket. On top of that,
+//! [`ServeOptions::verify_fraction`] samples a deterministic (spec-hash
+//! seeded, so stable across broker restarts) fraction of completed rows and
+//! re-leases each to a *different* session; a re-run that disagrees with
+//! the journaled stats quarantines the producing session and requeues every
+//! unverified row it produced. Both kinds of quarantine are counted in the
+//! per-campaign integrity summary printed at the end of each dispatch, and
+//! [`ServeOptions::max_quarantined`] bounds how much of the fleet may rot
+//! before the submission is failed with a distinct exit code.
 
-use crate::checkpoint::{spec_hash, stats_from_array, Journal, JournalReplay};
+use crate::bench::fnv1a64;
+use crate::checkpoint::{row_checksum, spec_hash, stats_from_array, Journal, JournalReplay};
 use crate::engine::{assemble_partial_report, assemble_report};
 use crate::expand::{expand, Job};
 use crate::fault;
@@ -62,7 +81,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -119,6 +138,18 @@ pub struct ServeOptions {
     /// one) and for wedged owners that stopped scanning. A live serve
     /// refreshes the lock's mtime on every scan.
     pub steal_lock_after: Option<Duration>,
+    /// Broker mode: fraction (0.0..=1.0) of completed rows sampled for
+    /// re-execution by a *different* worker session, whose stats must match
+    /// the journaled row (`--verify-fraction`). The sample is deterministic
+    /// — seeded by the campaign's spec hash — so the same rows re-verify
+    /// across broker restarts. 0 disables sampling; the `row_fnv` checksum
+    /// on every submission is always verified regardless.
+    pub verify_fraction: f64,
+    /// Fail the submission (with its own exit code, distinct from plain
+    /// failure) once *more than* this many worker sessions have been
+    /// quarantined (`--max-quarantined`). `None` leaves degradation
+    /// unbounded: quarantined sessions are only counted and reported.
+    pub max_quarantined: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -141,6 +172,8 @@ impl Default for ServeOptions {
             listen_addr_file: None,
             lease_timeout: Duration::from_secs(60),
             steal_lock_after: None,
+            verify_fraction: 0.0,
+            max_quarantined: None,
         }
     }
 }
@@ -169,6 +202,17 @@ pub struct ServeOutcome {
     pub campaign: String,
     /// The terminal status on success, the reason on failure.
     pub result: Result<SubmissionStatus, String>,
+    /// True when the failure was the integrity bound: more worker sessions
+    /// were quarantined than [`ServeOptions::max_quarantined`] allows. The
+    /// CLI maps this to its own exit code so operators can tell "the fleet
+    /// is corrupting results" apart from an ordinary failed run.
+    pub quarantine_exceeded: bool,
+}
+
+/// Why a broker dispatch failed — a plain failure, or the quarantine bound.
+enum DispatchError {
+    Failed(String),
+    QuarantineExceeded(String),
 }
 
 /// Holds the spool lock for the lifetime of the serve loop; dropping it
@@ -288,7 +332,16 @@ pub fn serve(
             let broker = Broker::start(addr)?;
             eprintln!("serve: work queue listening on {}", broker.addr);
             if let Some(path) = &options.listen_addr_file {
-                std::fs::write(path, format!("{}\n", broker.addr))?;
+                // Published atomically (write-then-rename, same pattern as
+                // the report sink): a reader polling for the address can
+                // never observe a half-written port number.
+                let tmp = path.with_file_name(format!(
+                    ".tmp-{}-{}",
+                    std::process::id(),
+                    path.file_name().and_then(|n| n.to_str()).unwrap_or("addr")
+                ));
+                std::fs::write(&tmp, format!("{}\n", broker.addr))?;
+                std::fs::rename(&tmp, path)?;
             }
             Some(broker)
         }
@@ -400,6 +453,7 @@ fn process_submission(
         submission: submission.to_path_buf(),
         campaign: String::new(),
         result: Err(String::new()),
+        quarantine_exceeded: false,
     };
     let text = match std::fs::read_to_string(submission) {
         Ok(text) => text,
@@ -451,7 +505,14 @@ fn process_submission(
     outcome.result = match broker {
         // Broker mode: the queue feeds local worker clients and remote TCP
         // workers alike; `--workers 0` is legal (remote-only dispatch).
-        Some(broker) => dispatch_via_broker(&spec, &dir, run, &hash, options, broker),
+        Some(broker) => match dispatch_via_broker(&spec, &dir, run, &hash, options, broker) {
+            Ok(status) => Ok(status),
+            Err(DispatchError::Failed(reason)) => Err(reason),
+            Err(DispatchError::QuarantineExceeded(reason)) => {
+                outcome.quarantine_exceeded = true;
+                Err(reason)
+            }
+        },
         None => {
             let workers = options.workers.max(1);
             dispatch_and_merge(submission, &spec, &dir, run, &hash, workers, options)
@@ -593,6 +654,25 @@ struct LeaseState {
     last_activity: Instant,
 }
 
+/// One completed row sampled for re-execution by a different session.
+struct VerifyJob {
+    job: usize,
+    /// Session whose journaled row is under test — never granted its own
+    /// verification lease.
+    producer: u64,
+    /// The stat array as journaled; the re-run must reproduce it exactly.
+    expected: Vec<u64>,
+    ready_at: Instant,
+}
+
+/// One outstanding verification lease (a re-run of an already-done row).
+struct VerifyLease {
+    job: usize,
+    producer: u64,
+    expected: Vec<u64>,
+    last_activity: Instant,
+}
+
 /// The campaign the broker is currently leasing out.
 struct ActiveCampaign {
     spec_toml: String,
@@ -611,15 +691,54 @@ struct ActiveCampaign {
     lease_timeout: Duration,
     backoff_base: Duration,
     backoff_cap: Duration,
+    /// Sampling rate for row re-verification (0 disables).
+    verify_fraction: f64,
+    /// Completed rows waiting for a re-run by a non-producer session.
+    verify_queue: VecDeque<VerifyJob>,
+    /// Outstanding verification leases, keyed like regular leases (one id
+    /// space, so acks and revocations cannot confuse the two).
+    verify_leases: HashMap<u64, VerifyLease>,
+    /// Job index → the session whose row the journal holds (this broker
+    /// life only; resumed rows have no known producer).
+    row_producer: HashMap<usize, u64>,
+    /// Sessions barred from further leases; their unverified rows were
+    /// requeued when they entered.
+    quarantined: HashSet<u64>,
+    /// More quarantines than this fail the submission with its own exit
+    /// code (`None` = unbounded).
+    max_quarantined: Option<usize>,
+    /// Rows rejected because their `row_fnv` disagreed with their payload.
+    checksum_rejects: u64,
+    /// Sampled re-runs whose stats matched the journaled row.
+    rows_verified: u64,
+    /// Sampled re-runs that contradicted the journaled row.
+    verify_mismatches: u64,
+    /// Sampled rows abandoned unverified (no eligible session appeared).
+    verify_abandoned: u64,
 }
 
 impl ActiveCampaign {
-    fn complete(&self) -> bool {
+    /// Every job journaled (verification may still be outstanding).
+    fn rows_complete(&self) -> bool {
         self.done.len() == self.jobs.len()
     }
 
-    /// Revokes every lease idle past the timeout, requeueing the jobs with
-    /// exponential backoff.
+    /// Every job journaled *and* every sampled re-verification resolved.
+    fn complete(&self) -> bool {
+        self.rows_complete() && self.verify_queue.is_empty() && self.verify_leases.is_empty()
+    }
+
+    /// Whether quarantines have exceeded the configured bound.
+    fn quarantine_breached(&self) -> bool {
+        self.max_quarantined
+            .is_some_and(|max| self.quarantined.len() > max)
+    }
+
+    /// Revokes every lease (regular and verification) idle past the
+    /// timeout, requeueing the jobs with exponential backoff — and, once
+    /// all rows are done, abandons verification samples nobody is eligible
+    /// to pick up (a one-session fleet can never re-verify its own rows;
+    /// without this escape the campaign would idle forever).
     fn sweep_expired(&mut self) {
         let now = Instant::now();
         let expired: Vec<u64> = self
@@ -627,14 +746,48 @@ impl ActiveCampaign {
             .iter()
             .filter(|(_, l)| now.duration_since(l.last_activity) >= self.lease_timeout)
             .map(|(&id, _)| id)
+            .chain(
+                self.verify_leases
+                    .iter()
+                    .filter(|(_, l)| now.duration_since(l.last_activity) >= self.lease_timeout)
+                    .map(|(&id, _)| id),
+            )
             .collect();
         for lease in expired {
             self.revoke(lease, "expired (no heartbeat or row progress)");
         }
+        if self.rows_complete()
+            && !self.verify_queue.is_empty()
+            && self.verify_leases.is_empty()
+            && self.last_activity.elapsed() >= self.lease_timeout
+        {
+            self.verify_abandoned += self.verify_queue.len() as u64;
+            eprintln!(
+                "serve: abandoning {} queued verification sample(s): no eligible session \
+                 picked them up within the lease timeout",
+                self.verify_queue.len()
+            );
+            self.verify_queue.clear();
+        }
     }
 
-    /// Returns one lease to the queue (lease expiry or connection loss).
+    /// Returns one lease to its queue (lease expiry or connection loss).
+    /// Verification leases requeue as verification work; regular leases
+    /// requeue the job with exponential backoff.
     fn revoke(&mut self, lease: u64, why: &str) {
+        if let Some(state) = self.verify_leases.remove(&lease) {
+            eprintln!(
+                "serve: verification lease {lease} for job {} {why}; requeued",
+                state.job
+            );
+            self.verify_queue.push_back(VerifyJob {
+                job: state.job,
+                producer: state.producer,
+                expected: state.expected,
+                ready_at: Instant::now() + self.backoff_base,
+            });
+            return;
+        }
         let Some(state) = self.leases.remove(&lease) else {
             return;
         };
@@ -658,14 +811,18 @@ impl ActiveCampaign {
         });
     }
 
-    /// Leases the next ready job, skipping queue entries that completed
-    /// while waiting (a revoked lease whose original worker finished after
-    /// all).
-    fn grant(&mut self) -> Option<(u64, usize)> {
+    /// Leases the next ready job to `session`, skipping queue entries that
+    /// completed while waiting (a revoked lease whose original worker
+    /// finished after all). Fresh work first; with the queue drained,
+    /// verification samples are handed to any session other than the one
+    /// that produced the row under test.
+    fn grant(&mut self, session: u64) -> Option<(u64, usize)> {
         let now = Instant::now();
         let mut deferred = 0;
         while deferred < self.queue.len() {
-            let entry = self.queue.pop_front()?;
+            let Some(entry) = self.queue.pop_front() else {
+                break;
+            };
             if self.done.contains(&entry.job) {
                 continue;
             }
@@ -687,19 +844,106 @@ impl ActiveCampaign {
             self.last_activity = now;
             return Some((lease, entry.job));
         }
+        let mut deferred = 0;
+        while deferred < self.verify_queue.len() {
+            let Some(entry) = self.verify_queue.pop_front() else {
+                break;
+            };
+            if !self.done.contains(&entry.job) {
+                // The row under test was requeued for a fresh run (its
+                // producer was quarantined); this sample is moot — the
+                // re-run will be re-sampled when it lands.
+                continue;
+            }
+            if entry.producer == session || entry.ready_at > now {
+                self.verify_queue.push_back(entry);
+                deferred += 1;
+                continue;
+            }
+            let lease = self.next_lease;
+            self.next_lease += 1;
+            self.verify_leases.insert(
+                lease,
+                VerifyLease {
+                    job: entry.job,
+                    producer: entry.producer,
+                    expected: entry.expected,
+                    last_activity: now,
+                },
+            );
+            self.last_activity = now;
+            return Some((lease, entry.job));
+        }
         None
+    }
+
+    /// Whether row `index` is in the deterministic verification sample.
+    /// The draw hashes `spec_hash|verify|index`, so it is stable across
+    /// broker restarts and independent of submission order. The FNV value
+    /// is pushed through a SplitMix64 finalizer before the threshold
+    /// compare: FNV-1a's final multiply barely moves its high bits for
+    /// inputs differing only in a trailing byte, so the raw hash would
+    /// cluster whole runs of indices on the same side of the threshold.
+    fn sampled_for_verification(&self, index: usize) -> bool {
+        if self.verify_fraction <= 0.0 {
+            return false;
+        }
+        let mut z = fnv1a64(format!("{}|verify|{index}", self.spec_hash).as_bytes());
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z as f64 / u64::MAX as f64) < self.verify_fraction
+    }
+
+    /// Bars `session` from further leases and requeues every unverified
+    /// row it produced: once one row from a session is proven wrong,
+    /// nothing else it journaled can be trusted.
+    fn quarantine(&mut self, session: u64, worker: &str, why: &str) {
+        if !self.quarantined.insert(session) {
+            return;
+        }
+        eprintln!("serve: quarantining session {session} ({worker}): {why}");
+        let suspect: Vec<usize> = self
+            .row_producer
+            .iter()
+            .filter(|(_, &producer)| producer == session)
+            .map(|(&job, _)| job)
+            .collect();
+        for job in suspect {
+            self.row_producer.remove(&job);
+            if self.done.remove(&job) {
+                eprintln!(
+                    "serve: requeueing job {job} (produced by quarantined session {session})"
+                );
+                self.queue.push_back(QueuedJob {
+                    job,
+                    attempts: 0,
+                    ready_at: Instant::now(),
+                });
+            }
+        }
     }
 
     /// Validates, dedups, journals, and acks one submitted row. The journal
     /// append is the broker's row fault point, so an armed plan can crash
     /// the broker mid-campaign — the resume path then proves itself.
+    ///
+    /// A row answering a verification lease is never journaled: its stats
+    /// are compared against the journaled row, and a disagreement
+    /// quarantines the producing session. A row whose `row_fnv` disagrees
+    /// with its own payload quarantines the *submitting* session — the
+    /// payload was damaged somewhere between its simulator and this socket.
+    #[allow(clippy::too_many_arguments)]
     fn row_done(
         &mut self,
+        session: u64,
+        worker: &str,
         lease: u64,
         job: u64,
         hash: &str,
         mechanism: &str,
         seed: u64,
+        row_fnv: u64,
         stats: &[u64],
     ) -> io::Result<Message> {
         let reject = |reason: String| Ok(Message::Reject { reason });
@@ -715,6 +959,54 @@ impl ActiveCampaign {
                 "job {job} outside the {}-job expansion",
                 self.jobs.len()
             ));
+        }
+        // Every submission must be internally consistent before anything
+        // else is believed about it.
+        let computed = row_checksum(index, mechanism, seed, stats);
+        if computed != row_fnv {
+            self.checksum_rejects += 1;
+            let lease_requeued = self.leases.remove(&lease).is_some();
+            self.quarantine(
+                session,
+                worker,
+                &format!(
+                    "job {job} row_fnv {row_fnv:016x} does not match its payload \
+                     (recomputed {computed:016x})"
+                ),
+            );
+            if lease_requeued && !self.done.contains(&index) {
+                self.queue.push_back(QueuedJob {
+                    job: index,
+                    attempts: 0,
+                    ready_at: Instant::now(),
+                });
+            }
+            self.verify_leases.remove(&lease);
+            return reject(format!(
+                "job {job} failed its row_fnv check; session quarantined"
+            ));
+        }
+        if let Some(verify) = self.verify_leases.remove(&lease) {
+            self.last_activity = Instant::now();
+            if stats == verify.expected.as_slice() {
+                self.rows_verified += 1;
+                return Ok(Message::RowAck { job });
+            }
+            self.verify_mismatches += 1;
+            self.quarantine(
+                verify.producer,
+                "producer",
+                &format!(
+                    "job {job} re-run by session {session} contradicts the journaled row \
+                     (sampled re-verification)"
+                ),
+            );
+            // quarantine() requeued the suspect rows (including this one);
+            // the verifier's work was sound, so ack it.
+            return Ok(Message::RowAck { job });
+        }
+        if self.quarantined.contains(&session) {
+            return reject(format!("session {session} is quarantined"));
         }
         // The lease is resolved either way; an expired/unknown lease is
         // fine — the work is real.
@@ -739,6 +1031,15 @@ impl ActiveCampaign {
         self.journal.record(expected, &sim_stats)?;
         self.done.insert(index);
         self.rows_submitted += 1;
+        self.row_producer.insert(index, session);
+        if self.sampled_for_verification(index) {
+            self.verify_queue.push_back(VerifyJob {
+                job: index,
+                producer: session,
+                expected: stats.to_vec(),
+                ready_at: Instant::now(),
+            });
+        }
         Ok(Message::RowAck { job })
     }
 }
@@ -750,6 +1051,9 @@ struct BrokerShared {
     /// `Shutdown` so workers drain and exit cleanly.
     finishing: AtomicBool,
     connections: AtomicUsize,
+    /// Session id source: one id per accepted connection, never reused.
+    /// Quarantine is per-session — a reconnecting worker starts clean.
+    next_session: AtomicU64,
 }
 
 /// The listening work queue: an accept thread plus one handler thread per
@@ -770,6 +1074,7 @@ impl Broker {
             campaign: Mutex::new(None),
             finishing: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
+            next_session: AtomicU64::new(0),
         });
         let accept_stop = Arc::new(AtomicBool::new(false));
         let accept_handle = {
@@ -856,11 +1161,13 @@ fn next_message(stream: &mut TcpStream) -> HandlerRead {
     }
 }
 
-/// One worker connection's lifetime on the broker side.
+/// One worker connection's lifetime on the broker side. Each connection is
+/// one *session* — the unit of quarantine and of verification eligibility.
 fn handle_connection(stream: TcpStream, shared: &BrokerShared) {
     let mut stream = stream;
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let session = shared.next_session.fetch_add(1, Ordering::SeqCst) + 1;
 
     // Handshake: Hello within a grace window, or the connection is dropped
     // (port scanners, garbage writers, torn handshake frames).
@@ -903,9 +1210,16 @@ fn handle_connection(stream: TcpStream, shared: &BrokerShared) {
                     let mut guard = shared.campaign.lock().expect("campaign mutex");
                     match guard.as_mut() {
                         None => Message::NoWork { retry_ms: 100 },
+                        Some(campaign) if campaign.quarantined.contains(&session) => {
+                            Message::Reject {
+                                reason: format!(
+                                    "session {session} is quarantined; no further leases"
+                                ),
+                            }
+                        }
                         Some(campaign) => {
                             campaign.sweep_expired();
-                            match campaign.grant() {
+                            match campaign.grant(session) {
                                 Some((lease, job)) => {
                                     my_leases.push(lease);
                                     Message::Lease {
@@ -940,6 +1254,7 @@ fn handle_connection(stream: TcpStream, shared: &BrokerShared) {
                 spec_hash,
                 mechanism,
                 seed,
+                row_fnv,
                 stats,
             }) => {
                 my_leases.retain(|&l| l != lease);
@@ -950,9 +1265,17 @@ fn handle_connection(stream: TcpStream, shared: &BrokerShared) {
                             reason: "no campaign is active".to_string(),
                         },
                         Some(campaign) => {
-                            match campaign
-                                .row_done(lease, job, &spec_hash, &mechanism, seed, &stats)
-                            {
+                            match campaign.row_done(
+                                session,
+                                &worker_name,
+                                lease,
+                                job,
+                                &spec_hash,
+                                &mechanism,
+                                seed,
+                                row_fnv,
+                                &stats,
+                            ) {
                                 Ok(reply) => reply,
                                 Err(e) => {
                                     eprintln!(
@@ -997,11 +1320,13 @@ fn dispatch_via_broker(
     hash: &str,
     options: &ServeOptions,
     broker: &Broker,
-) -> Result<SubmissionStatus, String> {
+) -> Result<SubmissionStatus, DispatchError> {
+    let fail = |reason: String| DispatchError::Failed(reason);
     let jobs = expand(spec);
     // Resume: rows already journaled (by an earlier broker life, or an
     // earlier non-listen dispatch) are done — never re-leased.
-    let replay = JournalReplay::load(dir, &spec.name, hash, &jobs).map_err(|e| e.to_string())?;
+    let replay =
+        JournalReplay::load(dir, &spec.name, hash, &jobs).map_err(|e| fail(e.to_string()))?;
     let done: HashSet<usize> = replay.rows.keys().copied().collect();
     if !done.is_empty() {
         eprintln!(
@@ -1017,7 +1342,7 @@ fn dispatch_via_broker(
     } else {
         Journal::create(dir, &spec.name, hash, jobs.len(), None)
     }
-    .map_err(|e| format!("cannot open journal: {e}"))?;
+    .map_err(|e| fail(format!("cannot open journal: {e}")))?;
 
     let queue: VecDeque<QueuedJob> = (0..jobs.len())
         .filter(|i| !done.contains(i))
@@ -1044,6 +1369,16 @@ fn dispatch_via_broker(
             lease_timeout: options.lease_timeout,
             backoff_base: options.supervise.backoff_base,
             backoff_cap: options.supervise.backoff_cap,
+            verify_fraction: options.verify_fraction,
+            verify_queue: VecDeque::new(),
+            verify_leases: HashMap::new(),
+            row_producer: HashMap::new(),
+            quarantined: HashSet::new(),
+            max_quarantined: options.max_quarantined,
+            checksum_rejects: 0,
+            rows_verified: 0,
+            verify_mismatches: 0,
+            verify_abandoned: 0,
         });
     }
     let uninstall = || {
@@ -1087,7 +1422,7 @@ fn dispatch_via_broker(
             match guard.as_mut() {
                 Some(campaign) => {
                     campaign.sweep_expired();
-                    campaign.complete()
+                    campaign.complete() || campaign.quarantine_breached()
                 }
                 None => true,
             }
@@ -1102,7 +1437,9 @@ fn dispatch_via_broker(
         );
         if supervised.interrupted() {
             uninstall();
-            return Err("interrupted before the submission finished".to_string());
+            return Err(fail(
+                "interrupted before the submission finished".to_string(),
+            ));
         }
         if !supervised.all_complete() {
             fleet_failures = supervised.failures();
@@ -1116,18 +1453,24 @@ fn dispatch_via_broker(
         .saturating_mul(3)
         .max(Duration::from_secs(2));
     loop {
-        let (complete, idle_for) = {
+        let (complete, breached, idle_for) = {
             let mut guard = broker.shared.campaign.lock().expect("campaign mutex");
             let campaign = guard.as_mut().expect("campaign installed");
             campaign.sweep_expired();
-            (campaign.complete(), campaign.last_activity.elapsed())
+            (
+                campaign.complete(),
+                campaign.quarantine_breached(),
+                campaign.last_activity.elapsed(),
+            )
         };
-        if complete {
+        if complete || breached {
             break;
         }
         if supervise::interrupted() {
             uninstall();
-            return Err("interrupted before the submission finished".to_string());
+            return Err(fail(
+                "interrupted before the submission finished".to_string(),
+            ));
         }
         if idle_for >= give_up {
             fleet_failures.push(format!(
@@ -1137,19 +1480,52 @@ fn dispatch_via_broker(
         }
         std::thread::sleep(Duration::from_millis(50));
     }
+
+    // The integrity ledger for this dispatch, read out before the campaign
+    // is uninstalled. The summary line is stable and greppable — CI's
+    // chaos gate asserts on it.
+    let (quarantined, breached, summary) = {
+        let guard = broker.shared.campaign.lock().expect("campaign mutex");
+        let campaign = guard.as_ref().expect("campaign installed");
+        (
+            campaign.quarantined.len(),
+            campaign.quarantine_breached(),
+            format!(
+                "serve: integrity summary for {}: {} rows journaled, {} checksum rejects, \
+                 {} rows re-verified, {} verification mismatches, {} samples abandoned, \
+                 {} sessions quarantined",
+                spec.name,
+                campaign.rows_submitted,
+                campaign.checksum_rejects,
+                campaign.rows_verified,
+                campaign.verify_mismatches,
+                campaign.verify_abandoned,
+                campaign.quarantined.len(),
+            ),
+        )
+    };
     uninstall();
+    eprintln!("{summary}");
+    if breached {
+        let bound = options.max_quarantined.unwrap_or(0);
+        return Err(DispatchError::QuarantineExceeded(format!(
+            "{quarantined} worker sessions quarantined for corrupt results, exceeding \
+             --max-quarantined {bound}; refusing to grind on with a rotten fleet"
+        )));
+    }
 
     // Merge — identical to the local path: replay the journals, assemble
     // the canonical (or degraded) report.
-    let replay = JournalReplay::load(dir, &spec.name, hash, &jobs).map_err(|e| e.to_string())?;
+    let replay =
+        JournalReplay::load(dir, &spec.name, hash, &jobs).map_err(|e| fail(e.to_string()))?;
     if replay.completed() == jobs.len() {
         let stats: Vec<SimStats> = (0..jobs.len()).map(|i| replay.rows[&i]).collect();
         let report = assemble_report(spec, &jobs, run, options.smoke, stats);
-        write_reports(&report, dir).map_err(|e| format!("cannot write reports: {e}"))?;
+        write_reports(&report, dir).map_err(|e| fail(format!("cannot write reports: {e}")))?;
         return Ok(SubmissionStatus::Done(dir.to_path_buf()));
     }
     if !options.allow_partial {
-        return Err(fleet_failures.join("; "));
+        return Err(fail(fleet_failures.join("; ")));
     }
     let stats: Vec<Option<SimStats>> = (0..jobs.len())
         .map(|i| replay.rows.get(&i).copied())
@@ -1157,7 +1533,7 @@ fn dispatch_via_broker(
     let partial = assemble_partial_report(spec, &jobs, run, options.smoke, &stats, fleet_failures);
     let missing = partial.missing();
     write_partial_reports(&partial, dir)
-        .map_err(|e| format!("cannot write partial reports: {e}"))?;
+        .map_err(|e| fail(format!("cannot write partial reports: {e}")))?;
     Ok(SubmissionStatus::Partial {
         dir: dir.to_path_buf(),
         missing,
@@ -1303,6 +1679,281 @@ mod tests {
         let err = SpoolLock::acquire(&dir, Some(Duration::from_millis(50))).unwrap_err();
         assert!(err.to_string().contains("already served"), "{err}");
         drop(lock);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // ---- result-integrity unit tests: the broker-side checksum gate, the
+    // sampled re-verification loop, and quarantine -------------------------
+
+    use crate::checkpoint::stats_to_array;
+
+    const INTEGRITY_SPEC: &str = "name = \"integrity\"
+workloads = [\"nutch\"]
+mechanisms = [\"fdip\", \"boomerang\"]
+
+[run]
+trace_blocks = 2000
+warmup_blocks = 400
+";
+
+    /// A broker-side campaign over [`INTEGRITY_SPEC`] with a real journal in
+    /// a temp dir; `verify_fraction` as given, everything else defaulted.
+    fn integrity_campaign(tag: &str, verify_fraction: f64) -> (ActiveCampaign, PathBuf) {
+        let dir = temp_dir(&format!("integrity-{tag}"));
+        let spec = CampaignSpec::from_toml_str(INTEGRITY_SPEC).unwrap();
+        let jobs = expand(&spec);
+        let hash = spec_hash(&spec, spec.run, false);
+        let journal = Journal::create(&dir, &spec.name, &hash, jobs.len(), None).unwrap();
+        let queue = (0..jobs.len())
+            .map(|job| QueuedJob {
+                job,
+                attempts: 0,
+                ready_at: Instant::now(),
+            })
+            .collect();
+        let campaign = ActiveCampaign {
+            spec_toml: INTEGRITY_SPEC.to_string(),
+            spec_hash: hash,
+            smoke: false,
+            jobs,
+            journal,
+            done: HashSet::new(),
+            queue,
+            leases: HashMap::new(),
+            next_lease: 1,
+            rows_submitted: 0,
+            last_activity: Instant::now(),
+            lease_timeout: Duration::from_secs(60),
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(10),
+            verify_fraction,
+            verify_queue: VecDeque::new(),
+            verify_leases: HashMap::new(),
+            row_producer: HashMap::new(),
+            quarantined: HashSet::new(),
+            max_quarantined: None,
+            checksum_rejects: 0,
+            rows_verified: 0,
+            verify_mismatches: 0,
+            verify_abandoned: 0,
+        };
+        (campaign, dir)
+    }
+
+    /// Takes one lease for `session` and submits the granted job with the
+    /// given stats (checksummed correctly); returns the job index and the
+    /// broker's answer.
+    fn submit(campaign: &mut ActiveCampaign, session: u64, stats: &[u64]) -> (usize, Message) {
+        let (lease, index) = campaign.grant(session).expect("a lease to submit under");
+        let (mechanism, seed) = {
+            let job = &campaign.jobs[index];
+            (mechanism_token(job.mechanism), job.seed)
+        };
+        let fnv = row_checksum(index, &mechanism, seed, stats);
+        let answer = campaign
+            .row_done(
+                session,
+                "test-worker",
+                lease,
+                index as u64,
+                &campaign.spec_hash.clone(),
+                &mechanism,
+                seed,
+                fnv,
+                stats,
+            )
+            .unwrap();
+        (index, answer)
+    }
+
+    #[test]
+    fn corrupt_row_quarantines_the_submitter_and_requeues_the_job() {
+        let (mut campaign, dir) = integrity_campaign("corrupt", 0.0);
+        let stats = stats_to_array(&SimStats::default());
+        let (lease, index) = campaign.grant(1).unwrap();
+        let job = &campaign.jobs[index];
+        let (mechanism, seed) = (mechanism_token(job.mechanism), job.seed);
+        // Checksum over the true stats, then damage the payload — exactly
+        // what the `row-corrupt` fault injects in a real worker.
+        let fnv = row_checksum(index, &mechanism, seed, &stats);
+        let mut damaged = stats;
+        damaged[0] ^= 1;
+        let answer = campaign
+            .row_done(
+                1,
+                "w0",
+                lease,
+                index as u64,
+                &campaign.spec_hash.clone(),
+                &mechanism,
+                seed,
+                fnv,
+                &damaged,
+            )
+            .unwrap();
+        let Message::Reject { reason } = answer else {
+            panic!("a corrupt row must be rejected, got {answer:?}");
+        };
+        assert!(reason.contains("row_fnv"), "{reason}");
+        assert_eq!(campaign.checksum_rejects, 1);
+        assert!(campaign.quarantined.contains(&1));
+        assert!(
+            !campaign.done.contains(&index),
+            "the bad row must not count"
+        );
+        assert!(
+            campaign.queue.iter().any(|q| q.job == index),
+            "the job must be requeued for an honest session"
+        );
+        // The quarantined session gets no further leases through the
+        // connection handler; a *new* session drains the queue — including
+        // the requeued job — fine.
+        while !campaign.rows_complete() {
+            let (_, answer) = submit(&mut campaign, 2, &stats);
+            assert!(matches!(answer, Message::RowAck { .. }), "{answer:?}");
+        }
+        assert!(campaign.done.contains(&index));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verification_mismatch_quarantines_the_producer_and_requeues_its_rows() {
+        let (mut campaign, dir) = integrity_campaign("verify-bad", 1.0);
+        let total = campaign.jobs.len();
+        // Session 1 produces every row — with fraction 1.0 each lands in the
+        // verification queue.
+        let stats = stats_to_array(&SimStats::default());
+        for _ in 0..total {
+            let (_, answer) = submit(&mut campaign, 1, &stats);
+            assert!(matches!(answer, Message::RowAck { .. }), "{answer:?}");
+        }
+        assert!(campaign.rows_complete());
+        assert_eq!(campaign.verify_queue.len(), total);
+        // The producer is never handed its own rows to re-verify.
+        assert!(campaign.grant(1).is_none(), "producer must not self-verify");
+        // Session 2 re-runs the first sample and contradicts it.
+        let (lease, index) = campaign.grant(2).expect("a verification lease");
+        let job = &campaign.jobs[index];
+        let (mechanism, seed) = (mechanism_token(job.mechanism), job.seed);
+        let mut contradicting = stats;
+        contradicting[1] = contradicting[1].wrapping_add(7);
+        let fnv = row_checksum(index, &mechanism, seed, &contradicting);
+        let answer = campaign
+            .row_done(
+                2,
+                "w1",
+                lease,
+                index as u64,
+                &campaign.spec_hash.clone(),
+                &mechanism,
+                seed,
+                fnv,
+                &contradicting,
+            )
+            .unwrap();
+        // The verifier's work was sound — it is acked, the *producer* is
+        // quarantined and all its rows go back to the queue.
+        assert!(matches!(answer, Message::RowAck { .. }), "{answer:?}");
+        assert_eq!(campaign.verify_mismatches, 1);
+        assert!(campaign.quarantined.contains(&1));
+        assert!(!campaign.quarantined.contains(&2));
+        assert_eq!(
+            campaign.done.len(),
+            0,
+            "every row by the quarantined producer is suspect"
+        );
+        assert_eq!(campaign.queue.len(), total);
+        assert!(!campaign.quarantine_breached());
+        campaign.max_quarantined = Some(0);
+        assert!(campaign.quarantine_breached());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn matching_reverification_counts_and_completes() {
+        let (mut campaign, dir) = integrity_campaign("verify-ok", 1.0);
+        let total = campaign.jobs.len();
+        let stats = stats_to_array(&SimStats::default());
+        for _ in 0..total {
+            submit(&mut campaign, 1, &stats);
+        }
+        assert!(!campaign.complete(), "verification is still outstanding");
+        // Session 2 re-runs every sample with matching stats.
+        while let Some((lease, index)) = campaign.grant(2) {
+            let job = &campaign.jobs[index];
+            let (mechanism, seed) = (mechanism_token(job.mechanism), job.seed);
+            let fnv = row_checksum(index, &mechanism, seed, &stats);
+            let answer = campaign
+                .row_done(
+                    2,
+                    "w1",
+                    lease,
+                    index as u64,
+                    &campaign.spec_hash.clone(),
+                    &mechanism,
+                    seed,
+                    fnv,
+                    &stats,
+                )
+                .unwrap();
+            assert!(matches!(answer, Message::RowAck { .. }), "{answer:?}");
+        }
+        assert_eq!(campaign.rows_verified as usize, total);
+        assert_eq!(campaign.verify_mismatches, 0);
+        assert!(campaign.quarantined.is_empty());
+        assert!(campaign.complete());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verification_sampling_is_deterministic_and_respects_the_fraction() {
+        let (all, dir_a) = integrity_campaign("sample-all", 1.0);
+        let (none, dir_b) = integrity_campaign("sample-none", 0.0);
+        let (half, dir_c) = integrity_campaign("sample-half", 0.5);
+        let total = all.jobs.len();
+        assert_eq!(
+            (0..total)
+                .filter(|&i| all.sampled_for_verification(i))
+                .count(),
+            total
+        );
+        assert_eq!(
+            (0..total)
+                .filter(|&i| none.sampled_for_verification(i))
+                .count(),
+            0
+        );
+        let drawn: Vec<usize> = (0..total)
+            .filter(|&i| half.sampled_for_verification(i))
+            .collect();
+        let again: Vec<usize> = (0..total)
+            .filter(|&i| half.sampled_for_verification(i))
+            .collect();
+        assert_eq!(drawn, again, "the draw must be a pure function of the hash");
+        for dir in [dir_a, dir_b, dir_c] {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn abandoned_verification_samples_unblock_a_lone_session() {
+        let (mut campaign, dir) = integrity_campaign("abandon", 1.0);
+        campaign.lease_timeout = Duration::from_millis(20);
+        let total = campaign.jobs.len();
+        let stats = stats_to_array(&SimStats::default());
+        for _ in 0..total {
+            submit(&mut campaign, 1, &stats);
+        }
+        // Only the producing session exists: nobody can take the samples.
+        assert!(campaign.grant(1).is_none());
+        assert!(!campaign.complete());
+        std::thread::sleep(Duration::from_millis(30));
+        campaign.sweep_expired();
+        assert_eq!(campaign.verify_abandoned as usize, total);
+        assert!(
+            campaign.complete(),
+            "an unverifiable sample must not deadlock the campaign"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -367,7 +367,10 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
         fault::exit_now();
     }
     file.write_all(bytes)?;
-    file.sync_data().ok();
+    // Surfaced, not swallowed: a full disk often reports ENOSPC only when
+    // the buffered bytes hit the device, and renaming an unsynced temp into
+    // place would publish a report that was never durably written.
+    file.sync_data()?;
     drop(file);
     std::fs::rename(&tmp, path)
 }

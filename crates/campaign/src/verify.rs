@@ -1,0 +1,831 @@
+//! `boomerang-sim verify`: an offline audit of a campaign directory.
+//!
+//! The campaign stack's invariant is that a merged report is a
+//! byte-identical pure function of its spec. Everything that defends that
+//! invariant at runtime — journal `row_fnv` checksums, frame trailers,
+//! broker-side re-verification — leaves artifacts on disk that can be
+//! re-checked *after the fact*, with no broker and no workers. This module
+//! is that auditor: point it at an output directory and it re-validates
+//! every layer it can reach, prints one row per check, and reports failure
+//! if any single bit has drifted.
+//!
+//! The checks, in order:
+//!
+//! | check          | needs          | what it proves                                   |
+//! |----------------|----------------|--------------------------------------------------|
+//! | `journal-rows` | nothing        | headers parse, rows parse, every `row_fnv` holds |
+//! | `spec-hash`    | `--spec`       | journals belong to this spec at this run length  |
+//! | `completeness` | `--spec`       | every job of the expansion has a checkpointed row|
+//! | `report-bytes` | `--spec`       | `<name>.json`/`.csv` equal an `assemble_report` replay byte-for-byte |
+//! | `artifacts`    | `--artifact-cache` | every `wl-*.wla` header and payload checksum holds |
+//! | `recompute`    | `--spec`, `--recompute N` | N sampled rows re-simulated from scratch reproduce their journaled stats |
+//!
+//! Checks whose inputs are absent are *skipped* (reported, but not
+//! failures): a journal's internal checksums are verifiable with nothing
+//! but the file, while replaying the report needs the spec TOML. The
+//! `recompute` sample is deterministic — seeded by the spec hash, like the
+//! broker's online sampled re-verification — so repeated audits of the
+//! same directory exercise the same rows.
+
+use crate::artifact::check_header;
+use crate::bench::fnv1a64;
+use crate::checkpoint::{scan_journal, spec_hash, stats_to_array, JournalReplay, JournalScan};
+use crate::engine::{assemble_report, derive_seed};
+use crate::expand::{expand, Job};
+use crate::sink::{to_csv, to_json};
+use crate::spec::{mechanism_token, CampaignSpec};
+use boomerang::{RunLength, WorkloadData};
+use std::path::{Path, PathBuf};
+
+/// What to audit and how deep.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyOptions {
+    /// The campaign output directory (journals + reports).
+    pub dir: PathBuf,
+    /// The campaign spec TOML. Without it only the self-contained checks
+    /// run (journal shape and row checksums).
+    pub spec: Option<PathBuf>,
+    /// The campaign was run at smoke length (`--smoke` on the original
+    /// run); affects the spec hash and the recompute run length.
+    pub smoke: bool,
+    /// Re-simulate this many sampled rows from scratch and compare their
+    /// stats to the journal (0 disables the most expensive check).
+    pub recompute: usize,
+    /// Audit every artifact in this workload cache directory.
+    pub artifact_cache: Option<PathBuf>,
+}
+
+/// One audit check's outcome: `passed` is `None` when the check was
+/// skipped for want of inputs.
+#[derive(Clone, Debug)]
+pub struct CheckResult {
+    /// The check's stable name (the table's first column).
+    pub name: &'static str,
+    /// `Some(true)` pass, `Some(false)` fail, `None` skipped.
+    pub passed: Option<bool>,
+    /// Human-readable evidence: counts on success, the first offending
+    /// file/line/field on failure.
+    pub detail: String,
+}
+
+/// The full audit outcome.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyReport {
+    /// Every check that ran or was skipped, in execution order.
+    pub checks: Vec<CheckResult>,
+}
+
+impl VerifyReport {
+    /// True when no check failed (skipped checks do not fail the audit).
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed != Some(false))
+    }
+
+    /// Renders the per-check table plus a PASS/FAIL summary line.
+    pub fn render(&self) -> String {
+        let width = self
+            .checks
+            .iter()
+            .map(|c| c.name.len())
+            .max()
+            .unwrap_or(0)
+            .max("check".len());
+        let mut out = format!("{:width$}  {:7}  detail\n", "check", "status");
+        for check in &self.checks {
+            let status = match check.passed {
+                Some(true) => "ok",
+                Some(false) => "FAIL",
+                None => "skipped",
+            };
+            out.push_str(&format!(
+                "{:width$}  {:7}  {}\n",
+                check.name, status, check.detail
+            ));
+        }
+        let failed = self
+            .checks
+            .iter()
+            .filter(|c| c.passed == Some(false))
+            .count();
+        let skipped = self.checks.iter().filter(|c| c.passed.is_none()).count();
+        out.push_str(&format!(
+            "verify: {} ({} checks, {failed} failed, {skipped} skipped)",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.checks.len(),
+        ));
+        out
+    }
+}
+
+/// Runs every applicable check against `options.dir` and returns the
+/// per-check table. Never panics on damaged input — damage is what the
+/// failing check reports.
+pub fn verify_dir(options: &VerifyOptions) -> VerifyReport {
+    let mut report = VerifyReport::default();
+    let scans = check_journal_rows(&options.dir, &mut report);
+    let spec = load_spec(options, &mut report);
+    if let Some((spec, run)) = &spec {
+        check_spec_hash(options, spec, *run, &scans, &mut report);
+        let replay = check_completeness(options, spec, &scans, &mut report);
+        check_report_bytes(options, spec, *run, replay.as_ref(), &mut report);
+        check_recompute(options, spec, *run, replay.as_ref(), &mut report);
+    } else {
+        for name in ["spec-hash", "completeness", "report-bytes", "recompute"] {
+            report.checks.push(CheckResult {
+                name,
+                passed: None,
+                detail: "needs --spec".to_string(),
+            });
+        }
+    }
+    check_artifacts(options, &mut report);
+    report
+}
+
+/// Every journal file in `dir`: `<campaign>.journal.jsonl` and sharded
+/// `<campaign>.journal-<i>.jsonl` siblings, temp files excluded.
+fn journal_paths(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut paths = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.ends_with(".jsonl") && name.contains(".journal") && !name.contains(".tmp-") {
+            paths.push(path);
+        }
+    }
+    paths.sort();
+    Ok(paths)
+}
+
+/// The self-contained scan: every journal parses and every row checksum
+/// holds. Returns the scans for the spec-dependent checks downstream.
+fn check_journal_rows(dir: &Path, report: &mut VerifyReport) -> Vec<(PathBuf, JournalScan)> {
+    let paths = match journal_paths(dir) {
+        Ok(paths) => paths,
+        Err(e) => {
+            report.checks.push(CheckResult {
+                name: "journal-rows",
+                passed: Some(false),
+                detail: format!("cannot scan {}: {e}", dir.display()),
+            });
+            return Vec::new();
+        }
+    };
+    if paths.is_empty() {
+        report.checks.push(CheckResult {
+            name: "journal-rows",
+            passed: Some(false),
+            detail: format!("no journal files in {}", dir.display()),
+        });
+        return Vec::new();
+    }
+    let mut scans = Vec::new();
+    let mut checked = 0;
+    let mut unverified = 0;
+    for path in paths {
+        match scan_journal(&path) {
+            Ok(scan) => {
+                checked += scan.rows_checked;
+                unverified += scan.rows_unverified;
+                scans.push((path, scan));
+            }
+            Err(e) => {
+                report.checks.push(CheckResult {
+                    name: "journal-rows",
+                    passed: Some(false),
+                    detail: e.to_string(),
+                });
+                return scans;
+            }
+        }
+    }
+    let mut detail = format!(
+        "{checked} row checksums verified across {} file(s)",
+        scans.len()
+    );
+    if unverified > 0 {
+        let oldest = scans.iter().map(|(_, s)| s.format).min().unwrap_or(0);
+        detail.push_str(&format!(
+            "; {unverified} row(s) from format-{oldest} journal(s) carry no checksum"
+        ));
+    }
+    report.checks.push(CheckResult {
+        name: "journal-rows",
+        passed: Some(true),
+        detail,
+    });
+    scans
+}
+
+/// Parses `--spec` (when given) into the spec plus its effective run
+/// length. A spec that fails to parse is reported as a failed check.
+fn load_spec(
+    options: &VerifyOptions,
+    report: &mut VerifyReport,
+) -> Option<(CampaignSpec, RunLength)> {
+    let path = options.spec.as_ref()?;
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            report.checks.push(CheckResult {
+                name: "spec-hash",
+                passed: Some(false),
+                detail: format!("cannot read {}: {e}", path.display()),
+            });
+            return None;
+        }
+    };
+    match CampaignSpec::from_toml_str(&text) {
+        Ok(spec) => {
+            let run = if options.smoke {
+                RunLength::smoke_test()
+            } else {
+                spec.run
+            };
+            Some((spec, run))
+        }
+        Err(e) => {
+            report.checks.push(CheckResult {
+                name: "spec-hash",
+                passed: Some(false),
+                detail: format!("invalid spec {}: {e}", path.display()),
+            });
+            None
+        }
+    }
+}
+
+/// Every journal must belong to this spec: campaign name and recomputed
+/// spec hash both match every header.
+fn check_spec_hash(
+    options: &VerifyOptions,
+    spec: &CampaignSpec,
+    run: RunLength,
+    scans: &[(PathBuf, JournalScan)],
+    report: &mut VerifyReport,
+) {
+    if scans.is_empty() {
+        report.checks.push(CheckResult {
+            name: "spec-hash",
+            passed: None,
+            detail: "no scanned journals to compare against".to_string(),
+        });
+        return;
+    }
+    let expected = spec_hash(spec, run, options.smoke);
+    let jobs = expand(spec).len();
+    for (path, scan) in scans {
+        if scan.campaign != spec.name {
+            report.checks.push(CheckResult {
+                name: "spec-hash",
+                passed: Some(false),
+                detail: format!(
+                    "{} belongs to campaign `{}`, spec names `{}`",
+                    path.display(),
+                    scan.campaign,
+                    spec.name
+                ),
+            });
+            return;
+        }
+        if scan.spec_hash != expected {
+            report.checks.push(CheckResult {
+                name: "spec-hash",
+                passed: Some(false),
+                detail: format!(
+                    "{} was written for spec hash {}, this spec at this run length is {expected}",
+                    path.display(),
+                    scan.spec_hash
+                ),
+            });
+            return;
+        }
+        if scan.jobs as usize != jobs {
+            report.checks.push(CheckResult {
+                name: "spec-hash",
+                passed: Some(false),
+                detail: format!(
+                    "{} claims {} jobs, the spec expands to {jobs}",
+                    path.display(),
+                    scan.jobs
+                ),
+            });
+            return;
+        }
+    }
+    report.checks.push(CheckResult {
+        name: "spec-hash",
+        passed: Some(true),
+        detail: format!("{expected} matches {} journal header(s)", scans.len()),
+    });
+}
+
+/// Full replay through the same loader `resume` uses: every job of the
+/// canonical expansion must have a (checksum-valid) row.
+fn check_completeness(
+    options: &VerifyOptions,
+    spec: &CampaignSpec,
+    scans: &[(PathBuf, JournalScan)],
+    report: &mut VerifyReport,
+) -> Option<(Vec<Job>, JournalReplay)> {
+    if scans.is_empty() {
+        report.checks.push(CheckResult {
+            name: "completeness",
+            passed: None,
+            detail: "no journals to replay".to_string(),
+        });
+        return None;
+    }
+    let jobs = expand(spec);
+    let expected = scans[0].1.spec_hash.clone();
+    match JournalReplay::load(&options.dir, &spec.name, &expected, &jobs) {
+        Ok(replay) if replay.completed() == jobs.len() => {
+            report.checks.push(CheckResult {
+                name: "completeness",
+                passed: Some(true),
+                detail: format!("all {} jobs have checkpointed rows", jobs.len()),
+            });
+            Some((jobs, replay))
+        }
+        Ok(replay) => {
+            report.checks.push(CheckResult {
+                name: "completeness",
+                passed: Some(false),
+                detail: format!(
+                    "only {} of {} jobs have checkpointed rows",
+                    replay.completed(),
+                    jobs.len()
+                ),
+            });
+            None
+        }
+        Err(e) => {
+            report.checks.push(CheckResult {
+                name: "completeness",
+                passed: Some(false),
+                detail: e.to_string(),
+            });
+            None
+        }
+    }
+}
+
+/// The reports on disk must equal an `assemble_report` replay of the
+/// journal, byte for byte — the same invariant the golden tests pin.
+fn check_report_bytes(
+    options: &VerifyOptions,
+    spec: &CampaignSpec,
+    run: RunLength,
+    replay: Option<&(Vec<Job>, JournalReplay)>,
+    report: &mut VerifyReport,
+) {
+    let Some((jobs, replay)) = replay else {
+        report.checks.push(CheckResult {
+            name: "report-bytes",
+            passed: None,
+            detail: "needs a complete journal replay".to_string(),
+        });
+        return;
+    };
+    let stats: Vec<frontend::SimStats> = (0..jobs.len()).map(|i| replay.rows[&i]).collect();
+    let assembled = assemble_report(spec, jobs, run, options.smoke, stats);
+    for (suffix, rendered) in [("json", to_json(&assembled)), ("csv", to_csv(&assembled))] {
+        let path = options.dir.join(format!("{}.{suffix}", spec.name));
+        match std::fs::read(&path) {
+            Ok(disk) if disk == rendered.as_bytes() => {}
+            Ok(disk) => {
+                report.checks.push(CheckResult {
+                    name: "report-bytes",
+                    passed: Some(false),
+                    detail: format!(
+                        "{} differs from the journal replay ({} bytes on disk, {} replayed)",
+                        path.display(),
+                        disk.len(),
+                        rendered.len()
+                    ),
+                });
+                return;
+            }
+            Err(e) => {
+                report.checks.push(CheckResult {
+                    name: "report-bytes",
+                    passed: Some(false),
+                    detail: format!("cannot read {}: {e}", path.display()),
+                });
+                return;
+            }
+        }
+    }
+    report.checks.push(CheckResult {
+        name: "report-bytes",
+        passed: Some(true),
+        detail: format!(
+            "{}.json and {}.csv equal the journal replay byte-for-byte",
+            spec.name, spec.name
+        ),
+    });
+}
+
+/// Re-simulates a deterministic sample of rows from scratch — workload
+/// generation included — and compares the stats to the journal. The most
+/// expensive check, and the only one that can catch a journal whose rows
+/// are internally consistent but *wrong* (a miscomputing worker whose
+/// session escaped online verification).
+fn check_recompute(
+    options: &VerifyOptions,
+    spec: &CampaignSpec,
+    run: RunLength,
+    replay: Option<&(Vec<Job>, JournalReplay)>,
+    report: &mut VerifyReport,
+) {
+    if options.recompute == 0 {
+        report.checks.push(CheckResult {
+            name: "recompute",
+            passed: None,
+            detail: "needs --recompute N".to_string(),
+        });
+        return;
+    }
+    let Some((jobs, replay)) = replay else {
+        report.checks.push(CheckResult {
+            name: "recompute",
+            passed: None,
+            detail: "needs a complete journal replay".to_string(),
+        });
+        return;
+    };
+    let sample = sample_rows(
+        &spec_hash(spec, run, options.smoke),
+        jobs.len(),
+        options.recompute,
+    );
+    let configs: Vec<_> = spec.configs.iter().map(|c| c.build()).collect();
+    for &index in &sample {
+        let job = &jobs[index];
+        let profile = &spec.workloads[job.workload].profile;
+        let effective = derive_seed(profile.seed, job.seed);
+        let profile = profile.clone().with_seed(effective);
+        let data = WorkloadData::generate_from_profile(&profile, run);
+        let fresh = data.run_with_predictor_engine(
+            job.mechanism,
+            &configs[job.config],
+            spec.predictor,
+            frontend::SimEngine::default(),
+        );
+        let journaled = replay.rows[&index];
+        if stats_to_array(&fresh) != stats_to_array(&journaled) {
+            report.checks.push(CheckResult {
+                name: "recompute",
+                passed: Some(false),
+                detail: format!(
+                    "job {index} ({}, seed {}) re-simulated from scratch contradicts the \
+                     journaled row",
+                    mechanism_token(job.mechanism),
+                    job.seed
+                ),
+            });
+            return;
+        }
+    }
+    report.checks.push(CheckResult {
+        name: "recompute",
+        passed: Some(true),
+        detail: format!(
+            "{} of {} rows re-simulated from scratch, all reproduce their journaled stats",
+            sample.len(),
+            jobs.len()
+        ),
+    });
+}
+
+/// A deterministic sample of `want` distinct row indices out of `total`,
+/// seeded by the spec hash (a splitmix-style walk — repeat audits check the
+/// same rows, and the sample is independent of directory contents).
+fn sample_rows(hash: &str, total: usize, want: usize) -> Vec<usize> {
+    let mut candidates: Vec<usize> = (0..total).collect();
+    let mut state = fnv1a64(hash.as_bytes());
+    let mut picked = Vec::new();
+    while picked.len() < want && !candidates.is_empty() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let at = (state >> 16) as usize % candidates.len();
+        picked.push(candidates.swap_remove(at));
+    }
+    picked.sort_unstable();
+    picked
+}
+
+/// Every `wl-*.wla` in the cache: header fields and payload checksum must
+/// hold against the content address the filename claims.
+fn check_artifacts(options: &VerifyOptions, report: &mut VerifyReport) {
+    let Some(cache) = &options.artifact_cache else {
+        report.checks.push(CheckResult {
+            name: "artifacts",
+            passed: None,
+            detail: "needs --artifact-cache".to_string(),
+        });
+        return;
+    };
+    let entries = match std::fs::read_dir(cache) {
+        Ok(entries) => entries,
+        Err(e) => {
+            report.checks.push(CheckResult {
+                name: "artifacts",
+                passed: Some(false),
+                detail: format!("cannot scan {}: {e}", cache.display()),
+            });
+            return;
+        }
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wl-") && n.ends_with(".wla"))
+        })
+        .collect();
+    paths.sort();
+    for path in &paths {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        let Some(key) = name
+            .strip_prefix("wl-")
+            .and_then(|rest| rest.strip_suffix(".wla"))
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+        else {
+            report.checks.push(CheckResult {
+                name: "artifacts",
+                passed: Some(false),
+                detail: format!("{} has no parseable content address", path.display()),
+            });
+            return;
+        };
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                report.checks.push(CheckResult {
+                    name: "artifacts",
+                    passed: Some(false),
+                    detail: format!("cannot read {}: {e}", path.display()),
+                });
+                return;
+            }
+        };
+        if let Err(e) = check_header(&bytes, key) {
+            report.checks.push(CheckResult {
+                name: "artifacts",
+                passed: Some(false),
+                detail: format!("{}: {e}", path.display()),
+            });
+            return;
+        }
+    }
+    report.checks.push(CheckResult {
+        name: "artifacts",
+        passed: Some(true),
+        detail: format!("{} artifact(s) verified", paths.len()),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::Journal;
+    use crate::engine::{run_campaign, EngineOptions};
+    use crate::sink::write_reports;
+
+    const SPEC: &str = r#"
+name = "vtest"
+workloads = ["nutch"]
+mechanisms = ["fdip", "boomerang"]
+
+[run]
+trace_blocks = 2000
+warmup_blocks = 400
+"#;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("boomerang-verify-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// A complete, internally consistent campaign directory: journal from a
+    /// real run plus the matching reports, exactly what `run --out` leaves.
+    fn golden_dir(tag: &str) -> (PathBuf, PathBuf) {
+        let dir = temp_dir(tag);
+        let spec = CampaignSpec::from_toml_str(SPEC).unwrap();
+        let report = run_campaign(&spec, &EngineOptions::default()).unwrap();
+        let jobs = expand(&spec);
+        let hash = spec_hash(&spec, spec.run, false);
+        let journal = Journal::create(&dir, &spec.name, &hash, jobs.len(), None).unwrap();
+        for (job, row) in jobs.iter().zip(&report.rows) {
+            journal.record(job, &row.stats).unwrap();
+        }
+        write_reports(&report, &dir).unwrap();
+        let spec_path = dir.join("vtest-spec.toml");
+        std::fs::write(&spec_path, SPEC).unwrap();
+        (dir, spec_path)
+    }
+
+    #[test]
+    fn golden_directory_passes_every_check() {
+        let (dir, spec_path) = golden_dir("golden");
+        let report = verify_dir(&VerifyOptions {
+            dir: dir.clone(),
+            spec: Some(spec_path),
+            smoke: false,
+            recompute: 2,
+            artifact_cache: None,
+        });
+        assert!(report.passed(), "{}", report.render());
+        let rendered = report.render();
+        assert!(rendered.contains("verify: PASS"), "{rendered}");
+        // Every spec-dependent check actually ran.
+        for name in [
+            "journal-rows",
+            "spec-hash",
+            "completeness",
+            "report-bytes",
+            "recompute",
+        ] {
+            assert!(
+                report
+                    .checks
+                    .iter()
+                    .any(|c| c.name == name && c.passed == Some(true)),
+                "{name} did not pass:\n{rendered}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flipped_journal_row_fails_the_audit() {
+        let (dir, spec_path) = golden_dir("flip");
+        let journal = dir.join("vtest.journal.jsonl");
+        let mut bytes = std::fs::read(&journal).unwrap();
+        // Flip one digit in an interior row (the second line).
+        let second_line = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let target = bytes[second_line..]
+            .iter()
+            .position(|b| b.is_ascii_digit())
+            .unwrap()
+            + second_line;
+        bytes[target] = if bytes[target] == b'9' {
+            b'0'
+        } else {
+            bytes[target] + 1
+        };
+        std::fs::write(&journal, bytes).unwrap();
+
+        let report = verify_dir(&VerifyOptions {
+            dir: dir.clone(),
+            spec: Some(spec_path),
+            ..VerifyOptions::default()
+        });
+        assert!(!report.passed(), "{}", report.render());
+        let failing = report
+            .checks
+            .iter()
+            .find(|c| c.passed == Some(false))
+            .unwrap();
+        assert!(
+            failing.detail.contains(":2") || failing.detail.contains("row"),
+            "failure does not locate the damage: {}",
+            failing.detail
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flipped_report_fails_the_audit() {
+        let (dir, spec_path) = golden_dir("report-flip");
+        let json = dir.join("vtest.json");
+        let mut bytes = std::fs::read(&json).unwrap();
+        let target = bytes.iter().position(|b| b.is_ascii_digit()).unwrap();
+        bytes[target] = if bytes[target] == b'9' {
+            b'0'
+        } else {
+            bytes[target] + 1
+        };
+        std::fs::write(&json, bytes).unwrap();
+
+        let report = verify_dir(&VerifyOptions {
+            dir: dir.clone(),
+            spec: Some(spec_path),
+            ..VerifyOptions::default()
+        });
+        assert!(!report.passed(), "{}", report.render());
+        assert!(
+            report
+                .checks
+                .iter()
+                .any(|c| c.name == "report-bytes" && c.passed == Some(false)),
+            "{}",
+            report.render()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn specless_audit_checks_row_checksums_only() {
+        let (dir, _) = golden_dir("specless");
+        let report = verify_dir(&VerifyOptions {
+            dir: dir.clone(),
+            ..VerifyOptions::default()
+        });
+        assert!(report.passed(), "{}", report.render());
+        assert!(
+            report
+                .checks
+                .iter()
+                .any(|c| c.name == "journal-rows" && c.passed == Some(true)),
+            "{}",
+            report.render()
+        );
+        assert!(
+            report
+                .checks
+                .iter()
+                .any(|c| c.name == "report-bytes" && c.passed.is_none()),
+            "{}",
+            report.render()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_artifact_fails_the_audit() {
+        use crate::artifact::ArtifactCache;
+        let dir = temp_dir("artifacts");
+        let cache_dir = dir.join("cache");
+        let spec = CampaignSpec::from_toml_str(SPEC).unwrap();
+        let profile = spec.workloads[0].profile.clone();
+        let data = WorkloadData::generate_from_profile(&profile, spec.run);
+        let cache = ArtifactCache::open(&cache_dir).unwrap();
+        cache.store(&profile, spec.run, &data).unwrap();
+
+        let clean = verify_dir(&VerifyOptions {
+            dir: dir.clone(),
+            artifact_cache: Some(cache_dir.clone()),
+            ..VerifyOptions::default()
+        });
+        assert!(
+            clean
+                .checks
+                .iter()
+                .any(|c| c.name == "artifacts" && c.passed == Some(true)),
+            "{}",
+            clean.render()
+        );
+
+        // Flip the final payload byte of the stored artifact.
+        let artifact = std::fs::read_dir(&cache_dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| p.extension().is_some_and(|e| e == "wla"))
+            .unwrap();
+        let mut bytes = std::fs::read(&artifact).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&artifact, bytes).unwrap();
+
+        let damaged = verify_dir(&VerifyOptions {
+            dir: dir.clone(),
+            artifact_cache: Some(cache_dir),
+            ..VerifyOptions::default()
+        });
+        assert!(
+            damaged
+                .checks
+                .iter()
+                .any(|c| c.name == "artifacts" && c.passed == Some(false)),
+            "{}",
+            damaged.render()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn row_sample_is_deterministic_and_distinct() {
+        let a = sample_rows("fnv1a64:00c0ffee", 45, 8);
+        let b = sample_rows("fnv1a64:00c0ffee", 45, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        let mut dedup = a.clone();
+        dedup.dedup();
+        assert_eq!(dedup, a, "sampled indices must be distinct");
+        assert!(a.iter().all(|&i| i < 45));
+        // Want more than exists → everything, once.
+        assert_eq!(sample_rows("x", 3, 10).len(), 3);
+    }
+}

@@ -21,13 +21,16 @@
 //! the heartbeats stop and the broker's lease timeout reclaims the job.
 //!
 //! Completed rows are transmitted as [`Message::RowDone`] with the stat
-//! counters in canonical journal column order; the broker journals and
-//! acks. Row submission is idempotent on the broker side, so the worker
-//! retransmits freely after a reconnect — at worst the broker replies with
-//! a dedup ack.
+//! counters in canonical journal column order plus the row's `row_fnv`
+//! checksum, computed here over the stats the simulation actually produced
+//! — the broker recomputes it from the received fields, so a row corrupted
+//! anywhere between this process's simulator and the broker's journal can
+//! never be recorded. The broker journals and acks. Row submission is
+//! idempotent on the broker side, so the worker retransmits freely after a
+//! reconnect — at worst the broker replies with a dedup ack.
 
 use crate::artifact::ArtifactCache;
-use crate::checkpoint::{spec_hash, stats_to_array};
+use crate::checkpoint::{row_checksum, spec_hash, stats_to_array};
 use crate::engine::derive_seed;
 use crate::expand::{expand, Job};
 use crate::fault;
@@ -209,7 +212,7 @@ fn session(
         worker: format!("worker-{}", options.worker_index),
         pid: std::process::id() as u64,
     };
-    if let Err(e) = write_message(&mut *writer.lock().expect("writer mutex"), &hello) {
+    if let Err(e) = write_message(&mut *lock_writer(&writer)?, &hello) {
         return Ok(SessionEnd::Lost(e));
     }
     match read_message(&mut reader) {
@@ -242,7 +245,11 @@ fn session(
                     continue;
                 }
                 let beat = Message::Heartbeat { lease };
-                if write_message(&mut *writer.lock().expect("writer mutex"), &beat).is_err() {
+                // A poisoned writer lock means a sender thread panicked
+                // mid-frame; stop heartbeating — the session thread will
+                // classify the poison as a terminal error.
+                let Ok(mut w) = writer.lock() else { break };
+                if write_message(&mut *w, &beat).is_err() {
                     break;
                 }
             }
@@ -264,6 +271,20 @@ fn session(
     result
 }
 
+/// Locks the shared socket writer, classifying a poisoned mutex — a sender
+/// thread panicked mid-frame, leaving the socket's write state unknowable —
+/// as a terminal session error instead of propagating the panic and taking
+/// the whole worker process down without a diagnosis.
+fn lock_writer<'a>(
+    writer: &'a Arc<Mutex<TcpStream>>,
+) -> Result<std::sync::MutexGuard<'a, TcpStream>, String> {
+    writer.lock().map_err(|_| {
+        "socket writer lock poisoned (a sender thread panicked mid-frame); \
+         the connection state is unknowable — terminating the session"
+            .to_string()
+    })
+}
+
 /// The session's request-reply loop. Every protocol read/write error is a
 /// recoverable `SessionEnd::Lost`.
 fn lease_loop(
@@ -277,7 +298,7 @@ fn lease_loop(
 ) -> Result<SessionEnd, String> {
     macro_rules! send {
         ($msg:expr) => {
-            if let Err(e) = write_message(&mut *writer.lock().expect("writer mutex"), $msg) {
+            if let Err(e) = write_message(&mut *lock_writer(writer)?, $msg) {
                 return Ok(SessionEnd::Lost(e));
             }
         };
@@ -297,6 +318,21 @@ fn lease_loop(
                 std::thread::sleep(Duration::from_millis(retry_ms.clamp(10, 5_000)));
             }
             Message::Shutdown { reason } => return Ok(SessionEnd::Shutdown(reason)),
+            Message::Reject { reason } => {
+                // The broker refuses this *session* further leases (it was
+                // quarantined after a failed row verification). Drop the
+                // connection; a reconnect opens a fresh session.
+                if !options.quiet {
+                    eprintln!(
+                        "worker {}: lease request rejected: {reason}",
+                        options.worker_index
+                    );
+                }
+                return Ok(SessionEnd::Lost(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    format!("broker rejected this session: {reason}"),
+                )));
+            }
             Message::Lease {
                 lease,
                 job,
@@ -333,13 +369,30 @@ fn lease_loop(
                 let leased = state.jobs[job_index];
                 let stats = run_row(state, &leased, cache);
                 let row_faults = fault::on_worker_row();
+                let mechanism = mechanism_token(leased.mechanism).to_string();
+                let mut values = stats_to_array(&stats).to_vec();
+                let row_fnv = row_checksum(job_index, &mechanism, leased.seed, &values);
+                if row_faults.corrupt {
+                    // Injected result corruption: one stat flips *after* the
+                    // checksum was taken over the true values — the exact
+                    // damage the broker's re-verification must catch (and
+                    // quarantine this session for).
+                    values[0] ^= 1;
+                    if !options.quiet {
+                        eprintln!(
+                            "worker {}: injected row corruption on job {job}",
+                            options.worker_index
+                        );
+                    }
+                }
                 let done = Message::RowDone {
                     lease,
                     job,
                     spec_hash: wanted_hash.clone(),
-                    mechanism: mechanism_token(leased.mechanism).to_string(),
+                    mechanism,
                     seed: leased.seed,
-                    stats: stats_to_array(&stats).to_vec(),
+                    row_fnv,
+                    stats: values,
                 };
                 let transmissions = if row_faults.duplicate { 2 } else { 1 };
                 for _ in 0..transmissions {
@@ -442,7 +495,11 @@ fn campaign_state<'a>(
             },
         );
     }
-    Ok(campaigns.get_mut(wanted_hash).expect("just inserted"))
+    // The insert above (or an earlier lease) guarantees presence; classify
+    // the impossible miss instead of panicking the worker process.
+    campaigns
+        .get_mut(wanted_hash)
+        .ok_or_else(|| "internal error: campaign state missing after insert".to_string())
 }
 
 /// Runs one row, generating (or cache-loading) its workload point on first

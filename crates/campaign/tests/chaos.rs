@@ -417,6 +417,161 @@ fn concurrent_cache_writers_leave_a_fully_loadable_cache() {
     std::fs::remove_dir_all(&base).unwrap();
 }
 
+/// Journal bitrot: a fault point flips one byte of a row line *after* its
+/// `row_fnv` was computed — the writer cannot notice. The run itself
+/// completes (its in-memory stats are true), but every later consumer of
+/// the journal must reject the damaged row: `verify` fails the audit, and
+/// `--resume` refuses with an error naming the file, line and checksums.
+/// `--force` starts over and reproduces the reference bytes, after which
+/// the audit passes again.
+#[test]
+fn journal_bitrot_is_caught_by_verify_and_resume_and_force_recovers() {
+    let dir = temp_dir("bitrot");
+    let spec = dir.join("mini.toml");
+    std::fs::write(&spec, MINI_SPEC).unwrap();
+    let out = dir.join("out");
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "run",
+            spec.to_str().unwrap(),
+            "--jobs",
+            "1",
+            "--quiet",
+            "--out",
+            out.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        run_bin(&args)
+    };
+
+    let output = run(&["--fault-inject", "journal-bitrot:after-rows=2"]);
+    assert!(
+        output.status.success(),
+        "bitrot is silent at write time: {}",
+        stderr_of(&output)
+    );
+
+    // The offline audit catches the damage and names it.
+    let audit = run_bin(&[
+        "verify",
+        out.to_str().unwrap(),
+        "--spec",
+        spec.to_str().unwrap(),
+    ]);
+    let table = String::from_utf8_lossy(&audit.stdout).into_owned();
+    assert_eq!(audit.status.code(), Some(1), "{table}");
+    assert!(
+        table.contains("row_fnv") && table.contains("journal-rows  FAIL"),
+        "the audit must fail on the damaged row: {table}"
+    );
+
+    // Resume refuses the damaged journal rather than trusting it.
+    let resumed = run(&["--resume"]);
+    let stderr = stderr_of(&resumed);
+    assert_eq!(resumed.status.code(), Some(1), "{stderr}");
+    assert!(
+        stderr.contains("row_fnv") && stderr.contains(".journal.jsonl:3"),
+        "the replay error must name the file, line and checksum: {stderr}"
+    );
+
+    // --force starts over; the rerun is byte-identical and audits clean.
+    let forced = run(&["--force"]);
+    assert!(forced.status.success(), "{}", stderr_of(&forced));
+    let (ref_json, ref_csv) = {
+        // The reference runs with the same --jobs for identical bytes.
+        let ref_dir = temp_dir("bitrot-ref");
+        let ref_spec = ref_dir.join("mini.toml");
+        std::fs::write(&ref_spec, MINI_SPEC).unwrap();
+        let output = run_bin(&[
+            "run",
+            ref_spec.to_str().unwrap(),
+            "--jobs",
+            "1",
+            "--quiet",
+            "--out",
+            ref_dir.to_str().unwrap(),
+        ]);
+        assert!(output.status.success(), "{}", stderr_of(&output));
+        let json = std::fs::read(ref_dir.join("chaos-mini.json")).unwrap();
+        let csv = std::fs::read(ref_dir.join("chaos-mini.csv")).unwrap();
+        std::fs::remove_dir_all(&ref_dir).unwrap();
+        (json, csv)
+    };
+    assert_eq!(
+        std::fs::read(out.join("chaos-mini.json")).unwrap(),
+        ref_json,
+        "a forced rerun must reproduce the reference bytes"
+    );
+    assert_eq!(std::fs::read(out.join("chaos-mini.csv")).unwrap(), ref_csv);
+    let audit = run_bin(&[
+        "verify",
+        out.to_str().unwrap(),
+        "--spec",
+        spec.to_str().unwrap(),
+        "--recompute",
+        "2",
+    ]);
+    assert!(
+        audit.status.success(),
+        "{}",
+        String::from_utf8_lossy(&audit.stdout)
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The audit CLI end-to-end: a clean campaign directory passes with exit 0;
+/// flipping a single byte anywhere (here: the CSV report) fails it with
+/// exit 1 and a named check.
+#[test]
+fn verify_passes_a_golden_dir_and_fails_any_single_bit_flip() {
+    let dir = temp_dir("verify-cli");
+    let spec = dir.join("mini.toml");
+    std::fs::write(&spec, MINI_SPEC).unwrap();
+    let out = dir.join("out");
+    let output = run_bin(&[
+        "run",
+        spec.to_str().unwrap(),
+        "--jobs",
+        "2",
+        "--quiet",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "{}", stderr_of(&output));
+
+    let audit = run_bin(&[
+        "verify",
+        out.to_str().unwrap(),
+        "--spec",
+        spec.to_str().unwrap(),
+        "--recompute",
+        "1",
+    ]);
+    let table = String::from_utf8_lossy(&audit.stdout).into_owned();
+    assert!(audit.status.success(), "{table}");
+    assert!(table.contains("verify: PASS"), "{table}");
+
+    let csv = out.join("chaos-mini.csv");
+    let mut bytes = std::fs::read(&csv).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&csv, bytes).unwrap();
+
+    let audit = run_bin(&[
+        "verify",
+        out.to_str().unwrap(),
+        "--spec",
+        spec.to_str().unwrap(),
+    ]);
+    let table = String::from_utf8_lossy(&audit.stdout).into_owned();
+    assert_eq!(audit.status.code(), Some(1), "{table}");
+    assert!(
+        table.contains("report-bytes  FAIL") && table.contains("verify: FAIL"),
+        "{table}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn failed_spool_scan_skips_one_scan_not_the_serve_loop() {
     let spool = temp_dir("scanfail-spool");

@@ -375,3 +375,143 @@ fn torn_frames_and_garbage_connections_do_not_disturb_the_campaign() {
         std::fs::remove_dir_all(dir).unwrap();
     }
 }
+
+/// Bit-level frame damage (not a tear): a worker whose 4th frame has one
+/// payload byte flipped *after* the FNV trailer was computed. The broker's
+/// trailer check must reject the frame and drop the connection; the worker
+/// reconnects and the campaign still renders byte-identically.
+#[test]
+fn corrupt_frame_is_rejected_by_the_trailer_check_and_recovered() {
+    let reference = clean_reference("framecorrupt", MINI_SPEC, "dist-mini");
+    let (broker, spool, out, addr) = spawn_broker("framecorrupt", MINI_SPEC, &["--workers", "0"]);
+    let worker = spawn_worker(&addr, 0, &["--fault-inject", "frame-corrupt:nth=4"]);
+
+    let output = broker.wait_with_output().unwrap();
+    let serve_log = stderr_of(&output);
+    assert!(output.status.success(), "{serve_log}");
+    let worker = worker.wait_with_output().unwrap();
+    assert!(
+        worker.status.success(),
+        "the corrupt-frame worker must reconnect and drain: {}",
+        stderr_of(&worker)
+    );
+
+    assert!(spool.join("job.toml.done").exists(), "{serve_log}");
+    assert_report_matches(&out, "dist-mini", &reference);
+    for dir in [spool, out] {
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}
+
+/// Row-payload corruption: a worker flips one stat value after checksumming
+/// the true row. The broker's `row_fnv` gate must reject the row, quarantine
+/// the offending session, requeue the job — and the recovered report is
+/// byte-identical. The worker reconnects as a fresh (clean) session.
+#[test]
+fn corrupt_row_is_quarantined_requeued_and_recovered_byte_identically() {
+    let reference = clean_reference("rowcorrupt", MINI_SPEC, "dist-mini");
+    let (broker, spool, out, addr) = spawn_broker("rowcorrupt", MINI_SPEC, &["--workers", "0"]);
+    let liar = spawn_worker(&addr, 0, &["--fault-inject", "row-corrupt:after-rows=2"]);
+    let honest = spawn_worker(&addr, 1, &[]);
+
+    let output = broker.wait_with_output().unwrap();
+    let serve_log = stderr_of(&output);
+    assert!(output.status.success(), "{serve_log}");
+    for (name, child) in [("liar", liar), ("honest", honest)] {
+        let w = child.wait_with_output().unwrap();
+        assert!(
+            w.status.success(),
+            "the {name} worker must drain (the liar reconnects as a clean session): {}",
+            stderr_of(&w)
+        );
+    }
+
+    assert!(
+        serve_log.contains("quarantining session") && serve_log.contains("row_fnv"),
+        "the checksum reject and the quarantine must be logged: {serve_log}"
+    );
+    assert!(
+        serve_log.contains("integrity summary") && serve_log.contains("1 checksum rejects"),
+        "the integrity summary must count the reject: {serve_log}"
+    );
+    assert!(spool.join("job.toml.done").exists(), "{serve_log}");
+    assert_report_matches(&out, "dist-mini", &reference);
+    for dir in [spool, out] {
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}
+
+/// `--max-quarantined 0`: the first quarantined session breaches the bound,
+/// the submission fails rather than grind on, and the serve process exits
+/// with the dedicated quarantine code (5).
+#[test]
+fn quarantine_bound_fails_the_run_with_exit_code_five() {
+    let (broker, spool, out, addr) = spawn_broker(
+        "qbound",
+        MINI_SPEC,
+        &["--workers", "0", "--max-quarantined", "0"],
+    );
+    let mut liar = spawn_worker(&addr, 0, &["--fault-inject", "row-corrupt:after-rows=1"]);
+
+    let output = broker.wait_with_output().unwrap();
+    let serve_log = stderr_of(&output);
+    assert_eq!(
+        output.status.code(),
+        Some(5),
+        "the quarantine bound needs its own exit code: {serve_log}"
+    );
+    assert!(
+        serve_log.contains("exceeding --max-quarantined"),
+        "{serve_log}"
+    );
+    assert!(
+        spool.join("job.toml.failed").exists(),
+        "a quarantine-bound breach must fail the submission: {serve_log}"
+    );
+    let _ = liar.kill();
+    let _ = liar.wait();
+    for dir in [spool, out] {
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}
+
+/// `--verify-fraction 1.0` with two workers: every row is re-leased to the
+/// session that did not produce it, every re-run matches, nobody is
+/// quarantined, and the report is byte-identical.
+#[test]
+fn sampled_reverification_passes_on_an_honest_fleet() {
+    let reference = clean_reference("verifyok", MINI_SPEC, "dist-mini");
+    let (broker, spool, out, addr) = spawn_broker(
+        "verifyok",
+        MINI_SPEC,
+        &["--workers", "0", "--verify-fraction", "1.0"],
+    );
+    let a = spawn_worker(&addr, 0, &[]);
+    let b = spawn_worker(&addr, 1, &[]);
+
+    let output = broker.wait_with_output().unwrap();
+    let serve_log = stderr_of(&output);
+    assert!(output.status.success(), "{serve_log}");
+    for child in [a, b] {
+        let w = child.wait_with_output().unwrap();
+        assert!(w.status.success(), "{}", stderr_of(&w));
+    }
+
+    let summary = serve_log
+        .lines()
+        .find(|l| l.contains("integrity summary"))
+        .unwrap_or_else(|| panic!("no integrity summary in: {serve_log}"));
+    assert!(
+        !summary.contains("0 rows re-verified"),
+        "a 1.0 fraction must actually re-verify rows: {summary}"
+    );
+    assert!(
+        summary.contains("0 verification mismatches") && summary.contains("0 sessions quarantined"),
+        "an honest fleet must come out clean: {summary}"
+    );
+    assert!(spool.join("job.toml.done").exists(), "{serve_log}");
+    assert_report_matches(&out, "dist-mini", &reference);
+    for dir in [spool, out] {
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}
